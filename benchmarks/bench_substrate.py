@@ -1,0 +1,123 @@
+"""Substrate microbenchmarks — the numpy NN engine's hot paths.
+
+Not a paper experiment: these are performance-regression guards for the
+PyTorch stand-in everything else rides on.  pytest-benchmark runs each op
+repeatedly and reports the distribution, so substrate slowdowns show up
+as outliers in the harness run rather than as mysterious accuracy-bench
+slowness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    rng = np.random.default_rng(0)
+    return nn.Sequential(
+        nn.Linear(20, 64, rng=rng), nn.ReLU(), nn.Linear(64, 5, rng=rng)
+    )
+
+
+@pytest.fixture(scope="module")
+def tabular_batch():
+    return nn.Tensor(RNG.normal(size=(1024, 20))), RNG.integers(0, 5, 1024)
+
+
+def test_mlp_forward(benchmark, mlp, tabular_batch):
+    x, _ = tabular_batch
+
+    def forward():
+        with nn.no_grad():
+            return mlp(x)
+
+    benchmark(forward)
+
+
+def test_mlp_forward_backward(benchmark, mlp, tabular_batch):
+    x, y = tabular_batch
+
+    def step():
+        mlp.zero_grad()
+        loss = F.cross_entropy(mlp(x), y)
+        loss.backward()
+        return loss
+
+    benchmark(step)
+
+
+def test_conv2d_forward(benchmark):
+    rng = np.random.default_rng(0)
+    conv = nn.Conv2d(1, 32, kernel_size=3, padding=1, rng=rng)
+    x = nn.Tensor(rng.normal(size=(64, 1, 16, 16)))
+
+    def forward():
+        with nn.no_grad():
+            return conv(x)
+
+    benchmark(forward)
+
+
+def test_conv2d_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    conv = nn.Conv2d(1, 16, kernel_size=3, padding=1, rng=rng)
+    x = nn.Tensor(rng.normal(size=(64, 1, 16, 16)))
+
+    def step():
+        conv.zero_grad()
+        out = conv(x).sum()
+        out.backward()
+        return out
+
+    benchmark(step)
+
+
+def test_softmax_cross_entropy(benchmark):
+    logits = nn.Tensor(RNG.normal(size=(1024, 5)), requires_grad=True)
+    labels = RNG.integers(0, 5, 1024)
+
+    def step():
+        loss = F.cross_entropy(logits, labels)
+        loss.backward()
+        logits.zero_grad()
+        return loss
+
+    benchmark(step)
+
+
+def test_pca_batch_embedding(benchmark):
+    from repro.shift import WarmupPCA
+    pca = WarmupPCA(num_components=2).fit(RNG.normal(size=(2048, 20)))
+    batch = RNG.normal(size=(1024, 20))
+    benchmark(pca.batch_embedding, batch)
+
+
+def test_asw_add(benchmark):
+    from repro.core import AdaptiveStreamingWindow
+    window = AdaptiveStreamingWindow(max_batches=64)
+    x = RNG.normal(size=(1024, 20))
+    y = np.zeros(1024, dtype=np.int64)
+    counter = {"n": 0}
+
+    def add():
+        counter["n"] += 1
+        window.add(x, y, RNG.normal(size=2))
+        if window.num_batches >= 32:
+            window.reset()
+
+    benchmark(add)
+
+
+def test_kmeans_fit(benchmark):
+    from repro.models import KMeans
+    x = RNG.normal(size=(512, 20))
+
+    def fit():
+        return KMeans(5, seed=0).fit(x)
+
+    benchmark(fit)

@@ -1,0 +1,65 @@
+"""Table I — accuracy and stability of SML frameworks on six datasets.
+
+Paper claim (shape): FreewayML has the best G_acc and SI in both the
+StreamingLR group (vs Flink ML / Spark MLlib / Alink) and the StreamingMLP
+group (vs River / Camel / A-GEM) on all six datasets, improving accuracy
+by ~3.8 points on average.
+"""
+
+import numpy as np
+
+from conftest import BATCH_SIZE, NUM_BATCHES, SEED, print_banner
+from repro.baselines import LR_GROUP, MLP_GROUP
+from repro.eval import RunConfig, render_accuracy_table, run_matrix
+
+FREEWAYML = "freewayml"
+
+
+def _run_group(model, group, datasets):
+    config = RunConfig(num_batches=NUM_BATCHES, batch_size=BATCH_SIZE,
+                       model=model, seed=SEED)
+    frameworks = list(group) + [FREEWAYML]
+    return run_matrix(frameworks, datasets, config)
+
+
+def _summarize(results):
+    wins = 0
+    deltas = []
+    for per_dataset in results.values():
+        best = max(per_dataset.values(), key=lambda r: r.g_acc)
+        wins += best.name == FREEWAYML
+        others = [r.g_acc for name, r in per_dataset.items()
+                  if name != FREEWAYML]
+        deltas.append(per_dataset[FREEWAYML].g_acc - float(np.mean(others)))
+    return wins, float(np.mean(deltas))
+
+
+def test_table1_streaming_lr(benchmark, datasets):
+    def run():
+        return _run_group("lr", LR_GROUP, datasets)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Table I (StreamingLR group): G_acc / SI per framework")
+    print(render_accuracy_table(results))
+    wins, mean_delta = _summarize(results)
+    print(f"\nFreewayML best on {wins}/{len(results)} datasets; "
+          f"mean gap vs baselines {mean_delta * 100:+.2f} points")
+    benchmark.extra_info["freewayml_wins"] = wins
+    benchmark.extra_info["mean_delta_points"] = round(mean_delta * 100, 2)
+    # Shape check: FreewayML wins the majority of datasets.
+    assert wins >= len(results) // 2 + 1
+
+
+def test_table1_streaming_mlp(benchmark, datasets):
+    def run():
+        return _run_group("mlp", MLP_GROUP, datasets)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Table I (StreamingMLP group): G_acc / SI per framework")
+    print(render_accuracy_table(results))
+    wins, mean_delta = _summarize(results)
+    print(f"\nFreewayML best on {wins}/{len(results)} datasets; "
+          f"mean gap vs baselines {mean_delta * 100:+.2f} points")
+    benchmark.extra_info["freewayml_wins"] = wins
+    benchmark.extra_info["mean_delta_points"] = round(mean_delta * 100, 2)
+    assert wins >= len(results) // 2 + 1

@@ -1,0 +1,60 @@
+"""Table IV — space overhead of historical knowledge vs store size k.
+
+Paper claim (shape): storage grows linearly in k; MLP checkpoints are ~7x
+LR checkpoints; even at k=100 the total stays far below 2 MB.
+
+Absolute bytes differ by a constant factor (we store float64 parameters;
+the paper's models are float32), so the reproduced claims are linearity,
+the LR/MLP ratio, and the "small even at k=100" bound.
+"""
+
+import numpy as np
+
+from conftest import print_banner
+from repro.core import KnowledgeStore
+from repro.eval import format_table
+from repro.models import StreamingLR, StreamingMLP
+
+K_VALUES = [1, 5, 10, 40, 100]
+NUM_FEATURES = 10
+NUM_CLASSES = 2
+
+
+def _store_with_k(model, k):
+    store = KnowledgeStore(capacity=max(k, 1))
+    for index in range(k):
+        store.preserve(np.zeros(2), model.state_dict(), "long", 0.5, index)
+    return store.total_nbytes()
+
+
+def test_table4_knowledge_space(benchmark):
+    lr_model = StreamingLR(num_features=NUM_FEATURES,
+                           num_classes=NUM_CLASSES, seed=0)
+    mlp_model = StreamingMLP(num_features=NUM_FEATURES,
+                             num_classes=NUM_CLASSES, seed=0)
+
+    def run():
+        return {
+            k: (_store_with_k(lr_model, k), _store_with_k(mlp_model, k))
+            for k in K_VALUES
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Table IV: space overhead (KB) of historical knowledge")
+    rows = [
+        [str(k), f"{lr_bytes / 1024:.1f}", f"{mlp_bytes / 1024:.1f}"]
+        for k, (lr_bytes, mlp_bytes) in sizes.items()
+    ]
+    print(format_table(["k", "LR (KB)", "MLP (KB)"], rows))
+
+    lr_sizes = np.array([sizes[k][0] for k in K_VALUES], dtype=float)
+    mlp_sizes = np.array([sizes[k][1] for k in K_VALUES], dtype=float)
+    # Linear in k.
+    np.testing.assert_allclose(lr_sizes / K_VALUES, lr_sizes[0], rtol=1e-9)
+    # MLP entries several times larger than LR entries.
+    ratio = mlp_sizes[0] / lr_sizes[0]
+    print(f"\nMLP / LR checkpoint size ratio: {ratio:.1f}x")
+    assert ratio > 3.0
+    # Small even at k=100 (paper: < 2 MB).
+    assert mlp_sizes[-1] < 2 * 1024 * 1024
+    benchmark.extra_info["mlp_k100_kb"] = round(mlp_sizes[-1] / 1024, 1)

@@ -1,0 +1,41 @@
+"""Shared configuration and helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (see DESIGN.md's per-experiment index).  Benchmarks are
+macro experiments — each is executed once via ``benchmark.pedantic`` and
+prints the regenerated rows/series; pytest-benchmark records the wall time.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import all_benchmark_datasets
+
+#: Batches per prequential run.  The paper streams full datasets; these
+#: sizes keep the whole harness laptop-fast while preserving every shape
+#: the paper reports.
+NUM_BATCHES = 60
+BATCH_SIZE = 256
+SEED = 3
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """The paper's six-dataset benchmark lineup."""
+    return all_benchmark_datasets(seed=SEED)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def si(series) -> float:
+    series = np.asarray(series, dtype=float)
+    return float(np.exp(-series.std() / series.mean()))

@@ -1,0 +1,29 @@
+"""FreewayML — an adaptive and stable streaming learning framework.
+
+Reproduction of "FreewayML: An Adaptive and Stable Streaming Learning
+Framework for Dynamic Data Streams" (ICDE 2025).  The public API mirrors
+the paper's interface::
+
+    from repro import Learner
+    from repro.models import StreamingMLP
+
+    factory = lambda: StreamingMLP(num_features=20, num_classes=5, lr=0.3)
+    sml = Learner(factory, num_models=2, knowledge_capacity=20,
+                  experience_expiration=10, alpha=1.96)
+    for batch in stream:
+        report = sml.process(batch)   # test-then-train
+
+Subpackages: :mod:`repro.nn` (the numpy autograd substrate standing in for
+PyTorch), :mod:`repro.data` (streams, generators, dataset simulators),
+:mod:`repro.shift` (shift graph + pattern classification),
+:mod:`repro.models` (Streaming LR/MLP/CNN, k-means), :mod:`repro.core`
+(the FreewayML mechanisms), :mod:`repro.baselines` (the six comparison
+frameworks), :mod:`repro.metrics` and :mod:`repro.eval` (prequential
+evaluation and the benchmark harness).
+"""
+
+from .core.learner import BatchReport, Learner, PredictionResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Learner", "PredictionResult", "BatchReport", "__version__"]

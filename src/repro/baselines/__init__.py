@@ -1,0 +1,40 @@
+"""``repro.baselines`` — the six comparison frameworks, re-implemented.
+
+Algorithmic reproductions of the systems Table I compares against: Flink
+ML (plain watermark-ordered SGD), Spark MLlib (partition-averaged
+gradients), Alink (FOBOS/RDA logistic regression), River (ADWIN drift
+detection with reset), Camel (data selection + similarity replay), and
+A-GEM (gradient projection against episodic memory).
+"""
+
+from .agem import AGEMBaseline
+from .alink import AlinkBaseline
+from .base import WrappingBaseline
+from .camel import CamelBaseline
+from .detectors import DDMDetector, EDDMDetector, PageHinkleyDetector
+from .ewc import EWCBaseline
+from .experts import ExpertsBaseline
+from .flinkml import FlinkMLBaseline
+from .registry import BASELINES, LR_GROUP, MLP_GROUP, make_baseline
+from .river_like import AdwinDetector, RiverBaseline
+from .sparkml import SparkMLlibBaseline
+
+__all__ = [
+    "WrappingBaseline",
+    "FlinkMLBaseline",
+    "SparkMLlibBaseline",
+    "AlinkBaseline",
+    "RiverBaseline",
+    "AdwinDetector",
+    "DDMDetector",
+    "EDDMDetector",
+    "PageHinkleyDetector",
+    "CamelBaseline",
+    "AGEMBaseline",
+    "EWCBaseline",
+    "ExpertsBaseline",
+    "BASELINES",
+    "LR_GROUP",
+    "MLP_GROUP",
+    "make_baseline",
+]

@@ -1,0 +1,106 @@
+"""A-GEM baseline: averaged gradient episodic memory (Chaudhry et al., 2019).
+
+A-GEM "constrains the gradient update direction to avoid interference with
+previous data buffered" (paper appendix).  Before each update the gradient
+``g`` on the current batch is compared with the gradient ``g_ref`` on a
+sample drawn from episodic memory; when they conflict (``g · g_ref < 0``),
+``g`` is projected onto the half-space of non-interference:
+
+    g' = g - (g · g_ref / g_ref · g_ref) * g_ref
+
+so learning the new batch never increases the (first-order) loss on memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WrappingBaseline
+
+__all__ = ["AGEMBaseline"]
+
+
+class AGEMBaseline(WrappingBaseline):
+    """Gradient-projected streaming learner with episodic memory.
+
+    Parameters
+    ----------
+    model_factory:
+        Factory for the wrapped model.
+    memory_size:
+        Episodic memory capacity (reservoir-sampled rows).
+    sample_size:
+        Rows drawn from memory to form the reference gradient.
+    seed:
+        Sampling seed.
+    """
+
+    name = "a-gem"
+
+    def __init__(self, model_factory, memory_size: int = 4096,
+                 sample_size: int = 256, seed: int = 0):
+        super().__init__(model_factory)
+        if memory_size < 1:
+            raise ValueError(f"memory_size must be >= 1; got {memory_size}")
+        if sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1; got {sample_size}")
+        self.memory_size = memory_size
+        self.sample_size = sample_size
+        self._rng = np.random.default_rng(seed)
+        self._memory_x: np.ndarray | None = None
+        self._memory_y: np.ndarray | None = None
+        self._fill = 0
+        self._seen = 0
+        self.projections = 0
+
+    @staticmethod
+    def _flatten(grads: list[np.ndarray]) -> np.ndarray:
+        return np.concatenate([grad.ravel() for grad in grads])
+
+    @staticmethod
+    def _unflatten(vector: np.ndarray, like: list[np.ndarray]) -> list[np.ndarray]:
+        out = []
+        offset = 0
+        for grad in like:
+            size = grad.size
+            out.append(vector[offset:offset + size].reshape(grad.shape))
+            offset += size
+        return out
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        grads = self.inner.gradient_on(x, y)
+        if self._fill >= self.sample_size:
+            chosen = self._rng.choice(self._fill, size=self.sample_size,
+                                      replace=False)
+            ref_grads = self.inner.gradient_on(self._memory_x[chosen],
+                                               self._memory_y[chosen])
+            g = self._flatten(grads)
+            g_ref = self._flatten(ref_grads)
+            dot = float(g @ g_ref)
+            if dot < 0.0:
+                ref_norm_sq = float(g_ref @ g_ref)
+                if ref_norm_sq > 0.0:
+                    g = g - (dot / ref_norm_sq) * g_ref
+                    grads = self._unflatten(g, grads)
+                    self.projections += 1
+        self.inner.apply_gradient(grads)
+        self._remember(x, y)
+        return self.inner.loss_on(x, y)
+
+    def _remember(self, x: np.ndarray, y: np.ndarray) -> None:
+        if self._memory_x is None:
+            self._memory_x = np.zeros((self.memory_size, *x.shape[1:]))
+            self._memory_y = np.zeros(self.memory_size, dtype=np.int64)
+        for row_x, row_y in zip(x, y):
+            self._seen += 1
+            if self._fill < self.memory_size:
+                self._memory_x[self._fill] = row_x
+                self._memory_y[self._fill] = row_y
+                self._fill += 1
+            else:
+                slot = self._rng.integers(self._seen)
+                if slot < self.memory_size:
+                    self._memory_x[slot] = row_x
+                    self._memory_y[slot] = row_y

@@ -1,0 +1,52 @@
+"""Alink baseline: FOBOS/RDA-regularized streaming logistic regression.
+
+Alink "integrates FOBOS and RDA with logistic regression to enhance model
+stability when dealing with real-time data streams" (paper appendix).  This
+baseline swaps the wrapped model's plain SGD optimizer for
+:class:`~repro.nn.optim.FOBOS` (default) or :class:`~repro.nn.optim.RDA`,
+keeping everything else identical.
+"""
+
+from __future__ import annotations
+
+from ..nn.optim import FOBOS, RDA
+from .base import WrappingBaseline
+
+__all__ = ["AlinkBaseline"]
+
+
+class AlinkBaseline(WrappingBaseline):
+    """Streaming learner with a regularized online optimizer.
+
+    Parameters
+    ----------
+    model_factory:
+        Factory for the wrapped model (Alink pairs these updates with
+        logistic regression, but any :class:`NeuralStreamingModel` works).
+    method:
+        ``"fobos"`` or ``"rda"``.
+    lr:
+        Base step size (FOBOS decays it as ``lr / sqrt(t)``).
+    l1:
+        L1 regularization strength.
+    """
+
+    name = "alink"
+
+    def __init__(self, model_factory, method: str = "fobos",
+                 lr: float = 0.5, l1: float = 1e-5):
+        super().__init__(model_factory)
+        if method not in ("fobos", "rda"):
+            raise ValueError(f"method must be 'fobos' or 'rda'; got {method!r}")
+        self.method = method
+        self.lr = lr
+        self.l1 = l1
+        parameters = self.inner.module.parameters()
+        if method == "fobos":
+            self.inner.optimizer = FOBOS(parameters, lr=lr, l1=l1)
+        else:
+            self.inner.optimizer = RDA(parameters, l1=l1)
+
+    def clone(self) -> "AlinkBaseline":
+        return AlinkBaseline(self._factory, method=self.method,
+                             lr=self.lr, l1=self.l1)

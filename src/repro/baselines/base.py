@@ -1,0 +1,56 @@
+"""Shared scaffolding for baseline SML frameworks.
+
+Each baseline re-implements the *algorithmic* behaviour of one system the
+paper compares against (see the appendix "Details of baseline"), on top of
+the same :mod:`repro.nn` substrate and :class:`StreamingModel` protocol as
+FreewayML — so accuracy and stability comparisons isolate the adaptation
+policy, not the runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.base import NeuralStreamingModel, StreamingModel
+
+__all__ = ["WrappingBaseline"]
+
+
+class WrappingBaseline(StreamingModel):
+    """A baseline that decorates an inner neural streaming model.
+
+    Subclasses override :meth:`partial_fit` (the adaptation policy) and
+    inherit inference and checkpointing from the wrapped model.
+    """
+
+    name = "baseline"
+
+    def __init__(self, model_factory):
+        inner = model_factory()
+        if not isinstance(inner, NeuralStreamingModel):
+            raise TypeError(
+                "baselines wrap a NeuralStreamingModel; got "
+                f"{type(inner).__name__}"
+            )
+        self._factory = model_factory
+        self.inner = inner
+        self.num_classes = inner.num_classes
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.inner.predict_proba(x)
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        return self.inner.partial_fit(x, y)
+
+    def state_dict(self) -> dict:
+        return self.inner.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self.inner.load_state_dict(state)
+
+    def clone(self) -> "WrappingBaseline":
+        return type(self)(self._factory)
+
+    def reset_model(self) -> None:
+        """Replace the inner model with a fresh copy (drift response)."""
+        self.inner = self._factory()

@@ -1,0 +1,125 @@
+"""Camel baseline: data selection for efficient stream learning.
+
+Camel (Li, Shen & Chen, SIGMOD 2022) "provides effective data selection to
+reduce model training cost and increase data quality" (paper appendix).
+The reproduced policy has Camel's two levers:
+
+1. **quality filtering** — per-sample losses are computed on the incoming
+   batch and the highest-loss tail (likely label noise / outliers) is
+   dropped before training;
+2. **similarity replay** — a reservoir of past samples is kept, and the
+   buffered samples most similar to the current batch mean are mixed into
+   the training set, reinforcing the active region of feature space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import WrappingBaseline
+
+__all__ = ["CamelBaseline"]
+
+
+class CamelBaseline(WrappingBaseline):
+    """Data-selection streaming learner.
+
+    Parameters
+    ----------
+    model_factory:
+        Factory for the wrapped model.
+    drop_fraction:
+        Fraction of highest-loss samples discarded from each batch.
+    buffer_size:
+        Reservoir capacity for similarity replay.
+    replay_fraction:
+        Replayed samples per batch, as a fraction of the batch size.
+    seed:
+        Reservoir sampling seed.
+    """
+
+    name = "camel"
+
+    def __init__(self, model_factory, drop_fraction: float = 0.1,
+                 buffer_size: int = 4096, replay_fraction: float = 0.25,
+                 seed: int = 0):
+        super().__init__(model_factory)
+        if not 0.0 <= drop_fraction < 1.0:
+            raise ValueError(
+                f"drop_fraction must be in [0, 1); got {drop_fraction}"
+            )
+        if not 0.0 <= replay_fraction <= 1.0:
+            raise ValueError(
+                f"replay_fraction must be in [0, 1]; got {replay_fraction}"
+            )
+        self.drop_fraction = drop_fraction
+        self.buffer_size = buffer_size
+        self.replay_fraction = replay_fraction
+        self._rng = np.random.default_rng(seed)
+        self._buffer_x: np.ndarray | None = None
+        self._buffer_y: np.ndarray | None = None
+        self._fill = 0
+        self._seen = 0
+
+    def _per_sample_loss(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            logits = self.inner.module(self.inner._prepare(x))
+            log_probs = F.log_softmax(logits, axis=-1).data
+        return -log_probs[np.arange(len(y)), y]
+
+    def _select(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Indices surviving the quality filter (drop the high-loss tail)."""
+        if self.drop_fraction == 0.0 or self.inner.updates == 0:
+            return np.arange(len(x))
+        losses = self._per_sample_loss(x, y)
+        keep = max(int(round(len(x) * (1.0 - self.drop_fraction))), 1)
+        return np.argsort(losses)[:keep]
+
+    def _replay(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+        """Buffered samples nearest the current batch mean."""
+        if self._buffer_x is None or self._fill == 0:
+            return None
+        count = int(round(len(x) * self.replay_fraction))
+        if count == 0:
+            return None
+        flat = np.asarray(x, dtype=float).reshape(len(x), -1)
+        centre = flat.mean(axis=0)
+        filled_x = self._buffer_x[: self._fill]
+        filled_y = self._buffer_y[: self._fill]
+        buffered = filled_x.reshape(self._fill, -1)
+        distances = np.linalg.norm(buffered - centre, axis=1)
+        nearest = np.argsort(distances)[:count]
+        return filled_x[nearest], filled_y[nearest]
+
+    def _remember(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Reservoir-sample the batch into the replay buffer."""
+        if self._buffer_x is None:
+            self._buffer_x = np.zeros((self.buffer_size, *x.shape[1:]))
+            self._buffer_y = np.zeros(self.buffer_size, dtype=np.int64)
+            self._fill = 0
+        for row_x, row_y in zip(x, y):
+            self._seen += 1
+            if self._fill < self.buffer_size:
+                self._buffer_x[self._fill] = row_x
+                self._buffer_y[self._fill] = row_y
+                self._fill += 1
+            else:
+                slot = self._rng.integers(self._seen)
+                if slot < self.buffer_size:
+                    self._buffer_x[slot] = row_x
+                    self._buffer_y[slot] = row_y
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        selected = self._select(x, y)
+        train_x, train_y = x[selected], y[selected]
+        replayed = self._replay(x)
+        if replayed is not None:
+            train_x = np.concatenate([train_x, replayed[0]])
+            train_y = np.concatenate([train_y, replayed[1]])
+        loss = self.inner.partial_fit(train_x, train_y)
+        self._remember(x, y)
+        return loss

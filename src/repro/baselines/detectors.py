@@ -1,0 +1,164 @@
+"""Classic drift detectors: DDM, EDDM, and Page–Hinkley.
+
+River exposes a family of error-monitoring drift detectors; the baseline in
+this package defaults to ADWIN (``river_like.py``) but accepts any detector
+with the same ``update(value, weight) -> bool`` protocol.  These are the
+other standard members of that family:
+
+- **DDM** (Gama et al., 2004) — tracks the error rate's mean ``p`` and
+  binomial std ``s``; drift when ``p + s`` exceeds the best-seen
+  ``p_min + 3 s_min``.
+- **EDDM** (Baena-García et al., 2006) — like DDM but on the *distance
+  between errors*, more sensitive to gradual drift.
+- **Page–Hinkley** (Page, 1954) — CUSUM-style test on the deviation of the
+  monitored value from its running mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["DDMDetector", "EDDMDetector", "PageHinkleyDetector"]
+
+
+class DDMDetector:
+    """Drift Detection Method on a Bernoulli error stream.
+
+    ``update`` takes an error rate in ``[0, 1]`` and the number of
+    underlying observations it aggregates (the batch size).
+    """
+
+    def __init__(self, warn_level: float = 2.0, drift_level: float = 3.0,
+                 min_samples: int = 30):
+        if drift_level <= warn_level:
+            raise ValueError(
+                f"drift_level ({drift_level}) must exceed warn_level "
+                f"({warn_level})"
+            )
+        self.warn_level = warn_level
+        self.drift_level = drift_level
+        self.min_samples = min_samples
+        self.detections = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self._n = 0.0
+        self._errors = 0.0
+        self._p_min = math.inf
+        self._s_min = math.inf
+        self.warning = False
+
+    def update(self, value: float, weight: float = 1.0) -> bool:
+        """Feed an error rate; returns ``True`` on detected drift."""
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"error rate must be in [0, 1]; got {value}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive; got {weight}")
+        self._n += weight
+        self._errors += value * weight
+        if self._n < self.min_samples:
+            return False
+        p = self._errors / self._n
+        s = math.sqrt(p * (1.0 - p) / self._n)
+        if p + s < self._p_min + self._s_min:
+            self._p_min, self._s_min = p, s
+        level = self._p_min + self.drift_level * self._s_min
+        warn = self._p_min + self.warn_level * self._s_min
+        self.warning = p + s >= warn
+        if p + s >= level:
+            self.detections += 1
+            self._reset()
+            return True
+        return False
+
+
+class EDDMDetector:
+    """Early DDM: monitors the mean distance between consecutive errors.
+
+    Operates on error *rates* by converting each batch into an estimated
+    inter-error distance ``1 / max(rate, eps)``.  A *recency-weighted* mean
+    of those distances is compared against the best mean ever seen: errors
+    arriving closer together (the mean distance shrinking below ``beta``
+    times the best) signal drift.  The recency weighting (EMA) is what lets
+    the estimate actually fall after a change instead of being anchored by
+    the long stable history.
+    """
+
+    def __init__(self, alpha: float = 0.9, beta: float = 0.5,
+                 ema: float = 0.2, min_updates: int = 10):
+        if not 0.0 < beta < alpha <= 1.0:
+            raise ValueError(
+                f"need 0 < beta < alpha <= 1; got alpha={alpha}, beta={beta}"
+            )
+        if not 0.0 < ema <= 1.0:
+            raise ValueError(f"ema must be in (0, 1]; got {ema}")
+        self.alpha = alpha  # warning ratio
+        self.beta = beta    # drift ratio
+        self.ema = ema
+        self.min_updates = min_updates
+        self.detections = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self._n = 0
+        self._mean_distance: float | None = None
+        self._best = -math.inf
+        self.warning = False
+
+    def update(self, value: float, weight: float = 1.0) -> bool:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"error rate must be in [0, 1]; got {value}")
+        if weight <= 0:
+            raise ValueError(f"weight must be positive; got {weight}")
+        distance = 1.0 / max(value, 1.0 / max(weight, 1.0))
+        self._n += 1
+        if self._mean_distance is None:
+            self._mean_distance = distance
+        else:
+            self._mean_distance = ((1.0 - self.ema) * self._mean_distance
+                                   + self.ema * distance)
+        if self._n < self.min_updates:
+            return False
+        self._best = max(self._best, self._mean_distance)
+        ratio = (self._mean_distance / self._best
+                 if self._best > 0 else 1.0)
+        self.warning = ratio < self.alpha
+        if ratio < self.beta:
+            self.detections += 1
+            self._reset()
+            return True
+        return False
+
+
+class PageHinkleyDetector:
+    """Page–Hinkley CUSUM test for an upward change in the monitored value."""
+
+    def __init__(self, delta: float = 0.005, threshold: float = 0.5,
+                 min_samples: int = 10):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive; got {threshold}")
+        self.delta = delta
+        self.threshold = threshold
+        self.min_samples = min_samples
+        self.detections = 0
+        self._reset()
+
+    def _reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> bool:
+        del weight  # PH operates on the value series directly
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        if self._n < self.min_samples:
+            return False
+        if self._cumulative - self._minimum > self.threshold:
+            self.detections += 1
+            self._reset()
+            return True
+        return False

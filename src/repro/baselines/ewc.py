@@ -1,0 +1,144 @@
+"""EWC baseline: elastic weight consolidation (Kirkpatrick et al., 2017).
+
+Discussed in the paper's related work (Section II-B.3): a
+parameter-constraint method that "incorporates an additional regularization
+loss related to the parameters".  After each consolidation checkpoint the
+loss gains a quadratic penalty
+
+    L'(theta) = L(theta) + (lambda/2) * sum_i F_i (theta_i - theta*_i)^2
+
+where ``theta*`` are the checkpointed parameters and ``F`` is the diagonal
+Fisher information estimated from recent data — parameters that mattered
+for past data resist change.
+
+The streaming adaptation consolidates every ``consolidate_every`` batches
+against a reservoir of recent samples (streams have no task boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .base import WrappingBaseline
+
+__all__ = ["EWCBaseline"]
+
+
+class EWCBaseline(WrappingBaseline):
+    """Streaming learner with elastic-weight-consolidation regularization.
+
+    Parameters
+    ----------
+    model_factory:
+        Factory for the wrapped model.
+    ewc_lambda:
+        Strength of the quadratic anchor.
+    consolidate_every:
+        Batches between Fisher/anchor refreshes.
+    fisher_samples:
+        Rows drawn from memory to estimate the Fisher diagonal.
+    memory_size:
+        Reservoir capacity.
+    """
+
+    name = "ewc"
+
+    def __init__(self, model_factory, ewc_lambda: float = 1.0,
+                 consolidate_every: int = 10, fisher_samples: int = 256,
+                 memory_size: int = 2048, seed: int = 0):
+        super().__init__(model_factory)
+        if ewc_lambda < 0:
+            raise ValueError(f"ewc_lambda must be >= 0; got {ewc_lambda}")
+        if consolidate_every < 1:
+            raise ValueError(
+                f"consolidate_every must be >= 1; got {consolidate_every}"
+            )
+        self.ewc_lambda = ewc_lambda
+        self.consolidate_every = consolidate_every
+        self.fisher_samples = fisher_samples
+        self.memory_size = memory_size
+        self._rng = np.random.default_rng(seed)
+        self._memory_x: np.ndarray | None = None
+        self._memory_y: np.ndarray | None = None
+        self._fill = 0
+        self._seen = 0
+        self._batches = 0
+        self._anchor: list[np.ndarray] | None = None
+        self._fisher: list[np.ndarray] | None = None
+        self.consolidations = 0
+
+    def _estimate_fisher(self) -> list[np.ndarray]:
+        """Diagonal Fisher: mean squared gradient of the log-likelihood."""
+        count = min(self.fisher_samples, self._fill)
+        chosen = self._rng.choice(self._fill, size=count, replace=False)
+        totals = [np.zeros_like(p.data)
+                  for p in self.inner.module.parameters()]
+        # Average squared per-chunk gradients (chunking keeps it cheap while
+        # still capturing curvature direction).
+        chunks = max(count // 64, 1)
+        for chunk in np.array_split(chosen, chunks):
+            if not len(chunk):
+                continue
+            grads = self.inner.gradient_on(self._memory_x[chunk],
+                                           self._memory_y[chunk])
+            for total, grad in zip(totals, grads):
+                total += grad ** 2
+        fisher = [total / chunks for total in totals]
+        # Normalize to mean 1 and clip, so ewc_lambda has a scale-free
+        # meaning and the anchor's SGD dynamics stay stable: the quadratic
+        # term is stable iff lr * lambda * F_i < 2, which the clip
+        # guarantees for the default configuration regardless of how
+        # peaked the raw Fisher is.
+        overall = float(np.mean([np.mean(f) for f in fisher]))
+        if overall > 0:
+            fisher = [np.clip(f / overall, 0.0, 5.0) for f in fisher]
+        return fisher
+
+    def _consolidate(self) -> None:
+        self._anchor = [p.data.copy()
+                        for p in self.inner.module.parameters()]
+        self._fisher = self._estimate_fisher()
+        self.consolidations += 1
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        parameters = self.inner.module.parameters()
+        self.inner.module.zero_grad()
+        logits = self.inner.module(self.inner._prepare(x))
+        loss = F.cross_entropy(logits, y)
+        if self._anchor is not None and self.ewc_lambda > 0:
+            for parameter, anchor, fisher in zip(parameters, self._anchor,
+                                                 self._fisher):
+                penalty = (nn.Tensor(fisher)
+                           * (parameter - nn.Tensor(anchor)) ** 2).sum()
+                loss = loss + (self.ewc_lambda / 2.0) * penalty
+        loss.backward()
+        self.inner.optimizer.step()
+        self.inner.module.zero_grad()
+        self.inner.updates += 1
+        self.inner._weights_version += 1
+
+        self._remember(x, y)
+        self._batches += 1
+        if self._batches % self.consolidate_every == 0 and self._fill > 0:
+            self._consolidate()
+        return float(loss.item())
+
+    def _remember(self, x: np.ndarray, y: np.ndarray) -> None:
+        if self._memory_x is None:
+            self._memory_x = np.zeros((self.memory_size, *x.shape[1:]))
+            self._memory_y = np.zeros(self.memory_size, dtype=np.int64)
+        for row_x, row_y in zip(x, y):
+            self._seen += 1
+            if self._fill < self.memory_size:
+                self._memory_x[self._fill] = row_x
+                self._memory_y[self._fill] = row_y
+                self._fill += 1
+            else:
+                slot = self._rng.integers(self._seen)
+                if slot < self.memory_size:
+                    self._memory_x[slot] = row_x
+                    self._memory_y[slot] = row_y

@@ -1,0 +1,155 @@
+"""Expert-selection baseline in the spirit of T-SaS / SEED.
+
+The paper's related work (Section II-B.1) describes methods that keep a
+pool of specialist models and "select an optimal domain network to handle
+specific tasks" by distribution similarity.  This baseline distills that
+idea to its streaming core:
+
+- each expert owns a distribution centroid (EMA of the batch feature means
+  it has trained on);
+- an incoming batch routes to the nearest expert, which alone trains on it;
+- when no expert is within ``spawn_distance`` × the typical match distance,
+  a fresh expert is spawned (up to ``max_experts``, then the stalest is
+  recycled).
+
+Reoccurring distributions are therefore served by the expert that learned
+them — the same goal as FreewayML's knowledge reuse, but with per-expert
+training fragmentation as the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WrappingBaseline
+
+__all__ = ["ExpertsBaseline"]
+
+
+class _Expert:
+    __slots__ = ("model", "centroid", "updates", "last_used")
+
+    def __init__(self, model):
+        self.model = model
+        self.centroid: np.ndarray | None = None
+        self.updates = 0
+        self.last_used = 0
+
+
+class ExpertsBaseline(WrappingBaseline):
+    """A pool of specialist models routed by distribution similarity.
+
+    Parameters
+    ----------
+    model_factory:
+        Factory for each expert's model.
+    max_experts:
+        Pool size cap; beyond it the least-recently-used expert is
+        recycled for the new distribution.
+    spawn_distance:
+        A batch farther than this multiple of the running mean match
+        distance from every expert spawns (or recycles) an expert.
+    centroid_ema:
+        How fast an expert's centroid tracks the batches it trains on.
+    """
+
+    name = "experts"
+
+    def __init__(self, model_factory, max_experts: int = 5,
+                 spawn_distance: float = 3.0, centroid_ema: float = 0.2):
+        super().__init__(model_factory)
+        if max_experts < 1:
+            raise ValueError(f"max_experts must be >= 1; got {max_experts}")
+        if spawn_distance <= 1.0:
+            raise ValueError(
+                f"spawn_distance must be > 1; got {spawn_distance}"
+            )
+        if not 0.0 < centroid_ema <= 1.0:
+            raise ValueError(
+                f"centroid_ema must be in (0, 1]; got {centroid_ema}"
+            )
+        self.max_experts = max_experts
+        self.spawn_distance = spawn_distance
+        self.centroid_ema = centroid_ema
+        self._experts: list[_Expert] = [_Expert(self.inner)]
+        self._mean_match = None
+        self._clock = 0
+        self.spawns = 0
+
+    @property
+    def num_experts(self) -> int:
+        return len(self._experts)
+
+    def _batch_centroid(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float).reshape(len(x), -1).mean(axis=0)
+
+    def _nearest(self, centroid: np.ndarray) -> tuple[_Expert, float]:
+        best, best_distance = None, np.inf
+        for expert in self._experts:
+            if expert.centroid is None:
+                return expert, 0.0  # untrained expert: free to claim
+            distance = float(np.linalg.norm(expert.centroid - centroid))
+            if distance < best_distance:
+                best, best_distance = expert, distance
+        return best, best_distance
+
+    def _route(self, x: np.ndarray) -> _Expert:
+        centroid = self._batch_centroid(x)
+        expert, distance = self._nearest(centroid)
+        typical = self._mean_match if self._mean_match else None
+        if (typical is not None
+                and distance > self.spawn_distance * max(typical, 1e-9)):
+            expert = self._spawn()
+            self.spawns += 1
+        else:
+            self._mean_match = (
+                distance if typical is None
+                else 0.9 * typical + 0.1 * distance
+            )
+        return expert
+
+    def _spawn(self) -> _Expert:
+        if len(self._experts) < self.max_experts:
+            expert = _Expert(self._factory())
+            self._experts.append(expert)
+            return expert
+        stalest = min(self._experts, key=lambda e: e.last_used)
+        stalest.model = self._factory()
+        stalest.centroid = None
+        stalest.updates = 0
+        return stalest
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        centroid = self._batch_centroid(x)
+        expert, _ = self._nearest(centroid)
+        return expert.model.predict_proba(x)
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        self._clock += 1
+        expert = self._route(x)
+        expert.last_used = self._clock
+        expert.updates += 1
+        centroid = self._batch_centroid(x)
+        if expert.centroid is None:
+            expert.centroid = centroid
+        else:
+            expert.centroid = ((1.0 - self.centroid_ema) * expert.centroid
+                               + self.centroid_ema * centroid)
+        return expert.model.partial_fit(x, y)
+
+    def state_dict(self) -> dict:
+        raise NotImplementedError(
+            "ExpertsBaseline holds a model pool; checkpoint experts "
+            "individually via expert.model.state_dict()"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        raise NotImplementedError(
+            "ExpertsBaseline holds a model pool; restore experts "
+            "individually"
+        )
+
+    def clone(self) -> "ExpertsBaseline":
+        return ExpertsBaseline(self._factory, max_experts=self.max_experts,
+                               spawn_distance=self.spawn_distance,
+                               centroid_ema=self.centroid_ema)

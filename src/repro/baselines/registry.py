@@ -1,0 +1,47 @@
+"""Registry of baseline frameworks, grouped as the paper groups them.
+
+Table I evaluates StreamingLR against the "big data" frameworks (Flink ML,
+Spark MLlib, Alink) and StreamingMLP against the learning-centric ones
+(River, Camel, A-GEM); FreewayML competes in both groups.
+"""
+
+from __future__ import annotations
+
+from .agem import AGEMBaseline
+from .alink import AlinkBaseline
+from .base import WrappingBaseline
+from .camel import CamelBaseline
+from .ewc import EWCBaseline
+from .experts import ExpertsBaseline
+from .flinkml import FlinkMLBaseline
+from .river_like import RiverBaseline
+from .sparkml import SparkMLlibBaseline
+
+__all__ = ["BASELINES", "LR_GROUP", "MLP_GROUP", "make_baseline"]
+
+BASELINES: dict[str, type[WrappingBaseline]] = {
+    FlinkMLBaseline.name: FlinkMLBaseline,
+    SparkMLlibBaseline.name: SparkMLlibBaseline,
+    AlinkBaseline.name: AlinkBaseline,
+    RiverBaseline.name: RiverBaseline,
+    CamelBaseline.name: CamelBaseline,
+    AGEMBaseline.name: AGEMBaseline,
+    # Related-work comparators (paper Section II-B), beyond Table I's six.
+    EWCBaseline.name: EWCBaseline,
+    ExpertsBaseline.name: ExpertsBaseline,
+}
+
+# Table I's two comparison groups.
+LR_GROUP = ("flink-ml", "spark-mllib", "alink")
+MLP_GROUP = ("river", "camel", "a-gem")
+
+
+def make_baseline(name: str, model_factory, **kwargs) -> WrappingBaseline:
+    """Instantiate a baseline by its paper name."""
+    try:
+        baseline_cls = BASELINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown baseline {name!r}; available: {sorted(BASELINES)}"
+        ) from None
+    return baseline_cls(model_factory, **kwargs)

@@ -1,0 +1,60 @@
+"""Spark MLlib baseline: averaged-gradient mini-batch updates.
+
+Spark Streaming's MLlib integration collects records into micro-batch
+windows, computes partition gradients in parallel, and applies their
+*average* as a single update.  We reproduce the update rule: each incoming
+mini-batch is split into ``partitions`` shards, per-shard gradients are
+computed at the same parameter vector, and their sample-weighted average is
+applied in one optimizer step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WrappingBaseline
+
+__all__ = ["SparkMLlibBaseline"]
+
+
+class SparkMLlibBaseline(WrappingBaseline):
+    """Mini-batch SGD with partition-averaged gradients.
+
+    Parameters
+    ----------
+    model_factory:
+        Factory for the wrapped streaming model.
+    partitions:
+        Number of shards each batch is split into (RDD partitions).
+    """
+
+    name = "spark-mllib"
+
+    def __init__(self, model_factory, partitions: int = 4):
+        super().__init__(model_factory)
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1; got {partitions}")
+        self.partitions = partitions
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        shards = min(self.partitions, len(x))
+        x_shards = np.array_split(x, shards)
+        y_shards = np.array_split(y, shards)
+        total = None
+        samples = 0
+        for shard_x, shard_y in zip(x_shards, y_shards):
+            if len(shard_x) == 0:
+                continue
+            grads = self.inner.gradient_on(shard_x, shard_y)
+            weight = len(shard_x)
+            if total is None:
+                total = [grad * weight for grad in grads]
+            else:
+                for bank, grad in zip(total, grads):
+                    bank += grad * weight
+            samples += weight
+        mean_grads = [bank / samples for bank in total]
+        self.inner.apply_gradient(mean_grads)
+        return self.inner.loss_on(x, y)

@@ -1,0 +1,164 @@
+"""Command-line interface: run FreewayML experiments without writing code.
+
+Three subcommands::
+
+    python -m repro run --dataset nsl-kdd --framework freewayml --batches 80
+    python -m repro compare --dataset electricity --model mlp
+    python -m repro datasets
+
+``run`` evaluates one framework on one dataset prequentially and prints
+G_acc / SI / throughput; ``compare`` runs every framework of the chosen
+model group plus FreewayML and renders a Table-I-style block; ``datasets``
+lists what is available.  ``--csv`` runs on your own data instead of a
+built-in generator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import BASELINES, LR_GROUP, MLP_GROUP
+from .data import IMAGE_REGISTRY, all_benchmark_datasets
+from .data.io import stream_from_csv
+from .eval import RunConfig, render_accuracy_table, run_framework, run_matrix
+
+FRAMEWORK_CHOICES = ["freewayml", "plain", *sorted(BASELINES)]
+
+
+class _CsvGenerator:
+    """Adapter exposing a CSV file through the generator interface."""
+
+    def __init__(self, path: str, label_column, batch_size: int):
+        self.path = path
+        self.label_column = label_column
+        probe = stream_from_csv(path, batch_size=batch_size,
+                                label_column=label_column)
+        self.num_features = probe.num_features
+        self.num_classes = probe.num_classes
+        self.name = probe.name
+
+    def stream(self, num_batches: int, batch_size: int = 1024):
+        return stream_from_csv(
+            self.path, batch_size=batch_size,
+            label_column=self.label_column,
+        ).take(num_batches)
+
+
+def _resolve_label_column(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _generator(args):
+    if args.csv:
+        return _CsvGenerator(args.csv, _resolve_label_column(args.label),
+                             args.batch_size)
+    datasets = all_benchmark_datasets(seed=args.seed)
+    if args.dataset not in datasets:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; run `python -m repro "
+            f"datasets` to list them"
+        )
+    return datasets[args.dataset]
+
+
+def _config(args) -> RunConfig:
+    return RunConfig(num_batches=args.batches, batch_size=args.batch_size,
+                     model=args.model, lr=args.lr, seed=args.seed)
+
+
+def _add_common(parser):
+    parser.add_argument("--dataset", default="electricity",
+                        help="built-in dataset name (see `datasets`)")
+    parser.add_argument("--csv", help="run on your own CSV instead")
+    parser.add_argument("--label", default="-1",
+                        help="CSV label column (name or index; default last)")
+    parser.add_argument("--model", default="mlp", choices=["lr", "mlp", "cnn"])
+    parser.add_argument("--batches", type=int, default=80)
+    parser.add_argument("--batch-size", type=int, default=1024,
+                        dest="batch_size")
+    parser.add_argument("--lr", type=float, default=None,
+                        help="learning rate (default: per-model preset)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_run(args) -> int:
+    generator = _generator(args)
+    result = run_framework(args.framework, generator, _config(args))
+    print(f"framework : {result.name}")
+    print(f"dataset   : {generator.name}")
+    print(f"batches   : {len(result.accuracies)} x {args.batch_size}")
+    print(f"G_acc     : {result.g_acc * 100:.2f}%")
+    print(f"SI        : {result.si:.3f}")
+    print(f"throughput: {result.throughput / 1e3:.0f} K items/s")
+    by_pattern = result.accuracy_by_pattern()
+    if by_pattern:
+        per = "  ".join(f"{pattern}={accuracy * 100:.1f}%"
+                        for pattern, accuracy in sorted(by_pattern.items()))
+        print(f"by pattern: {per}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    generator = _generator(args)
+    group = LR_GROUP if args.model == "lr" else MLP_GROUP
+    frameworks = [*group, "freewayml"]
+    results = run_matrix(frameworks, {generator.name: generator},
+                         _config(args))
+    print(render_accuracy_table(
+        results, title=f"{generator.name} / Streaming{args.model.upper()}"
+    ))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print("tabular benchmarks (paper Table I):")
+    for name, generator in all_benchmark_datasets().items():
+        print(f"  {name:12s} {generator.num_features:3d} features, "
+              f"{generator.num_classes} classes")
+    print("image streams (paper appendix):")
+    for name, stream_cls in IMAGE_REGISTRY.items():
+        instance = stream_cls()
+        print(f"  {name:12s} 1x16x16 images, "
+              f"{instance.num_classes} classes")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FreewayML (ICDE 2025 reproduction) experiment runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="evaluate one framework on one dataset"
+    )
+    _add_common(run_parser)
+    run_parser.add_argument("--framework", default="freewayml",
+                            choices=FRAMEWORK_CHOICES)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    compare_parser = commands.add_parser(
+        "compare", help="Table-I-style comparison on one dataset"
+    )
+    _add_common(compare_parser)
+    compare_parser.set_defaults(handler=_cmd_compare)
+
+    datasets_parser = commands.add_parser(
+        "datasets", help="list built-in datasets"
+    )
+    datasets_parser.set_defaults(handler=_cmd_datasets)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

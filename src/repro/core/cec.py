@@ -1,0 +1,243 @@
+"""Coherent experience clustering (paper Section IV-C).
+
+When a sudden shift (Pattern B) makes every pre-trained model unreliable,
+FreewayML temporarily answers with unsupervised clustering.  K-means over
+the current batch produces clusters but no labels; the *coherent
+experience* — the most recent labeled points, held in an
+:class:`ExperienceBuffer` — is clustered **together with** the batch, and
+each cluster takes the majority label of its experience members.  This
+rests on the paper's continuity hypothesis: data adjacent in time is
+adjacent in distribution, so the tail of the previous batch already
+overlaps the new distribution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.kmeans import KMeans
+
+__all__ = ["ExperienceBuffer", "CoherentExperienceClustering", "CECResult"]
+
+
+class ExperienceBuffer:
+    """Bounded store of recent labeled points (the paper's ``ExpBuffer``).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of points retained.
+    per_batch:
+        How many points to keep from each labeled batch (the most recent
+        rows, which under the continuity hypothesis best overlap the next
+        distribution).
+    expiration:
+        Experiences older than this many batches are dropped — the paper's
+        *expiration time* for outdated experiences.
+    """
+
+    def __init__(self, capacity: int = 1024, per_batch: int = 128,
+                 expiration: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1; got {capacity}")
+        if per_batch < 1:
+            raise ValueError(f"per_batch must be >= 1; got {per_batch}")
+        if expiration < 1:
+            raise ValueError(f"expiration must be >= 1; got {expiration}")
+        self.capacity = capacity
+        self.per_batch = per_batch
+        self.expiration = expiration
+        self._entries: deque[tuple[np.ndarray, np.ndarray, int]] = deque()
+        self._size = 0
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Store the tail of a labeled batch and advance the clock."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} rows but {len(y)} labels")
+        self._clock += 1
+        take = min(self.per_batch, len(x))
+        self._entries.append((x[-take:].copy(), y[-take:].copy(), self._clock))
+        self._size += take
+        self._expire()
+        while self._size > self.capacity and len(self._entries) > 1:
+            old_x, _, _ = self._entries.popleft()
+            self._size -= len(old_x)
+
+    def _expire(self) -> None:
+        while self._entries and self._clock - self._entries[0][2] >= self.expiration:
+            old_x, _, _ = self._entries.popleft()
+            self._size -= len(old_x)
+
+    def recent(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``count`` most recent labeled points (newest batches first).
+
+        Raises ``RuntimeError`` if the buffer is empty.
+        """
+        if not self._entries:
+            raise RuntimeError("experience buffer is empty")
+        xs: list[np.ndarray] = []
+        ys: list[np.ndarray] = []
+        remaining = count
+        for x, y, _ in reversed(self._entries):
+            if remaining <= 0:
+                break
+            take = min(remaining, len(x))
+            xs.append(x[-take:])
+            ys.append(y[-take:])
+            remaining -= take
+        return np.concatenate(xs, axis=0), np.concatenate(ys, axis=0)
+
+
+@dataclass
+class CECResult:
+    """Outcome of one coherent-experience clustering call."""
+
+    labels: np.ndarray          # per-row predicted labels for the batch
+    proba: np.ndarray           # per-row label distribution (soft, from clusters)
+    cluster_assignment: np.ndarray
+    cluster_labels: np.ndarray  # label chosen for each cluster
+    guided_clusters: int        # clusters that contained labeled experience
+
+
+class CoherentExperienceClustering:
+    """Label a batch by clustering it with recent labeled experience.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of labels ``c``; also the number of clusters, as in the
+        paper ("``c`` clusters, where ``c`` is the number of labels").
+    experience_points:
+        The ``m`` labeled points mixed into each clustering call.
+    featurizer:
+        Optional encoder applied before clustering (the appendix routes
+        images through a frozen feature extractor first).
+    segments:
+        Data segmentation (the paper's Section VI-F future work: "using
+        data segmentation to enhance accuracy under sudden shifts").  With
+        ``segments > 1`` the batch is split into that many contiguous
+        chunks, each clustered and labeled independently — so when the
+        shift lands *inside* the batch, the pre- and post-shift portions
+        are mapped separately instead of being forced into one clustering.
+    seed:
+        K-means seeding.
+    """
+
+    def __init__(self, num_classes: int, experience_points: int = 256,
+                 featurizer=None, segments: int = 1, seed: int = 0):
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2; got {num_classes}")
+        if experience_points < 1:
+            raise ValueError(
+                f"experience_points must be >= 1; got {experience_points}"
+            )
+        if segments < 1:
+            raise ValueError(f"segments must be >= 1; got {segments}")
+        self.num_classes = num_classes
+        self.experience_points = experience_points
+        self.featurizer = featurizer
+        self.segments = segments
+        self.seed = seed
+
+    def predict(self, x: np.ndarray, buffer: ExperienceBuffer) -> CECResult:
+        """Cluster ``x`` together with coherent experience and map to labels.
+
+        With ``segments > 1``, each contiguous chunk of the batch is
+        processed independently and the results are concatenated.
+        """
+        x = np.asarray(x, dtype=float).reshape(len(x), -1)
+        if self.segments > 1 and len(x) >= 2 * self.segments:
+            chunks = np.array_split(np.arange(len(x)), self.segments)
+            results = [self._predict_one(x[chunk], buffer)
+                       for chunk in chunks]
+            return CECResult(
+                labels=np.concatenate([r.labels for r in results]),
+                proba=np.concatenate([r.proba for r in results]),
+                cluster_assignment=np.concatenate(
+                    [r.cluster_assignment for r in results]
+                ),
+                cluster_labels=results[-1].cluster_labels,
+                guided_clusters=min(r.guided_clusters for r in results),
+            )
+        return self._predict_one(x, buffer)
+
+    def _predict_one(self, x: np.ndarray, buffer: ExperienceBuffer) -> CECResult:
+        exp_x, exp_y = buffer.recent(self.experience_points)
+        exp_x = exp_x.reshape(len(exp_x), -1)
+        if self.featurizer is not None:
+            x_feat = self.featurizer(x)
+            exp_feat = self.featurizer(exp_x)
+        else:
+            x_feat, exp_feat = x, exp_x
+
+        combined = np.concatenate([x_feat, exp_feat], axis=0)
+        clusters = min(self.num_classes, len(combined))
+        kmeans = KMeans(clusters, seed=self.seed)
+        assignment = kmeans.fit_predict(combined)
+        batch_assignment = assignment[: len(x)]
+        experience_assignment = assignment[len(x):]
+
+        cluster_labels, guided = self._map_clusters(
+            clusters, experience_assignment, exp_y, kmeans,
+        )
+        labels = cluster_labels[batch_assignment]
+        proba = self._soft_labels(clusters, batch_assignment,
+                                  experience_assignment, exp_y, cluster_labels)
+        return CECResult(labels=labels, proba=proba,
+                         cluster_assignment=batch_assignment,
+                         cluster_labels=cluster_labels,
+                         guided_clusters=guided)
+
+    def _map_clusters(self, clusters: int, experience_assignment: np.ndarray,
+                      exp_y: np.ndarray, kmeans: KMeans) -> tuple[np.ndarray, int]:
+        """Majority-vote label per cluster; orphans inherit the nearest
+        guided cluster's label."""
+        cluster_labels = np.full(clusters, -1, dtype=np.int64)
+        for cluster in range(clusters):
+            members = exp_y[experience_assignment == cluster]
+            if len(members):
+                cluster_labels[cluster] = np.bincount(
+                    members, minlength=self.num_classes
+                ).argmax()
+        guided = int((cluster_labels >= 0).sum())
+        if guided == 0:
+            # No labeled guidance at all: every cluster falls back to the
+            # buffer's global majority.
+            cluster_labels[:] = np.bincount(
+                exp_y, minlength=self.num_classes
+            ).argmax()
+            return cluster_labels, 0
+        if guided < clusters:
+            guided_ids = np.flatnonzero(cluster_labels >= 0)
+            for cluster in np.flatnonzero(cluster_labels < 0):
+                gaps = np.linalg.norm(
+                    kmeans.centroids[guided_ids] - kmeans.centroids[cluster],
+                    axis=1,
+                )
+                cluster_labels[cluster] = cluster_labels[
+                    guided_ids[int(gaps.argmin())]
+                ]
+        return cluster_labels, guided
+
+    def _soft_labels(self, clusters: int, batch_assignment: np.ndarray,
+                     experience_assignment: np.ndarray, exp_y: np.ndarray,
+                     cluster_labels: np.ndarray) -> np.ndarray:
+        """Per-row label distribution from each cluster's experience mix."""
+        distributions = np.zeros((clusters, self.num_classes))
+        for cluster in range(clusters):
+            members = exp_y[experience_assignment == cluster]
+            if len(members):
+                counts = np.bincount(members, minlength=self.num_classes)
+                distributions[cluster] = counts / counts.sum()
+            else:
+                distributions[cluster, cluster_labels[cluster]] = 1.0
+        return distributions[batch_assignment]

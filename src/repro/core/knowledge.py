@@ -1,0 +1,174 @@
+"""Historical knowledge reuse (paper Section IV-D).
+
+Knowledge is preserved as ``(d_i, k_i)`` pairs — a distribution embedding
+plus reusable model parameters.  Preservation is gated by the ASW's
+disorder (threshold ``beta``): a high-disorder window means the
+long-granularity model is the stable one worth keeping; a low-disorder
+window signals an orderly directional shift whose end state the short
+model captures, so the short model is preserved as well.
+
+When a severe shift occurs, :meth:`KnowledgeStore.match` finds the stored
+distribution nearest the current batch; if it is closer than the previous
+batch (``d_i < d_t``), the knowledge is reused.
+
+The store is bounded (the paper's ``KdgBuffer``): at capacity, the older
+half is spilled to local storage (if a spill directory is configured) and
+dropped from memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialization import (
+    save_state_dict,
+    state_dict_nbytes,
+)
+
+__all__ = ["KnowledgeEntry", "KnowledgeMatch", "KnowledgeStore"]
+
+
+@dataclass
+class KnowledgeEntry:
+    """One preserved ``(d_i, k_i)`` pair."""
+
+    embedding: np.ndarray          # d_i: the distribution this knowledge fits
+    state: dict                    # k_i: model parameters (a state_dict)
+    model_kind: str                # which granularity model produced it
+    disorder: float                # window disorder at preservation time
+    batch_index: int               # stream position at preservation time
+    created_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def nbytes(self) -> int:
+        """Parameter payload size (Table IV accounting)."""
+        return state_dict_nbytes(self.state)
+
+
+@dataclass
+class KnowledgeMatch:
+    """Result of a knowledge lookup."""
+
+    entry: KnowledgeEntry
+    distance: float
+
+
+class KnowledgeStore:
+    """Bounded distribution-indexed checkpoint store (the ``KdgBuffer``).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum entries held in memory (the paper's ``KdgBuffer`` size,
+        default 20 in the ``Learner`` interface).
+    beta:
+        Disorder threshold gating what is preserved at the end of each ASW.
+    spill_dir:
+        Optional directory; when the store overflows, the older half is
+        written there before being evicted from memory.
+    """
+
+    def __init__(self, capacity: int = 20, beta: float = 0.35,
+                 spill_dir: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1; got {capacity}")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1]; got {beta}")
+        self.capacity = capacity
+        self.beta = beta
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: list[KnowledgeEntry] = []
+        self.preserved_total = 0
+        self.spilled_total = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[KnowledgeEntry]:
+        return list(self._entries)
+
+    def total_nbytes(self) -> int:
+        """In-memory space overhead of all preserved knowledge (Table IV)."""
+        return sum(entry.nbytes for entry in self._entries)
+
+    # -- preservation ----------------------------------------------------------
+
+    def preserve(self, embedding: np.ndarray, state: dict, model_kind: str,
+                 disorder: float, batch_index: int) -> KnowledgeEntry:
+        """Unconditionally store one ``(d_i, k_i)`` pair."""
+        entry = KnowledgeEntry(
+            embedding=np.asarray(embedding, dtype=float).reshape(-1),
+            state={name: np.asarray(value).copy() for name, value in state.items()},
+            model_kind=model_kind,
+            disorder=float(disorder),
+            batch_index=int(batch_index),
+        )
+        self._entries.append(entry)
+        self.preserved_total += 1
+        if len(self._entries) > self.capacity:
+            self._overflow()
+        return entry
+
+    def preserve_at_window_end(self, disorder: float, long_embedding: np.ndarray,
+                               long_state: dict, short_embedding: np.ndarray,
+                               short_state: dict, batch_index: int) -> list[KnowledgeEntry]:
+        """Disorder-gated preservation at the end of an ASW (Section IV-D.1).
+
+        The long-granularity model and the window's distribution are always
+        preserved (it is the stable model).  When disorder is *below*
+        ``beta`` — an orderly directional shift — the short model and the
+        current distribution are preserved as well, because the post-shift
+        state it captures is exactly what a reoccurrence will look like.
+        """
+        preserved = [
+            self.preserve(long_embedding, long_state, "long", disorder,
+                          batch_index)
+        ]
+        if disorder < self.beta and short_state is not None:
+            preserved.append(
+                self.preserve(short_embedding, short_state, "short", disorder,
+                              batch_index)
+            )
+        return preserved
+
+    def _overflow(self) -> None:
+        """Spill/evict the older half when capacity is exceeded."""
+        half = max(len(self._entries) // 2, 1)
+        evicted, self._entries = self._entries[:half], self._entries[half:]
+        self.spilled_total += len(evicted)
+        if self.spill_dir is None:
+            return
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        for entry in evicted:
+            path = self.spill_dir / (
+                f"knowledge-{entry.batch_index:08d}-{entry.model_kind}.npz"
+            )
+            save_state_dict(entry.state, path)
+
+    # -- matching ----------------------------------------------------------------
+
+    def match(self, embedding: np.ndarray,
+              current_shift: float | None = None) -> KnowledgeMatch | None:
+        """Nearest stored distribution to ``embedding`` (Section IV-D.2).
+
+        If ``current_shift`` (:math:`d_t`) is given, the match is returned
+        only when the stored distribution is *closer* than the previous
+        batch was — the paper's reuse condition.
+        """
+        if not self._entries:
+            return None
+        embedding = np.asarray(embedding, dtype=float).reshape(-1)
+        distances = np.array([
+            np.linalg.norm(entry.embedding - embedding)
+            for entry in self._entries
+        ])
+        best = int(distances.argmin())
+        distance = float(distances[best])
+        if current_shift is not None and distance >= current_shift:
+            return None
+        return KnowledgeMatch(entry=self._entries[best], distance=distance)

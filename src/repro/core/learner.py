@@ -1,0 +1,510 @@
+"""The FreewayML ``Learner`` (paper Section V, Figure 8).
+
+Ties the whole pipeline together: the pattern classifier assesses each
+batch's shift, the strategy selector picks exactly one mechanism for
+inference (multi-granularity ensemble, coherent experience clustering, or
+historical knowledge reuse), and every labeled batch updates the
+multi-granularity models, feeds the experience buffer, and — at each ASW
+completion — preserves knowledge gated by window disorder.
+
+The paper's constructor reads::
+
+    SML = Learner(Model=model, ModelNum=2, MiniBatch=1024,
+                  KdgBuffer=20, ExpBuffer=10, alpha=1.96)
+
+:meth:`Learner.from_paper_config` accepts exactly those names; the native
+constructor uses explicit Python parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..data.stream import Batch
+from ..models.base import StreamingModel
+from ..shift.patterns import PatternClassifier, ShiftAssessment, ShiftPattern
+from ..shift.severity import SeverityTracker
+from .cec import CoherentExperienceClustering, ExperienceBuffer
+from .knowledge import KnowledgeStore
+from .multigranularity import MultiGranularityEnsemble
+from .rate import RateAwareAdjuster
+from .selector import Strategy, StrategyDecision, StrategySelector
+
+__all__ = ["Learner", "PredictionResult", "BatchReport"]
+
+
+@dataclass
+class PredictionResult:
+    """Inference output plus the routing decision that produced it."""
+
+    labels: np.ndarray
+    proba: np.ndarray
+    decision: StrategyDecision
+    assessment: ShiftAssessment
+    reused_batch: int | None = None  # knowledge origin, if reuse fired
+
+
+@dataclass
+class BatchReport:
+    """Per-batch record emitted by :meth:`Learner.process`."""
+
+    index: int
+    num_items: int
+    pattern: str
+    strategy: str
+    fallback: bool
+    accuracy: float | None
+    loss: float | None
+    predict_seconds: float
+    update_seconds: float
+    reused_batch: int | None = None
+    skipped_inference: bool = False
+
+
+class Learner:
+    """Adaptive, stable streaming learner — the FreewayML public API.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.models.base.StreamingModel`; one copy is created per
+        granularity level (they must share an architecture so checkpoints
+        are interchangeable).
+    num_models:
+        Number of granularity levels (the paper's ``ModelNum``); sizes
+        follow the ladder ``1, window_batches, 4*window_batches, ...``.
+    window_batches:
+        ASW capacity (in batches) of the first long-granularity level.
+    alpha:
+        Severity threshold for the pattern classifier (paper default 1.96).
+    beta:
+        Disorder threshold gating knowledge preservation.
+    knowledge_capacity:
+        ``KdgBuffer`` — max knowledge entries held in memory.
+    experience_expiration:
+        ``ExpBuffer`` — labeled experience older than this many batches
+        expires.
+    experience_per_batch / experience_capacity / cec_points:
+        Experience-buffer sizing and the ``m`` points mixed into each CEC
+        call.
+    featurizer:
+        Optional frozen encoder (images → features).  The paper's appendix
+        uses it in front of coherent experience clustering; here it also
+        feeds the shift PCA, so detection, knowledge matching, and window
+        embeddings all live in feature space rather than pixel space —
+        raw-pixel embeddings make distribution matching unreliable.
+    warm_start_on_reuse:
+        When knowledge reuse fires, also load the matched parameters into
+        the short-granularity model so training continues from the
+        restored state (this is what makes reuse pay off beyond the single
+        batch).
+    warmup_points:
+        Points before the shift PCA fits; the default fits on the first
+        batch so every embedding lives in one space.
+    use_confidence_channel:
+        The paper's detector is purely distribution-based (Eqs. 2–10) and
+        therefore blind to *concept-only* drift, where ``P(x)`` is constant
+        but ``P(y|x)`` changes (Hyperplane, SEA).  This label-free channel
+        tracks the short model's predictive confidence and escalates a
+        slight-looking batch to a sudden shift when confidence craters
+        (z-score above ``alpha``).  Documented deviation — disable to get
+        the paper's literal detector.
+    use_precompute:
+        Enable the pre-computing window (paper Section V-B): long-level
+        batch gradients are banked on arrival so the window-completion
+        update only aggregates, minimizing completion latency at the cost
+        of the multi-epoch decayed-window training.
+    adjuster:
+        Optional :class:`~repro.core.rate.RateAwareAdjuster`; absent means
+        never throttle.
+    spill_dir:
+        Directory for knowledge spilled out of memory.
+    seed:
+        Seeds window subsampling and clustering.
+    """
+
+    def __init__(self, model_factory, num_models: int = 2,
+                 window_batches: int = 8, alpha: float = 1.96,
+                 beta: float = 0.35, knowledge_capacity: int = 20,
+                 experience_expiration: int = 10,
+                 experience_per_batch: int = 128,
+                 experience_capacity: int = 2048, cec_points: int = 64,
+                 featurizer=None, warm_start_on_reuse: bool = True,
+                 warmup_points: int = 2, pca_components: int = 2,
+                 representation: str = "mean",
+                 use_confidence_channel: bool = True,
+                 confidence_margin: float = 0.25,
+                 use_precompute: bool = False,
+                 adjuster: RateAwareAdjuster | None = None,
+                 spill_dir=None, seed: int = 0):
+        if num_models < 1:
+            raise ValueError(f"num_models must be >= 1; got {num_models}")
+        template = model_factory()
+        if not isinstance(template, StreamingModel):
+            raise TypeError(
+                f"model_factory must produce a StreamingModel; got "
+                f"{type(template).__name__}"
+            )
+        self.num_classes = template.num_classes
+
+        sizes = [1] + [window_batches * (4 ** i) for i in range(num_models - 1)]
+        self.ensemble = MultiGranularityEnsemble(
+            model_factory, window_sizes=tuple(sizes),
+            precompute=use_precompute, seed=seed,
+        )
+        self.classifier = PatternClassifier(
+            alpha=alpha, num_components=pca_components,
+            warmup_points=warmup_points, representation=representation,
+        )
+        self.selector = StrategySelector()
+        self.experience = ExperienceBuffer(
+            capacity=experience_capacity, per_batch=experience_per_batch,
+            expiration=experience_expiration,
+        )
+        self.cec = CoherentExperienceClustering(
+            self.num_classes, experience_points=cec_points,
+            featurizer=featurizer, seed=seed,
+        )
+        self.knowledge = KnowledgeStore(capacity=knowledge_capacity,
+                                        beta=beta, spill_dir=spill_dir)
+        self.adjuster = adjuster
+        self.featurizer = featurizer
+        self.warm_start_on_reuse = warm_start_on_reuse
+        self.use_confidence_channel = use_confidence_channel
+        self.confidence_margin = confidence_margin
+        self.alpha = alpha
+        self._confidence = SeverityTracker(window=20, decay=0.9)
+        self._errors = SeverityTracker(window=20, decay=0.9)
+        self._concept_alert = False
+        self._pending_reuse = None
+        self._scratch = model_factory()  # restoration target for reuse
+        self._batch_counter = 0
+
+    # -- constructor matching the paper's interface ------------------------------
+
+    @classmethod
+    def from_paper_config(cls, Model, ModelNum: int = 2, MiniBatch: int = 1024,
+                          KdgBuffer: int = 20, ExpBuffer: int = 10,
+                          alpha: float = 1.96, **kwargs) -> "Learner":
+        """Construct with the paper's parameter names.
+
+        ``Model`` is a template :class:`StreamingModel` (cloned per level)
+        or a factory.  ``MiniBatch`` is accepted for interface fidelity;
+        batch size is determined by the stream itself.
+        """
+        del MiniBatch  # informational in the paper's interface
+        if isinstance(Model, StreamingModel):
+            factory = Model.clone
+        else:
+            factory = Model
+        return cls(factory, num_models=ModelNum,
+                   knowledge_capacity=KdgBuffer,
+                   experience_expiration=ExpBuffer, alpha=alpha, **kwargs)
+
+    # -- inference ----------------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> PredictionResult:
+        """Classify the shift, select one strategy, and answer with it."""
+        # A reuse match is only valid for the batch it was found on; drop
+        # any leftover from a predict whose labels never arrived.
+        self._pending_reuse = None
+        assessment = self.classifier.assess(self._shift_view(x))
+        assessment = self._apply_confidence_channel(x, assessment)
+        decision = self.selector.select(
+            assessment,
+            knowledge_available=len(self.knowledge) > 0,
+            experience_available=len(self.experience) > 0,
+            ensemble_trained=self.ensemble.trained,
+        )
+        if decision.strategy is Strategy.KNOWLEDGE_REUSE:
+            result = self._predict_with_knowledge(x, assessment, decision)
+            if isinstance(result, PredictionResult):
+                return result
+            decision = self._downgrade_reuse(assessment, reason=result)
+        if decision.strategy is Strategy.CEC:
+            return self._predict_with_cec(x, assessment, decision)
+        return self._predict_with_ensemble(x, assessment, decision)
+
+    def _shift_view(self, x: np.ndarray) -> np.ndarray:
+        """The representation shift analysis runs on (features if a frozen
+        encoder is configured, raw inputs otherwise)."""
+        if self.featurizer is None:
+            return x
+        return self.featurizer(np.asarray(x))
+
+    def _apply_confidence_channel(self, x, assessment: ShiftAssessment
+                                  ) -> ShiftAssessment:
+        """Escalate to SUDDEN when model confidence craters (concept drift).
+
+        Label-free: uses only the short model's mean top-class probability.
+        See the constructor docstring for why this exists.
+        """
+        if not self.use_confidence_channel:
+            return assessment
+        short = self.ensemble.short_level
+        if not short.trained:
+            return assessment
+        # The error channel (see update()) raised a standing alert: the
+        # resident model is cratering on labeled batches, so treat the
+        # stream as mid-sudden-shift until it recovers.
+        if (self._concept_alert
+                and assessment.pattern is ShiftPattern.SLIGHT):
+            return replace(assessment, pattern=ShiftPattern.SUDDEN)
+        deficit = 1.0 - float(short.model.predict_proba(x).max(axis=1).mean())
+        z_score = self._confidence.score(deficit)
+        jump = (deficit - self._confidence.weighted_mean()
+                if self._confidence.ready else 0.0)
+        self._confidence.observe(deficit)
+        # Escalate only on a *cratering* drop: statistically extreme AND a
+        # large absolute move.  Gradual drift produces small dips that the
+        # ensemble handles better than clustering would.
+        if (z_score is not None and z_score > self.alpha
+                and jump > self.confidence_margin
+                and assessment.pattern is ShiftPattern.SLIGHT):
+            return replace(assessment, pattern=ShiftPattern.SUDDEN,
+                           severity=z_score)
+        return assessment
+
+    def _predict_with_ensemble(self, x, assessment, decision) -> PredictionResult:
+        if assessment.embedding is not None and self.ensemble.trained:
+            proba = self.ensemble.predict_proba(x, assessment.embedding)
+        elif self.ensemble.trained:
+            proba = self.ensemble.short_level.model.predict_proba(x)
+        else:
+            proba = np.full((len(x), self.num_classes), 1.0 / self.num_classes)
+        return PredictionResult(labels=proba.argmax(axis=1), proba=proba,
+                                decision=decision, assessment=assessment)
+
+    def _predict_with_cec(self, x, assessment, decision) -> PredictionResult:
+        result = self.cec.predict(x, self.experience)
+        return PredictionResult(labels=result.labels, proba=result.proba,
+                                decision=decision, assessment=assessment)
+
+    def _predict_with_knowledge(self, x, assessment, decision):
+        # A genuine reoccurrence lands *within* a previously seen
+        # distribution, so the match distance must look like an ordinary
+        # slight shift — not merely be smaller than an outlier d_t.
+        ceiling = assessment.distance
+        severity = self.classifier.severity
+        if severity.ready:
+            slight_scale = severity.weighted_mean() + severity.std()
+            ceiling = min(ceiling, slight_scale) if ceiling is not None else slight_scale
+        match = self.knowledge.match(assessment.embedding,
+                                     current_shift=ceiling)
+        if match is None:
+            return "no knowledge match"
+        self._scratch.load_state_dict(match.entry.state)
+        proba = self._scratch.predict_proba(x)
+        # Warm-starting the resident models from this match is decided at
+        # update time, when the batch's labels arrive and the matched
+        # knowledge can be *verified* against the resident model — see
+        # update().  Prediction itself trusts the distance match, as the
+        # paper specifies.
+        if self.warm_start_on_reuse:
+            self._pending_reuse = match
+        return PredictionResult(labels=proba.argmax(axis=1), proba=proba,
+                                decision=decision, assessment=assessment,
+                                reused_batch=match.entry.batch_index)
+
+    def _downgrade_reuse(self, assessment, reason: str) -> StrategyDecision:
+        """No stored distribution matched — the severe shift is genuinely
+        unfamiliar, so CEC is the next refuge (ensemble if no experience)."""
+        if not len(self.experience):
+            return StrategyDecision(Strategy.MULTI_GRANULARITY,
+                                    assessment.pattern, fallback=True,
+                                    reason=reason)
+        return StrategyDecision(Strategy.CEC, assessment.pattern,
+                                fallback=True, reason=reason)
+
+    # -- training -------------------------------------------------------------------
+
+    def update(self, x: np.ndarray, y: np.ndarray,
+               embedding: np.ndarray | None = None) -> float | None:
+        """Incrementally train on a labeled batch (the training stream).
+
+        Returns the short-granularity training loss.  ``embedding`` can be
+        supplied when the caller already assessed this batch (avoiding a
+        second PCA projection); otherwise it is computed here.
+        """
+        if embedding is None:
+            view = self._shift_view(x)
+            if not self.classifier.pca.is_fitted:
+                self.classifier.pca.observe(view)
+            if self.classifier.pca.is_fitted:
+                embedding = self.classifier.pca.batch_embedding(view)
+            else:  # still warming up: use the raw projected-less mean
+                embedding = np.asarray(view, dtype=float).reshape(
+                    len(view), -1).mean(axis=0)
+
+        self._verify_pending_reuse(x, y)
+        self._observe_errors(x, y)
+        infos = self.ensemble.update(x, y, embedding)
+        self.experience.add(x, y)
+        self._batch_counter += 1
+        self._maybe_preserve(infos, embedding)
+        short_info = infos[self._short_index()]
+        return short_info.get("loss")
+
+    def _verify_pending_reuse(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Labeled verification of a knowledge match (prequential labels
+        arrive at training time).
+
+        The matched parameters replace every granularity level only when
+        they actually outperform the resident short model on this batch —
+        this is what lets reuse pay off after a genuine reoccurrence while
+        a spurious distance match (possible on streams whose feature
+        shifts are pure noise) cannot poison the resident models.
+        """
+        match, self._pending_reuse = self._pending_reuse, None
+        if match is None:
+            return
+        self._scratch.load_state_dict(match.entry.state)
+        scratch_accuracy = float((self._scratch.predict(x) == y).mean())
+        resident = self.ensemble.short_level
+        resident_accuracy = (
+            float((resident.model.predict(x) == y).mean())
+            if resident.trained else 0.0
+        )
+        if scratch_accuracy > resident_accuracy:
+            for level in self.ensemble.levels:
+                level.model.load_state_dict(match.entry.state)
+
+    def _observe_errors(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Labeled error channel: raise/clear the concept-drift alert.
+
+        The distribution detector (Eqs. 2–10) cannot see concept-only
+        drift (``P(x)`` constant, ``P(y|x)`` changed).  The resident short
+        model's error rate on each labeled batch can: a statistically
+        extreme error spike raises a standing alert that escalates
+        subsequent slight-looking batches to sudden (routing them to CEC)
+        until the error normalizes.  Documented deviation from the paper's
+        purely distribution-based detector.
+        """
+        if not self.use_confidence_channel:
+            return
+        short = self.ensemble.short_level
+        if not short.trained:
+            return
+        error = float((short.model.predict(x) != y).mean())
+        if self._concept_alert:
+            if (self._errors.ready and error
+                    <= self._errors.weighted_mean() + self.confidence_margin):
+                self._concept_alert = False
+                self._errors.observe(error)
+            return  # error still elevated: keep the alert, don't pollute stats
+        z_score = self._errors.score(error)
+        jump = (error - self._errors.weighted_mean()
+                if self._errors.ready else 0.0)
+        if (z_score is not None and z_score > self.alpha
+                and jump > self.confidence_margin):
+            self._concept_alert = True
+        else:
+            self._errors.observe(error)
+
+    def _short_index(self) -> int:
+        return next(
+            index for index, level in enumerate(self.ensemble.levels)
+            if level.is_short
+        )
+
+    def _maybe_preserve(self, infos: list[dict], embedding: np.ndarray) -> None:
+        """Disorder-gated knowledge preservation at each ASW completion."""
+        short_level = self.ensemble.short_level
+        for level, info in zip(self.ensemble.levels, infos):
+            if level.is_short or not info.get("trained"):
+                continue
+            disorder = info.get("disorder", 0.0)
+            long_embedding = level.reference_embedding()
+            self.knowledge.preserve_at_window_end(
+                disorder=disorder,
+                long_embedding=(long_embedding if long_embedding is not None
+                                else embedding),
+                long_state=level.model.state_dict(),
+                short_embedding=embedding,
+                short_state=(short_level.model.state_dict()
+                             if short_level.trained else None),
+                batch_index=self._batch_counter,
+            )
+
+    # -- the prequential pipeline -----------------------------------------------------
+
+    def process(self, batch: Batch) -> BatchReport:
+        """Prequential step: predict on the batch, then learn from it.
+
+        Unlabeled batches are inference-only.  When a rate adjuster is
+        installed and throttling, inference is skipped for strided batches
+        (``skipped_inference=True`` in the report).
+        """
+        window_pressure = 0.0
+        long_levels = self.ensemble.long_levels
+        if long_levels and long_levels[0].window is not None:
+            window = long_levels[0].window
+            # +1 accounts for the incoming batch: a window that resets at
+            # fullness otherwise never *shows* pressure 1.0.
+            window_pressure = min(
+                (window.num_batches + 1) / window.max_batches, 1.0
+            )
+        if self.adjuster is not None:
+            self.adjuster.observe(len(batch), window_pressure)
+            for level in long_levels:
+                if level.window is not None:
+                    level.window.decay_boost = self.adjuster.decay_boost
+            if not self.adjuster.should_infer(batch.index):
+                return self._update_only(batch)
+
+        start = time.perf_counter()
+        prediction = self.predict(batch.x)
+        predict_seconds = time.perf_counter() - start
+
+        accuracy = None
+        if batch.labeled:
+            accuracy = float((prediction.labels == batch.y).mean())
+
+        loss = None
+        update_seconds = 0.0
+        if batch.labeled:
+            start = time.perf_counter()
+            loss = self.update(batch.x, batch.y,
+                               embedding=prediction.assessment.embedding)
+            update_seconds = time.perf_counter() - start
+
+        return BatchReport(
+            index=batch.index,
+            num_items=len(batch),
+            pattern=prediction.assessment.pattern.value,
+            strategy=prediction.decision.strategy.value,
+            fallback=prediction.decision.fallback,
+            accuracy=accuracy,
+            loss=loss,
+            predict_seconds=predict_seconds,
+            update_seconds=update_seconds,
+            reused_batch=prediction.reused_batch,
+        )
+
+    def _update_only(self, batch: Batch) -> BatchReport:
+        loss = None
+        update_seconds = 0.0
+        if batch.labeled:
+            start = time.perf_counter()
+            loss = self.update(batch.x, batch.y)
+            update_seconds = time.perf_counter() - start
+        return BatchReport(
+            index=batch.index, num_items=len(batch),
+            pattern=ShiftPattern.WARMUP.value,
+            strategy=Strategy.MULTI_GRANULARITY.value, fallback=False,
+            accuracy=None, loss=loss, predict_seconds=0.0,
+            update_seconds=update_seconds, skipped_inference=True,
+        )
+
+    def run(self, stream, max_batches: int | None = None) -> list[BatchReport]:
+        """Process a stream end to end, returning all batch reports."""
+        reports: list[BatchReport] = []
+        for batch in stream:
+            reports.append(self.process(batch))
+            if max_batches is not None and len(reports) >= max_batches:
+                break
+        return reports

@@ -1,0 +1,112 @@
+"""Serving monitor: rolling health of a deployed FreewayML learner.
+
+Collects the :class:`~repro.core.learner.BatchReport` stream and maintains
+what an operator dashboard needs: rolling accuracy (sliding + fading),
+strategy/pattern counts, reuse events, latency percentiles, and a one-line
+status summary.  Pure bookkeeping — attach with :meth:`observe` or wrap a
+learner with :meth:`track`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+
+import numpy as np
+
+from ..metrics.windows import FadingAccuracy, SlidingWindowAccuracy
+from .learner import BatchReport
+
+__all__ = ["ServingMonitor"]
+
+
+class ServingMonitor:
+    """Rolling statistics over a learner's batch reports.
+
+    Parameters
+    ----------
+    window:
+        Batches in the sliding-accuracy window and the latency reservoir.
+    fading_alpha:
+        Fading factor for the exponentially weighted accuracy.
+    """
+
+    def __init__(self, window: int = 50, fading_alpha: float = 0.98):
+        self.sliding = SlidingWindowAccuracy(window=window)
+        self.fading = FadingAccuracy(alpha=fading_alpha)
+        self.strategy_counts: Counter = Counter()
+        self.pattern_counts: Counter = Counter()
+        self.reuse_events = 0
+        self.fallbacks = 0
+        self.batches = 0
+        self.items = 0
+        self._predict_seconds: deque[float] = deque(maxlen=window)
+        self._update_seconds: deque[float] = deque(maxlen=window)
+
+    def observe(self, report: BatchReport) -> None:
+        """Fold one batch report into the rolling statistics."""
+        self.batches += 1
+        self.items += report.num_items
+        self.strategy_counts[report.strategy] += 1
+        self.pattern_counts[report.pattern] += 1
+        if report.reused_batch is not None:
+            self.reuse_events += 1
+        if report.fallback:
+            self.fallbacks += 1
+        if report.accuracy is not None:
+            self.sliding.update(report.accuracy)
+            self.fading.update(report.accuracy)
+        self._predict_seconds.append(report.predict_seconds)
+        self._update_seconds.append(report.update_seconds)
+
+    def track(self, learner, stream):
+        """Process a stream through ``learner``, observing every report.
+
+        Yields the reports so the caller's loop is undisturbed.
+        """
+        for batch in stream:
+            report = learner.process(batch)
+            self.observe(report)
+            yield report
+
+    # -- dashboard values -------------------------------------------------------
+
+    @property
+    def rolling_accuracy(self) -> float | None:
+        """Sliding-window accuracy, ``None`` before any labeled batch."""
+        try:
+            return self.sliding.value
+        except RuntimeError:
+            return None
+
+    @property
+    def faded_accuracy(self) -> float | None:
+        try:
+            return self.fading.value
+        except RuntimeError:
+            return None
+
+    def latency_percentiles(self, q=(50, 95)) -> dict:
+        """Predict/update latency percentiles (seconds) over the window."""
+        out = {}
+        for phase, samples in (("predict", self._predict_seconds),
+                               ("update", self._update_seconds)):
+            if samples:
+                values = np.asarray(samples)
+                out[phase] = {f"p{p}": float(np.percentile(values, p))
+                              for p in q}
+        return out
+
+    def summary(self) -> str:
+        """One operator-readable status line."""
+        if self.batches == 0:
+            return "no batches observed"
+        accuracy = self.rolling_accuracy
+        accuracy_part = (f"acc(window)={accuracy * 100:.1f}%"
+                         if accuracy is not None else "acc=n/a")
+        strategies = ", ".join(
+            f"{name}={count}" for name, count
+            in self.strategy_counts.most_common()
+        )
+        return (f"{self.batches} batches / {self.items} items | "
+                f"{accuracy_part} | strategies: {strategies} | "
+                f"reuse={self.reuse_events} fallbacks={self.fallbacks}")

@@ -1,0 +1,75 @@
+"""Pre-computing window mechanism (paper Section V-B).
+
+Instead of computing the gradient for an entire window of data at update
+time, FreewayML computes gradients incrementally for each data subset as it
+arrives and accumulates them; the update then only needs the gradient of
+the final subset plus one aggregation.  This trades no accuracy (the
+aggregate is the same sample-weighted mean gradient) for much lower update
+latency, because the expensive work happens while waiting for data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.base import NeuralStreamingModel
+
+__all__ = ["PrecomputingWindow"]
+
+
+class PrecomputingWindow:
+    """Incremental gradient accumulator over window subsets.
+
+    Usage: call :meth:`accumulate` for each arriving subset (this is the
+    pre-computation), then :meth:`apply` once to take the aggregated
+    gradient step on the model.
+
+    Note: the accumulated gradients are all evaluated at the parameter
+    vector the model had when each subset arrived; because the model is not
+    updated between subsets, this equals the full-window gradient exactly.
+    """
+
+    def __init__(self, model: NeuralStreamingModel):
+        self.model = model
+        self._gradient_sums: list[np.ndarray] | None = None
+        self._samples = 0
+        self.subsets_accumulated = 0
+
+    @property
+    def pending_samples(self) -> int:
+        return self._samples
+
+    def accumulate(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Pre-compute and bank the gradient of one subset."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        if len(x) == 0:
+            raise ValueError("cannot accumulate an empty subset")
+        grads = self.model.gradient_on(x, y)
+        weight = len(x)
+        if self._gradient_sums is None:
+            self._gradient_sums = [grad * weight for grad in grads]
+        else:
+            for total, grad in zip(self._gradient_sums, grads):
+                total += grad * weight
+        self._samples += weight
+        self.subsets_accumulated += 1
+
+    def apply(self, x: np.ndarray | None = None,
+              y: np.ndarray | None = None) -> None:
+        """Fold in the final subset (if given) and apply one update step."""
+        if x is not None:
+            if y is None:
+                raise ValueError("final subset requires labels")
+            self.accumulate(x, y)
+        if self._gradient_sums is None:
+            raise RuntimeError("nothing accumulated; call accumulate() first")
+        mean_grads = [total / self._samples for total in self._gradient_sums]
+        self.model.apply_gradient(mean_grads)
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard any banked gradients."""
+        self._gradient_sums = None
+        self._samples = 0
+        self.subsets_accumulated = 0

@@ -1,0 +1,81 @@
+"""Rate-aware adjuster (paper Section V-B).
+
+Inference and training compete for resources during bursts.  The adjuster
+watches the observed data flow rate and the training-window pressure and
+produces two control outputs:
+
+- ``inference_stride`` — infer on every batch when load is low, on every
+  ``n``-th batch when load is high (the *inference frequency controller*);
+- ``decay_boost`` — a multiplier on the ASW decay rate, so under high flow
+  the window drains faster and long-model updates become rarer (the
+  *update frequency adjustment*).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["RateAwareAdjuster"]
+
+
+class RateAwareAdjuster:
+    """EMA flow-rate monitor with threshold-based frequency control.
+
+    Parameters
+    ----------
+    high_rate:
+        Items/second above which the stream counts as high-speed.  ``None``
+        disables rate-based adjustment (useful in benchmarks where wall
+        clock is meaningless).
+    high_pressure:
+        Window fill fraction above which inference is throttled.
+    max_stride:
+        Upper bound for the inference stride.
+    ema:
+        Smoothing factor for the flow-rate estimate.
+    """
+
+    def __init__(self, high_rate: float | None = None,
+                 high_pressure: float = 0.8, max_stride: int = 4,
+                 ema: float = 0.3, clock=time.monotonic):
+        if max_stride < 1:
+            raise ValueError(f"max_stride must be >= 1; got {max_stride}")
+        if not 0.0 < ema <= 1.0:
+            raise ValueError(f"ema must be in (0, 1]; got {ema}")
+        self.high_rate = high_rate
+        self.high_pressure = high_pressure
+        self.max_stride = max_stride
+        self.ema = ema
+        self._clock = clock
+        self._last_time: float | None = None
+        self.flow_rate = 0.0
+        self.inference_stride = 1
+        self.decay_boost = 1.0
+
+    def observe(self, items: int, window_pressure: float = 0.0) -> None:
+        """Record a batch arrival and refresh the control outputs.
+
+        ``window_pressure`` is the ASW fill fraction (0..1).
+        """
+        now = self._clock()
+        if self._last_time is not None:
+            elapsed = max(now - self._last_time, 1e-9)
+            instant = items / elapsed
+            self.flow_rate = (1.0 - self.ema) * self.flow_rate + self.ema * instant
+        self._last_time = now
+
+        if self.high_rate is None:
+            return
+        overloaded = self.flow_rate > self.high_rate
+        pressured = window_pressure > self.high_pressure
+        if overloaded and pressured:
+            self.inference_stride = min(self.inference_stride + 1,
+                                        self.max_stride)
+        elif not overloaded and not pressured:
+            self.inference_stride = max(self.inference_stride - 1, 1)
+        # Update-frequency adjustment: faster decay under load.
+        self.decay_boost = 2.0 if overloaded else 1.0
+
+    def should_infer(self, batch_index: int) -> bool:
+        """Whether this batch should run inference, given the stride."""
+        return batch_index % self.inference_stride == 0

@@ -1,0 +1,84 @@
+"""The strategy selector (paper Section V, Figure 8).
+
+For every inference batch exactly **one** strategy runs, chosen from the
+shift pattern the classifier reports:
+
+- slight shift (or warm-up) → multi-time granularity ensemble;
+- sudden shift → coherent experience clustering;
+- reoccurring shift → historical knowledge reuse.
+
+The selector also owns the graceful fallbacks the pipeline needs in
+practice: a reoccurring shift with an empty knowledge store degrades to
+CEC, and a sudden shift with no labeled experience degrades to the
+ensemble (each fallback is recorded so evaluations can see it happened).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..shift.patterns import ShiftAssessment, ShiftPattern
+
+__all__ = ["Strategy", "StrategyDecision", "StrategySelector"]
+
+
+class Strategy(str, Enum):
+    """The three optimization mechanisms of FreewayML."""
+
+    MULTI_GRANULARITY = "multi_granularity"
+    CEC = "cec"
+    KNOWLEDGE_REUSE = "knowledge_reuse"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class StrategyDecision:
+    """What the selector chose and why."""
+
+    strategy: Strategy
+    pattern: ShiftPattern
+    fallback: bool = False
+    reason: str = ""
+
+
+class StrategySelector:
+    """Map a :class:`ShiftAssessment` to the mechanism that should answer."""
+
+    def select(self, assessment: ShiftAssessment, *,
+               knowledge_available: bool,
+               experience_available: bool,
+               ensemble_trained: bool) -> StrategyDecision:
+        """Choose the single strategy for this inference batch.
+
+        Parameters mirror the runtime facts the pipeline knows: whether the
+        knowledge store has entries, whether the experience buffer has
+        labeled points, and whether any granularity model has trained yet.
+        """
+        pattern = assessment.pattern
+
+        if pattern in (ShiftPattern.WARMUP, ShiftPattern.SLIGHT):
+            return StrategyDecision(Strategy.MULTI_GRANULARITY, pattern)
+
+        if pattern is ShiftPattern.REOCCURRING:
+            if knowledge_available:
+                return StrategyDecision(Strategy.KNOWLEDGE_REUSE, pattern)
+            if experience_available:
+                return StrategyDecision(
+                    Strategy.CEC, pattern, fallback=True,
+                    reason="knowledge store empty",
+                )
+            return StrategyDecision(
+                Strategy.MULTI_GRANULARITY, pattern, fallback=True,
+                reason="knowledge store and experience buffer empty",
+            )
+
+        # Sudden shift.
+        if experience_available:
+            return StrategyDecision(Strategy.CEC, pattern)
+        return StrategyDecision(
+            Strategy.MULTI_GRANULARITY, pattern, fallback=True,
+            reason="experience buffer empty",
+        )

@@ -1,0 +1,82 @@
+"""``repro.data`` — streams, generators, dataset simulators, drift machinery.
+
+Everything FreewayML and the benchmark harness consume arrives through this
+package as a :class:`~repro.data.stream.DataStream` of
+:class:`~repro.data.stream.Batch` objects, each optionally annotated with
+the ground-truth drift pattern that produced it.
+"""
+
+from .drift import (
+    Concept,
+    GaussianMixtureConcept,
+    HyperplaneConcept,
+    Segment,
+    pattern_mix_schedule,
+    stream_from_schedule,
+)
+from .io import load_csv, stream_from_arrays, stream_from_csv
+from .quality import MissingValueRepair, StreamingStandardScaler
+from .images import (
+    IMAGE_REGISTRY,
+    AnimalsStream,
+    FlowersStream,
+    ImageConcept,
+    RandomProjectionFeaturizer,
+)
+from .real import (
+    DATASET_REGISTRY,
+    AirlinesSimulator,
+    CovertypeSimulator,
+    ElectricitySimulator,
+    NSLKDDSimulator,
+    make_dataset,
+)
+from .stream import Batch, DataStream, Pattern, batches_from_arrays
+from .synth import HyperplaneGenerator, SEAGenerator
+
+__all__ = [
+    "Batch",
+    "DataStream",
+    "Pattern",
+    "batches_from_arrays",
+    "load_csv",
+    "stream_from_csv",
+    "stream_from_arrays",
+    "StreamingStandardScaler",
+    "MissingValueRepair",
+    "Concept",
+    "GaussianMixtureConcept",
+    "HyperplaneConcept",
+    "Segment",
+    "stream_from_schedule",
+    "pattern_mix_schedule",
+    "HyperplaneGenerator",
+    "SEAGenerator",
+    "ElectricitySimulator",
+    "NSLKDDSimulator",
+    "CovertypeSimulator",
+    "AirlinesSimulator",
+    "DATASET_REGISTRY",
+    "make_dataset",
+    "ImageConcept",
+    "AnimalsStream",
+    "FlowersStream",
+    "RandomProjectionFeaturizer",
+    "IMAGE_REGISTRY",
+]
+
+
+def all_benchmark_datasets(seed: int = 0) -> dict:
+    """The paper's six tabular benchmark datasets, keyed by name.
+
+    Two synthetic (Hyperplane, SEA) plus four real-world simulators
+    (Airlines, Covertype, NSL-KDD, Electricity) — the Table I lineup.
+    """
+    return {
+        "hyperplane": HyperplaneGenerator(seed=seed),
+        "sea": SEAGenerator(seed=seed),
+        "airlines": AirlinesSimulator(seed=seed),
+        "covertype": CovertypeSimulator(seed=seed),
+        "nsl-kdd": NSLKDDSimulator(seed=seed),
+        "electricity": ElectricitySimulator(seed=seed),
+    }

@@ -1,0 +1,333 @@
+"""Concept-drift machinery: concepts, drift schedules, and stream composition.
+
+The pattern-segmented experiments in the paper (Table II, Figures 9/11)
+require streams whose drift pattern is known batch-by-batch.  This module
+provides:
+
+- :class:`Concept`, a distribution over ``(x, y)`` pairs that can mutate in
+  place (directional drift), jitter (localized drift), or be replaced
+  entirely (sudden drift);
+- :class:`GaussianMixtureConcept`, the workhorse concept with one Gaussian
+  cluster per class;
+- :class:`Segment` / :func:`stream_from_schedule`, which compose concepts
+  into an annotated :class:`~repro.data.stream.DataStream` where each batch
+  carries the ground-truth :class:`~repro.data.stream.Pattern` of the shift
+  that produced it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stream import Batch, DataStream, Pattern
+
+__all__ = [
+    "Concept",
+    "GaussianMixtureConcept",
+    "HyperplaneConcept",
+    "Segment",
+    "stream_from_schedule",
+    "pattern_mix_schedule",
+]
+
+
+class Concept(abc.ABC):
+    """A label-conditional data distribution that can drift."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` labeled samples ``(x, y)``."""
+
+    @abc.abstractmethod
+    def drift(self, rng: np.random.Generator, magnitude: float) -> None:
+        """Mutate the concept in place by roughly ``magnitude`` (directional)."""
+
+    @abc.abstractmethod
+    def jitter(self, rng: np.random.Generator, magnitude: float) -> None:
+        """Perturb the concept without a net direction (localized)."""
+
+    @abc.abstractmethod
+    def clone(self) -> "Concept":
+        """Deep copy, so a concept can be frozen for later reoccurrence."""
+
+
+class GaussianMixtureConcept(Concept):
+    """One Gaussian cluster per class in ``d`` dimensions.
+
+    Directional drift moves every class mean along a persistent random
+    direction; localized jitter wiggles the means with zero-mean noise;
+    sudden shifts are modelled by constructing a fresh concept elsewhere in
+    feature space.
+    """
+
+    def __init__(self, num_classes: int, num_features: int,
+                 rng: np.random.Generator, spread: float = 2.5,
+                 scale: float = 1.0, class_weights: np.ndarray | None = None):
+        if num_classes < 2:
+            raise ValueError(f"need >= 2 classes; got {num_classes}")
+        self.num_classes = num_classes
+        self.num_features = num_features
+        self.means = rng.normal(0.0, spread, size=(num_classes, num_features))
+        self.scales = np.full(num_classes, scale, dtype=float)
+        if class_weights is None:
+            self.class_weights = np.full(num_classes, 1.0 / num_classes)
+        else:
+            class_weights = np.asarray(class_weights, dtype=float)
+            self.class_weights = class_weights / class_weights.sum()
+        # Persistent drift direction (unit vector per class).
+        direction = rng.normal(size=(num_classes, num_features))
+        self._direction = direction / np.linalg.norm(direction, axis=1, keepdims=True)
+
+    def sample(self, rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.choice(self.num_classes, size=n, p=self.class_weights)
+        noise = rng.normal(size=(n, self.num_features))
+        x = self.means[labels] + noise * self.scales[labels, None]
+        return x, labels
+
+    def drift(self, rng: np.random.Generator, magnitude: float) -> None:
+        # Small angular wander keeps the direction persistent but not fixed.
+        wander = rng.normal(scale=0.05, size=self._direction.shape)
+        direction = self._direction + wander
+        self._direction = direction / np.linalg.norm(direction, axis=1, keepdims=True)
+        self.means = self.means + magnitude * self._direction
+
+    def jitter(self, rng: np.random.Generator, magnitude: float) -> None:
+        self.means = self.means + rng.normal(scale=magnitude, size=self.means.shape)
+
+    def clone(self) -> "GaussianMixtureConcept":
+        copy = object.__new__(GaussianMixtureConcept)
+        copy.num_classes = self.num_classes
+        copy.num_features = self.num_features
+        copy.means = self.means.copy()
+        copy.scales = self.scales.copy()
+        copy.class_weights = self.class_weights.copy()
+        copy._direction = self._direction.copy()
+        return copy
+
+    def remix(self, rng: np.random.Generator, offset: float = 3.0,
+              permute: bool = True,
+              class_weights: np.ndarray | None = None) -> "GaussianMixtureConcept":
+        """A *catastrophically different* concept derived from this one.
+
+        Real sudden shifts (a DDoS campaign, Black Friday) do not merely
+        nudge the feature distribution — they change which regions of
+        feature space map to which label.  ``remix`` permutes the class
+        means (so the old decision boundary actively mispredicts) and
+        offsets them (so the shift is visible in feature space), while
+        keeping the cluster structure crisp — precisely the regime where
+        coherent experience clustering should beat a pre-trained model.
+        """
+        remixed = self.clone()
+        if permute:
+            permutation = rng.permutation(self.num_classes)
+            remixed.means = remixed.means[permutation]
+            remixed.scales = remixed.scales[permutation]
+        shift = rng.normal(size=self.num_features)
+        shift = offset * shift / np.linalg.norm(shift)
+        remixed.means = remixed.means + shift
+        if class_weights is not None:
+            class_weights = np.asarray(class_weights, dtype=float)
+            remixed.class_weights = class_weights / class_weights.sum()
+        direction = rng.normal(size=remixed._direction.shape)
+        remixed._direction = direction / np.linalg.norm(direction, axis=1,
+                                                        keepdims=True)
+        return remixed
+
+
+class HyperplaneConcept(Concept):
+    """Rotating-hyperplane concept: label = side of a moving hyperplane.
+
+    Features are uniform on ``[0, 1]^d`` and the class boundary is
+    ``sum(w_i x_i) > sum(w_i) / 2``; drift rotates the weight vector.  This
+    matches the classic Hyperplane generator the paper evaluates on.
+    """
+
+    def __init__(self, num_features: int, rng: np.random.Generator,
+                 noise: float = 0.05):
+        self.num_features = num_features
+        self.noise = noise
+        self.weights = rng.uniform(0.0, 1.0, size=num_features)
+
+    def sample(self, rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+        x = rng.uniform(0.0, 1.0, size=(n, self.num_features))
+        threshold = self.weights.sum() / 2.0
+        labels = (x @ self.weights > threshold).astype(np.int64)
+        if self.noise > 0:
+            flip = rng.random(n) < self.noise
+            labels[flip] = 1 - labels[flip]
+        return x, labels
+
+    def drift(self, rng: np.random.Generator, magnitude: float) -> None:
+        self.weights = self.weights + rng.normal(scale=magnitude,
+                                                 size=self.num_features)
+
+    def jitter(self, rng: np.random.Generator, magnitude: float) -> None:
+        self.weights = self.weights + rng.normal(scale=magnitude * 0.2,
+                                                 size=self.num_features)
+
+    def clone(self) -> "HyperplaneConcept":
+        copy = object.__new__(HyperplaneConcept)
+        copy.num_features = self.num_features
+        copy.noise = self.noise
+        copy.weights = self.weights.copy()
+        return copy
+
+
+@dataclass
+class Segment:
+    """A contiguous run of batches drawn from one (possibly drifting) concept.
+
+    Attributes
+    ----------
+    concept:
+        Key into the schedule's concept table.
+    num_batches:
+        Length of the segment.
+    kind:
+        Within-segment drift: ``"stationary"``, ``"directional"`` (Pattern
+        A1), or ``"localized"`` (Pattern A2).
+    entry:
+        How the stream arrives at this segment: ``"none"`` (first segment or
+        smooth continuation), ``"sudden"`` (Pattern B: the concept is brand
+        new), or ``"reoccurring"`` (Pattern C: the concept was seen before).
+    magnitude:
+        Per-batch drift step for directional/localized kinds.
+    """
+
+    concept: str
+    num_batches: int
+    kind: str = "stationary"
+    entry: str = "none"
+    magnitude: float = 0.05
+
+    VALID_KINDS = ("stationary", "directional", "localized")
+    VALID_ENTRIES = ("none", "sudden", "reoccurring")
+
+    def __post_init__(self):
+        if self.kind not in self.VALID_KINDS:
+            raise ValueError(f"unknown segment kind {self.kind!r}")
+        if self.entry not in self.VALID_ENTRIES:
+            raise ValueError(f"unknown segment entry {self.entry!r}")
+        if self.num_batches <= 0:
+            raise ValueError(f"segment length must be positive; got {self.num_batches}")
+
+
+def _entry_pattern(entry: str) -> str | None:
+    if entry == "sudden":
+        return Pattern.SUDDEN
+    if entry == "reoccurring":
+        return Pattern.REOCCURRING
+    return None
+
+
+def stream_from_schedule(concepts: dict[str, Concept], segments: list[Segment],
+                         batch_size: int, rng: np.random.Generator,
+                         num_classes: int, name: str = "scheduled",
+                         entry_span: int = 3,
+                         transition_fraction: float = 0.1) -> DataStream:
+    """Compose concepts into an annotated stream.
+
+    Each segment samples from a live clone of its concept.  Reoccurring
+    segments re-clone the *original* concept so the old distribution truly
+    comes back.  The first ``entry_span`` batches after a severe segment
+    boundary carry the segment's entry pattern — a sudden shift is a
+    *period* of disruption, not a single batch (this matches how the
+    paper's Figure 9 shades pattern regions); batches inside a drifting
+    segment are tagged :data:`Pattern.SLIGHT`.
+
+    ``transition_fraction`` implements the paper's continuity hypothesis:
+    real shifts never align with batch boundaries, so the *tail* of the
+    batch preceding a severe boundary is already drawn from the incoming
+    concept.  This is precisely what coherent experience clustering relies
+    on — the most recent labeled points sharing the new distribution.
+    """
+    if not segments:
+        raise ValueError("schedule needs at least one segment")
+    if entry_span < 1:
+        raise ValueError(f"entry_span must be >= 1; got {entry_span}")
+    if not 0.0 <= transition_fraction < 1.0:
+        raise ValueError(
+            f"transition_fraction must be in [0, 1); got {transition_fraction}"
+        )
+    for segment in segments:
+        if segment.concept not in concepts:
+            raise KeyError(f"segment references unknown concept {segment.concept!r}")
+
+    def generate():
+        index = 0
+        for position, segment in enumerate(segments):
+            live = concepts[segment.concept].clone()
+            entry = _entry_pattern(segment.entry)
+            next_segment = (segments[position + 1]
+                            if position + 1 < len(segments) else None)
+            for step in range(segment.num_batches):
+                if step == 0:
+                    if position == 0:
+                        pattern = None
+                    else:
+                        # A "none" entry on a later segment is a smooth
+                        # continuation of the same concept — a slight shift.
+                        pattern = entry or Pattern.SLIGHT
+                else:
+                    if entry is not None and step < entry_span:
+                        pattern = entry
+                    else:
+                        pattern = Pattern.SLIGHT
+                    if segment.kind == "directional":
+                        live.drift(rng, segment.magnitude)
+                    elif segment.kind == "localized":
+                        live.jitter(rng, segment.magnitude)
+                x, y = live.sample(rng, batch_size)
+                # Continuity: the incoming concept leaks into the tail of
+                # the final batch before a severe boundary.
+                is_final = step == segment.num_batches - 1
+                if (is_final and transition_fraction > 0.0
+                        and next_segment is not None
+                        and next_segment.entry in ("sudden", "reoccurring")):
+                    leak = int(round(batch_size * transition_fraction))
+                    if leak > 0:
+                        incoming = concepts[next_segment.concept].clone()
+                        leak_x, leak_y = incoming.sample(rng, leak)
+                        x = np.concatenate([x[: batch_size - leak], leak_x])
+                        y = np.concatenate([y[: batch_size - leak], leak_y])
+                yield Batch(x, y, index=index, pattern=pattern,
+                            meta={"segment": position, "concept": segment.concept})
+                index += 1
+
+    num_features = next(iter(concepts.values())).num_features
+    return DataStream(generate(), num_features=num_features,
+                      num_classes=num_classes, name=name)
+
+
+def pattern_mix_schedule(rng: np.random.Generator, num_classes: int = 4,
+                         num_features: int = 16,
+                         segment_length: int = 12) -> tuple[dict, list[Segment]]:
+    """Build the canonical A/B/C mixed schedule used by pattern benchmarks.
+
+    The schedule walks: concept0 with directional drift → localized drift →
+    a sudden jump to concept1 → more slight drift → a reoccurrence of
+    concept0 → a sudden jump to concept2 → a reoccurrence of concept1.  This
+    exercises every pattern several times with ground truth attached.
+    """
+    base = GaussianMixtureConcept(num_classes, num_features, rng, spread=3.0)
+    concepts = {
+        "c0": base,
+        # Sudden-entry concepts are remixes: the label-region mapping
+        # changes, so the shift is catastrophic for a resident model.
+        "c1": base.remix(rng, offset=4.0),
+        "c2": base.remix(rng, offset=5.0),
+    }
+    half = max(segment_length // 2, 4)
+    segments = [
+        Segment("c0", segment_length, kind="directional"),
+        Segment("c0", segment_length, kind="localized"),
+        Segment("c1", segment_length, kind="localized", entry="sudden"),
+        Segment("c1", half, kind="directional"),
+        Segment("c0", segment_length, kind="localized", entry="reoccurring"),
+        Segment("c2", segment_length, kind="localized", entry="sudden"),
+        Segment("c1", half, kind="stationary", entry="reoccurring"),
+    ]
+    return concepts, segments

@@ -1,0 +1,221 @@
+"""Synthetic image streams for the CNN experiments (paper appendix).
+
+The appendix evaluates StreamingCNN on ImageNet-Subset ("Animals") and
+Flowers streams, with a frozen VGG-16 extracting features before coherent
+experience clustering.  Offline, we substitute:
+
+- :class:`ImageConcept` — class-conditional images built from per-class
+  Gaussian blob layouts plus sinusoidal texture, supporting the same
+  drift/jitter/clone protocol as tabular concepts, so
+  :func:`~repro.data.drift.stream_from_schedule` composes image streams
+  with ground-truth pattern annotations;
+- :class:`AnimalsStream` / :class:`FlowersStream` — the two appendix
+  workloads, with drift schedules mixing all three patterns;
+- :class:`RandomProjectionFeaturizer` — a fixed random linear map with a
+  ReLU standing in for the frozen VGG-16 feature extractor (both are fixed
+  nonlinear encoders whose role is to give clustering a feature space).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .drift import Concept, Segment, stream_from_schedule
+from .stream import DataStream
+
+__all__ = [
+    "ImageConcept",
+    "AnimalsStream",
+    "FlowersStream",
+    "RandomProjectionFeaturizer",
+    "IMAGE_REGISTRY",
+]
+
+
+class ImageConcept(Concept):
+    """Class-conditional image distribution over ``(channels, size, size)``.
+
+    Each class owns a set of blob centres (in image coordinates) and a
+    texture frequency.  Images are rendered as the sum of Gaussian bumps at
+    the blob centres plus a low-amplitude sinusoid, then perturbed with
+    pixel noise.  Drifting moves the blob centres; a fresh concept places
+    them elsewhere entirely.
+    """
+
+    def __init__(self, num_classes: int, rng: np.random.Generator,
+                 size: int = 16, channels: int = 1, blobs_per_class: int = 3,
+                 noise: float = 0.15):
+        self.num_classes = num_classes
+        self.size = size
+        self.channels = channels
+        self.noise = noise
+        self.num_features = channels * size * size
+        self.centres = rng.uniform(2.0, size - 2.0,
+                                   size=(num_classes, blobs_per_class, 2))
+        self.widths = rng.uniform(1.5, 3.0, size=(num_classes, blobs_per_class))
+        self.frequencies = rng.uniform(0.5, 2.0, size=num_classes)
+        grid = np.arange(size, dtype=float)
+        self._yy, self._xx = np.meshgrid(grid, grid, indexing="ij")
+
+    def _render_class(self, label: int) -> np.ndarray:
+        image = np.zeros((self.size, self.size))
+        for (cy, cx), width in zip(self.centres[label], self.widths[label]):
+            image += np.exp(
+                -((self._yy - cy) ** 2 + (self._xx - cx) ** 2) / (2.0 * width**2)
+            )
+        texture = 0.2 * np.sin(self.frequencies[label] * self._xx / 2.0)
+        return image + texture
+
+    def sample(self, rng: np.random.Generator, n: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, self.num_classes, size=n)
+        prototypes = np.stack(
+            [self._render_class(label) for label in range(self.num_classes)]
+        )
+        base = prototypes[labels]  # (n, size, size)
+        noise = rng.normal(scale=self.noise, size=(n, self.size, self.size))
+        images = base + noise
+        x = np.repeat(images[:, None, :, :], self.channels, axis=1)
+        return x, labels.astype(np.int64)
+
+    def drift(self, rng: np.random.Generator, magnitude: float) -> None:
+        direction = rng.normal(size=self.centres.shape)
+        norms = np.linalg.norm(direction, axis=-1, keepdims=True)
+        self.centres = np.clip(
+            self.centres + magnitude * direction / np.maximum(norms, 1e-12),
+            1.0, self.size - 1.0,
+        )
+
+    def jitter(self, rng: np.random.Generator, magnitude: float) -> None:
+        self.centres = np.clip(
+            self.centres + rng.normal(scale=magnitude * 0.5,
+                                      size=self.centres.shape),
+            1.0, self.size - 1.0,
+        )
+
+    def clone(self) -> "ImageConcept":
+        copy = object.__new__(ImageConcept)
+        copy.num_classes = self.num_classes
+        copy.size = self.size
+        copy.channels = self.channels
+        copy.noise = self.noise
+        copy.num_features = self.num_features
+        copy.centres = self.centres.copy()
+        copy.widths = self.widths.copy()
+        copy.frequencies = self.frequencies.copy()
+        copy._yy = self._yy
+        copy._xx = self._xx
+        return copy
+
+
+class _ImageStreamBase:
+    """Shared scheduling for the two appendix image workloads."""
+
+    name = "images"
+    num_classes = 0
+    size = 16
+    channels = 1
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.num_features = self.channels * self.size * self.size
+
+    def _blueprint(self) -> list[Segment]:
+        raise NotImplementedError
+
+    def stream(self, num_batches: int, batch_size: int = 128) -> DataStream:
+        """Generate ``num_batches`` annotated image batches."""
+        rng = np.random.default_rng(self.seed)
+        concepts = {
+            f"c{i}": ImageConcept(self.num_classes, rng, size=self.size,
+                                  channels=self.channels)
+            for i in range(2)
+        }
+        blueprint = self._blueprint()
+        segments: list[Segment] = []
+        total = 0
+        seen: set[str] = set()
+        while total < num_batches:
+            for item in blueprint:
+                entry = item.entry
+                if entry == "sudden" and item.concept in seen:
+                    entry = "reoccurring"
+                if not segments:
+                    entry = "none"
+                segments.append(Segment(item.concept, item.num_batches,
+                                        kind=item.kind, entry=entry,
+                                        magnitude=item.magnitude))
+                seen.add(item.concept)
+                total += item.num_batches
+                if total >= num_batches:
+                    break
+        composed = stream_from_schedule(concepts, segments, batch_size, rng,
+                                        num_classes=self.num_classes,
+                                        name=self.name)
+        return composed.take(num_batches)
+
+
+class AnimalsStream(_ImageStreamBase):
+    """ImageNet-Subset ("Animals") stand-in: 4 classes, mixed drift."""
+
+    name = "animals"
+    num_classes = 4
+
+    def _blueprint(self) -> list[Segment]:
+        return [
+            Segment("c0", 10, kind="localized", magnitude=0.3),
+            Segment("c1", 6, kind="localized", entry="sudden", magnitude=0.3),
+            Segment("c0", 8, kind="directional", entry="reoccurring",
+                    magnitude=0.25),
+        ]
+
+
+class FlowersStream(_ImageStreamBase):
+    """Flowers stand-in: 5 classes, slower drift with reoccurrences."""
+
+    name = "flowers"
+    num_classes = 5
+
+    def _blueprint(self) -> list[Segment]:
+        return [
+            Segment("c0", 12, kind="directional", magnitude=0.2),
+            Segment("c1", 8, kind="localized", entry="sudden", magnitude=0.3),
+            Segment("c0", 10, kind="localized", entry="reoccurring",
+                    magnitude=0.25),
+        ]
+
+
+class RandomProjectionFeaturizer:
+    """Fixed random nonlinear encoder standing in for frozen VGG-16 features.
+
+    Coherent experience clustering on raw pixels is dominated by nuisance
+    variation; the paper routes images through a frozen VGG-16 first.  A
+    seeded random projection followed by ReLU preserves the property that
+    matters — a fixed encoder under which class structure is linearly
+    clusterable — without the ImageNet weights.
+    """
+
+    def __init__(self, input_features: int, output_features: int = 64,
+                 seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.input_features = input_features
+        self.output_features = output_features
+        scale = 1.0 / np.sqrt(input_features)
+        self._weight = rng.normal(scale=scale,
+                                  size=(input_features, output_features))
+        self._bias = rng.normal(scale=0.1, size=output_features)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Encode a batch: flatten, project, ReLU."""
+        flat = np.asarray(x, dtype=float).reshape(len(x), -1)
+        if flat.shape[1] != self.input_features:
+            raise ValueError(
+                f"featurizer expects {self.input_features} features, "
+                f"got {flat.shape[1]}"
+            )
+        return np.maximum(flat @ self._weight + self._bias, 0.0)
+
+
+IMAGE_REGISTRY = {
+    AnimalsStream.name: AnimalsStream,
+    FlowersStream.name: FlowersStream,
+}

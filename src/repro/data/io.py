@@ -1,0 +1,139 @@
+"""Loading user data as streams: CSV/NPZ to :class:`DataStream`.
+
+The generators in this package synthesize the paper's benchmarks, but a
+framework is only adoptable if it runs on *your* data.  These helpers cut
+an on-disk dataset into the mini-batch stream the
+:class:`~repro.core.learner.Learner` consumes, preserving row order (order
+is the whole point of streaming evaluation — never shuffle drift away).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .stream import DataStream, batches_from_arrays
+
+__all__ = ["load_csv", "stream_from_csv", "stream_from_arrays"]
+
+
+def load_csv(path: str | Path, label_column: str | int = -1,
+             has_header: bool | None = None,
+             delimiter: str = ",") -> tuple[np.ndarray, np.ndarray]:
+    """Read a CSV of numeric features plus one label column.
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    label_column:
+        Column holding the class label — a header name, or an index
+        (negative indices count from the right; default: last column).
+    has_header:
+        ``True``/``False``, or ``None`` to sniff: if every cell of the
+        first row parses as a number, it is treated as data.
+    delimiter:
+        Field separator.
+
+    Returns ``(x, y)`` with ``x`` float features in file order and ``y``
+    integer labels (string labels are assigned codes by first appearance,
+    preserving stream order).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        rows = list(csv.reader(handle, delimiter=delimiter))
+    rows = [row for row in rows if row]
+    if not rows:
+        raise ValueError(f"{path} contains no data rows")
+
+    def _numeric(cell: str) -> bool:
+        try:
+            float(cell)
+            return True
+        except ValueError:
+            return False
+
+    header: list[str] | None = None
+    if has_header is None:
+        has_header = not all(_numeric(cell) for cell in rows[0])
+    if has_header:
+        header = rows[0]
+        rows = rows[1:]
+        if not rows:
+            raise ValueError(f"{path} has a header but no data rows")
+
+    if isinstance(label_column, str):
+        if header is None:
+            raise ValueError(
+                "label_column given by name but the file has no header"
+            )
+        try:
+            label_index = header.index(label_column)
+        except ValueError:
+            raise ValueError(
+                f"no column named {label_column!r}; header: {header}"
+            ) from None
+    else:
+        label_index = label_column % len(rows[0])
+
+    width = len(rows[0])
+    for line, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError(
+                f"{path}: row {line} has {len(row)} fields, expected {width}"
+            )
+
+    labels_raw = [row[label_index] for row in rows]
+    features = [
+        [row[i] for i in range(width) if i != label_index] for row in rows
+    ]
+    x = np.asarray(features, dtype=float)
+
+    if all(_numeric(value) for value in labels_raw):
+        y = np.asarray([float(value) for value in labels_raw])
+        if not np.allclose(y, np.round(y)):
+            raise ValueError("label column contains non-integer numbers")
+        y = y.astype(np.int64)
+        # Models expect a dense 0-based label space; remap anything else
+        # (negative codes, sparse ids) by order of first appearance.
+        present = set(np.unique(y).tolist())
+        if present != set(range(len(present))):
+            codes: dict[int, int] = {}
+            y = np.asarray(
+                [codes.setdefault(int(value), len(codes)) for value in y],
+                dtype=np.int64,
+            )
+    else:
+        codes = {}
+        y = np.asarray(
+            [codes.setdefault(value, len(codes)) for value in labels_raw],
+            dtype=np.int64,
+        )
+    return x, y
+
+
+def stream_from_arrays(x: np.ndarray, y: np.ndarray, batch_size: int = 1024,
+                       drop_last: bool = False,
+                       name: str = "arrays") -> DataStream:
+    """Wrap in-memory arrays as a mini-batch stream (order preserved)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y)
+    return DataStream(
+        batches_from_arrays(x, y, batch_size, drop_last=drop_last),
+        num_features=int(np.prod(x.shape[1:])),
+        num_classes=int(y.max()) + 1,
+        name=name,
+    )
+
+
+def stream_from_csv(path: str | Path, batch_size: int = 1024,
+                    label_column: str | int = -1,
+                    has_header: bool | None = None,
+                    delimiter: str = ",") -> DataStream:
+    """Load a CSV and cut it into a stream of mini-batches."""
+    x, y = load_csv(path, label_column=label_column,
+                    has_header=has_header, delimiter=delimiter)
+    return stream_from_arrays(x, y, batch_size=batch_size,
+                              name=Path(path).stem)

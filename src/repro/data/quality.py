@@ -1,0 +1,150 @@
+"""Stream preprocessing: online standardization and missing-value repair.
+
+Real deployments rarely hand a learner clean, scaled features.  These
+transforms are *streaming-safe*: statistics update incrementally from the
+batches already seen (never from the future), so prequential evaluation
+stays honest.
+
+- :class:`StreamingStandardScaler` — online z-scoring with Welford/Chan
+  statistics and optional exponential forgetting (so scaling tracks
+  drifting feature ranges instead of being anchored by history);
+- :class:`MissingValueRepair` — replaces NaN/inf cells with the running
+  per-feature mean *before* they reach :class:`~repro.data.stream.Batch`
+  validation (which rejects non-finite features by design).
+
+Both plug into a stream via :meth:`DataStream.map`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .stream import Batch
+
+__all__ = ["StreamingStandardScaler", "MissingValueRepair"]
+
+
+class StreamingStandardScaler:
+    """Online per-feature standardization ``(x - mean) / std``.
+
+    Parameters
+    ----------
+    decay:
+        Exponential forgetting in (0, 1]: effective historical counts are
+        multiplied by ``decay`` per batch, so the scaling tracks drifting
+        ranges.  ``1.0`` accumulates forever (classic z-scoring).
+    epsilon:
+        Variance floor so constant features do not divide by zero.
+    """
+
+    def __init__(self, decay: float = 1.0, epsilon: float = 1e-8):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1]; got {decay}")
+        self.decay = decay
+        self.epsilon = epsilon
+        self._count = 0.0
+        self._mean: np.ndarray | None = None
+        self._m2: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._count > 0
+
+    def mean(self) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("scaler has seen no data")
+        return self._mean.copy()
+
+    def std(self) -> np.ndarray:
+        if not self.fitted:
+            raise RuntimeError("scaler has seen no data")
+        return np.sqrt(self._m2 / self._count + self.epsilon)
+
+    def partial_fit(self, x: np.ndarray) -> "StreamingStandardScaler":
+        """Fold a batch into the running statistics (Chan merge)."""
+        x = np.asarray(x, dtype=float).reshape(len(x), -1)
+        if len(x) == 0:
+            raise ValueError("cannot fit an empty batch")
+        if self._mean is None:
+            self._mean = np.zeros(x.shape[1])
+            self._m2 = np.zeros(x.shape[1])
+        elif x.shape[1] != self._mean.shape[0]:
+            raise ValueError(
+                f"expected {self._mean.shape[0]} features; got {x.shape[1]}"
+            )
+        if self.decay < 1.0:
+            self._count *= self.decay
+            self._m2 *= self.decay
+        n_new = float(len(x))
+        mean_new = x.mean(axis=0)
+        m2_new = ((x - mean_new) ** 2).sum(axis=0)
+        delta = mean_new - self._mean
+        total = self._count + n_new
+        self._mean = self._mean + delta * (n_new / total)
+        self._m2 = self._m2 + m2_new + delta ** 2 * (self._count * n_new
+                                                     / total)
+        self._count = total
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize with the statistics seen so far."""
+        x = np.asarray(x, dtype=float)
+        flat = x.reshape(len(x), -1)
+        if not self.fitted:
+            return x.copy()
+        scaled = (flat - self._mean) / self.std()
+        return scaled.reshape(x.shape)
+
+    def __call__(self, batch: Batch) -> Batch:
+        """Stream transform: standardize with *past* statistics, then fold
+        the batch in — the prequential-safe ordering."""
+        scaled = self.transform(batch.x)
+        self.partial_fit(batch.x)
+        return replace(batch, x=scaled)
+
+
+class MissingValueRepair:
+    """Replace NaN/inf cells with the running per-feature mean.
+
+    The first batch's missing cells (no history yet) fall back to 0.0.
+    Statistics are computed over repaired values, so a burst of missing
+    data cannot corrupt them.
+    """
+
+    def __init__(self):
+        self._count = 0.0
+        self._mean: np.ndarray | None = None
+        self.repaired_cells = 0
+
+    def repair(self, x: np.ndarray) -> np.ndarray:
+        """Return a finite copy of ``x``; updates the running mean."""
+        x = np.asarray(x, dtype=float)
+        flat = x.reshape(len(x), -1).copy()
+        bad = ~np.isfinite(flat)
+        if bad.any():
+            self.repaired_cells += int(bad.sum())
+            if self._mean is None:
+                fill = np.zeros(flat.shape[1])
+            else:
+                fill = self._mean
+            flat[bad] = np.broadcast_to(fill, flat.shape)[bad]
+        n_new = float(len(flat))
+        mean_new = flat.mean(axis=0)
+        if self._mean is None:
+            self._mean = mean_new
+        else:
+            total = self._count + n_new
+            self._mean = (self._count * self._mean + n_new * mean_new) / total
+        self._count += n_new
+        return flat.reshape(x.shape)
+
+    def __call__(self, x, y=None, index: int = 0, pattern=None) -> Batch:
+        """Build a valid :class:`Batch` from possibly-dirty arrays."""
+        if isinstance(x, Batch):
+            raise TypeError(
+                "pass raw arrays — Batch construction already rejects "
+                "non-finite features, so repair must happen before it"
+            )
+        return Batch(self.repair(x), y, index=index, pattern=pattern)

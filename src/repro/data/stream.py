@@ -1,0 +1,170 @@
+"""Stream abstractions: batches, data streams, and stream utilities.
+
+FreewayML consumes data as a sequence of mini-batches (the paper uses batch
+size 1024).  :class:`Batch` carries the features, the labels (which, in the
+prequential protocol, are revealed only after inference), and an optional
+ground-truth drift-pattern annotation used by the pattern-segmented
+experiments (Table II, Figures 9/11).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Batch", "DataStream", "batches_from_arrays", "Pattern"]
+
+
+class Pattern:
+    """Canonical names for ground-truth drift-pattern annotations.
+
+    These match the paper's taxonomy: slight shifts (Pattern A, with
+    directional A1 and localized A2 variants), sudden shifts (Pattern B),
+    and reoccurring shifts (Pattern C).
+    """
+
+    SLIGHT = "slight"
+    SUDDEN = "sudden"
+    REOCCURRING = "reoccurring"
+
+    ALL = (SLIGHT, SUDDEN, REOCCURRING)
+
+
+@dataclass
+class Batch:
+    """One mini-batch of streaming data.
+
+    Attributes
+    ----------
+    x:
+        Feature array, ``(n, d)`` for tabular data or ``(n, c, h, w)`` for
+        images.
+    y:
+        Integer class labels, or ``None`` for an unlabeled inference-only
+        batch.
+    index:
+        Position of the batch in the stream (0-based).
+    pattern:
+        Optional ground-truth drift annotation (:class:`Pattern` constant)
+        describing the shift *into* this batch, for evaluation only —
+        FreewayML itself never reads it.
+    """
+
+    x: np.ndarray
+    y: np.ndarray | None
+    index: int
+    pattern: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.x = np.asarray(self.x, dtype=np.float64)
+        if len(self.x) == 0:
+            raise ValueError(f"batch {self.index} is empty")
+        if not np.isfinite(self.x).all():
+            raise ValueError(
+                f"batch {self.index} contains NaN/inf features — clean the "
+                "stream before feeding it to a learner"
+            )
+        if self.y is not None:
+            self.y = np.asarray(self.y, dtype=np.int64).reshape(-1)
+            if len(self.y) != len(self.x):
+                raise ValueError(
+                    f"batch {self.index}: {len(self.x)} rows but {len(self.y)} labels"
+                )
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def labeled(self) -> bool:
+        return self.y is not None
+
+    @property
+    def num_features(self) -> int:
+        """Flattened feature dimensionality."""
+        return int(np.prod(self.x.shape[1:]))
+
+    def flat_x(self) -> np.ndarray:
+        """Features flattened to ``(n, d)`` regardless of input rank."""
+        return self.x.reshape(len(self.x), -1)
+
+    def without_labels(self) -> "Batch":
+        """Copy of this batch with labels stripped (an inference batch)."""
+        return replace(self, y=None)
+
+    def subset(self, indices: np.ndarray) -> "Batch":
+        """Select a subset of rows, keeping metadata."""
+        y = self.y[indices] if self.y is not None else None
+        return replace(self, x=self.x[indices], y=y)
+
+
+class DataStream:
+    """A lazy, single-pass sequence of :class:`Batch` objects.
+
+    Thin wrapper over an iterator that adds combinators used throughout the
+    benchmark harness (``take``, ``map``, ``materialize``).  A stream can be
+    iterated once; call :meth:`materialize` first if multiple passes over the
+    same data are needed (e.g. to feed several frameworks identical batches).
+    """
+
+    def __init__(self, batches: Iterable[Batch],
+                 num_features: int | None = None,
+                 num_classes: int | None = None,
+                 name: str = "stream"):
+        self._iterator = iter(batches)
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.name = name
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self._iterator
+
+    def __next__(self) -> Batch:
+        return next(self._iterator)
+
+    def take(self, count: int) -> "DataStream":
+        """Stream over at most the next ``count`` batches."""
+        return DataStream(
+            itertools.islice(self._iterator, count),
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def map(self, fn: Callable[[Batch], Batch]) -> "DataStream":
+        """Apply ``fn`` to every batch lazily."""
+        return DataStream(
+            (fn(batch) for batch in self._iterator),
+            num_features=self.num_features,
+            num_classes=self.num_classes,
+            name=self.name,
+        )
+
+    def materialize(self, count: int | None = None) -> list[Batch]:
+        """Realize the stream (or its first ``count`` batches) as a list."""
+        source = self._iterator if count is None else itertools.islice(
+            self._iterator, count
+        )
+        return list(source)
+
+
+def batches_from_arrays(x: np.ndarray, y: np.ndarray, batch_size: int,
+                        drop_last: bool = True,
+                        patterns: Iterable[str | None] | None = None) -> Iterator[Batch]:
+    """Cut feature/label arrays into consecutive :class:`Batch` objects."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive; got {batch_size}")
+    if len(x) != len(y):
+        raise ValueError(f"x has {len(x)} rows but y has {len(y)}")
+    pattern_list = list(patterns) if patterns is not None else None
+    total = len(x) // batch_size if drop_last else -(-len(x) // batch_size)
+    for index in range(total):
+        start = index * batch_size
+        end = min(start + batch_size, len(x))
+        pattern = None
+        if pattern_list is not None and index < len(pattern_list):
+            pattern = pattern_list[index]
+        yield Batch(x[start:end], y[start:end], index=index, pattern=pattern)

@@ -1,0 +1,215 @@
+"""Synthetic stream generators: Hyperplane and SEA.
+
+Faithful re-implementations of the two synthetic benchmarks the paper
+evaluates on (citing the River definitions):
+
+- **Hyperplane**: ``d`` uniform features on ``[0, 1]``; the label is the
+  side of a rotating hyperplane through the centre of the cube.  A subset of
+  weights drifts each step, and each drifting weight's direction flips with
+  a small probability.
+- **SEA**: three uniform features on ``[0, 10]``; the label tests
+  ``f1 + f2 <= theta`` where ``theta`` cycles through the four classic SEA
+  variants (8, 9, 7, 9.5) with abrupt concept changes.
+
+Both generators annotate batches with ground-truth patterns: SEA's abrupt
+variant switches are tagged :data:`Pattern.SUDDEN` (and
+:data:`Pattern.REOCCURRING` when a theta value returns), everything else
+:data:`Pattern.SLIGHT`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stream import Batch, DataStream, Pattern
+
+__all__ = ["HyperplaneGenerator", "SEAGenerator"]
+
+
+class HyperplaneGenerator:
+    """Rotating hyperplane stream (Hulten et al., 2001; River's Hyperplane).
+
+    Parameters
+    ----------
+    num_features:
+        Dimensionality ``d`` of the uniform feature cube.
+    drift_features:
+        How many of the ``d`` weights drift each example/batch step.
+    magnitude:
+        Per-step weight change applied to drifting features.
+    noise:
+        Probability a label is flipped.
+    sigma:
+        Probability that a drifting weight's direction reverses each step.
+    concept_switch_every:
+        If set, every this-many batches the weight vector abruptly switches
+        between a pool of ``num_concepts`` stored hyperplanes — the way the
+        paper's pattern experiments inject sudden/reoccurring episodes into
+        Hyperplane.  ``None`` (default) reproduces the classic
+        continuously-rotating generator.  Note these are *concept-only*
+        shifts: the feature distribution stays uniform, which is exactly the
+        case a distribution-based detector cannot see (DESIGN.md).
+    """
+
+    name = "hyperplane"
+
+    def __init__(self, num_features: int = 10, drift_features: int = 2,
+                 magnitude: float = 0.002, noise: float = 0.05,
+                 sigma: float = 0.1, concept_switch_every: int | None = None,
+                 num_concepts: int = 2, seed: int = 0):
+        if not 0 < drift_features <= num_features:
+            raise ValueError(
+                f"drift_features must be in (0, {num_features}]; got {drift_features}"
+            )
+        if concept_switch_every is not None and concept_switch_every < 2:
+            raise ValueError(
+                f"concept_switch_every must be >= 2; got {concept_switch_every}"
+            )
+        if num_concepts < 2:
+            raise ValueError(f"num_concepts must be >= 2; got {num_concepts}")
+        self.num_features = num_features
+        self.num_classes = 2
+        self.drift_features = drift_features
+        self.magnitude = magnitude
+        self.noise = noise
+        self.sigma = sigma
+        self.concept_switch_every = concept_switch_every
+        self.num_concepts = num_concepts
+        self.seed = seed
+
+    def stream(self, num_batches: int, batch_size: int = 1024) -> DataStream:
+        """Generate ``num_batches`` annotated batches."""
+        rng = np.random.default_rng(self.seed)
+        # Pool of concepts: jittered copies of one hyperplane with
+        # alternating decision polarity, so a switch inverts the labels of
+        # most of the cube — catastrophic for the resident model, as the
+        # paper's sudden-shift episodes are.
+        base = rng.uniform(0.0, 1.0, size=self.num_features)
+        pool = [(base.copy(), 1)]
+        for position in range(1, self.num_concepts):
+            jittered = base + rng.uniform(-0.1, 0.1, self.num_features)
+            pool.append((jittered, -1 if position % 2 else 1))
+        weights, polarity = pool[0][0].copy(), pool[0][1]
+        directions = rng.choice([-1.0, 1.0], size=self.drift_features)
+
+        def generate():
+            nonlocal weights, polarity, directions
+            active = 0
+            seen = {0}
+            entry_countdown = 0
+            entry_pattern = None
+            for index in range(num_batches):
+                switching = (self.concept_switch_every is not None
+                             and index > 0
+                             and index % self.concept_switch_every == 0)
+                if switching:
+                    active = (active + 1) % self.num_concepts
+                    weights, polarity = pool[active][0].copy(), pool[active][1]
+                    entry_pattern = (Pattern.REOCCURRING if active in seen
+                                     else Pattern.SUDDEN)
+                    seen.add(active)
+                    entry_countdown = 3
+                x = rng.uniform(0.0, 1.0, size=(batch_size, self.num_features))
+                threshold = weights.sum() / 2.0
+                above = x @ weights > threshold
+                y = (above if polarity > 0 else ~above).astype(np.int64)
+                # Continuity: a switch never aligns with a batch boundary,
+                # so the tail of the last pre-switch batch already follows
+                # the incoming concept (the CEC hypothesis).
+                switch_next = (self.concept_switch_every is not None
+                               and (index + 1) % self.concept_switch_every == 0
+                               and index + 1 < num_batches)
+                if switch_next:
+                    next_weights, next_polarity = pool[
+                        (active + 1) % self.num_concepts
+                    ]
+                    leak = batch_size // 10
+                    tail_above = (x[-leak:] @ next_weights
+                                  > next_weights.sum() / 2.0)
+                    y[-leak:] = (tail_above if next_polarity > 0
+                                 else ~tail_above).astype(np.int64)
+                if self.noise > 0:
+                    flip = rng.random(batch_size) < self.noise
+                    y[flip] = 1 - y[flip]
+                if index == 0:
+                    pattern = None
+                elif entry_countdown > 0:
+                    pattern = entry_pattern
+                    entry_countdown -= 1
+                else:
+                    pattern = Pattern.SLIGHT
+                yield Batch(x, y, index=index, pattern=pattern)
+                # Gradual drift for the next batch.
+                reverse = rng.random(self.drift_features) < self.sigma
+                directions[reverse] *= -1.0
+                weights[: self.drift_features] += directions * self.magnitude
+
+        return DataStream(generate(), num_features=self.num_features,
+                          num_classes=2, name=self.name)
+
+
+class SEAGenerator:
+    """SEA concepts stream (Street & Kim, 2001; River's SEA).
+
+    Three features uniform on ``[0, 10]``; only the first two are relevant.
+    The label is ``f1 + f2 <= theta``.  ``theta`` follows the classic
+    variant sequence ``8 → 9 → 7 → 9.5`` (then repeats), switching abruptly
+    every ``batches_per_concept`` batches.
+    """
+
+    name = "sea"
+    THETAS = (8.0, 9.0, 7.0, 9.5)
+
+    def __init__(self, noise: float = 0.1, batches_per_concept: int = 15,
+                 seed: int = 0):
+        self.num_features = 3
+        self.num_classes = 2
+        self.noise = noise
+        self.batches_per_concept = batches_per_concept
+        self.seed = seed
+
+    def stream(self, num_batches: int, batch_size: int = 1024) -> DataStream:
+        """Generate ``num_batches`` annotated batches."""
+        rng = np.random.default_rng(self.seed)
+
+        def generate():
+            seen_variants: set[int] = set()
+            entry_pattern = None
+            entry_countdown = 0
+            for index in range(num_batches):
+                variant = (index // self.batches_per_concept) % len(self.THETAS)
+                theta = self.THETAS[variant]
+                x = rng.uniform(0.0, 10.0, size=(batch_size, 3))
+                y = ((x[:, 0] + x[:, 1]) <= theta).astype(np.int64)
+                # Continuity: the incoming theta governs the batch tail just
+                # before a variant switch.
+                if ((index + 1) % self.batches_per_concept == 0
+                        and index + 1 < num_batches):
+                    next_variant = ((index + 1) // self.batches_per_concept
+                                    % len(self.THETAS))
+                    next_theta = self.THETAS[next_variant]
+                    leak = batch_size // 10
+                    y[-leak:] = ((x[-leak:, 0] + x[-leak:, 1])
+                                 <= next_theta).astype(np.int64)
+                if self.noise > 0:
+                    flip = rng.random(batch_size) < self.noise
+                    y[flip] = 1 - y[flip]
+                boundary = index > 0 and index % self.batches_per_concept == 0
+                if boundary:
+                    entry_pattern = (Pattern.REOCCURRING
+                                     if variant in seen_variants
+                                     else Pattern.SUDDEN)
+                    entry_countdown = min(3, self.batches_per_concept)
+                if index == 0:
+                    pattern = None
+                elif entry_countdown > 0:
+                    pattern = entry_pattern
+                    entry_countdown -= 1
+                else:
+                    pattern = Pattern.SLIGHT
+                seen_variants.add(variant)
+                yield Batch(x, y, index=index, pattern=pattern,
+                            meta={"theta": theta})
+
+        return DataStream(generate(), num_features=3, num_classes=2,
+                          name=self.name)

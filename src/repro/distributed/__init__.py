@@ -1,0 +1,23 @@
+"""``repro.distributed`` — simulated data-parallel FreewayML.
+
+The paper's conclusion lists distributed scalability as future work; this
+package implements the algorithmic layer: batch sharding strategies and a
+:class:`DistributedLearner` that runs replica learners with periodic
+parameter averaging.  See DESIGN.md ("Paper extensions implemented").
+"""
+
+from .partition import (
+    contiguous_partition,
+    hash_partition,
+    round_robin_partition,
+)
+from .workers import DistributedLearner, DistributedReport, average_state_dicts
+
+__all__ = [
+    "round_robin_partition",
+    "contiguous_partition",
+    "hash_partition",
+    "DistributedLearner",
+    "DistributedReport",
+    "average_state_dicts",
+]

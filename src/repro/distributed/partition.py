@@ -1,0 +1,58 @@
+"""Stream partitioning for the simulated distributed runtime.
+
+The paper's conclusion lists distributed execution as future work.  Our
+simulation shards each mini-batch across workers; these are the standard
+partitioning strategies a stream processor would offer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["round_robin_partition", "hash_partition", "contiguous_partition"]
+
+
+def _validate(num_rows: int, num_workers: int) -> None:
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1; got {num_workers}")
+    if num_rows < num_workers:
+        raise ValueError(
+            f"cannot shard {num_rows} rows across {num_workers} workers"
+        )
+
+
+def round_robin_partition(num_rows: int, num_workers: int) -> list[np.ndarray]:
+    """Row ``i`` goes to worker ``i % W`` — balanced, order-interleaved."""
+    _validate(num_rows, num_workers)
+    indices = np.arange(num_rows)
+    return [indices[worker::num_workers] for worker in range(num_workers)]
+
+
+def contiguous_partition(num_rows: int, num_workers: int) -> list[np.ndarray]:
+    """Contiguous slabs — preserves within-shard ordering (range split)."""
+    _validate(num_rows, num_workers)
+    return list(np.array_split(np.arange(num_rows), num_workers))
+
+
+def hash_partition(x: np.ndarray, num_workers: int,
+                   seed: int = 0) -> list[np.ndarray]:
+    """Content-keyed sharding: rows with equal features co-locate.
+
+    A seeded random projection is bucketed, so the assignment is stable
+    across batches (the property key-based partitioning provides).
+    """
+    x = np.asarray(x, dtype=float).reshape(len(x), -1)
+    _validate(len(x), num_workers)
+    rng = np.random.default_rng(seed)
+    projection = rng.normal(size=x.shape[1])
+    keys = np.floor(np.abs(x @ projection) * 1000.0).astype(np.int64)
+    assignment = keys % num_workers
+    shards = [np.flatnonzero(assignment == worker)
+              for worker in range(num_workers)]
+    # Guarantee no empty shard (fall back to stealing from the largest).
+    for worker, shard in enumerate(shards):
+        if len(shard) == 0:
+            donor = max(range(num_workers), key=lambda w: len(shards[w]))
+            shards[worker] = shards[donor][-1:]
+            shards[donor] = shards[donor][:-1]
+    return shards

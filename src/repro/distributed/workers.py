@@ -1,0 +1,164 @@
+"""Simulated distributed FreewayML (the paper's Section VII future work).
+
+``DistributedLearner`` shards every mini-batch across ``num_workers``
+replica learners, lets each replica run the full FreewayML pipeline on its
+shard, and periodically synchronizes the replicas by averaging their
+granularity-model parameters (synchronous data-parallel training, the
+standard scheme for distributed SGD).
+
+Everything executes in one process — the simulation's purpose is to answer
+the *algorithmic* scalability questions (how much accuracy does sharding +
+periodic averaging cost? how does the knowledge store behave per replica?),
+not to measure wall-clock speedup.  ``ideal_speedup`` reports the
+compute-parallelism upper bound implied by the shard sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.learner import Learner
+from ..data.stream import Batch
+from .partition import (
+    contiguous_partition,
+    hash_partition,
+    round_robin_partition,
+)
+
+__all__ = ["DistributedLearner", "DistributedReport", "average_state_dicts"]
+
+_PARTITIONERS = ("round-robin", "contiguous", "hash")
+
+
+def average_state_dicts(states: list[dict]) -> dict:
+    """Elementwise mean of parameter dictionaries with identical keys."""
+    if not states:
+        raise ValueError("nothing to average")
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise ValueError("state_dicts have mismatched keys")
+    return {
+        key: np.mean([np.asarray(state[key]) for state in states], axis=0)
+        for key in sorted(keys)
+    }
+
+
+@dataclass
+class DistributedReport:
+    """Per-batch record of a distributed step."""
+
+    index: int
+    accuracy: float | None
+    synced: bool
+    worker_items: list[int]
+    worker_seconds: list[float]
+
+    @property
+    def ideal_speedup(self) -> float:
+        """Serial time / critical path — the parallelism upper bound."""
+        slowest = max(self.worker_seconds)
+        return sum(self.worker_seconds) / max(slowest, 1e-12)
+
+
+class DistributedLearner:
+    """Data-parallel FreewayML over simulated workers.
+
+    Parameters
+    ----------
+    model_factory:
+        Forwarded to every replica :class:`Learner`.
+    num_workers:
+        Replica count.
+    sync_every:
+        Batches between parameter-averaging rounds (1 = synchronous SGD;
+        larger values trade consistency for less communication).
+    partitioner:
+        ``"round-robin"`` (default), ``"contiguous"``, or ``"hash"``.
+    learner_kwargs:
+        Extra keyword arguments for each replica's :class:`Learner`.
+    """
+
+    def __init__(self, model_factory, num_workers: int = 4,
+                 sync_every: int = 1, partitioner: str = "round-robin",
+                 seed: int = 0, **learner_kwargs):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1; got {num_workers}")
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1; got {sync_every}")
+        if partitioner not in _PARTITIONERS:
+            raise ValueError(
+                f"partitioner must be one of {_PARTITIONERS}; "
+                f"got {partitioner!r}"
+            )
+        self.num_workers = num_workers
+        self.sync_every = sync_every
+        self.partitioner = partitioner
+        self.seed = seed
+        self.workers = [
+            Learner(model_factory, seed=seed + worker, **learner_kwargs)
+            for worker in range(num_workers)
+        ]
+        self.syncs = 0
+        self._batches_seen = 0
+
+    def _shards(self, batch: Batch) -> list[np.ndarray]:
+        if self.partitioner == "round-robin":
+            return round_robin_partition(len(batch), self.num_workers)
+        if self.partitioner == "contiguous":
+            return contiguous_partition(len(batch), self.num_workers)
+        return hash_partition(batch.x, self.num_workers, seed=self.seed)
+
+    def process(self, batch: Batch) -> DistributedReport:
+        """Shard the batch, run each replica, and maybe synchronize."""
+        shards = self._shards(batch)
+        correct = 0
+        total = 0
+        worker_items: list[int] = []
+        worker_seconds: list[float] = []
+        for learner, shard in zip(self.workers, shards):
+            shard_batch = batch.subset(shard)
+            start = time.perf_counter()
+            report = learner.process(shard_batch)
+            worker_seconds.append(time.perf_counter() - start)
+            worker_items.append(len(shard_batch))
+            if report.accuracy is not None:
+                correct += report.accuracy * len(shard_batch)
+                total += len(shard_batch)
+        self._batches_seen += 1
+        synced = False
+        if self._batches_seen % self.sync_every == 0:
+            self.synchronize()
+            synced = True
+        return DistributedReport(
+            index=batch.index,
+            accuracy=(correct / total) if total else None,
+            synced=synced,
+            worker_items=worker_items,
+            worker_seconds=worker_seconds,
+        )
+
+    def synchronize(self) -> None:
+        """Average each granularity level's parameters across replicas."""
+        for level_index in range(len(self.workers[0].ensemble.levels)):
+            states = [
+                worker.ensemble.levels[level_index].model.state_dict()
+                for worker in self.workers
+            ]
+            averaged = average_state_dicts(states)
+            for worker in self.workers:
+                worker.ensemble.levels[level_index].model.load_state_dict(
+                    averaged
+                )
+        self.syncs += 1
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Serve a prediction from worker 0 (replicas agree after a sync)."""
+        return self.workers[0].predict(np.asarray(x)).labels
+
+    def knowledge_entries(self) -> int:
+        """Total knowledge entries across replicas."""
+        return sum(len(worker.knowledge) for worker in self.workers)

@@ -1,0 +1,21 @@
+"""``repro.eval`` — experiment runner and result rendering."""
+
+from .plots import line_chart_svg, save_svg, shift_graph_svg
+from .sweeps import SweepCell, sweep_learner
+from .reporting import format_table, render_accuracy_table, render_series
+from .runner import RunConfig, model_factory_for, run_framework, run_matrix
+
+__all__ = [
+    "RunConfig",
+    "model_factory_for",
+    "run_framework",
+    "run_matrix",
+    "format_table",
+    "render_accuracy_table",
+    "render_series",
+    "line_chart_svg",
+    "shift_graph_svg",
+    "save_svg",
+    "SweepCell",
+    "sweep_learner",
+]

@@ -1,0 +1,154 @@
+"""Dependency-free SVG rendering of experiment results.
+
+The evaluation environment has no matplotlib, but figures still need to be
+*looked at*.  This module writes clean standalone SVG files for the two
+chart shapes the paper uses: per-batch accuracy line charts (Figures 9/12)
+and 2-D shift-graph traces (Figure 2).  Pure string assembly — no drawing
+dependency, renders in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["line_chart_svg", "shift_graph_svg", "save_svg"]
+
+_PALETTE = ["#2563eb", "#dc2626", "#16a34a", "#9333ea", "#ea580c",
+            "#0891b2"]
+
+
+def _scale(values, low, high, out_low, out_high):
+    values = np.asarray(values, dtype=float)
+    span = (high - low) or 1.0
+    return out_low + (values - low) / span * (out_high - out_low)
+
+
+def _polyline(xs, ys, color, width=2.0, dashed=False):
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in zip(xs, ys))
+    dash = ' stroke-dasharray="6,4"' if dashed else ""
+    return (f'<polyline fill="none" stroke="{color}" '
+            f'stroke-width="{width}"{dash} points="{points}"/>')
+
+
+def _text(x, y, content, size=12, anchor="start", color="#374151"):
+    return (f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}">{content}</text>')
+
+
+def line_chart_svg(series: dict, title: str = "", width: int = 760,
+                   height: int = 360, y_label: str = "accuracy",
+                   dashed: set | None = None) -> str:
+    """Render named series as an SVG line chart.
+
+    ``series`` maps label → sequence of y-values (x is the index); labels
+    in ``dashed`` get a dashed stroke (the paper draws baselines dashed).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    dashed = dashed or set()
+    margin_left, margin_right = 60, 20
+    margin_top, margin_bottom = 40, 40
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    longest = max(len(values) for values in series.values())
+    if longest < 2:
+        raise ValueError("series need >= 2 points")
+    all_values = np.concatenate([np.asarray(v, dtype=float)
+                                 for v in series.values()])
+    y_low = float(min(all_values.min(), 0.0))
+    y_high = float(max(all_values.max(), 1.0))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(_text(width / 2, 22, title, size=15, anchor="middle",
+                           color="#111827"))
+    # Axes and gridlines.
+    for tick in np.linspace(y_low, y_high, 5):
+        y = _scale([tick], y_low, y_high, margin_top + plot_h,
+                   margin_top)[0]
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+            f'stroke="#e5e7eb" stroke-width="1"/>'
+        )
+        parts.append(_text(margin_left - 8, y + 4, f"{tick:.2f}",
+                           size=11, anchor="end"))
+    parts.append(_text(14, margin_top + plot_h / 2, y_label, size=12,
+                       anchor="middle"))
+    parts.append(_text(margin_left + plot_w / 2, height - 8, "batch",
+                       size=12, anchor="middle"))
+
+    for position, (label, values) in enumerate(series.items()):
+        values = np.asarray(values, dtype=float)
+        xs = _scale(np.arange(len(values)), 0, longest - 1,
+                    margin_left, margin_left + plot_w)
+        ys = _scale(values, y_low, y_high, margin_top + plot_h, margin_top)
+        color = _PALETTE[position % len(_PALETTE)]
+        parts.append(_polyline(xs, ys, color, dashed=label in dashed))
+        legend_y = margin_top + 16 * position
+        parts.append(
+            f'<line x1="{margin_left + plot_w - 150}" y1="{legend_y}" '
+            f'x2="{margin_left + plot_w - 125}" y2="{legend_y}" '
+            f'stroke="{color}" stroke-width="3"/>'
+        )
+        parts.append(_text(margin_left + plot_w - 118, legend_y + 4, label,
+                           size=11))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def shift_graph_svg(points: np.ndarray, accuracies=None, title: str = "",
+                    width: int = 520, height: int = 520) -> str:
+    """Render a 2-D shift graph: chronological points joined by edges.
+
+    Points are colored by accuracy when provided (red = low, green = high),
+    reproducing Figure 2's visual.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2 or len(points) < 2:
+        raise ValueError("points must be a (t>=2, 2) array")
+    margin = 40
+    xs = _scale(points[:, 0], points[:, 0].min(), points[:, 0].max(),
+                margin, width - margin)
+    ys = _scale(points[:, 1], points[:, 1].min(), points[:, 1].max(),
+                height - margin, margin)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(_text(width / 2, 22, title, size=15, anchor="middle",
+                           color="#111827"))
+    parts.append(_polyline(xs, ys, "#9ca3af", width=1.0))
+    for index, (x, y) in enumerate(zip(xs, ys)):
+        if accuracies is not None and accuracies[index] is not None:
+            level = float(np.clip(accuracies[index], 0.0, 1.0))
+            red = int(220 * (1.0 - level))
+            green = int(180 * level)
+            color = f"rgb({red},{green},60)"
+        else:
+            color = "#2563eb"
+        parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3.5" '
+                     f'fill="{color}"/>')
+    # Mark the start and end of the trace.
+    parts.append(_text(xs[0] + 6, ys[0] - 6, "start", size=11))
+    parts.append(_text(xs[-1] + 6, ys[-1] - 6, "end", size=11))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: str | Path) -> Path:
+    """Write an SVG document to disk, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path

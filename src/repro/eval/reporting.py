@@ -1,0 +1,83 @@
+"""Plain-text rendering of experiment results in the paper's table shapes."""
+
+from __future__ import annotations
+
+from ..metrics.prequential import PrequentialResult
+
+__all__ = ["format_table", "render_accuracy_table", "render_series"]
+
+
+def format_table(headers: list[str], rows: list[list[str]],
+                 title: str | None = None) -> str:
+    """Align a list of string rows under headers, markdown-ish."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_accuracy_table(results: dict[str, dict[str, PrequentialResult]],
+                          title: str = "Accuracy and stability") -> str:
+    """Render ``results[dataset][framework]`` as a Table-I-style block.
+
+    One row per framework; per dataset two columns (G_acc, SI); the best
+    G_acc per dataset is starred.
+    """
+    datasets = list(results)
+    frameworks: list[str] = []
+    for per_dataset in results.values():
+        for framework in per_dataset:
+            if framework not in frameworks:
+                frameworks.append(framework)
+
+    headers = ["framework"]
+    for dataset in datasets:
+        headers += [f"{dataset} G_acc", f"{dataset} SI"]
+
+    best = {
+        dataset: (max(per_dataset.values(), key=lambda r: r.g_acc).name
+                  if per_dataset else None)
+        for dataset, per_dataset in results.items()
+    }
+    rows = []
+    for framework in frameworks:
+        row = [framework]
+        for dataset in datasets:
+            result = results[dataset].get(framework)
+            if result is None:
+                row += ["-", "-"]
+                continue
+            star = "*" if best[dataset] == framework else ""
+            row += [f"{result.g_acc * 100:.2f}%{star}", f"{result.si:.3f}"]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_series(name: str, values, width: int = 60) -> str:
+    """Tiny ASCII sparkline of an accuracy series (for figure benches)."""
+    values = list(values)
+    if not values:
+        return f"{name}: (empty)"
+    blocks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    step = max(len(values) // width, 1)
+    sampled = values[::step]
+    chars = "".join(
+        blocks[min(int((value - low) / span * (len(blocks) - 1)),
+                   len(blocks) - 1)]
+        for value in sampled
+    )
+    return f"{name:>14s} [{low:.2f}..{high:.2f}] {chars}"

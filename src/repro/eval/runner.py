@@ -1,0 +1,107 @@
+"""Experiment runner: frameworks × datasets × models → prequential results.
+
+The benchmark scripts (one per paper table/figure) are thin wrappers around
+this module: it knows how to build each model family at the right shape for
+a dataset, wrap it in a baseline or in FreewayML, and run the prequential
+protocol with matched seeds so every framework sees identical batches and
+identical initial weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import make_baseline
+from ..core.learner import Learner
+from ..data import all_benchmark_datasets
+from ..metrics.prequential import (
+    PrequentialResult,
+    evaluate_learner,
+    evaluate_model,
+)
+from ..models import StreamingCNN, StreamingLR, StreamingMLP
+
+__all__ = ["RunConfig", "model_factory_for", "run_framework", "run_matrix"]
+
+FREEWAYML = "freewayml"
+PLAIN = "plain"
+
+#: Default learning rates per model family, chosen so the plain baseline is
+#: a competent reference on the benchmark suite (same value for everyone).
+DEFAULT_LR = {"lr": 0.5, "mlp": 0.3, "cnn": 0.1}
+
+
+@dataclass
+class RunConfig:
+    """Shared knobs for one experiment run."""
+
+    num_batches: int = 100
+    batch_size: int = 1024
+    model: str = "mlp"             # "lr" | "mlp" | "cnn"
+    lr: float | None = None        # None = DEFAULT_LR[model]
+    seed: int = 0
+    skip: int = 0                  # warm-up batches excluded from G_acc/SI
+    learner_kwargs: dict = field(default_factory=dict)
+    baseline_kwargs: dict = field(default_factory=dict)
+
+    def learning_rate(self) -> float:
+        return self.lr if self.lr is not None else DEFAULT_LR[self.model]
+
+
+def model_factory_for(model: str, num_features: int, num_classes: int,
+                      lr: float, seed: int = 0, input_shape=None):
+    """Factory for one model family at a dataset's shape."""
+    if model == "lr":
+        return lambda: StreamingLR(num_features=num_features,
+                                   num_classes=num_classes, lr=lr, seed=seed)
+    if model == "mlp":
+        return lambda: StreamingMLP(num_features=num_features,
+                                    num_classes=num_classes, lr=lr, seed=seed)
+    if model == "cnn":
+        shape = input_shape if input_shape is not None else (num_features,)
+        return lambda: StreamingCNN(input_shape=shape,
+                                    num_classes=num_classes, lr=lr, seed=seed)
+    raise ValueError(f"unknown model family {model!r}")
+
+
+def run_framework(framework: str, generator, config: RunConfig,
+                  input_shape=None) -> PrequentialResult:
+    """Run one framework over one dataset generator, prequentially.
+
+    ``framework`` is ``"freewayml"``, ``"plain"`` (the unadorned streaming
+    model), or any name in :data:`repro.baselines.BASELINES`.
+    """
+    factory = model_factory_for(
+        config.model, generator.num_features, generator.num_classes,
+        config.learning_rate(), seed=config.seed, input_shape=input_shape,
+    )
+    stream = generator.stream(config.num_batches, batch_size=config.batch_size)
+    if framework == FREEWAYML:
+        learner = Learner(factory, seed=config.seed, **config.learner_kwargs)
+        return evaluate_learner(learner, stream, name=FREEWAYML,
+                                skip=config.skip)
+    if framework == PLAIN:
+        return evaluate_model(factory(), stream, name=PLAIN, skip=config.skip)
+    baseline = make_baseline(framework, factory, **config.baseline_kwargs)
+    return evaluate_model(baseline, stream, name=framework, skip=config.skip)
+
+
+def run_matrix(frameworks, datasets: dict | None, config: RunConfig,
+               ) -> dict[str, dict[str, PrequentialResult]]:
+    """Run every framework over every dataset.
+
+    Returns ``results[dataset][framework]``.  ``datasets`` maps name →
+    generator; ``None`` selects the paper's six-dataset benchmark suite.
+    Generators are re-seeded per run via their own ``seed``, so every
+    framework sees byte-identical streams.
+    """
+    if datasets is None:
+        datasets = all_benchmark_datasets(seed=config.seed)
+    results: dict[str, dict[str, PrequentialResult]] = {}
+    for dataset_name, generator in datasets.items():
+        results[dataset_name] = {}
+        for framework in frameworks:
+            results[dataset_name][framework] = run_framework(
+                framework, generator, config,
+            )
+    return results

@@ -1,0 +1,139 @@
+"""Accuracy and stability metrics (paper Section VI-B, Eqs. 1, 15, 16).
+
+- **real-time accuracy** ``acc_j`` — fraction of batch ``j`` predicted
+  correctly before the batch's labels are used for training (Eq. 1);
+- **global average accuracy** ``G_acc`` — mean of the per-batch real-time
+  accuracies (Eq. 15);
+- **Stability Index** ``SI = exp(-sigma_acc / mu_acc)`` — accuracy
+  fluctuation normalized to (0, 1], higher is steadier (Eq. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["batch_accuracy", "global_accuracy", "stability_index",
+           "class_recalls", "macro_f1", "AccuracyTracker"]
+
+
+def batch_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Real-time accuracy of one batch (Eq. 1)."""
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"label shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("cannot score an empty batch")
+    return float((y_true == y_pred).mean())
+
+
+def global_accuracy(batch_accuracies) -> float:
+    """Global average accuracy ``G_acc`` over per-batch accuracies (Eq. 15)."""
+    accuracies = np.asarray(list(batch_accuracies), dtype=float)
+    if len(accuracies) == 0:
+        raise ValueError("no batch accuracies to average")
+    return float(accuracies.mean())
+
+
+def stability_index(batch_accuracies) -> float:
+    """Stability Index ``SI = exp(-sigma/mu)`` of per-batch accuracies (Eq. 16)."""
+    accuracies = np.asarray(list(batch_accuracies), dtype=float)
+    if len(accuracies) == 0:
+        raise ValueError("no batch accuracies to score")
+    mean = accuracies.mean()
+    if mean <= 0:
+        return 0.0
+    return float(np.exp(-accuracies.std() / mean))
+
+
+def class_recalls(y_true, y_pred, num_classes: int) -> np.ndarray:
+    """Per-class recall; ``nan`` for classes absent from ``y_true``.
+
+    The paper's Section VI-C analysis hinges on minority classes (NSL-KDD's
+    rare attack categories): overall accuracy can look fine while rare
+    classes are never predicted.
+    """
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"label shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    recalls = np.full(num_classes, np.nan)
+    for label in range(num_classes):
+        mask = y_true == label
+        if mask.any():
+            recalls[label] = float((y_pred[mask] == label).mean())
+    return recalls
+
+
+def macro_f1(y_true, y_pred, num_classes: int) -> float:
+    """Unweighted mean F1 over classes present in ``y_true``."""
+    y_true = np.asarray(y_true).reshape(-1)
+    y_pred = np.asarray(y_pred).reshape(-1)
+    scores = []
+    for label in range(num_classes):
+        true_mask = y_true == label
+        pred_mask = y_pred == label
+        if not true_mask.any():
+            continue
+        true_positive = float((true_mask & pred_mask).sum())
+        precision_den = float(pred_mask.sum())
+        recall_den = float(true_mask.sum())
+        precision = true_positive / precision_den if precision_den else 0.0
+        recall = true_positive / recall_den
+        if precision + recall == 0.0:
+            scores.append(0.0)
+        else:
+            scores.append(2 * precision * recall / (precision + recall))
+    if not scores:
+        raise ValueError("y_true contains no known classes")
+    return float(np.mean(scores))
+
+
+@dataclass
+class AccuracySummary:
+    """G_acc and SI over a run, plus the raw series."""
+
+    g_acc: float
+    si: float
+    accuracies: np.ndarray
+
+
+class AccuracyTracker:
+    """Accumulates per-batch accuracies and summarizes them."""
+
+    def __init__(self):
+        self._accuracies: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._accuracies)
+
+    def observe(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        """Score one batch and record it; returns the batch accuracy."""
+        accuracy = batch_accuracy(y_true, y_pred)
+        self._accuracies.append(accuracy)
+        return accuracy
+
+    def observe_value(self, accuracy: float) -> None:
+        """Record an already computed batch accuracy."""
+        if not 0.0 <= accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1]; got {accuracy}")
+        self._accuracies.append(float(accuracy))
+
+    @property
+    def series(self) -> np.ndarray:
+        return np.asarray(self._accuracies)
+
+    def summary(self, skip: int = 0) -> AccuracySummary:
+        """G_acc and SI, optionally skipping the first ``skip`` warm-up batches."""
+        accuracies = self.series[skip:]
+        return AccuracySummary(
+            g_acc=global_accuracy(accuracies),
+            si=stability_index(accuracies),
+            accuracies=accuracies,
+        )

@@ -1,0 +1,25 @@
+"""``repro.models`` — streaming learners and clustering.
+
+Streaming Logistic Regression, Streaming MLP, and the appendix's Streaming
+CNN, all trained with mini-batch SGD on the :mod:`repro.nn` substrate, plus
+the k-means implementation behind coherent experience clustering.
+"""
+
+from .base import NeuralStreamingModel, StreamingModel
+from .cnn import StreamingCNN
+from .hoeffding import StreamingHoeffdingTree
+from .kmeans import KMeans
+from .logistic import StreamingLR
+from .mlp import StreamingMLP
+from .naive_bayes import StreamingNaiveBayes
+
+__all__ = [
+    "StreamingModel",
+    "NeuralStreamingModel",
+    "StreamingLR",
+    "StreamingMLP",
+    "StreamingCNN",
+    "StreamingNaiveBayes",
+    "StreamingHoeffdingTree",
+    "KMeans",
+]

@@ -1,0 +1,107 @@
+"""K-means clustering, the unsupervised engine behind coherent experience
+clustering (paper Section IV-C).
+
+A self-contained Lloyd's-algorithm implementation with k-means++ seeding.
+Deterministic given its seed, which the CEC mechanism relies on when it
+re-clusters a batch together with its coherent-experience points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """K-means with k-means++ initialization.
+
+    Parameters
+    ----------
+    num_clusters:
+        Number of clusters ``c`` (CEC sets this to the number of labels).
+    max_iter:
+        Lloyd iteration cap.
+    tol:
+        Convergence threshold on total centroid movement.
+    seed:
+        RNG seed for the k-means++ initialization.
+    """
+
+    def __init__(self, num_clusters: int, max_iter: int = 50,
+                 tol: float = 1e-6, seed: int = 0):
+        if num_clusters < 1:
+            raise ValueError(f"num_clusters must be >= 1; got {num_clusters}")
+        self.num_clusters = num_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.iterations_run = 0
+
+    def _init_centroids(self, x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: spread initial centroids by D^2 sampling."""
+        centroids = np.empty((self.num_clusters, x.shape[1]))
+        first = rng.integers(len(x))
+        centroids[0] = x[first]
+        closest_sq = ((x - centroids[0]) ** 2).sum(axis=1)
+        for index in range(1, self.num_clusters):
+            total = closest_sq.sum()
+            if total <= 0:  # all remaining points coincide with a centroid
+                choice = rng.integers(len(x))
+            else:
+                choice = rng.choice(len(x), p=closest_sq / total)
+            centroids[index] = x[choice]
+            distance_sq = ((x - centroids[index]) ** 2).sum(axis=1)
+            closest_sq = np.minimum(closest_sq, distance_sq)
+        return centroids
+
+    def fit(self, x: np.ndarray) -> "KMeans":
+        """Run Lloyd's algorithm on ``x`` (shape ``(n, d)``)."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"expected (n, d) data; got shape {x.shape}")
+        if len(x) < self.num_clusters:
+            raise ValueError(
+                f"need >= {self.num_clusters} points to form "
+                f"{self.num_clusters} clusters; got {len(x)}"
+            )
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(x, rng)
+        for iteration in range(self.max_iter):
+            assignment = self._assign(x, centroids)
+            updated = centroids.copy()
+            for cluster in range(self.num_clusters):
+                members = x[assignment == cluster]
+                if len(members):
+                    updated[cluster] = members.mean(axis=0)
+            movement = np.linalg.norm(updated - centroids, axis=1).sum()
+            centroids = updated
+            if movement <= self.tol:
+                break
+        self.centroids = centroids
+        self.iterations_run = iteration + 1
+        return self
+
+    @staticmethod
+    def _assign(x: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        distances = ((x[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        return distances.argmin(axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Cluster index for each row of ``x``."""
+        if self.centroids is None:
+            raise RuntimeError("KMeans is not fitted; call fit() first")
+        return self._assign(np.asarray(x, dtype=float), self.centroids)
+
+    def fit_predict(self, x: np.ndarray) -> np.ndarray:
+        """Fit on ``x`` and return its cluster assignment."""
+        return self.fit(x).predict(x)
+
+    def inertia(self, x: np.ndarray) -> float:
+        """Total within-cluster squared distance (clustering quality)."""
+        if self.centroids is None:
+            raise RuntimeError("KMeans is not fitted; call fit() first")
+        x = np.asarray(x, dtype=float)
+        assignment = self.predict(x)
+        return float(((x - self.centroids[assignment]) ** 2).sum())

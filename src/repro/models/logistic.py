@@ -1,0 +1,23 @@
+"""Streaming Logistic Regression — the paper's linear reference model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .base import NeuralStreamingModel
+
+__all__ = ["StreamingLR"]
+
+
+class StreamingLR(NeuralStreamingModel):
+    """Multinomial logistic regression trained with mini-batch SGD.
+
+    A single affine layer with softmax cross-entropy — the "StreamingLR"
+    model evaluated across frameworks in Table I.
+    """
+
+    name = "streaming-lr"
+
+    def _build(self, rng: np.random.Generator) -> nn.Module:
+        return nn.Linear(self.num_features, self.num_classes, rng=rng)

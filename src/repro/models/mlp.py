@@ -1,0 +1,45 @@
+"""Streaming MLP — the paper's nonlinear reference model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .base import NeuralStreamingModel
+
+__all__ = ["StreamingMLP"]
+
+
+class StreamingMLP(NeuralStreamingModel):
+    """Multi-layer perceptron trained with mini-batch SGD.
+
+    The paper's experiments use a lightweight "StreamingMLP"; we default to
+    one hidden ReLU layer of 64 units, configurable via ``hidden``.
+    """
+
+    name = "streaming-mlp"
+
+    def __init__(self, num_features: int, num_classes: int,
+                 hidden: tuple[int, ...] = (64,), lr: float = 0.05,
+                 sgd_steps: int = 1, momentum: float = 0.0,
+                 weight_decay: float = 0.0, seed: int = 0):
+        self.hidden = tuple(hidden)
+        if not self.hidden or any(units < 1 for units in self.hidden):
+            raise ValueError(f"hidden sizes must be positive; got {hidden}")
+        super().__init__(num_features, num_classes, lr=lr, sgd_steps=sgd_steps,
+                         momentum=momentum, weight_decay=weight_decay, seed=seed)
+
+    def _build(self, rng: np.random.Generator) -> nn.Module:
+        layers: list[nn.Module] = []
+        previous = self.num_features
+        for units in self.hidden:
+            layers.append(nn.Linear(previous, units, rng=rng))
+            layers.append(nn.ReLU())
+            previous = units
+        layers.append(nn.Linear(previous, self.num_classes, rng=rng))
+        return nn.Sequential(*layers)
+
+    def _config(self) -> dict:
+        config = super()._config()
+        config["hidden"] = self.hidden
+        return config

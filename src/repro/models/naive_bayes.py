@@ -1,0 +1,148 @@
+"""Streaming Gaussian naive Bayes.
+
+A classic incremental learner (and a staple of streaming-ML toolkits like
+River): per-class feature means/variances are maintained with Welford's
+online update, so a ``partial_fit`` is O(n·d) with no gradients at all.
+Useful both as a fast baseline model inside FreewayML and as a sanity
+reference — it adapts slowly to drift (statistics accumulate forever),
+which is exactly the failure mode the paper's mechanisms target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StreamingModel
+
+__all__ = ["StreamingNaiveBayes"]
+
+
+class StreamingNaiveBayes(StreamingModel):
+    """Incremental Gaussian naive Bayes classifier.
+
+    Parameters
+    ----------
+    num_features / num_classes:
+        Input shape.
+    var_smoothing:
+        Added to variances for numerical stability (sklearn-style).
+    decay:
+        Optional exponential forgetting in (0, 1]: at each ``partial_fit``
+        the effective historical counts are multiplied by ``decay``, so
+        old statistics fade — ``1.0`` is the classic accumulate-forever
+        behaviour.
+    """
+
+    name = "streaming-nb"
+
+    def __init__(self, num_features: int, num_classes: int,
+                 var_smoothing: float = 1e-9, decay: float = 1.0,
+                 seed: int = 0):
+        if num_features < 1:
+            raise ValueError(f"num_features must be >= 1; got {num_features}")
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2; got {num_classes}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1]; got {decay}")
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self.var_smoothing = var_smoothing
+        self.decay = decay
+        self.seed = seed  # unused; kept for factory-interface parity
+        self._counts = np.zeros(num_classes)
+        self._means = np.zeros((num_classes, num_features))
+        self._m2 = np.zeros((num_classes, num_features))  # sum of squares
+        self.updates = 0
+
+    @property
+    def trained(self) -> bool:
+        return self._counts.sum() > 0
+
+    def partial_fit(self, x: np.ndarray, y: np.ndarray) -> float:
+        x = np.asarray(x, dtype=float).reshape(len(x), -1)
+        y = np.asarray(y, dtype=np.int64).reshape(-1)
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} rows but {len(y)} labels")
+        if x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features; got {x.shape[1]}"
+            )
+        if self.decay < 1.0:
+            self._counts *= self.decay
+            self._m2 *= self.decay
+        for label in range(self.num_classes):
+            rows = x[y == label]
+            if not len(rows):
+                continue
+            # Chan et al. parallel-variance merge of (old stats, new chunk).
+            n_old = self._counts[label]
+            n_new = float(len(rows))
+            mean_new = rows.mean(axis=0)
+            m2_new = ((rows - mean_new) ** 2).sum(axis=0)
+            delta = mean_new - self._means[label]
+            n_total = n_old + n_new
+            self._means[label] = (
+                self._means[label] + delta * (n_new / n_total)
+            )
+            self._m2[label] = (
+                self._m2[label] + m2_new
+                + delta ** 2 * (n_old * n_new / n_total)
+            )
+            self._counts[label] = n_total
+        self.updates += 1
+        # Return the NLL on the batch as a loss-like signal.
+        probabilities = self.predict_proba(x)
+        picked = probabilities[np.arange(len(y)), y]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).reshape(len(x), -1)
+        if not self.trained:
+            return np.full((len(x), self.num_classes),
+                           1.0 / self.num_classes)
+        counts = np.maximum(self._counts, 1e-12)
+        variances = self._m2 / counts[:, None]
+        variances = variances + self.var_smoothing * max(
+            variances.max(), 1.0
+        )
+        priors = counts / counts.sum()
+        # log p(x | c) for a diagonal Gaussian, vectorized over classes.
+        diff = x[:, None, :] - self._means[None, :, :]
+        log_likelihood = -0.5 * (
+            np.log(2.0 * np.pi * variances)[None, :, :]
+            + diff ** 2 / variances[None, :, :]
+        ).sum(axis=2)
+        log_joint = log_likelihood + np.log(priors)[None, :]
+        log_joint -= log_joint.max(axis=1, keepdims=True)
+        probabilities = np.exp(log_joint)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+    def state_dict(self) -> dict:
+        return {
+            "counts": self._counts.copy(),
+            "means": self._means.copy(),
+            "m2": self._m2.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for name in ("counts", "means", "m2"):
+            if name not in state:
+                raise KeyError(f"state_dict missing {name!r}")
+        counts = np.asarray(state["counts"], dtype=float)
+        means = np.asarray(state["means"], dtype=float)
+        m2 = np.asarray(state["m2"], dtype=float)
+        if means.shape != (self.num_classes, self.num_features):
+            raise ValueError(
+                f"means shape {means.shape} does not match "
+                f"({self.num_classes}, {self.num_features})"
+            )
+        self._counts = counts.copy()
+        self._means = means.copy()
+        self._m2 = m2.copy()
+
+    def clone(self) -> "StreamingNaiveBayes":
+        return StreamingNaiveBayes(
+            self.num_features, self.num_classes,
+            var_smoothing=self.var_smoothing, decay=self.decay,
+            seed=self.seed,
+        )

@@ -1,0 +1,261 @@
+"""Functional neural-network operations for :mod:`repro.nn`.
+
+These functions operate on :class:`~repro.nn.tensor.Tensor` objects and are
+fully differentiable.  They cover the needs of the streaming models used in
+the FreewayML reproduction: linear layers, the usual activations, softmax /
+cross-entropy losses, and 2-D convolution + max pooling for the CNN
+experiments in the paper's appendix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "conv2d",
+    "max_pool2d",
+    "one_hot",
+]
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with torch-style weight layout.
+
+    ``weight`` has shape ``(out_features, in_features)`` and ``bias`` shape
+    ``(out_features,)``.
+    """
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return _as_tensor(x).relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return _as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return _as_tensor(x).tanh()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    x = _as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``labels`` as a ``(n, num_classes)`` one-hot matrix."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}); got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes))
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log likelihood of integer ``labels`` under ``log_probs``."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    mask = Tensor(one_hot(labels, log_probs.shape[-1]))
+    picked = (log_probs * mask).sum(axis=-1)
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer ``labels``."""
+    return nll_loss(log_softmax(logits, axis=-1), labels)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target_t = _as_tensor(target).detach()
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target) -> Tensor:
+    """Stable binary cross-entropy on raw logits (mean over elements)."""
+    target_t = _as_tensor(target).detach()
+    # log(1 + exp(-|x|)) + max(x, 0) - x * y, the standard stable form.
+    x = logits
+    max_part = x.relu()
+    abs_x = x.abs()
+    log_part = ((-abs_x).exp() + 1.0).log()
+    return (max_part - x * target_t + log_part).mean()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` in training."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# ---------------------------------------------------------------------------
+# Convolution via im2col.
+# ---------------------------------------------------------------------------
+
+
+def _pair(value) -> tuple[int, int]:
+    """Normalize an int-or-pair argument to an ``(h, w)`` tuple."""
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected an int or a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding):
+    batch, channels, height, width = x_shape
+    stride_h, stride_w = _pair(stride)
+    pad_h, pad_w = _pair(padding)
+    out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
+    out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"conv/pool output would be empty for input {x_shape} with "
+            f"kernel ({kernel_h},{kernel_w}), stride {stride}, padding {padding}"
+        )
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride_h * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride_w * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def _im2col(x: np.ndarray, kernel_h, kernel_w, stride, padding):
+    k, i, j, out_h, out_w = _im2col_indices(
+        x.shape, kernel_h, kernel_w, stride, padding
+    )
+    pad_h, pad_w = _pair(padding)
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant"
+    )
+    cols = padded[:, k, i, j]  # (batch, C*kh*kw, out_h*out_w)
+    return cols, out_h, out_w
+
+
+def _col2im(cols: np.ndarray, x_shape, kernel_h, kernel_w, stride, padding):
+    batch, channels, height, width = x_shape
+    pad_h, pad_w = _pair(padding)
+    k, i, j, _, _ = _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding)
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad_h, width + 2 * pad_w),
+        dtype=cols.dtype,
+    )
+    np.add.at(padded, (slice(None), k, i, j), cols)
+    row_end = padded.shape[2] - pad_h
+    col_end = padded.shape[3] - pad_w
+    return padded[:, :, pad_h:row_end, pad_w:col_end]
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0) -> Tensor:
+    """2-D convolution (cross-correlation, as in PyTorch).
+
+    ``x`` has shape ``(batch, in_channels, H, W)`` and ``weight`` has shape
+    ``(out_channels, in_channels, kh, kw)``.  ``stride`` and ``padding`` may
+    be ints or ``(h, w)`` pairs, so 1-D convolutions over tabular features
+    can be expressed as ``(1, k)`` kernels.
+    """
+    x = _as_tensor(x)
+    kernel_out, kernel_in, kernel_h, kernel_w = weight.shape
+    if x.ndim != 4:
+        raise ValueError(f"conv2d expects (batch, C, H, W) input; got shape {x.shape}")
+    if x.shape[1] != kernel_in:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {x.shape[1]}, weight expects {kernel_in}"
+        )
+    cols, out_h, out_w = _im2col(x.data, kernel_h, kernel_w, stride, padding)
+    weight_mat = weight.data.reshape(kernel_out, -1)
+    out = np.einsum("of,bfp->bop", weight_mat, cols)
+    out = out.reshape(x.shape[0], kernel_out, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    x_shape = x.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        g_mat = g.reshape(g.shape[0], kernel_out, -1)  # (batch, out_c, positions)
+        grad_weight = np.einsum("bop,bfp->of", g_mat, cols).reshape(weight.shape)
+        grad_cols = np.einsum("of,bop->bfp", weight_mat, g_mat)
+        grad_x = _col2im(grad_cols, x_shape, kernel_h, kernel_w, stride, padding)
+        if bias is None:
+            return grad_x, grad_weight
+        grad_bias = g.sum(axis=(0, 2, 3))
+        return grad_x, grad_weight, grad_bias
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """2-D max pooling over ``(batch, channels, H, W)`` input.
+
+    ``kernel_size`` and ``stride`` may be ints or ``(h, w)`` pairs.
+    """
+    x = _as_tensor(x)
+    kernel_h, kernel_w = _pair(kernel_size)
+    stride = kernel_size if stride is None else stride
+    batch, channels, height, width = x.shape
+    # Pool each channel independently by folding channels into the batch.
+    reshaped = x.data.reshape(batch * channels, 1, height, width)
+    cols, out_h, out_w = _im2col(reshaped, kernel_h, kernel_w, stride, 0)
+    # cols: (batch*channels, k*k, positions)
+    argmax = cols.argmax(axis=1)
+    positions = np.arange(cols.shape[2])
+    rows = np.arange(cols.shape[0])[:, None]
+    pooled = cols[rows, argmax, positions]
+    out = pooled.reshape(batch, channels, out_h, out_w)
+
+    def backward(g: np.ndarray):
+        g_flat = g.reshape(batch * channels, -1)
+        grad_cols = np.zeros_like(cols)
+        grad_cols[rows, argmax, positions] = g_flat
+        grad_reshaped = _col2im(
+            grad_cols, reshaped.shape, kernel_h, kernel_w, stride, 0
+        )
+        return (grad_reshaped.reshape(batch, channels, height, width),)
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,71 @@
+"""Weight initialization schemes for :mod:`repro.nn` modules.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible from a single seed — the streaming experiments
+in this repository compare frameworks starting from identical weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "xavier_uniform",
+    "uniform",
+    "normal",
+    "zeros",
+    "fan_in_and_out",
+]
+
+
+def fan_in_and_out(shape: tuple) -> tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight of the given shape.
+
+    Linear weights are ``(out, in)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)`` where the receptive-field size
+    multiplies both fans, matching PyTorch's convention.
+    """
+    if len(shape) < 2:
+        raise ValueError(f"fan computation requires >= 2 dims, got shape {shape}")
+    receptive = 1
+    for dim in shape[2:]:
+        receptive *= dim
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator,
+                    a: float = math.sqrt(5.0)) -> np.ndarray:
+    """Kaiming (He) uniform initialization, PyTorch's Linear/Conv default."""
+    fan_in, _ = fan_in_and_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator,
+                   gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(shape: tuple, rng: np.random.Generator, low: float, high: float) -> np.ndarray:
+    """Uniform initialization on ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: tuple, rng: np.random.Generator,
+           mean: float = 0.0, std: float = 1.0) -> np.ndarray:
+    """Gaussian initialization."""
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """Zero initialization (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,28 @@
+"""``repro.shift`` — shift graph, distances, severity, pattern classification.
+
+Implements the paper's Section III machinery: warm-up PCA (Eqs. 2–5), shift
+distances (Eqs. 6–7), severity scoring (Eqs. 8–10), the A/B/C pattern
+classifier, and the shift-graph visualization structure behind Figure 2.
+"""
+
+from .distance import EmbeddingHistory, nearest_distance, shift_distance
+from .graph import ShiftGraph
+from .mmd import MMDShiftScorer, median_heuristic_bandwidth, mmd_rbf
+from .patterns import PatternClassifier, ShiftAssessment, ShiftPattern
+from .pca import WarmupPCA
+from .severity import SeverityTracker
+
+__all__ = [
+    "WarmupPCA",
+    "shift_distance",
+    "nearest_distance",
+    "EmbeddingHistory",
+    "SeverityTracker",
+    "ShiftPattern",
+    "ShiftAssessment",
+    "PatternClassifier",
+    "ShiftGraph",
+    "mmd_rbf",
+    "median_heuristic_bandwidth",
+    "MMDShiftScorer",
+]

@@ -1,0 +1,81 @@
+"""Shift-distance primitives (paper Equations 6–7 and the Pattern C test).
+
+The current shift is the Euclidean distance between the embeddings of
+consecutive batches, :math:`d_t = \\lVert \\bar y_t - \\bar y_{t-1} \\rVert`
+(Eq. 7).  Pattern C additionally needs :math:`d_h`, the distance from the
+current batch to the *nearest* previously seen distribution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["shift_distance", "nearest_distance", "EmbeddingHistory"]
+
+
+def shift_distance(current: np.ndarray, previous: np.ndarray) -> float:
+    """Euclidean distance between two batch embeddings (Eq. 7)."""
+    current = np.asarray(current, dtype=float).reshape(-1)
+    previous = np.asarray(previous, dtype=float).reshape(-1)
+    if current.shape != previous.shape:
+        raise ValueError(
+            f"embedding shape mismatch: {current.shape} vs {previous.shape}"
+        )
+    return float(np.linalg.norm(current - previous))
+
+
+def nearest_distance(current: np.ndarray, history: np.ndarray) -> tuple[float, int]:
+    """Distance and index of the nearest historical embedding (for ``d_h``)."""
+    history = np.asarray(history, dtype=float)
+    if history.ndim != 2 or len(history) == 0:
+        raise ValueError("history must be a non-empty (k, d) array")
+    current = np.asarray(current, dtype=float).reshape(-1)
+    distances = np.linalg.norm(history - current, axis=1)
+    index = int(distances.argmin())
+    return float(distances[index]), index
+
+
+class EmbeddingHistory:
+    """Bounded chronological store of batch embeddings.
+
+    Used both by the pattern classifier (to compute :math:`d_h`) and by the
+    shift graph.  The most recent ``exclude_recent`` entries are skipped when
+    searching for the nearest historical distribution, so the "previous
+    batch" itself does not masquerade as a reoccurrence.
+    """
+
+    def __init__(self, capacity: int = 256, exclude_recent: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1; got {capacity}")
+        if exclude_recent < 0:
+            raise ValueError(f"exclude_recent must be >= 0; got {exclude_recent}")
+        self.capacity = capacity
+        self.exclude_recent = exclude_recent
+        self._entries: deque[np.ndarray] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, embedding: np.ndarray) -> None:
+        """Record a batch embedding."""
+        self._entries.append(np.asarray(embedding, dtype=float).reshape(-1))
+
+    def as_array(self) -> np.ndarray:
+        """All stored embeddings as a ``(k, d)`` array, oldest first."""
+        if not self._entries:
+            return np.empty((0, 0))
+        return np.stack(self._entries)
+
+    def nearest(self, embedding: np.ndarray) -> tuple[float, int] | None:
+        """Nearest stored embedding, excluding the most recent entries.
+
+        Returns ``(distance, index)`` or ``None`` if too little history
+        exists to make the comparison meaningful.
+        """
+        usable = len(self._entries) - self.exclude_recent
+        if usable <= 0:
+            return None
+        history = np.stack(list(self._entries)[:usable])
+        return nearest_distance(embedding, history)

@@ -1,0 +1,114 @@
+"""The shift graph (paper Section III-B, Figure 2).
+
+The paper visualizes data-distribution dynamics by reducing each batch to a
+2-D PCA point and connecting points chronologically; edge lengths are shift
+magnitudes.  :class:`ShiftGraph` builds that structure incrementally and
+exports it as a :class:`networkx.DiGraph` (plus plain arrays) for the
+Figure 2 benchmark and the example scripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # networkx is a declared dependency, but keep the core importable without it
+    import networkx as nx
+except ImportError:  # pragma: no cover
+    nx = None
+
+from .pca import WarmupPCA
+
+__all__ = ["ShiftGraph"]
+
+
+class ShiftGraph:
+    """Chronological graph of 2-D batch embeddings.
+
+    Parameters
+    ----------
+    warmup_points:
+        Points accumulated before the underlying PCA fits.  Batches observed
+        during warm-up are replayed into the graph as soon as the model is
+        ready, so no prefix of the stream is lost.
+    """
+
+    def __init__(self, warmup_points: int = 2048):
+        self.pca = WarmupPCA(num_components=2, warmup_points=warmup_points)
+        self._pending: list[np.ndarray] = []
+        self._points: list[np.ndarray] = []
+        self._accuracies: list[float | None] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def observe(self, x: np.ndarray, accuracy: float | None = None) -> None:
+        """Add a batch to the graph (optionally with its real-time accuracy).
+
+        Accuracy annotations let Figure 2d-style analyses correlate shift
+        magnitude with accuracy movement.
+        """
+        if not self.pca.is_fitted:
+            self._pending.append(np.asarray(x, dtype=float))
+            self._accuracies.append(accuracy)
+            if self.pca.observe(x):
+                for pending in self._pending:
+                    self._points.append(self.pca.batch_embedding(pending))
+                self._pending.clear()
+            return
+        self._points.append(self.pca.batch_embedding(x))
+        self._accuracies.append(accuracy)
+
+    @property
+    def points(self) -> np.ndarray:
+        """Embedded batch points in chronological order, shape ``(t, 2)``."""
+        if not self._points:
+            return np.empty((0, 2))
+        return np.stack(self._points)
+
+    @property
+    def shift_magnitudes(self) -> np.ndarray:
+        """Edge lengths: the shift distance between consecutive batches."""
+        points = self.points
+        if len(points) < 2:
+            return np.empty(0)
+        return np.linalg.norm(np.diff(points, axis=0), axis=1)
+
+    @property
+    def accuracies(self) -> list[float | None]:
+        """Per-batch accuracy annotations aligned with :attr:`points`."""
+        return list(self._accuracies[: len(self._points)])
+
+    def accuracy_shift_correlation(self) -> float | None:
+        """Pearson correlation between shift magnitude and accuracy *drop*.
+
+        The paper's Figure 2d observation: larger shifts coincide with
+        larger accuracy decreases.  Returns ``None`` if fewer than three
+        annotated transitions exist.
+        """
+        accuracies = self.accuracies
+        magnitudes = self.shift_magnitudes
+        pairs = [
+            (magnitudes[t - 1], accuracies[t - 1] - accuracies[t])
+            for t in range(1, len(accuracies))
+            if accuracies[t] is not None and accuracies[t - 1] is not None
+        ]
+        if len(pairs) < 3:
+            return None
+        shifts, drops = map(np.asarray, zip(*pairs))
+        if shifts.std() == 0 or drops.std() == 0:
+            return None
+        return float(np.corrcoef(shifts, drops)[0, 1])
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` with position/shift attributes."""
+        if nx is None:  # pragma: no cover
+            raise RuntimeError("networkx is not installed")
+        graph = nx.DiGraph()
+        points = self.points
+        magnitudes = self.shift_magnitudes
+        for index, point in enumerate(points):
+            graph.add_node(index, pos=(float(point[0]), float(point[1])),
+                           accuracy=self._accuracies[index])
+        for index, magnitude in enumerate(magnitudes):
+            graph.add_edge(index, index + 1, shift=float(magnitude))
+        return graph

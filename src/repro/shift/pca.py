@@ -1,0 +1,131 @@
+"""Warm-up PCA for shift measurement (paper Equations 2–5).
+
+FreewayML reduces the dimensionality of incoming batches before measuring
+distribution shifts.  A PCA model is trained once on the first ``n`` warm-up
+points: the mean :math:`\\mu` (Eq. 2) and covariance :math:`\\Sigma` (Eq. 3)
+are estimated, :math:`\\Sigma = V D V^T` is eigendecomposed (Eq. 4), and the
+top-``d`` eigenvectors form the component matrix :math:`P_d` (Eq. 5).
+Incoming batches are then represented by :math:`\\bar y_t = P_d^T(\\mu_t -
+\\mu)` (Eq. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WarmupPCA"]
+
+
+class WarmupPCA:
+    """PCA fitted once on warm-up data, then applied to the stream.
+
+    Parameters
+    ----------
+    num_components:
+        Target dimensionality ``d`` of the reduced space.
+    warmup_points:
+        Number of points to accumulate before fitting.  Batches fed to
+        :meth:`observe` are buffered until this threshold, then the model
+        fits itself automatically.
+    representation:
+        What :meth:`batch_embedding` summarizes: ``"mean"`` is the paper's
+        Eq. 6 (the projected batch mean); ``"mean-std"`` appends the
+        per-component standard deviation, implementing the extension the
+        paper lists as future work ("explore more statistical metrics,
+        such as standard deviation, to improve the representation of data
+        distribution") — it lets the detector see volatility regimes whose
+        mean never moves.
+    """
+
+    REPRESENTATIONS = ("mean", "mean-std")
+
+    def __init__(self, num_components: int = 2, warmup_points: int = 2048,
+                 representation: str = "mean"):
+        if num_components < 1:
+            raise ValueError(f"num_components must be >= 1; got {num_components}")
+        if warmup_points < 2:
+            raise ValueError(f"warmup_points must be >= 2; got {warmup_points}")
+        if representation not in self.REPRESENTATIONS:
+            raise ValueError(
+                f"representation must be one of {self.REPRESENTATIONS}; "
+                f"got {representation!r}"
+            )
+        self.num_components = num_components
+        self.warmup_points = warmup_points
+        self.representation = representation
+        self.mean: np.ndarray | None = None          # mu (Eq. 2)
+        self.components: np.ndarray | None = None    # P_d (Eq. 5), (d_in, d)
+        self.explained_variance: np.ndarray | None = None
+        self._buffer: list[np.ndarray] = []
+        self._buffered = 0
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.components is not None
+
+    def observe(self, x: np.ndarray) -> bool:
+        """Feed warm-up data; fit once enough has accumulated.
+
+        Returns ``True`` if the model is fitted after this call.  Calls after
+        fitting are no-ops (the paper fits PCA once, on the initial data).
+        """
+        if self.is_fitted:
+            return True
+        x = self._flatten(x)
+        self._buffer.append(x)
+        self._buffered += len(x)
+        if self._buffered >= self.warmup_points:
+            self.fit(np.concatenate(self._buffer, axis=0))
+            self._buffer.clear()
+        return self.is_fitted
+
+    def fit(self, x: np.ndarray) -> "WarmupPCA":
+        """Fit mean, covariance, and components on ``x`` (Eqs. 2–5)."""
+        x = self._flatten(x)
+        if len(x) < 2:
+            raise ValueError(f"need >= 2 points to fit PCA; got {len(x)}")
+        self.mean = x.mean(axis=0)
+        centered = x - self.mean
+        covariance = centered.T @ centered / len(x)          # Eq. 3
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)  # Eq. 4
+        order = np.argsort(eigenvalues)[::-1]
+        d = min(self.num_components, x.shape[1])
+        self.components = eigenvectors[:, order[:d]]          # Eq. 5
+        self.explained_variance = eigenvalues[order[:d]]
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Project points into the reduced space: ``(x - mu) @ P_d``."""
+        self._require_fitted()
+        x = self._flatten(x)
+        return (x - self.mean) @ self.components
+
+    def batch_embedding(self, x: np.ndarray) -> np.ndarray:
+        """Represent a batch by its projected summary statistics.
+
+        With the default ``"mean"`` representation this is Eq. 6,
+        :math:`\\bar y_t = P_d^T(\\mu_t - \\mu)`; with ``"mean-std"`` the
+        per-component standard deviation of the projected batch is
+        appended, so the embedding also moves when only the spread of the
+        distribution changes.
+        """
+        self._require_fitted()
+        x = self._flatten(x)
+        batch_mean = self.components.T @ (x.mean(axis=0) - self.mean)
+        if self.representation == "mean":
+            return batch_mean
+        projected = (x - self.mean) @ self.components
+        return np.concatenate([batch_mean, projected.std(axis=0)])
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(
+                "PCA is not fitted yet; feed warm-up data via observe() or fit()"
+            )
+
+    @staticmethod
+    def _flatten(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return x.reshape(1, -1)
+        return x.reshape(len(x), -1)

@@ -1,0 +1,87 @@
+"""Shift-severity scoring (paper Equations 8–10).
+
+The severity of the current shift is its z-score against the recent shift
+history: a recency-weighted mean :math:`\\mu_d` (Eq. 8) and standard
+deviation :math:`\\sigma_d` (Eq. 9) are maintained over the last ``k`` shift
+distances, and the magnitude :math:`M = (d_t - \\mu_d) / \\sigma_d`
+(Eq. 10) is compared with the statistical threshold :math:`\\alpha`
+(1.96 by default, as in the paper's experiments).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["SeverityTracker"]
+
+
+class SeverityTracker:
+    """Rolling, recency-weighted statistics over shift distances.
+
+    Parameters
+    ----------
+    window:
+        Number of past shift distances ``k`` to keep.
+    decay:
+        Geometric recency factor: the weight of the shift ``i`` steps back is
+        ``decay ** i``, so recent shifts dominate (the paper assigns "higher
+        weights to more recent batches").
+    min_history:
+        Number of shifts required before a severity score is meaningful;
+        :meth:`score` returns ``None`` until then.
+    """
+
+    def __init__(self, window: int = 20, decay: float = 0.9,
+                 min_history: int = 3, epsilon: float = 1e-12):
+        if window < 1:
+            raise ValueError(f"window must be >= 1; got {window}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1]; got {decay}")
+        if min_history < 2:
+            raise ValueError(f"min_history must be >= 2; got {min_history}")
+        self.window = window
+        self.decay = decay
+        self.min_history = min_history
+        self.epsilon = epsilon
+        self._distances: deque[float] = deque(maxlen=window)
+
+    def __len__(self) -> int:
+        return len(self._distances)
+
+    @property
+    def ready(self) -> bool:
+        """Whether enough history exists to score a shift."""
+        return len(self._distances) >= self.min_history
+
+    def observe(self, distance: float) -> None:
+        """Record a shift distance into the history."""
+        if distance < 0:
+            raise ValueError(f"shift distance must be >= 0; got {distance}")
+        self._distances.append(float(distance))
+
+    def weighted_mean(self) -> float:
+        """Recency-weighted mean of past shifts (Eq. 8)."""
+        distances = np.asarray(self._distances)  # oldest first
+        weights = self.decay ** np.arange(len(distances) - 1, -1, -1)
+        return float((weights * distances).sum() / weights.sum())
+
+    def std(self) -> float:
+        """Standard deviation of past shifts around the weighted mean (Eq. 9)."""
+        distances = np.asarray(self._distances)
+        mean = self.weighted_mean()
+        return float(np.sqrt(((distances - mean) ** 2).mean()))
+
+    def score(self, distance: float) -> float | None:
+        """Severity ``M`` of a candidate shift (Eq. 10), or ``None`` early on.
+
+        ``M`` is unbounded above; a degenerate history (all shifts equal)
+        yields a large finite score for any strictly larger shift rather than
+        infinity.
+        """
+        if not self.ready:
+            return None
+        mean = self.weighted_mean()
+        std = self.std()
+        return float((distance - mean) / max(std, self.epsilon * (1.0 + mean)))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the FreewayML reproduction test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def blob_data(rng):
+    """Two well-separated Gaussian blobs: (x, y), 200 points, 2 classes."""
+    x0 = rng.normal(loc=-2.0, scale=0.5, size=(100, 4))
+    x1 = rng.normal(loc=2.0, scale=0.5, size=(100, 4))
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(100, dtype=np.int64),
+                        np.ones(100, dtype=np.int64)])
+    order = rng.permutation(200)
+    return x[order], y[order]
+
+
+def numeric_gradient(fn, array, eps=1e-6):
+    """Central-difference gradient of scalar fn with respect to array."""
+    grad = np.zeros_like(array)
+    for index in np.ndindex(array.shape):
+        original = array[index]
+        array[index] = original + eps
+        upper = fn()
+        array[index] = original - eps
+        lower = fn()
+        array[index] = original
+        grad[index] = (upper - lower) / (2.0 * eps)
+    return grad

@@ -1,0 +1,98 @@
+"""Fuzzed gradient checking: random expression trees vs numeric gradients.
+
+The strongest correctness property an autograd engine can have: for ANY
+composition of its ops, backward() agrees with central differences.  Here
+hypothesis builds random expression trees over a leaf tensor and we check
+the gradient of the scalarized output.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+
+from conftest import numeric_gradient
+
+# Each op maps a Tensor to a Tensor and is smooth on the safe domain below.
+UNARY_OPS = {
+    "exp": lambda t: (t * 0.3).exp(),
+    "log": lambda t: (t * t + 1.0).log(),
+    "sqrt": lambda t: (t * t + 0.5).sqrt(),
+    "tanh": lambda t: t.tanh(),
+    "sigmoid": lambda t: t.sigmoid(),
+    "neg": lambda t: -t,
+    "square": lambda t: t ** 2,
+    "scale": lambda t: t * 1.7,
+    "shift": lambda t: t + 0.9,
+    "reciprocal_like": lambda t: 1.0 / (t * t + 2.0),
+}
+
+BINARY_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div_safe": lambda a, b: a / (b * b + 1.5),
+}
+
+
+def expression_strategy():
+    """A random program: a list of (op, operand) instructions."""
+    unary = st.sampled_from(sorted(UNARY_OPS))
+    binary = st.sampled_from(sorted(BINARY_OPS))
+    step = st.one_of(
+        st.tuples(st.just("unary"), unary),
+        st.tuples(st.just("binary"), binary),
+    )
+    return st.lists(step, min_size=1, max_size=6)
+
+
+def evaluate(program, leaf: Tensor) -> Tensor:
+    value = leaf
+    for kind, name in program:
+        if kind == "unary":
+            value = UNARY_OPS[name](value)
+        else:
+            # Binary ops pair the running value with the (reused) leaf,
+            # exercising gradient accumulation through shared nodes.
+            value = BINARY_OPS[name](value, leaf)
+    return (value * value).mean()  # smooth scalarization
+
+
+class TestRandomExpressionGradients:
+    @given(expression_strategy(),
+           st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_backward_matches_numeric(self, program, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-1.5, 1.5, size=(3, 4))
+        leaf = Tensor(data.copy(), requires_grad=True)
+        evaluate(program, leaf).backward()
+        analytic = leaf.grad
+
+        numeric = numeric_gradient(
+            lambda: evaluate(program, Tensor(data)).item(), data, eps=1e-6
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=2e-4, atol=2e-6)
+
+    @given(expression_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_gradients_finite(self, program):
+        rng = np.random.default_rng(0)
+        leaf = Tensor(rng.uniform(-1.5, 1.5, size=(5,)),
+                      requires_grad=True)
+        evaluate(program, leaf).backward()
+        assert np.isfinite(leaf.grad).all()
+
+    def test_deep_composition(self):
+        """A long chain through every unary op stays numerically exact."""
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-1.0, 1.0, size=(2, 3))
+        program = [("unary", name) for name in sorted(UNARY_OPS)] * 2
+        leaf = Tensor(data.copy(), requires_grad=True)
+        evaluate(program, leaf).backward()
+        numeric = numeric_gradient(
+            lambda: evaluate(program, Tensor(data)).item(), data, eps=1e-6
+        )
+        np.testing.assert_allclose(leaf.grad, numeric, rtol=1e-4, atol=1e-7)

@@ -1,0 +1,306 @@
+"""Tests for the six baseline frameworks (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AGEMBaseline,
+    AdwinDetector,
+    AlinkBaseline,
+    BASELINES,
+    CamelBaseline,
+    FlinkMLBaseline,
+    LR_GROUP,
+    MLP_GROUP,
+    RiverBaseline,
+    SparkMLlibBaseline,
+    make_baseline,
+)
+from repro.models import StreamingLR, StreamingMLP
+
+
+def lr_factory():
+    return StreamingLR(num_features=4, num_classes=2, lr=0.3, seed=0)
+
+
+def mlp_factory():
+    return StreamingMLP(num_features=4, num_classes=2, lr=0.3, seed=0)
+
+
+ALL_FACTORIES = [
+    lambda: FlinkMLBaseline(lr_factory),
+    lambda: SparkMLlibBaseline(lr_factory),
+    lambda: AlinkBaseline(lr_factory),
+    lambda: RiverBaseline(mlp_factory),
+    lambda: CamelBaseline(mlp_factory),
+    lambda: AGEMBaseline(mlp_factory),
+]
+
+
+@pytest.mark.parametrize("make", ALL_FACTORIES)
+class TestCommonProtocol:
+    def test_learns_separable_data(self, make, blob_data):
+        x, y = blob_data
+        baseline = make()
+        for _ in range(30):
+            baseline.partial_fit(x, y)
+        assert (baseline.predict(x) == y).mean() > 0.9
+
+    def test_predict_proba_simplex(self, make, rng):
+        baseline = make()
+        proba = baseline.predict_proba(rng.normal(size=(8, 4)))
+        assert proba.shape == (8, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_state_dict_round_trip(self, make, blob_data):
+        x, y = blob_data
+        baseline = make()
+        baseline.partial_fit(x, y)
+        state = baseline.state_dict()
+        clone = make()
+        clone.load_state_dict(state)
+        np.testing.assert_allclose(clone.predict_proba(x),
+                                   baseline.predict_proba(x))
+
+    def test_clone_fresh(self, make, blob_data):
+        x, y = blob_data
+        baseline = make()
+        baseline.partial_fit(x, y)
+        clone = baseline.clone()
+        assert type(clone) is type(baseline)
+
+
+class TestFlinkML:
+    def test_zero_delay_trains_immediately(self, blob_data):
+        x, y = blob_data
+        baseline = FlinkMLBaseline(lr_factory, watermark_delay=0)
+        baseline.partial_fit(x, y)
+        assert baseline.inner.updates == 1
+
+    def test_watermark_holds_batches(self, blob_data):
+        x, y = blob_data
+        baseline = FlinkMLBaseline(lr_factory, watermark_delay=2)
+        baseline.partial_fit(x, y)
+        baseline.partial_fit(x, y)
+        assert baseline.inner.updates == 0  # both held
+        baseline.partial_fit(x, y)
+        assert baseline.inner.updates == 1  # oldest released
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlinkMLBaseline(lr_factory, watermark_delay=-1)
+
+    def test_rejects_non_neural_model(self):
+        with pytest.raises(TypeError):
+            FlinkMLBaseline(lambda: object())
+
+
+class TestSparkMLlib:
+    def test_partition_average_equals_full_gradient(self, blob_data):
+        """Averaging shard gradients at fixed parameters equals the full
+        batch gradient, so one Spark update == one plain SGD update."""
+        x, y = blob_data
+        spark = SparkMLlibBaseline(lr_factory, partitions=4)
+        plain = lr_factory()
+        spark.partial_fit(x, y)
+        plain.partial_fit(x, y)
+        for pa, pb in zip(spark.inner.module.parameters(),
+                          plain.module.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-10)
+
+    def test_more_partitions_than_rows(self, rng):
+        spark = SparkMLlibBaseline(lr_factory, partitions=100)
+        spark.partial_fit(rng.normal(size=(5, 4)), np.zeros(5))
+        assert spark.inner.updates == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SparkMLlibBaseline(lr_factory, partitions=0)
+
+
+class TestAlink:
+    def test_fobos_induces_sparsity(self, blob_data):
+        x, y = blob_data
+        strong = AlinkBaseline(lr_factory, method="fobos", l1=0.05)
+        weak = AlinkBaseline(lr_factory, method="fobos", l1=0.0)
+        for _ in range(20):
+            strong.partial_fit(x, y)
+            weak.partial_fit(x, y)
+        strong_zeros = sum((p.data == 0).sum()
+                           for p in strong.inner.module.parameters())
+        weak_zeros = sum((p.data == 0).sum()
+                         for p in weak.inner.module.parameters())
+        assert strong_zeros > weak_zeros
+
+    def test_rda_method(self, blob_data):
+        x, y = blob_data
+        baseline = AlinkBaseline(lr_factory, method="rda", l1=1e-6)
+        for _ in range(60):
+            baseline.partial_fit(x, y)
+        assert (baseline.predict(x) == y).mean() > 0.9
+
+    def test_clone_preserves_method(self):
+        baseline = AlinkBaseline(lr_factory, method="rda")
+        assert baseline.clone().method == "rda"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AlinkBaseline(lr_factory, method="bogus")
+
+
+class TestAdwinDetector:
+    def test_no_detection_on_stable_series(self, rng):
+        detector = AdwinDetector(delta=0.002)
+        detections = [detector.update(0.2 + rng.normal(scale=0.01))
+                      for _ in range(60)]
+        assert not any(detections)
+
+    def test_detects_level_change(self, rng):
+        detector = AdwinDetector(delta=0.002)
+        for _ in range(30):
+            detector.update(0.1 + rng.normal(scale=0.01))
+        fired = False
+        for _ in range(30):
+            fired = fired or detector.update(0.8 + rng.normal(scale=0.01))
+        assert fired
+        assert detector.detections >= 1
+
+    def test_window_cut_drops_stale_half(self, rng):
+        detector = AdwinDetector(delta=0.002)
+        for _ in range(30):
+            detector.update(0.1)
+        size_before = len(detector)
+        for _ in range(10):
+            detector.update(0.9)
+        assert len(detector) < size_before + 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdwinDetector(delta=0.0)
+
+
+class TestRiver:
+    def test_resets_on_concept_change(self, rng):
+        baseline = RiverBaseline(mlp_factory, delta=0.01)
+        x0 = rng.normal(size=(64, 4))
+        y0 = (x0[:, 0] > 0).astype(np.int64)
+        for _ in range(25):
+            baseline.partial_fit(x0, y0)
+        # Flip the concept entirely.
+        for _ in range(25):
+            x = rng.normal(size=(64, 4))
+            baseline.partial_fit(x, (x[:, 0] <= 0).astype(np.int64))
+        assert baseline.resets >= 1
+
+    def test_no_resets_on_stable_stream(self, rng):
+        baseline = RiverBaseline(mlp_factory, delta=0.002)
+        for _ in range(40):
+            x = rng.normal(size=(64, 4))
+            baseline.partial_fit(x, (x[:, 0] > 0).astype(np.int64))
+        assert baseline.resets == 0
+
+
+class TestCamel:
+    def test_drops_high_loss_tail(self, blob_data):
+        x, y = blob_data
+        baseline = CamelBaseline(mlp_factory, drop_fraction=0.2)
+        baseline.partial_fit(x, y)  # first fit trains on everything
+        selected = baseline._select(x, y)
+        assert len(selected) == int(round(len(x) * 0.8))
+
+    def test_selection_removes_noisy_labels(self, blob_data):
+        x, y = blob_data
+        baseline = CamelBaseline(mlp_factory, drop_fraction=0.1)
+        for _ in range(10):
+            baseline.partial_fit(x, y)
+        noisy = y.copy()
+        noisy[:10] = 1 - noisy[:10]  # corrupt 10 labels
+        selected = baseline._select(x, noisy)
+        # Most corrupted rows should fall in the dropped high-loss tail.
+        corrupted_kept = np.isin(np.arange(10), selected).sum()
+        assert corrupted_kept <= 5
+
+    def test_replay_buffer_fills(self, blob_data):
+        x, y = blob_data
+        baseline = CamelBaseline(mlp_factory, buffer_size=50)
+        baseline.partial_fit(x, y)
+        assert baseline._fill == 50
+
+    def test_replay_returns_similar_samples(self, rng):
+        baseline = CamelBaseline(mlp_factory, buffer_size=200,
+                                 replay_fraction=0.5)
+        x0 = rng.normal(size=(100, 4)) - 5.0
+        x1 = rng.normal(size=(100, 4)) + 5.0
+        baseline.partial_fit(np.concatenate([x0, x1]),
+                             np.repeat([0, 1], 100))
+        replay_x, _ = baseline._replay(rng.normal(size=(20, 4)) + 5.0)
+        assert replay_x.mean() > 0  # drawn from the nearby (+5) region
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CamelBaseline(mlp_factory, drop_fraction=1.0)
+        with pytest.raises(ValueError):
+            CamelBaseline(mlp_factory, replay_fraction=2.0)
+
+
+class TestAGEM:
+    def test_projection_removes_interference(self, rng):
+        """After projection, g' . g_ref >= 0 by construction."""
+        baseline = AGEMBaseline(mlp_factory, memory_size=200, sample_size=50,
+                                seed=0)
+        x0 = rng.normal(size=(100, 4))
+        y0 = (x0[:, 0] > 0).astype(np.int64)
+        for _ in range(5):
+            baseline.partial_fit(x0, y0)
+        # Conflicting task: reversed labels should trigger projections.
+        for _ in range(10):
+            x = rng.normal(size=(100, 4))
+            baseline.partial_fit(x, (x[:, 0] <= 0).astype(np.int64))
+        assert baseline.projections >= 1
+
+    def test_no_projection_on_aligned_tasks(self, rng):
+        baseline = AGEMBaseline(mlp_factory, memory_size=200, sample_size=50,
+                                seed=0)
+        for _ in range(15):
+            x = rng.normal(size=(100, 4))
+            baseline.partial_fit(x, (x[:, 0] > 0).astype(np.int64))
+        assert baseline.projections == 0
+
+    def test_flatten_unflatten_round_trip(self):
+        grads = [np.arange(6.0).reshape(2, 3), np.arange(4.0)]
+        flat = AGEMBaseline._flatten(grads)
+        restored = AGEMBaseline._unflatten(flat, grads)
+        for a, b in zip(grads, restored):
+            np.testing.assert_array_equal(a, b)
+
+    def test_memory_reservoir_bounded(self, rng):
+        baseline = AGEMBaseline(mlp_factory, memory_size=64, sample_size=8)
+        for _ in range(5):
+            baseline.partial_fit(rng.normal(size=(50, 4)), np.zeros(50))
+        assert baseline._fill == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AGEMBaseline(mlp_factory, memory_size=0)
+        with pytest.raises(ValueError):
+            AGEMBaseline(mlp_factory, sample_size=0)
+
+
+class TestRegistry:
+    def test_all_six_registered(self):
+        # Table I's six, plus the related-work comparators (Section II-B).
+        assert {"flink-ml", "spark-mllib", "alink", "river", "camel",
+                "a-gem"} <= set(BASELINES)
+        assert {"ewc", "experts"} <= set(BASELINES)
+
+    def test_groups_match_table1(self):
+        assert set(LR_GROUP) == {"flink-ml", "spark-mllib", "alink"}
+        assert set(MLP_GROUP) == {"river", "camel", "a-gem"}
+
+    def test_make_baseline(self):
+        baseline = make_baseline("river", mlp_factory, delta=0.01)
+        assert isinstance(baseline, RiverBaseline)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_baseline("bogus", mlp_factory)

@@ -1,0 +1,164 @@
+"""Tests for coherent experience clustering (repro.core.cec)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoherentExperienceClustering, ExperienceBuffer
+
+
+def fill_buffer(buffer, rng, centers, labels, n=40):
+    """Add one labeled batch whose rows cluster at `centers` per label."""
+    xs, ys = [], []
+    for center, label in zip(centers, labels):
+        xs.append(rng.normal(size=(n, len(center))) * 0.3 + center)
+        ys.append(np.full(n, label, dtype=np.int64))
+    x = np.concatenate(xs)
+    y = np.concatenate(ys)
+    order = rng.permutation(len(x))
+    buffer.add(x[order], y[order])
+
+
+class TestExperienceBuffer:
+    def test_add_and_len(self, rng):
+        buffer = ExperienceBuffer(capacity=100, per_batch=10)
+        buffer.add(rng.normal(size=(30, 3)), np.zeros(30))
+        assert len(buffer) == 10  # only the tail is kept
+
+    def test_keeps_batch_tail(self):
+        buffer = ExperienceBuffer(capacity=100, per_batch=3)
+        x = np.arange(10, dtype=float).reshape(10, 1)
+        buffer.add(x, np.arange(10) % 2)
+        recent_x, _ = buffer.recent(3)
+        np.testing.assert_allclose(sorted(recent_x.ravel()), [7.0, 8.0, 9.0])
+
+    def test_capacity_evicts_oldest(self, rng):
+        buffer = ExperienceBuffer(capacity=25, per_batch=10, expiration=100)
+        for _ in range(5):
+            buffer.add(rng.normal(size=(10, 2)), np.zeros(10))
+        assert len(buffer) <= 25
+
+    def test_expiration_drops_old_batches(self, rng):
+        buffer = ExperienceBuffer(capacity=1000, per_batch=10, expiration=2)
+        buffer.add(rng.normal(size=(10, 2)), np.zeros(10))
+        buffer.add(rng.normal(size=(10, 2)), np.ones(10))
+        buffer.add(rng.normal(size=(10, 2)), np.ones(10))
+        # First batch is now 2 ticks old -> expired.
+        assert len(buffer) == 20
+
+    def test_recent_spans_batches_newest_first(self):
+        buffer = ExperienceBuffer(capacity=100, per_batch=2, expiration=50)
+        buffer.add(np.array([[1.0], [2.0]]), np.array([0, 0]))
+        buffer.add(np.array([[3.0], [4.0]]), np.array([1, 1]))
+        x, y = buffer.recent(3)
+        assert 3.0 in x and 4.0 in x  # newest batch fully included
+        assert len(x) == 3
+
+    def test_recent_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            ExperienceBuffer().recent(5)
+
+    def test_label_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            ExperienceBuffer().add(rng.normal(size=(4, 2)), np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperienceBuffer(capacity=0)
+        with pytest.raises(ValueError):
+            ExperienceBuffer(per_batch=0)
+        with pytest.raises(ValueError):
+            ExperienceBuffer(expiration=0)
+
+
+class TestCoherentExperienceClustering:
+    def test_maps_clusters_to_labels(self, rng):
+        buffer = ExperienceBuffer(capacity=500, per_batch=200, expiration=10)
+        centers = [np.array([0.0, 0.0]), np.array([8.0, 8.0]),
+                   np.array([-8.0, 8.0])]
+        fill_buffer(buffer, rng, centers, labels=[0, 1, 2])
+        cec = CoherentExperienceClustering(3, experience_points=90, seed=0)
+        # New unlabeled batch from the same three clusters.
+        x_new, y_true = [], []
+        for label, center in enumerate(centers):
+            x_new.append(rng.normal(size=(30, 2)) * 0.3 + center)
+            y_true.append(np.full(30, label))
+        x_new = np.concatenate(x_new)
+        y_true = np.concatenate(y_true)
+        result = cec.predict(x_new, buffer)
+        assert (result.labels == y_true).mean() > 0.95
+        assert result.guided_clusters == 3
+
+    def test_survives_label_remap(self, rng):
+        """The flagship CEC property: after a sudden shift that permutes
+        which regions carry which labels, recent experience re-maps the
+        clusters correctly."""
+        buffer = ExperienceBuffer(capacity=500, per_batch=200, expiration=10)
+        centers = [np.array([0.0, 0.0]), np.array([8.0, 8.0])]
+        # Post-shift experience: region 0 now labeled 1 and vice versa.
+        fill_buffer(buffer, rng, centers, labels=[1, 0])
+        cec = CoherentExperienceClustering(2, experience_points=80, seed=0)
+        x_new = np.concatenate([
+            rng.normal(size=(30, 2)) * 0.3 + centers[0],
+            rng.normal(size=(30, 2)) * 0.3 + centers[1],
+        ])
+        y_new = np.concatenate([np.ones(30), np.zeros(30)])
+        result = cec.predict(x_new, buffer)
+        assert (result.labels == y_new).mean() > 0.95
+
+    def test_proba_rows_sum_to_one(self, rng):
+        buffer = ExperienceBuffer(capacity=500, per_batch=100)
+        fill_buffer(buffer, rng, [np.zeros(2), np.full(2, 6.0)], [0, 1])
+        cec = CoherentExperienceClustering(2, experience_points=50, seed=0)
+        result = cec.predict(rng.normal(size=(20, 2)), buffer)
+        np.testing.assert_allclose(result.proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_orphan_cluster_inherits_nearest_label(self, rng):
+        buffer = ExperienceBuffer(capacity=500, per_batch=100)
+        # Experience only covers one region.
+        buffer.add(rng.normal(size=(50, 2)) * 0.3, np.zeros(50, dtype=int))
+        cec = CoherentExperienceClustering(2, experience_points=50, seed=0)
+        # Batch includes a far-away region with no labeled guidance.
+        x_new = np.concatenate([
+            rng.normal(size=(30, 2)) * 0.3,
+            rng.normal(size=(30, 2)) * 0.3 + 20.0,
+        ])
+        result = cec.predict(x_new, buffer)
+        assert set(np.unique(result.labels)) <= {0, 1}
+        # All labels valid (orphan resolved, no -1 leaks).
+        assert (result.cluster_labels >= 0).all()
+
+    def test_featurizer_applied(self, rng):
+        calls = []
+
+        def featurizer(x):
+            calls.append(len(x))
+            return np.asarray(x)[:, :2]
+
+        buffer = ExperienceBuffer(capacity=500, per_batch=100)
+        fill_buffer(buffer, rng, [np.zeros(4), np.full(4, 6.0)], [0, 1])
+        cec = CoherentExperienceClustering(2, experience_points=50,
+                                           featurizer=featurizer, seed=0)
+        cec.predict(rng.normal(size=(20, 4)), buffer)
+        assert len(calls) == 2  # batch + experience
+
+    def test_image_input_flattened(self, rng):
+        buffer = ExperienceBuffer(capacity=500, per_batch=50)
+        buffer.add(rng.normal(size=(50, 1, 4, 4)), np.zeros(50))
+        cec = CoherentExperienceClustering(2, experience_points=30, seed=0)
+        result = cec.predict(rng.normal(size=(10, 1, 4, 4)), buffer)
+        assert result.labels.shape == (10,)
+
+    def test_deterministic(self, rng):
+        buffer = ExperienceBuffer(capacity=500, per_batch=100)
+        fill_buffer(buffer, rng, [np.zeros(2), np.full(2, 6.0)], [0, 1])
+        x = rng.normal(size=(20, 2))
+        cec = CoherentExperienceClustering(2, experience_points=50, seed=7)
+        a = cec.predict(x, buffer).labels
+        b = cec.predict(x, buffer).labels
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoherentExperienceClustering(1)
+        with pytest.raises(ValueError):
+            CoherentExperienceClustering(2, experience_points=0)

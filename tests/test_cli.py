@@ -1,0 +1,77 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.framework == "freewayml"
+        assert args.dataset == "electricity"
+        assert args.model == "mlp"
+
+    def test_framework_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--framework", "bogus"])
+
+    def test_model_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "bogus"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("hyperplane", "sea", "airlines", "covertype",
+                     "nsl-kdd", "electricity", "animals", "flowers"):
+            assert name in out
+
+    def test_run_freewayml(self, capsys):
+        code = main(["run", "--dataset", "electricity",
+                     "--batches", "10", "--batch-size", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "G_acc" in out
+        assert "freewayml" in out
+
+    def test_run_baseline(self, capsys):
+        code = main(["run", "--framework", "river", "--dataset", "sea",
+                     "--batches", "8", "--batch-size", "64"])
+        assert code == 0
+        assert "river" in capsys.readouterr().out
+
+    def test_run_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--dataset", "bogus", "--batches", "4"])
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--dataset", "electricity",
+                     "--model", "lr", "--batches", "8",
+                     "--batch-size", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flink-ml" in out
+        assert "freewayml" in out
+        assert "*" in out  # best framework starred
+
+    def test_run_on_csv(self, tmp_path, capsys, rng):
+        x = rng.normal(size=(300, 3))
+        y = (x[:, 0] > 0).astype(int)
+        lines = [",".join(f"{v:.4f}" for v in row) + f",{label}"
+                 for row, label in zip(x, y)]
+        path = tmp_path / "mine.csv"
+        path.write_text("\n".join(lines) + "\n")
+        code = main(["run", "--csv", str(path), "--model", "lr",
+                     "--batches", "5", "--batch-size", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mine" in out
+        assert "G_acc" in out

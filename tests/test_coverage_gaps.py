@@ -1,0 +1,132 @@
+"""Targeted tests for remaining uncovered corners across modules."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlinkMLBaseline, make_baseline
+from repro.core import Learner, RateAwareAdjuster
+from repro.data import Batch, ElectricitySimulator
+from repro.eval import RunConfig, render_accuracy_table, run_framework
+from repro.models import StreamingLR
+
+
+def lr_factory():
+    return StreamingLR(num_features=8, num_classes=2, lr=0.3, seed=0)
+
+
+class TestReportingGaps:
+    def test_missing_framework_renders_dash(self):
+        config = RunConfig(num_batches=5, batch_size=64, model="lr")
+        result = run_framework("plain", ElectricitySimulator(seed=0), config)
+        results = {
+            "a": {"plain": result},
+            "b": {},  # framework absent for dataset b
+        }
+        text = render_accuracy_table(results)
+        assert "-" in text.splitlines()[-1]
+
+
+class TestBaselineGaps:
+    def test_reset_model_gives_fresh_weights(self, blob_data):
+        x, y = blob_data[0][:, :4], blob_data[1]
+        baseline = FlinkMLBaseline(
+            lambda: StreamingLR(num_features=4, num_classes=2, lr=0.5,
+                                seed=0)
+        )
+        initial = {k: v.copy() for k, v in baseline.state_dict().items()}
+        baseline.partial_fit(x, y)
+        assert not all(np.array_equal(v, initial[k])
+                       for k, v in baseline.state_dict().items())
+        baseline.reset_model()
+        for key, value in baseline.state_dict().items():
+            np.testing.assert_array_equal(value, initial[key])
+
+    def test_make_baseline_forwards_kwargs(self):
+        baseline = make_baseline("flink-ml", lr_factory, watermark_delay=2)
+        assert baseline.watermark_delay == 2
+
+
+class TestCliGaps:
+    def test_compare_on_csv(self, tmp_path, capsys, rng):
+        from repro.cli import main
+        x = rng.normal(size=(200, 3))
+        y = (x[:, 0] > 0).astype(int)
+        lines = [",".join(f"{v:.4f}" for v in row) + f",{label}"
+                 for row, label in zip(x, y)]
+        path = tmp_path / "data.csv"
+        path.write_text("\n".join(lines) + "\n")
+        code = main(["compare", "--csv", str(path), "--model", "lr",
+                     "--batches", "4", "--batch-size", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "freewayml" in out
+        assert "alink" in out
+
+
+class TestAdjusterEndToEnd:
+    def test_burst_throttles_then_recovers(self, rng):
+        """Drive the learner through a simulated burst with a fake clock
+        and watch the stride rise and fall."""
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return FakeClock.now
+
+        adjuster = RateAwareAdjuster(high_rate=1000.0, max_stride=3,
+                                     clock=FakeClock())
+        learner = Learner(lr_factory, window_batches=4, adjuster=adjuster)
+
+        def batch(index):
+            x = rng.normal(size=(128, 8))
+            return Batch(x, (x[:, 0] > 0).astype(int), index=index)
+
+        strides = []
+        for index in range(45):
+            # A burst where batches arrive 1000x faster, then a long calm
+            # stretch for the EMA flow estimate to cool down.
+            FakeClock.now += 0.001 if 10 <= index < 20 else 1.0
+            learner.process(batch(index))
+            strides.append(adjuster.inference_stride)
+        assert max(strides[10:20]) > 1      # throttled during the burst
+        assert strides[-1] == 1             # recovered afterwards
+
+    def test_decay_boost_propagates_to_windows(self, rng):
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return FakeClock.now
+
+        adjuster = RateAwareAdjuster(high_rate=10.0, clock=FakeClock())
+        learner = Learner(lr_factory, window_batches=4, adjuster=adjuster)
+
+        def batch(index):
+            x = rng.normal(size=(128, 8))
+            return Batch(x, (x[:, 0] > 0).astype(int), index=index)
+
+        for index in range(8):
+            FakeClock.now += 0.0001  # extreme flow rate
+            learner.process(batch(index))
+        window = learner.ensemble.long_levels[0].window
+        assert window.decay_boost == 2.0
+
+
+class TestSequentialEdge:
+    def test_empty_sequential_is_identity(self, rng):
+        from repro import nn
+        model = nn.Sequential()
+        x = nn.Tensor(rng.normal(size=(3, 2)))
+        out = model(x)
+        np.testing.assert_array_equal(out.data, x.data)
+        assert model.num_parameters() == 0
+
+
+class TestFromPaperConfigKwargs:
+    def test_extra_kwargs_forwarded(self):
+        learner = Learner.from_paper_config(
+            Model=lr_factory, ModelNum=2, window_batches=4,
+            use_confidence_channel=False,
+        )
+        assert not learner.use_confidence_channel
+        assert learner.ensemble.long_levels[0].window_batches == 4

@@ -1,0 +1,116 @@
+"""Tests for the classic drift detectors (repro.baselines.detectors)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DDMDetector,
+    EDDMDetector,
+    PageHinkleyDetector,
+    RiverBaseline,
+)
+from repro.models import StreamingMLP
+
+
+def feed_stable_then_jump(detector, rng, low=0.05, high=0.6,
+                          stable=50, jumped=30, weight=100):
+    fired_during_stable = False
+    for _ in range(stable):
+        fired_during_stable |= detector.update(
+            np.clip(low + rng.normal(scale=0.01), 0, 1), weight
+        )
+    fired_after_jump = False
+    for _ in range(jumped):
+        fired_after_jump |= detector.update(
+            np.clip(high + rng.normal(scale=0.01), 0, 1), weight
+        )
+    return fired_during_stable, fired_after_jump
+
+
+class TestDDM:
+    def test_detects_error_jump(self, rng):
+        stable, jumped = feed_stable_then_jump(DDMDetector(), rng)
+        assert not stable
+        assert jumped
+
+    def test_warning_precedes_drift(self, rng):
+        detector = DDMDetector()
+        for _ in range(50):
+            detector.update(0.05, 100)
+        saw_warning = False
+        for _ in range(30):
+            fired = detector.update(0.3, 100)
+            saw_warning |= detector.warning
+            if fired:
+                break
+        assert saw_warning or detector.detections
+
+    def test_resets_after_detection(self, rng):
+        detector = DDMDetector()
+        feed_stable_then_jump(detector, rng)
+        first = detector.detections
+        # New stable regime at the higher level: no further detections.
+        for _ in range(50):
+            detector.update(0.6, 100)
+        assert detector.detections == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDMDetector(warn_level=3.0, drift_level=2.0)
+        detector = DDMDetector()
+        with pytest.raises(ValueError):
+            detector.update(1.5)
+        with pytest.raises(ValueError):
+            detector.update(0.5, weight=0)
+
+
+class TestEDDM:
+    def test_detects_error_jump(self, rng):
+        stable, jumped = feed_stable_then_jump(EDDMDetector(), rng)
+        assert not stable
+        assert jumped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EDDMDetector(alpha=0.5, beta=0.9)
+        with pytest.raises(ValueError):
+            EDDMDetector().update(-0.1)
+
+
+class TestPageHinkley:
+    def test_detects_upward_change(self, rng):
+        detector = PageHinkleyDetector(threshold=0.5)
+        stable, jumped = feed_stable_then_jump(detector, rng)
+        assert not stable
+        assert jumped
+
+    def test_quiet_on_stationary_series(self, rng):
+        detector = PageHinkleyDetector(threshold=1.0)
+        for _ in range(200):
+            detector.update(0.2 + rng.normal(scale=0.01))
+        assert detector.detections == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(threshold=0.0)
+
+
+class TestRiverWithAlternativeDetectors:
+    @pytest.mark.parametrize("detector_factory", [
+        DDMDetector, EDDMDetector,
+        lambda: PageHinkleyDetector(threshold=0.5),
+    ])
+    def test_resets_on_concept_flip(self, detector_factory, rng):
+        baseline = RiverBaseline(
+            lambda: StreamingMLP(num_features=4, num_classes=2,
+                                 lr=0.3, seed=0),
+            detector=detector_factory(),
+        )
+        x0 = rng.normal(size=(128, 4))
+        y0 = (x0[:, 0] > 0).astype(np.int64)
+        for _ in range(30):
+            baseline.partial_fit(x0, y0)
+        for _ in range(30):
+            x = rng.normal(size=(128, 4))
+            baseline.partial_fit(x, (x[:, 0] <= 0).astype(np.int64))
+        assert baseline.resets >= 1

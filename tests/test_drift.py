@@ -1,0 +1,227 @@
+"""Tests for concepts and drift schedules (repro.data.drift)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    GaussianMixtureConcept,
+    HyperplaneConcept,
+    Pattern,
+    Segment,
+    pattern_mix_schedule,
+    stream_from_schedule,
+)
+
+
+@pytest.fixture
+def concept(rng):
+    return GaussianMixtureConcept(3, 5, rng)
+
+
+class TestGaussianMixtureConcept:
+    def test_sample_shapes(self, concept, rng):
+        x, y = concept.sample(rng, 50)
+        assert x.shape == (50, 5)
+        assert y.shape == (50,)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_class_weights_respected(self, rng):
+        concept = GaussianMixtureConcept(2, 3, rng,
+                                         class_weights=[0.9, 0.1])
+        _, y = concept.sample(rng, 5000)
+        assert 0.85 < (y == 0).mean() < 0.95
+
+    def test_samples_cluster_near_means(self, concept, rng):
+        x, y = concept.sample(rng, 2000)
+        for label in range(3):
+            centroid = x[y == label].mean(axis=0)
+            np.testing.assert_allclose(centroid, concept.means[label],
+                                       atol=0.2)
+
+    def test_drift_moves_means(self, concept, rng):
+        before = concept.means.copy()
+        concept.drift(rng, 0.5)
+        moved = np.linalg.norm(concept.means - before, axis=1)
+        np.testing.assert_allclose(moved, 0.5, atol=1e-9)
+
+    def test_drift_is_persistent_in_direction(self, concept, rng):
+        start = concept.means.copy()
+        for _ in range(10):
+            concept.drift(rng, 0.1)
+        total = np.linalg.norm(concept.means - start, axis=1)
+        # Persistent direction: net displacement close to sum of steps.
+        assert (total > 0.7).all()
+
+    def test_jitter_has_no_persistent_direction(self, concept, rng):
+        start = concept.means.copy()
+        for _ in range(100):
+            concept.jitter(rng, 0.1)
+        total = np.linalg.norm(concept.means - start, axis=1)
+        # Random walk: expect ~0.1*sqrt(100)=1, far below 100*0.1=10.
+        assert (total < 5.0).all()
+
+    def test_clone_is_independent(self, concept, rng):
+        frozen = concept.clone()
+        concept.drift(rng, 1.0)
+        assert not np.allclose(frozen.means, concept.means)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GaussianMixtureConcept(1, 5, rng)
+
+
+class TestRemix:
+    def test_remix_is_catastrophic_for_old_model(self, rng):
+        """A remixed concept actively breaks the old decision rule."""
+        concept = GaussianMixtureConcept(4, 10, rng, spread=4.0, scale=0.8)
+        remixed = concept.remix(rng, offset=4.0)
+        # Nearest-mean classifier trained on the base concept...
+        x_new, y_new = remixed.sample(rng, 1000)
+        distances = np.linalg.norm(
+            x_new[:, None, :] - concept.means[None, :, :], axis=2
+        )
+        old_rule_predictions = distances.argmin(axis=1)
+        accuracy = (old_rule_predictions == y_new).mean()
+        assert accuracy < 0.5  # near or below chance on the remix
+
+    def test_remix_preserves_cluster_structure(self, rng):
+        concept = GaussianMixtureConcept(3, 8, rng, spread=4.0, scale=0.8)
+        remixed = concept.remix(rng)
+        x, y = remixed.sample(rng, 1500)
+        # Nearest-mean classifier with the *new* means is near-perfect.
+        distances = np.linalg.norm(
+            x[:, None, :] - remixed.means[None, :, :], axis=2
+        )
+        assert (distances.argmin(axis=1) == y).mean() > 0.9
+
+    def test_remix_moves_feature_mass(self, rng):
+        concept = GaussianMixtureConcept(3, 8, rng)
+        remixed = concept.remix(rng, offset=5.0)
+        gap = np.linalg.norm(
+            remixed.means.mean(axis=0) - concept.means.mean(axis=0)
+        )
+        assert gap > 3.0
+
+    def test_remix_class_weights(self, rng):
+        concept = GaussianMixtureConcept(2, 4, rng)
+        remixed = concept.remix(rng, class_weights=[0.2, 0.8])
+        np.testing.assert_allclose(remixed.class_weights, [0.2, 0.8])
+
+    def test_remix_leaves_original_untouched(self, rng):
+        concept = GaussianMixtureConcept(3, 4, rng)
+        before = concept.means.copy()
+        concept.remix(rng)
+        np.testing.assert_array_equal(concept.means, before)
+
+
+class TestHyperplaneConcept:
+    def test_labels_follow_hyperplane(self, rng):
+        concept = HyperplaneConcept(5, rng, noise=0.0)
+        x, y = concept.sample(rng, 500)
+        expected = (x @ concept.weights > concept.weights.sum() / 2)
+        np.testing.assert_array_equal(y, expected.astype(np.int64))
+
+    def test_noise_flips_labels(self, rng):
+        concept = HyperplaneConcept(5, rng, noise=0.5)
+        x, y = concept.sample(rng, 2000)
+        clean = (x @ concept.weights > concept.weights.sum() / 2)
+        flip_rate = (y != clean).mean()
+        assert 0.4 < flip_rate < 0.6
+
+    def test_drift_changes_weights(self, rng):
+        concept = HyperplaneConcept(5, rng)
+        before = concept.weights.copy()
+        concept.drift(rng, 0.5)
+        assert not np.allclose(concept.weights, before)
+
+    def test_clone(self, rng):
+        concept = HyperplaneConcept(4, rng)
+        frozen = concept.clone()
+        concept.drift(rng, 1.0)
+        assert not np.allclose(frozen.weights, concept.weights)
+
+
+class TestSegment:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment("c", 5, kind="bogus")
+        with pytest.raises(ValueError):
+            Segment("c", 5, entry="bogus")
+        with pytest.raises(ValueError):
+            Segment("c", 0)
+
+
+class TestStreamFromSchedule:
+    def test_annotations_and_lengths(self, rng):
+        concepts = {"a": GaussianMixtureConcept(2, 4, rng),
+                    "b": GaussianMixtureConcept(2, 4, rng)}
+        segments = [
+            Segment("a", 3, kind="directional"),
+            Segment("b", 2, entry="sudden"),
+            Segment("a", 2, entry="reoccurring"),
+        ]
+        batches = list(stream_from_schedule(concepts, segments, 32, rng, 2))
+        assert len(batches) == 7
+        patterns = [b.pattern for b in batches]
+        assert patterns[0] is None
+        assert patterns[3] == Pattern.SUDDEN
+        assert patterns[5] == Pattern.REOCCURRING
+        assert patterns[1] == Pattern.SLIGHT
+
+    def test_smooth_continuation_tagged_slight(self, rng):
+        concepts = {"a": GaussianMixtureConcept(2, 4, rng)}
+        segments = [Segment("a", 2), Segment("a", 2, entry="none")]
+        batches = list(stream_from_schedule(concepts, segments, 16, rng, 2))
+        assert batches[2].pattern == Pattern.SLIGHT
+
+    def test_reoccurrence_returns_to_original_distribution(self, rng):
+        concepts = {"a": GaussianMixtureConcept(2, 6, rng, scale=0.3)}
+        segments = [
+            Segment("a", 8, kind="directional", magnitude=1.0),
+            Segment("a", 2, entry="reoccurring"),
+        ]
+        batches = list(stream_from_schedule(concepts, segments, 200, rng, 2))
+        first_mean = batches[0].x.mean(axis=0)
+        drifted_mean = batches[7].x.mean(axis=0)
+        returned_mean = batches[8].x.mean(axis=0)
+        assert (np.linalg.norm(returned_mean - first_mean)
+                < np.linalg.norm(returned_mean - drifted_mean))
+
+    def test_unknown_concept_raises(self, rng):
+        with pytest.raises(KeyError):
+            stream_from_schedule({}, [Segment("missing", 2)], 8, rng, 2)
+
+    def test_empty_schedule_raises(self, rng):
+        with pytest.raises(ValueError):
+            stream_from_schedule({"a": GaussianMixtureConcept(2, 3, rng)},
+                                 [], 8, rng, 2)
+
+    def test_meta_carries_segment_info(self, rng):
+        concepts = {"a": GaussianMixtureConcept(2, 4, rng)}
+        batches = list(stream_from_schedule(
+            concepts, [Segment("a", 2)], 8, rng, 2
+        ))
+        assert batches[0].meta["concept"] == "a"
+        assert batches[0].meta["segment"] == 0
+
+
+class TestPatternMixSchedule:
+    def test_contains_all_patterns(self, rng):
+        concepts, segments = pattern_mix_schedule(rng)
+        batches = list(stream_from_schedule(concepts, segments, 16, rng, 4))
+        patterns = {b.pattern for b in batches}
+        assert Pattern.SLIGHT in patterns
+        assert Pattern.SUDDEN in patterns
+        assert Pattern.REOCCURRING in patterns
+
+    @given(st.integers(min_value=8, max_value=20))
+    @settings(max_examples=5, deadline=None)
+    def test_total_length_matches_segments(self, segment_length):
+        rng = np.random.default_rng(0)
+        concepts, segments = pattern_mix_schedule(
+            rng, segment_length=segment_length
+        )
+        batches = list(stream_from_schedule(concepts, segments, 4, rng, 4))
+        assert len(batches) == sum(s.num_batches for s in segments)

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end (at reduced scale)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def shrink(module, **overrides):
+    """Reduce an example's workload so the smoke test stays fast."""
+    defaults = {"NUM_BATCHES": 12, "BATCH_SIZE": 64,
+                "CHECKPOINT_EVERY": 3}
+    defaults.update(overrides)
+    for name, value in defaults.items():
+        if hasattr(module, name):
+            setattr(module, name, value)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "network_security",
+    "shift_graph_analysis",
+    "image_stream_cnn",
+    "custom_models_and_scale",
+    "serving_with_checkpoints",
+])
+def test_example_runs(name, capsys):
+    module = shrink(load_example(name))
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_both_frameworks(capsys):
+    module = shrink(load_example("quickstart"), NUM_BATCHES=15)
+    module.main()
+    out = capsys.readouterr().out
+    assert "freewayml" in out
+    assert "streaming-mlp" in out
+    assert "G_acc" in out
+
+
+def test_shift_graph_reports_correlation(capsys):
+    module = shrink(load_example("shift_graph_analysis"), NUM_BATCHES=20,
+                    BATCH_SIZE=128)
+    module.main()
+    out = capsys.readouterr().out
+    assert "corr(shift magnitude, accuracy drop)" in out
+    assert "shift graph:" in out

@@ -1,0 +1,203 @@
+"""Tests for the paper's optional/extension features.
+
+Covers the pre-computing window wired into the granularity ladder
+(Section V-B), the mean+std distribution representation (Section III
+future work), and CEC data segmentation (Section VI-F future work).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoherentExperienceClustering,
+    ExperienceBuffer,
+    GranularityLevel,
+    Learner,
+    MultiGranularityEnsemble,
+)
+from repro.data import ElectricitySimulator
+from repro.models import StreamingLR, StreamingMLP
+from repro.shift import PatternClassifier, ShiftPattern, WarmupPCA
+
+
+def lr_factory():
+    return StreamingLR(num_features=4, num_classes=2, lr=0.3, seed=0)
+
+
+class TestPrecomputeLevel:
+    def _batches(self, rng, count=4, n=32):
+        out = []
+        for _ in range(count):
+            x = rng.normal(size=(n, 4))
+            y = (x[:, 0] > 0).astype(np.int64)
+            out.append((x, y, x.mean(axis=0)[:2]))
+        return out
+
+    def test_matches_aggregated_gradient_update(self, rng):
+        """A precompute level's completion equals one mean-gradient step
+        over the window batches."""
+        batches = self._batches(rng, count=3)
+        level = GranularityLevel(lr_factory(), window_batches=3,
+                                 precompute=True)
+        reference = lr_factory()
+
+        all_x = np.concatenate([x for x, _, _ in batches])
+        all_y = np.concatenate([y for _, y, _ in batches])
+        reference.partial_fit(all_x, all_y)
+
+        for x, y, embedding in batches:
+            level.update(x, y, embedding)
+        for trained, expected in zip(level.model.module.parameters(),
+                                     reference.module.parameters()):
+            np.testing.assert_allclose(trained.data, expected.data,
+                                       atol=1e-12)
+
+    def test_trains_at_window_completion_only(self, rng):
+        level = GranularityLevel(lr_factory(), window_batches=3,
+                                 precompute=True)
+        infos = [level.update(x, y, e)
+                 for x, y, e in self._batches(rng, count=3)]
+        assert [info["trained"] for info in infos] == [False, False, True]
+        assert level.updates == 1
+
+    def test_precompute_rejects_short_level(self):
+        with pytest.raises(ValueError):
+            GranularityLevel(lr_factory(), window_batches=1, precompute=True)
+
+    def test_ensemble_flag_applies_to_window_levels_only(self):
+        ensemble = MultiGranularityEnsemble(lr_factory, window_sizes=(1, 4),
+                                            precompute=True)
+        assert ensemble.short_level._precompute_window is None
+        assert ensemble.long_levels[0]._precompute_window is not None
+
+    def test_learner_with_precompute_runs(self):
+        learner = Learner(
+            lambda: StreamingMLP(num_features=8, num_classes=2, lr=0.3,
+                                 seed=0),
+            window_batches=4, use_precompute=True,
+        )
+        reports = [
+            learner.process(batch)
+            for batch in ElectricitySimulator(seed=1).stream(20, 128)
+        ]
+        assert np.mean([r.accuracy for r in reports[5:]]) > 0.7
+        assert learner.ensemble.long_levels[0].updates >= 3
+
+
+class TestMeanStdRepresentation:
+    def test_embedding_doubles_dimension(self, rng):
+        x = rng.normal(size=(200, 5))
+        mean_pca = WarmupPCA(num_components=2).fit(x)
+        rich_pca = WarmupPCA(num_components=2,
+                             representation="mean-std").fit(x)
+        batch = rng.normal(size=(50, 5))
+        assert mean_pca.batch_embedding(batch).shape == (2,)
+        assert rich_pca.batch_embedding(batch).shape == (4,)
+
+    def test_mean_part_matches_plain_representation(self, rng):
+        x = rng.normal(size=(200, 5))
+        mean_pca = WarmupPCA(num_components=2).fit(x)
+        rich_pca = WarmupPCA(num_components=2,
+                             representation="mean-std").fit(x)
+        batch = rng.normal(size=(50, 5))
+        np.testing.assert_allclose(rich_pca.batch_embedding(batch)[:2],
+                                   mean_pca.batch_embedding(batch))
+
+    def test_detects_variance_collapse(self, rng):
+        """A quieting regime (same mean, much *smaller* spread) shrinks the
+        batch-mean noise, so the mean representation sees nothing — while
+        mean-std sees the std components move."""
+        def drive(representation):
+            clf = PatternClassifier(warmup_points=2,
+                                    representation=representation)
+            rng_local = np.random.default_rng(0)
+            for _ in range(15):
+                clf.assess(rng_local.normal(scale=1.0, size=(256, 6)))
+            return clf.assess(
+                rng_local.normal(scale=0.05, size=(256, 6))
+            ).pattern
+
+        assert drive("mean") is ShiftPattern.SLIGHT
+        assert drive("mean-std") in (ShiftPattern.SUDDEN,
+                                     ShiftPattern.REOCCURRING)
+
+    def test_variance_explosion_detected_more_decisively(self, rng):
+        """Both representations flag a volatility explosion (the inflated
+        batch-mean noise leaks into Eq. 6 too), but mean-std's severity is
+        an order of magnitude stronger."""
+        def severity(representation):
+            clf = PatternClassifier(warmup_points=2,
+                                    representation=representation)
+            rng_local = np.random.default_rng(0)
+            for _ in range(15):
+                clf.assess(rng_local.normal(scale=1.0, size=(256, 6)))
+            return clf.assess(
+                rng_local.normal(scale=6.0, size=(256, 6))
+            ).severity
+
+        assert severity("mean-std") > 5 * severity("mean")
+
+    def test_learner_accepts_representation(self):
+        learner = Learner(lr_factory, representation="mean-std")
+        assert learner.classifier.pca.representation == "mean-std"
+
+    def test_invalid_representation_rejected(self):
+        with pytest.raises(ValueError):
+            WarmupPCA(representation="bogus")
+
+
+class TestSegmentedCEC:
+    def _buffer(self, rng):
+        buffer = ExperienceBuffer(capacity=400, per_batch=200)
+        x = np.concatenate([
+            rng.normal(size=(60, 2)) * 0.3,
+            rng.normal(size=(60, 2)) * 0.3 + 8.0,
+        ])
+        y = np.concatenate([np.zeros(60, dtype=int),
+                            np.ones(60, dtype=int)])
+        buffer.add(x, y)
+        return buffer
+
+    def test_segments_concatenate_full_batch(self, rng):
+        buffer = self._buffer(rng)
+        cec = CoherentExperienceClustering(2, experience_points=60,
+                                           segments=3, seed=0)
+        x = rng.normal(size=(90, 2))
+        result = cec.predict(x, buffer)
+        assert result.labels.shape == (90,)
+        assert result.proba.shape == (90, 2)
+
+    def test_single_segment_equals_default(self, rng):
+        buffer = self._buffer(rng)
+        x = rng.normal(size=(60, 2))
+        plain = CoherentExperienceClustering(2, experience_points=60,
+                                             seed=0).predict(x, buffer)
+        one_segment = CoherentExperienceClustering(
+            2, experience_points=60, segments=1, seed=0
+        ).predict(x, buffer)
+        np.testing.assert_array_equal(plain.labels, one_segment.labels)
+
+    def test_tiny_batch_falls_back_to_unsegmented(self, rng):
+        buffer = self._buffer(rng)
+        cec = CoherentExperienceClustering(2, experience_points=60,
+                                           segments=8, seed=0)
+        result = cec.predict(rng.normal(size=(6, 2)), buffer)
+        assert result.labels.shape == (6,)
+
+    def test_segmentation_handles_mid_batch_shift(self, rng):
+        """A batch whose halves come from different regions is labeled
+        correctly per segment."""
+        buffer = self._buffer(rng)
+        x = np.concatenate([
+            rng.normal(size=(40, 2)) * 0.3,        # region of class 0
+            rng.normal(size=(40, 2)) * 0.3 + 8.0,  # region of class 1
+        ])
+        y_true = np.concatenate([np.zeros(40), np.ones(40)])
+        cec = CoherentExperienceClustering(2, experience_points=120,
+                                           segments=2, seed=0)
+        result = cec.predict(x, buffer)
+        assert (result.labels == y_true).mean() > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoherentExperienceClustering(2, segments=0)

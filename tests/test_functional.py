@@ -1,0 +1,246 @@
+"""Tests for neural-network ops (repro.nn.functional)."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from conftest import numeric_gradient
+
+
+class TestLinear:
+    def test_matches_manual_affine(self, rng):
+        x = rng.normal(size=(5, 3))
+        w = rng.normal(size=(4, 3))
+        b = rng.normal(size=4)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b)
+
+    def test_no_bias(self, rng):
+        x = rng.normal(size=(2, 3))
+        w = rng.normal(size=(4, 3))
+        out = F.linear(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, x @ w.T)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(6, 4)) * 10)
+        probs = F.softmax(logits).data
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(6), atol=1e-12)
+        assert (probs >= 0).all()
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        p1 = F.softmax(Tensor(logits)).data
+        p2 = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        out = F.log_softmax(Tensor([[1000.0, 0.0]])).data
+        assert np.isfinite(out).all()
+
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor([[100.0, 0.0], [0.0, 100.0]])
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_uniform_is_log_c(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3), rel=1e-9)
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits_data = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 1])
+        logits = Tensor(logits_data.copy(), requires_grad=True)
+        F.cross_entropy(logits, labels).backward()
+        numeric = numeric_gradient(
+            lambda: F.cross_entropy(Tensor(logits_data), labels).item(),
+            logits_data,
+        )
+        np.testing.assert_allclose(logits.grad, numeric, atol=1e-6)
+
+    def test_nll_loss_matches_cross_entropy(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        ce = F.cross_entropy(Tensor(logits), labels).item()
+        nll = F.nll_loss(F.log_softmax(Tensor(logits)), labels).item()
+        assert ce == pytest.approx(nll, rel=1e-12)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        out = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([-1]), 3)
+
+
+class TestOtherLosses:
+    def test_mse_loss(self):
+        loss = F.mse_loss(Tensor([1.0, 3.0]), np.array([1.0, 1.0]))
+        assert loss.item() == pytest.approx(2.0)
+
+    def test_mse_gradcheck(self, rng):
+        pred_data = rng.normal(size=6)
+        target = rng.normal(size=6)
+        pred = Tensor(pred_data.copy(), requires_grad=True)
+        F.mse_loss(pred, target).backward()
+        numeric = numeric_gradient(
+            lambda: F.mse_loss(Tensor(pred_data), target).item(), pred_data
+        )
+        np.testing.assert_allclose(pred.grad, numeric, atol=1e-6)
+
+    def test_bce_with_logits_matches_manual(self, rng):
+        logits = rng.normal(size=8)
+        target = (rng.random(8) > 0.5).astype(float)
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor(logits), target
+        ).item()
+        p = 1.0 / (1.0 + np.exp(-logits))
+        manual = -(target * np.log(p) + (1 - target) * np.log(1 - p)).mean()
+        assert loss == pytest.approx(manual, rel=1e-9)
+
+    def test_bce_stable_extreme_logits(self):
+        loss = F.binary_cross_entropy_with_logits(
+            Tensor([1000.0, -1000.0]), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss.item())
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False, rng=rng)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_scales_survivors(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng).data
+        survivors = out[out > 0]
+        np.testing.assert_allclose(survivors, 2.0)
+        assert abs((out > 0).mean() - 0.5) < 0.05
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), 1.0, training=True, rng=rng)
+
+
+class TestConv2d:
+    def test_matches_scipy_correlate(self, rng):
+        x = rng.normal(size=(1, 1, 6, 6))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w)).data
+        expected = correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out[0, 0], expected, atol=1e-10)
+
+    def test_padding_keeps_size(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)))
+        out = F.conv2d(x, w, padding=1)
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_stride(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)))
+        w = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        out = F.conv2d(x, w, stride=2)
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_rectangular_kernel_1d_style(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 1, 10)))
+        w = Tensor(rng.normal(size=(5, 1, 1, 3)))
+        out = F.conv2d(x, w, padding=(0, 1))
+        assert out.shape == (2, 5, 1, 10)
+
+    def test_bias_added_per_channel(self, rng):
+        x = Tensor(np.zeros((1, 1, 4, 4)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        b = Tensor(np.array([1.0, -2.0]))
+        out = F.conv2d(x, w, b).data
+        np.testing.assert_allclose(out[0, 0], 1.0)
+        np.testing.assert_allclose(out[0, 1], -2.0)
+
+    def test_channel_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))),
+                     Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((4, 4))), Tensor(np.zeros((1, 1, 3, 3))))
+
+    def test_empty_output_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 1, 2, 2))),
+                     Tensor(np.zeros((1, 1, 5, 5))))
+
+    def test_input_gradcheck(self, rng):
+        x_data = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        b = rng.normal(size=3)
+        x = Tensor(x_data.copy(), requires_grad=True)
+        F.conv2d(x, Tensor(w), Tensor(b), padding=1).sum().backward()
+        numeric = numeric_gradient(
+            lambda: F.conv2d(Tensor(x_data), Tensor(w), Tensor(b),
+                             padding=1).sum().item(),
+            x_data,
+        )
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+    def test_weight_and_bias_gradcheck(self, rng):
+        x = rng.normal(size=(2, 1, 4, 4))
+        w_data = rng.normal(size=(2, 1, 2, 2))
+        b_data = rng.normal(size=2)
+        w = Tensor(w_data.copy(), requires_grad=True)
+        b = Tensor(b_data.copy(), requires_grad=True)
+        F.conv2d(Tensor(x), w, b, stride=2).sum().backward()
+        numeric_w = numeric_gradient(
+            lambda: F.conv2d(Tensor(x), Tensor(w_data), Tensor(b_data),
+                             stride=2).sum().item(),
+            w_data,
+        )
+        numeric_b = numeric_gradient(
+            lambda: F.conv2d(Tensor(x), Tensor(w_data), Tensor(b_data),
+                             stride=2).sum().item(),
+            b_data,
+        )
+        np.testing.assert_allclose(w.grad, numeric_w, atol=1e-5)
+        np.testing.assert_allclose(b.grad, numeric_b, atol=1e-5)
+
+
+class TestMaxPool2d:
+    def test_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_rectangular_window(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 1, 8)))
+        out = F.max_pool2d(x, (1, 2))
+        assert out.shape == (2, 3, 1, 4)
+
+    def test_gradient_routes_to_max(self):
+        x_data = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        x = Tensor(x_data.copy(), requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(
+            x.grad, [[[[0.0, 0.0], [0.0, 1.0]]]]
+        )
+
+    def test_gradcheck(self, rng):
+        x_data = rng.normal(size=(2, 2, 4, 4))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        (F.max_pool2d(x, 2) * 2.0).sum().backward()
+        numeric = numeric_gradient(
+            lambda: (F.max_pool2d(Tensor(x_data), 2) * 2.0).sum().item(),
+            x_data,
+        )
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)

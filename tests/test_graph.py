@@ -1,0 +1,94 @@
+"""Tests for the shift graph (repro.shift.graph, Figure 2)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.shift import ShiftGraph
+
+
+def feed(graph, rng, centers, accuracies=None, n=64, d=5):
+    for position, center in enumerate(centers):
+        accuracy = accuracies[position] if accuracies else None
+        graph.observe(rng.normal(size=(n, d)) + center, accuracy=accuracy)
+
+
+class TestConstruction:
+    def test_warmup_batches_replayed(self, rng):
+        graph = ShiftGraph(warmup_points=150)
+        feed(graph, rng, [0.0, 0.0, 0.0])  # 192 points total
+        # All three batches present once PCA fitted mid-way.
+        assert len(graph) == 3
+        assert graph.points.shape == (3, 2)
+
+    def test_points_accumulate(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0] * 7)
+        assert len(graph) == 7
+
+    def test_empty_graph(self):
+        graph = ShiftGraph()
+        assert graph.points.shape == (0, 2)
+        assert graph.shift_magnitudes.size == 0
+
+
+class TestShiftMagnitudes:
+    def test_edge_count(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0, 1.0, 2.0, 3.0])
+        assert len(graph.shift_magnitudes) == 3
+
+    def test_big_jump_has_big_edge(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0, 0.1, 0.2, 10.0])
+        magnitudes = graph.shift_magnitudes
+        assert magnitudes[-1] > 5 * magnitudes[:-1].max()
+
+
+class TestAccuracyCorrelation:
+    def test_positive_correlation_when_shifts_cause_drops(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        centers = [0.0, 0.1, 5.0, 5.1, 10.0, 10.1, 15.0]
+        # Accuracy drops right after each big jump.
+        accuracies = [0.9, 0.9, 0.5, 0.88, 0.5, 0.87, 0.5]
+        feed(graph, rng, centers, accuracies)
+        correlation = graph.accuracy_shift_correlation()
+        assert correlation is not None
+        assert correlation > 0.5
+
+    def test_none_with_too_few_annotations(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0, 1.0], accuracies=[0.9, 0.8])
+        assert graph.accuracy_shift_correlation() is None
+
+    def test_none_when_accuracy_constant(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0, 1.0, 2.0, 3.0, 4.0],
+             accuracies=[0.9] * 5)
+        assert graph.accuracy_shift_correlation() is None
+
+    def test_accuracies_aligned_with_points(self, rng):
+        graph = ShiftGraph(warmup_points=150)
+        feed(graph, rng, [0.0, 1.0, 2.0], accuracies=[0.7, 0.8, 0.9])
+        assert graph.accuracies == [0.7, 0.8, 0.9]
+
+
+class TestNetworkxExport:
+    def test_chain_topology(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0, 1.0, 2.0, 3.0])
+        g = graph.to_networkx()
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == 3
+        assert list(g.successors(0)) == [1]
+
+    def test_attributes(self, rng):
+        graph = ShiftGraph(warmup_points=10)
+        feed(graph, rng, [0.0, 5.0], accuracies=[0.9, 0.4])
+        g = graph.to_networkx()
+        assert "pos" in g.nodes[0]
+        assert g.nodes[1]["accuracy"] == 0.4
+        assert g.edges[0, 1]["shift"] == pytest.approx(
+            graph.shift_magnitudes[0]
+        )

@@ -1,0 +1,122 @@
+"""Tests for synthetic image streams (repro.data.images)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    IMAGE_REGISTRY,
+    AnimalsStream,
+    FlowersStream,
+    ImageConcept,
+    Pattern,
+    RandomProjectionFeaturizer,
+)
+
+
+class TestImageConcept:
+    def test_sample_shapes(self, rng):
+        concept = ImageConcept(4, rng, size=12, channels=1)
+        x, y = concept.sample(rng, 16)
+        assert x.shape == (16, 1, 12, 12)
+        assert set(np.unique(y)) <= set(range(4))
+
+    def test_multi_channel(self, rng):
+        concept = ImageConcept(3, rng, size=8, channels=3)
+        x, _ = concept.sample(rng, 4)
+        assert x.shape == (4, 3, 8, 8)
+        # Channels are replicated copies of the same rendering.
+        np.testing.assert_array_equal(x[:, 0], x[:, 1])
+
+    def test_classes_are_distinguishable(self, rng):
+        concept = ImageConcept(3, rng, size=16, noise=0.05)
+        x, y = concept.sample(rng, 300)
+        flat = x.reshape(len(x), -1)
+        prototypes = np.stack([
+            flat[y == label].mean(axis=0) for label in range(3)
+        ])
+        distances = np.linalg.norm(
+            flat[:, None, :] - prototypes[None], axis=2
+        )
+        accuracy = (distances.argmin(axis=1) == y).mean()
+        assert accuracy > 0.9
+
+    def test_drift_moves_centres_within_bounds(self, rng):
+        concept = ImageConcept(2, rng, size=10)
+        before = concept.centres.copy()
+        for _ in range(100):
+            concept.drift(rng, 0.5)
+        assert not np.allclose(concept.centres, before)
+        assert concept.centres.min() >= 1.0
+        assert concept.centres.max() <= 9.0
+
+    def test_clone_independent(self, rng):
+        concept = ImageConcept(2, rng)
+        frozen = concept.clone()
+        concept.jitter(rng, 2.0)
+        assert not np.allclose(frozen.centres, concept.centres)
+
+    def test_num_features(self, rng):
+        concept = ImageConcept(2, rng, size=16, channels=1)
+        assert concept.num_features == 256
+
+
+@pytest.mark.parametrize("stream_cls,classes", [(AnimalsStream, 4),
+                                                (FlowersStream, 5)])
+class TestImageStreams:
+    def test_shapes_and_patterns(self, stream_cls, classes):
+        stream = stream_cls(seed=0)
+        batches = stream.stream(40, batch_size=16).materialize()
+        assert len(batches) == 40
+        assert batches[0].x.shape == (16, 1, 16, 16)
+        assert batches[0].y.max() < classes
+        patterns = {b.pattern for b in batches}
+        assert Pattern.SUDDEN in patterns
+        assert Pattern.REOCCURRING in patterns
+
+    def test_deterministic(self, stream_cls, classes):
+        a = stream_cls(seed=2).stream(5, 8).materialize()
+        b = stream_cls(seed=2).stream(5, 8).materialize()
+        np.testing.assert_array_equal(a[3].x, b[3].x)
+
+
+class TestRandomProjectionFeaturizer:
+    def test_output_shape(self):
+        featurizer = RandomProjectionFeaturizer(256, 64, seed=0)
+        out = featurizer(np.zeros((10, 1, 16, 16)))
+        assert out.shape == (10, 64)
+
+    def test_nonnegative_relu_output(self, rng):
+        featurizer = RandomProjectionFeaturizer(64, 32, seed=0)
+        out = featurizer(rng.normal(size=(20, 64)))
+        assert (out >= 0).all()
+        assert (out > 0).any()
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(5, 64))
+        a = RandomProjectionFeaturizer(64, 32, seed=1)(x)
+        b = RandomProjectionFeaturizer(64, 32, seed=1)(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_preserves_class_separability(self, rng):
+        concept = ImageConcept(3, rng, size=16, noise=0.05)
+        x, y = concept.sample(rng, 300)
+        featurizer = RandomProjectionFeaturizer(256, 64, seed=0)
+        features = featurizer(x)
+        prototypes = np.stack([
+            features[y == label].mean(axis=0) for label in range(3)
+        ])
+        distances = np.linalg.norm(
+            features[:, None, :] - prototypes[None], axis=2
+        )
+        assert (distances.argmin(axis=1) == y).mean() > 0.85
+
+    def test_dimension_mismatch_raises(self):
+        featurizer = RandomProjectionFeaturizer(64, 32)
+        with pytest.raises(ValueError):
+            featurizer(np.zeros((3, 100)))
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(IMAGE_REGISTRY) == {"animals", "flowers"}
+        assert IMAGE_REGISTRY["animals"] is AnimalsStream

@@ -1,0 +1,70 @@
+"""Tests for weight initializers (repro.nn.init)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        fan_in, fan_out = init.fan_in_and_out((8, 3))
+        assert fan_in == 3
+        assert fan_out == 8
+
+    def test_conv_shape_includes_receptive_field(self):
+        fan_in, fan_out = init.fan_in_and_out((16, 4, 3, 3))
+        assert fan_in == 4 * 9
+        assert fan_out == 16 * 9
+
+    def test_vector_rejected(self):
+        with pytest.raises(ValueError):
+            init.fan_in_and_out((5,))
+
+
+class TestKaimingUniform:
+    def test_bound_formula(self, rng):
+        shape = (64, 32)
+        values = init.kaiming_uniform(shape, rng)
+        gain = math.sqrt(2.0 / (1.0 + 5.0))
+        bound = gain * math.sqrt(3.0 / 32)
+        assert values.min() >= -bound
+        assert values.max() <= bound
+        # Nearly fills the bound on a large sample.
+        assert values.max() > 0.8 * bound
+
+    def test_deterministic_per_seed(self):
+        a = init.kaiming_uniform((4, 4), np.random.default_rng(3))
+        b = init.kaiming_uniform((4, 4), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestXavierUniform:
+    def test_bound_formula(self, rng):
+        values = init.xavier_uniform((50, 30), rng)
+        bound = math.sqrt(6.0 / 80)
+        assert np.abs(values).max() <= bound
+
+    def test_gain_scales(self, rng):
+        small = init.xavier_uniform((100, 100),
+                                    np.random.default_rng(0), gain=1.0)
+        large = init.xavier_uniform((100, 100),
+                                    np.random.default_rng(0), gain=2.0)
+        np.testing.assert_allclose(large, 2.0 * small)
+
+
+class TestOthers:
+    def test_uniform_range(self, rng):
+        values = init.uniform((1000,), rng, -2.0, 5.0)
+        assert values.min() >= -2.0
+        assert values.max() < 5.0
+
+    def test_normal_moments(self, rng):
+        values = init.normal((20000,), rng, mean=1.0, std=2.0)
+        assert abs(values.mean() - 1.0) < 0.1
+        assert abs(values.std() - 2.0) < 0.1
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 2)), np.zeros((3, 2)))

@@ -1,0 +1,138 @@
+"""Tests for CSV/array stream loading (repro.data.io)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_csv, stream_from_arrays, stream_from_csv
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "f1,f2,label\n"
+        "1.0,2.0,0\n"
+        "3.0,4.0,1\n"
+        "5.0,6.0,0\n"
+        "7.0,8.0,1\n"
+    )
+    return path
+
+
+class TestLoadCsv:
+    def test_basic(self, csv_file):
+        x, y = load_csv(csv_file)
+        np.testing.assert_allclose(x, [[1, 2], [3, 4], [5, 6], [7, 8]])
+        np.testing.assert_array_equal(y, [0, 1, 0, 1])
+        assert y.dtype == np.int64
+
+    def test_label_column_by_name(self, tmp_path):
+        path = tmp_path / "named.csv"
+        path.write_text("label,a,b\n1,10,20\n0,30,40\n")
+        x, y = load_csv(path, label_column="label")
+        np.testing.assert_allclose(x, [[10, 20], [30, 40]])
+        np.testing.assert_array_equal(y, [1, 0])
+
+    def test_label_column_by_index(self, tmp_path):
+        path = tmp_path / "indexed.csv"
+        path.write_text("5,10,1\n6,11,0\n")
+        x, y = load_csv(path, label_column=0)
+        np.testing.assert_allclose(x, [[10, 1], [11, 0]])
+        # Sparse numeric labels (5, 6) are densified by first appearance.
+        np.testing.assert_array_equal(y, [0, 1])
+
+    def test_header_sniffing(self, tmp_path):
+        headerless = tmp_path / "no_header.csv"
+        headerless.write_text("1.0,2.0,0\n3.0,4.0,1\n")
+        x, _ = load_csv(headerless)
+        assert len(x) == 2  # first row treated as data
+
+    def test_string_labels_coded_in_order(self, tmp_path):
+        path = tmp_path / "strings.csv"
+        path.write_text("f,label\n1,cat\n2,dog\n3,cat\n4,bird\n")
+        _, y = load_csv(path)
+        np.testing.assert_array_equal(y, [0, 1, 0, 2])
+
+    def test_order_preserved(self, tmp_path):
+        path = tmp_path / "ordered.csv"
+        rows = "\n".join(f"{i}.0,{i % 3}" for i in range(50))
+        path.write_text(rows + "\n")
+        x, _ = load_csv(path)
+        np.testing.assert_allclose(x.ravel(), np.arange(50, dtype=float))
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("1,2,0\n1,2,3,0\n")
+        with pytest.raises(ValueError, match="fields"):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no data"):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header_only.csv"
+        path.write_text("a,b,label\n")
+        with pytest.raises(ValueError, match="no data"):
+            load_csv(path)
+
+    def test_name_without_header_rejected(self, tmp_path):
+        path = tmp_path / "nh.csv"
+        path.write_text("1,2,0\n")
+        with pytest.raises(ValueError, match="no header"):
+            load_csv(path, label_column="label", has_header=False)
+
+    def test_unknown_column_name(self, csv_file):
+        with pytest.raises(ValueError, match="no column named"):
+            load_csv(csv_file, label_column="bogus")
+
+    def test_fractional_labels_rejected(self, tmp_path):
+        path = tmp_path / "frac.csv"
+        path.write_text("1.0,0.5\n2.0,1.5\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            load_csv(path)
+
+    def test_negative_labels_shifted(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("1.0,-1\n2.0,1\n")
+        _, y = load_csv(path)
+        assert y.min() == 0
+
+
+class TestStreams:
+    def test_stream_from_csv(self, csv_file):
+        stream = stream_from_csv(csv_file, batch_size=2)
+        batches = stream.materialize()
+        assert len(batches) == 2
+        assert stream.num_features == 2
+        assert stream.num_classes == 2
+        np.testing.assert_allclose(batches[0].x, [[1, 2], [3, 4]])
+
+    def test_stream_from_arrays_keeps_partial_batch(self, rng):
+        x = rng.normal(size=(10, 3))
+        y = rng.integers(0, 2, size=10)
+        batches = stream_from_arrays(x, y, batch_size=4).materialize()
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_learner_runs_on_csv_stream(self, tmp_path, rng):
+        # End-to-end: user CSV -> stream -> FreewayML.
+        x = rng.normal(size=(400, 4))
+        y = (x[:, 0] > 0).astype(int)
+        lines = [",".join(f"{v:.4f}" for v in row) + f",{label}"
+                 for row, label in zip(x, y)]
+        path = tmp_path / "user.csv"
+        path.write_text("\n".join(lines) + "\n")
+
+        from repro.core import Learner
+        from repro.models import StreamingLR
+        learner = Learner(
+            lambda: StreamingLR(num_features=4, num_classes=2, lr=0.5,
+                                seed=0),
+            window_batches=4,
+        )
+        reports = [learner.process(batch)
+                   for batch in stream_from_csv(path, batch_size=50)]
+        assert len(reports) == 8
+        assert np.mean([r.accuracy for r in reports[2:]]) > 0.7

@@ -1,0 +1,131 @@
+"""Tests for historical knowledge reuse (repro.core.knowledge)."""
+
+import numpy as np
+import pytest
+
+from repro.core import KnowledgeStore
+from repro.models import StreamingLR
+
+
+def state(seed=0):
+    return StreamingLR(num_features=4, num_classes=2, seed=seed).state_dict()
+
+
+class TestPreserve:
+    def test_preserve_and_len(self):
+        store = KnowledgeStore(capacity=5)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 10)
+        assert len(store) == 1
+        assert store.preserved_total == 1
+
+    def test_preserved_state_is_a_copy(self):
+        store = KnowledgeStore()
+        original = state()
+        entry = store.preserve(np.zeros(2), original, "long", 0.5, 1)
+        original["weight"][:] = 0.0
+        assert not (entry.state["weight"] == 0).all()
+
+    def test_nbytes_per_entry(self):
+        store = KnowledgeStore()
+        entry = store.preserve(np.zeros(2), state(), "long", 0.5, 1)
+        assert entry.nbytes == (4 * 2 + 2) * 8
+
+    def test_total_nbytes_scales_linearly(self):
+        store = KnowledgeStore(capacity=100)
+        for i in range(10):
+            store.preserve(np.zeros(2), state(), "long", 0.5, i)
+        assert store.total_nbytes() == 10 * (4 * 2 + 2) * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgeStore(capacity=0)
+        with pytest.raises(ValueError):
+            KnowledgeStore(beta=1.5)
+
+
+class TestDisorderGatedPreservation:
+    def test_high_disorder_preserves_long_only(self):
+        store = KnowledgeStore(beta=0.35)
+        entries = store.preserve_at_window_end(
+            disorder=0.8, long_embedding=np.zeros(2), long_state=state(),
+            short_embedding=np.ones(2), short_state=state(1), batch_index=5,
+        )
+        assert [entry.model_kind for entry in entries] == ["long"]
+
+    def test_low_disorder_preserves_both(self):
+        store = KnowledgeStore(beta=0.35)
+        entries = store.preserve_at_window_end(
+            disorder=0.1, long_embedding=np.zeros(2), long_state=state(),
+            short_embedding=np.ones(2), short_state=state(1), batch_index=5,
+        )
+        assert [entry.model_kind for entry in entries] == ["long", "short"]
+
+    def test_low_disorder_untrained_short_skipped(self):
+        store = KnowledgeStore(beta=0.35)
+        entries = store.preserve_at_window_end(
+            disorder=0.1, long_embedding=np.zeros(2), long_state=state(),
+            short_embedding=np.ones(2), short_state=None, batch_index=5,
+        )
+        assert [entry.model_kind for entry in entries] == ["long"]
+
+
+class TestOverflow:
+    def test_evicts_older_half(self):
+        store = KnowledgeStore(capacity=4)
+        for i in range(5):
+            store.preserve(np.full(2, float(i)), state(), "long", 0.5, i)
+        assert len(store) <= 4
+        remaining = [entry.batch_index for entry in store.entries]
+        assert 0 not in remaining  # oldest evicted
+        assert 4 in remaining
+        assert store.spilled_total > 0
+
+    def test_spill_writes_checkpoints(self, tmp_path):
+        store = KnowledgeStore(capacity=2, spill_dir=tmp_path / "spill")
+        for i in range(3):
+            store.preserve(np.zeros(2), state(), "long", 0.5, i)
+        spilled = list((tmp_path / "spill").glob("*.npz"))
+        assert len(spilled) >= 1
+
+    def test_spilled_checkpoint_loads(self, tmp_path):
+        from repro.nn.serialization import load_state_dict
+        store = KnowledgeStore(capacity=2, spill_dir=tmp_path)
+        reference = state(7)
+        store.preserve(np.zeros(2), reference, "short", 0.1, 0)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 1)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 2)
+        restored = load_state_dict(tmp_path / "knowledge-00000000-short.npz")
+        np.testing.assert_array_equal(restored["weight"],
+                                      reference["weight"])
+
+
+class TestMatch:
+    def test_nearest_entry_wins(self):
+        store = KnowledgeStore(capacity=10)
+        store.preserve(np.array([0.0, 0.0]), state(0), "long", 0.5, 0)
+        store.preserve(np.array([5.0, 5.0]), state(1), "long", 0.5, 1)
+        match = store.match(np.array([4.5, 5.0]))
+        assert match.entry.batch_index == 1
+        assert match.distance == pytest.approx(0.5)
+
+    def test_current_shift_gate(self):
+        store = KnowledgeStore(capacity=10)
+        store.preserve(np.array([3.0, 0.0]), state(), "long", 0.5, 0)
+        # Nearest entry at distance 3; current shift only 1 -> no reuse.
+        assert store.match(np.zeros(2), current_shift=1.0) is None
+        # Current shift 10 -> the entry is closer, reuse applies.
+        assert store.match(np.zeros(2), current_shift=10.0) is not None
+
+    def test_empty_store_returns_none(self):
+        assert KnowledgeStore().match(np.zeros(2)) is None
+
+    def test_matched_state_restores_model(self, blob_data):
+        x, y = blob_data
+        trained = StreamingLR(num_features=4, num_classes=2, lr=0.5, seed=0)
+        for _ in range(30):
+            trained.partial_fit(x, y)
+        store = KnowledgeStore()
+        store.preserve(np.zeros(2), trained.state_dict(), "short", 0.1, 0)
+        fresh = StreamingLR(num_features=4, num_classes=2, seed=9)
+        fresh.load_state_dict(store.match(np.zeros(2)).entry.state)
+        assert (fresh.predict(x) == y).mean() > 0.95

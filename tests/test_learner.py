@@ -1,0 +1,272 @@
+"""Tests for the FreewayML Learner facade (repro.core.learner)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Learner, RateAwareAdjuster, Strategy
+from repro.data import Batch, NSLKDDSimulator, Pattern
+from repro.models import StreamingLR, StreamingMLP
+
+
+def lr_factory():
+    return StreamingLR(num_features=6, num_classes=3, lr=0.3, seed=0)
+
+
+def gaussian_stream(rng, centers, per_center=8, n=64, d=6, classes=3):
+    """Batches hopping between Gaussian concepts; labels = nearest anchor."""
+    anchors = rng.normal(size=(classes, d)) * 4.0
+    index = 0
+    for center in centers:
+        for _ in range(per_center):
+            x = rng.normal(size=(n, d)) + center
+            distances = np.linalg.norm(
+                x[:, None, :] - anchors[None], axis=2
+            )
+            y = distances.argmin(axis=1)
+            yield Batch(x, y, index=index)
+            index += 1
+
+
+class TestConstruction:
+    def test_basic(self):
+        learner = Learner(lr_factory)
+        assert learner.num_classes == 3
+        assert len(learner.ensemble.levels) == 2
+
+    def test_model_ladder(self):
+        learner = Learner(lr_factory, num_models=3, window_batches=4)
+        sizes = [level.window_batches for level in learner.ensemble.levels]
+        assert sizes == [1, 4, 16]
+
+    def test_rejects_non_streaming_model(self):
+        with pytest.raises(TypeError):
+            Learner(lambda: object())
+
+    def test_rejects_bad_num_models(self):
+        with pytest.raises(ValueError):
+            Learner(lr_factory, num_models=0)
+
+    def test_from_paper_config_with_template(self):
+        template = StreamingLR(num_features=6, num_classes=3, seed=1)
+        learner = Learner.from_paper_config(
+            Model=template, ModelNum=2, MiniBatch=1024,
+            KdgBuffer=15, ExpBuffer=7, alpha=2.5,
+        )
+        assert learner.knowledge.capacity == 15
+        assert learner.experience.expiration == 7
+        assert learner.classifier.alpha == 2.5
+
+    def test_from_paper_config_with_factory(self):
+        learner = Learner.from_paper_config(Model=lr_factory)
+        assert learner.num_classes == 3
+
+
+class TestProcessReports:
+    def test_report_fields(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        batch = next(gaussian_stream(rng, [0.0]))
+        report = learner.process(batch)
+        assert report.index == 0
+        assert report.num_items == 64
+        assert report.accuracy is not None
+        assert report.loss is not None
+        assert report.predict_seconds >= 0
+        assert report.update_seconds >= 0
+
+    def test_unlabeled_batch_inference_only(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        labeled = next(gaussian_stream(rng, [0.0]))
+        learner.process(labeled)
+        report = learner.process(labeled.without_labels())
+        assert report.accuracy is None
+        assert report.loss is None
+
+    def test_accuracy_improves_on_stationary_stream(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, [0.0], per_center=30)]
+        early = np.mean([r.accuracy for r in reports[1:6]])
+        late = np.mean([r.accuracy for r in reports[-5:]])
+        assert late > early
+
+    def test_run_with_max_batches(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        reports = learner.run(gaussian_stream(rng, [0.0], per_center=20),
+                              max_batches=5)
+        assert len(reports) == 5
+
+
+class TestStrategyRouting:
+    def test_slight_stream_uses_ensemble(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, [0.0], per_center=15)]
+        strategies = {r.strategy for r in reports}
+        assert strategies == {Strategy.MULTI_GRANULARITY.value}
+
+    def test_sudden_shift_triggers_cec(self, rng):
+        learner = Learner(lr_factory, window_batches=4,
+                          use_confidence_channel=False)
+        centers = [np.zeros(6), np.full(6, 25.0)]
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, centers, per_center=12)]
+        boundary = reports[12]
+        assert boundary.pattern == "sudden"
+        assert boundary.strategy == Strategy.CEC.value
+
+    def test_reoccurring_shift_reuses_knowledge(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        centers = [np.zeros(6), np.full(6, 25.0), np.zeros(6)]
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, centers, per_center=12)]
+        boundary = reports[24]
+        assert boundary.pattern == "reoccurring"
+        assert boundary.strategy == Strategy.KNOWLEDGE_REUSE.value
+        assert boundary.reused_batch is not None
+
+    def test_knowledge_accumulates(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        for b in gaussian_stream(rng, [0.0], per_center=20):
+            learner.process(b)
+        assert len(learner.knowledge) > 0
+
+    def test_confidence_channel_catches_concept_only_drift(self, rng):
+        """P(x) constant, P(y|x) flips: only the confidence channel can see
+        this (the paper's distribution detector is blind to it)."""
+        anchors = np.random.default_rng(0).normal(size=(3, 6)) * 4.0
+
+        def batch(flip, index):
+            x = rng.normal(size=(64, 6))
+            distances = np.linalg.norm(x[:, None, :] - anchors[None], axis=2)
+            y = distances.argmin(axis=1)
+            if flip:
+                y = (y + 1) % 3
+            return Batch(x, y, index=index)
+
+        learner = Learner(lr_factory, window_batches=4)
+        patterns = []
+        strategies = []
+        for i in range(30):
+            report = learner.process(batch(i >= 20, i))
+            patterns.append(report.pattern)
+            strategies.append(report.strategy)
+        # The error channel needs one labeled batch to see the flip, so the
+        # alert fires from batch 21 on.
+        assert "sudden" in patterns[21:25]
+        assert Strategy.CEC.value in strategies[21:25]
+
+    def test_confidence_channel_disabled(self, rng):
+        learner = Learner(lr_factory, use_confidence_channel=False)
+        batch = next(gaussian_stream(rng, [0.0]))
+        learner.process(batch)
+        # The tracker exists but must never fire.
+        assert learner._confidence is not None
+        report = learner.process(batch)
+        assert report.pattern in ("slight", "warmup")
+
+
+class TestWarmStartVerification:
+    def test_spurious_match_cannot_poison_resident_models(self, rng):
+        """Warm start happens only after *labeled* verification at update
+        time, so garbage knowledge matching by distance never replaces a
+        better resident model."""
+        learner = Learner(lr_factory, window_batches=4)
+        batches = list(gaussian_stream(rng, [0.0], per_center=20))
+        for b in batches[:-1]:
+            learner.process(b)
+        final = batches[-1]
+        resident_accuracy = (
+            learner.ensemble.short_level.model.predict(final.x) == final.y
+        ).mean()
+        assert resident_accuracy > 0.6  # resident model is competent
+        # Poison the store with garbage weights at the current embedding.
+        template = learner.ensemble.short_level.model.state_dict()
+        garbage = {name: np.zeros_like(value)
+                   for name, value in template.items()}
+        embedding = learner.classifier.pca.batch_embedding(final.x)
+        learner.knowledge.preserve(embedding, garbage, "short", 0.1, 99)
+        learner.process(final)  # predict (may trust the match) + update
+        after = (
+            learner.ensemble.short_level.model.predict(final.x) == final.y
+        ).mean()
+        assert after > 0.6  # garbage was rejected by labeled verification
+
+    def test_genuine_match_is_adopted(self, rng):
+        """Knowledge that beats the resident model on the labeled batch
+        replaces all granularity levels."""
+        learner = Learner(lr_factory, window_batches=4)
+        centers = [np.zeros(6), np.full(6, 25.0), np.zeros(6)]
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, centers, per_center=12)]
+        boundary = reports[24]
+        assert boundary.strategy == Strategy.KNOWLEDGE_REUSE.value
+        # Post-reuse accuracy recovers immediately (warm start adopted).
+        post = np.mean([r.accuracy for r in reports[25:29]])
+        assert post > 0.8
+
+
+class TestRateAdjusterIntegration:
+    def test_throttled_batches_skip_inference(self, rng):
+        adjuster = RateAwareAdjuster(high_rate=None)
+        adjuster.inference_stride = 2  # force throttling
+
+        # Disable further adjustment by keeping high_rate None.
+        learner = Learner(lr_factory, window_batches=4, adjuster=adjuster)
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, [0.0], per_center=6)]
+        skipped = [r.skipped_inference for r in reports]
+        assert skipped == [False, True] * 3
+
+    def test_skipped_batches_still_train(self, rng):
+        adjuster = RateAwareAdjuster(high_rate=None)
+        adjuster.inference_stride = 2
+        learner = Learner(lr_factory, window_batches=4, adjuster=adjuster)
+        reports = [learner.process(b)
+                   for b in gaussian_stream(rng, [0.0], per_center=6)]
+        assert all(r.loss is not None for r in reports)
+
+
+class TestEndToEnd:
+    def test_beats_plain_model_on_reoccurring_workload(self):
+        """The headline reproduction check at unit-test scale."""
+        generator = NSLKDDSimulator(seed=3)
+        batches = generator.stream(80, batch_size=128).materialize()
+
+        def factory():
+            return StreamingMLP(num_features=20, num_classes=5,
+                                lr=0.3, seed=0)
+
+        plain = factory()
+        plain_accs = []
+        for batch in batches:
+            plain_accs.append((plain.predict(batch.x) == batch.y).mean())
+            plain.partial_fit(batch.x, batch.y)
+
+        learner = Learner(factory, window_batches=8, seed=0)
+        freeway_accs = [learner.process(batch).accuracy for batch in batches]
+
+        assert np.mean(freeway_accs) > np.mean(plain_accs)
+
+    def test_reuse_wins_big_at_reoccurrence(self):
+        generator = NSLKDDSimulator(seed=3)
+        batches = generator.stream(80, batch_size=128).materialize()
+
+        def factory():
+            return StreamingMLP(num_features=20, num_classes=5,
+                                lr=0.3, seed=0)
+
+        plain = factory()
+        plain_accs = []
+        for batch in batches:
+            plain_accs.append((plain.predict(batch.x) == batch.y).mean())
+            plain.partial_fit(batch.x, batch.y)
+
+        learner = Learner(factory, window_batches=8, seed=0)
+        reports = [learner.process(batch) for batch in batches]
+        reuse_batches = [
+            (r.accuracy, plain_accs[i]) for i, r in enumerate(reports)
+            if r.strategy == Strategy.KNOWLEDGE_REUSE.value
+        ]
+        assert reuse_batches, "knowledge reuse never fired"
+        freeway, plain_on_same = np.array(reuse_batches).T
+        assert freeway.mean() > plain_on_same.mean() + 0.3

@@ -1,0 +1,172 @@
+"""Adversarial and unusual stream scenarios for the Learner."""
+
+import numpy as np
+import pytest
+
+from repro.core import Learner, Strategy
+from repro.data import Batch
+from repro.models import StreamingLR, StreamingMLP
+
+
+def lr_factory():
+    return StreamingLR(num_features=5, num_classes=3, lr=0.3, seed=0)
+
+
+def make_batch(rng, index, n=64, d=5, label=None, center=0.0):
+    x = rng.normal(size=(n, d)) + center
+    if label is None:
+        y = rng.integers(0, 3, size=n)
+    else:
+        y = np.full(n, label, dtype=np.int64)
+    return Batch(x, y, index=index)
+
+
+class TestDegenerateStreams:
+    def test_single_class_stream(self, rng):
+        """A stream where only one label ever occurs must not crash CEC,
+        knowledge preservation, or the ensemble."""
+        learner = Learner(lr_factory, window_batches=4)
+        reports = [learner.process(make_batch(rng, i, label=1))
+                   for i in range(20)]
+        assert np.mean([r.accuracy for r in reports[3:]]) > 0.95
+
+    def test_tiny_batches(self, rng):
+        learner = Learner(lr_factory, window_batches=4,
+                          experience_per_batch=4, cec_points=8)
+        reports = [learner.process(make_batch(rng, i, n=5))
+                   for i in range(15)]
+        assert len(reports) == 15
+
+    def test_batch_of_two_rows(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        report = learner.process(make_batch(rng, 0, n=2))
+        assert report.accuracy is not None
+
+    def test_high_dimensional_stream(self, rng):
+        def wide_factory():
+            return StreamingLR(num_features=500, num_classes=3, lr=0.3,
+                               seed=0)
+
+        learner = Learner(wide_factory, window_batches=4)
+        for index in range(6):
+            x = rng.normal(size=(32, 500))
+            learner.process(Batch(x, rng.integers(0, 3, 32), index=index))
+        assert learner.classifier.pca.is_fitted
+
+    def test_constant_features(self, rng):
+        """Zero-variance features make the PCA covariance singular-ish;
+        the pipeline must stay finite."""
+        learner = Learner(lr_factory, window_batches=4)
+        for index in range(10):
+            x = np.ones((32, 5)) * 3.0
+            x[:, 0] = rng.normal(size=32)  # one informative feature
+            report = learner.process(
+                Batch(x, (x[:, 0] > 0).astype(int), index=index)
+            )
+            assert report.accuracy is not None
+
+    def test_label_space_subset_in_every_batch(self, rng):
+        """Each batch shows only 2 of 3 classes — bincount/one-hot paths
+        must handle missing classes."""
+        learner = Learner(lr_factory, window_batches=4)
+        for index in range(15):
+            missing = index % 3
+            y = rng.integers(0, 3, size=64)
+            y[y == missing] = (missing + 1) % 3
+            x = rng.normal(size=(64, 5)) + y[:, None]
+            learner.process(Batch(x, y, index=index))
+        assert learner.ensemble.trained
+
+
+class TestRobustnessGuards:
+    def test_size_one_batches_do_not_poison_window(self, rng):
+        """A size-1 first batch leaves the PCA unfitted, so early window
+        embeddings live in raw-feature space; once the PCA fits, the ASW
+        must not crash on the representation change."""
+        learner = Learner(lr_factory, window_batches=4)
+        learner.update(rng.normal(size=(1, 5)), np.array([0]))
+        for index in range(8):
+            learner.process(make_batch(rng, index))
+        assert learner.ensemble.trained
+
+    def test_stale_reuse_match_discarded_on_next_predict(self, rng):
+        """A reuse match found for batch t must not warm-start from batch
+        t+k's labels when updates were skipped in between."""
+        learner = Learner(lr_factory, window_batches=4)
+        for index in range(25):
+            learner.process(make_batch(rng, index))
+        # Force a pending match, then run an unrelated predict.
+        learner._pending_reuse = object()
+        learner.predict(make_batch(rng, 99).x)
+        assert learner._pending_reuse is None
+
+
+class TestMixedLabeledUnlabeled:
+    def test_alternating_inference_and_training(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        losses = []
+        for index in range(16):
+            batch = make_batch(rng, index)
+            if index % 2 == 1:
+                batch = batch.without_labels()
+            report = learner.process(batch)
+            losses.append(report.loss)
+        # Unlabeled batches produce predictions but no training.
+        assert all(loss is None for loss in losses[1::2])
+        assert all(loss is not None for loss in losses[0::2])
+
+    def test_inference_only_stream_never_trains(self, rng):
+        learner = Learner(lr_factory, window_batches=4)
+        for index in range(8):
+            report = learner.process(make_batch(rng, index).without_labels())
+            assert report.loss is None
+        assert not learner.ensemble.trained
+        assert len(learner.experience) == 0
+
+
+class TestKnowledgeSpillIntegration:
+    def test_spill_directory_populated_under_pressure(self, rng, tmp_path):
+        learner = Learner(lr_factory, window_batches=2,
+                          knowledge_capacity=3, spill_dir=tmp_path / "kdg")
+        # Alternate far-apart concepts so windows complete and disorder
+        # varies, generating many knowledge entries.
+        for index in range(40):
+            center = 10.0 * (index // 5 % 3)
+            learner.process(make_batch(rng, index, center=center))
+        assert len(learner.knowledge) <= 3
+        if learner.knowledge.spilled_total:
+            assert list((tmp_path / "kdg").glob("*.npz"))
+
+
+class TestNumModelsLadder:
+    def test_three_granularity_levels_run(self, rng):
+        learner = Learner(lr_factory, num_models=3, window_batches=2)
+        for index in range(40):
+            learner.process(make_batch(rng, index))
+        levels = learner.ensemble.levels
+        assert [level.window_batches for level in levels] == [1, 2, 8]
+        assert levels[1].updates >= 10
+        assert levels[2].updates >= 2
+
+    def test_single_model_degenerates_gracefully(self, rng):
+        learner = Learner(lr_factory, num_models=1)
+        reports = [learner.process(make_batch(rng, i)) for i in range(10)]
+        assert all(r.strategy == Strategy.MULTI_GRANULARITY.value
+                   or r.strategy in (Strategy.CEC.value,
+                                     Strategy.KNOWLEDGE_REUSE.value)
+                   for r in reports)
+
+
+class TestImageLearnerWithoutFeaturizer:
+    def test_cec_on_raw_pixels_runs(self):
+        from repro.data import AnimalsStream
+        from repro.models import StreamingCNN
+
+        def factory():
+            return StreamingCNN(input_shape=(1, 16, 16), num_classes=4,
+                                lr=0.1, seed=0, image_channels=8)
+
+        learner = Learner(factory, window_batches=4)  # no featurizer
+        reports = [learner.process(batch) for batch
+                   in AnimalsStream(seed=0).stream(12, 32)]
+        assert len(reports) == 12

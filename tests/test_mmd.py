@@ -1,0 +1,108 @@
+"""Tests for the MMD shift metric (repro.shift.mmd)."""
+
+import numpy as np
+import pytest
+
+from repro.shift import MMDShiftScorer, median_heuristic_bandwidth, mmd_rbf
+
+
+class TestMMD:
+    def test_same_distribution_near_zero(self, rng):
+        x = rng.normal(size=(200, 4))
+        y = rng.normal(size=(200, 4))
+        assert mmd_rbf(x, y, seed=0) < 0.02
+
+    def test_shifted_distribution_large(self, rng):
+        x = rng.normal(size=(200, 4))
+        y = rng.normal(size=(200, 4)) + 3.0
+        assert mmd_rbf(x, y, seed=0) > 0.2
+
+    def test_monotone_in_shift_size(self, rng):
+        x = rng.normal(size=(200, 4))
+        small = mmd_rbf(x, rng.normal(size=(200, 4)) + 0.5,
+                        bandwidth=1.5, seed=0)
+        large = mmd_rbf(x, rng.normal(size=(200, 4)) + 3.0,
+                        bandwidth=1.5, seed=0)
+        assert large > small
+
+    def test_detects_variance_only_change(self, rng):
+        """The whole point over Eq. 6: same mean, different shape."""
+        x = rng.normal(scale=1.0, size=(300, 4))
+        y = rng.normal(scale=3.0, size=(300, 4))
+        same = mmd_rbf(x, rng.normal(scale=1.0, size=(300, 4)),
+                       bandwidth=2.0, seed=0)
+        different = mmd_rbf(x, y, bandwidth=2.0, seed=0)
+        assert different > 5 * max(same, 1e-6)
+        # And the mean-based distance barely moves:
+        mean_gap = np.linalg.norm(x.mean(axis=0) - y.mean(axis=0))
+        assert mean_gap < 0.5
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = rng.normal(size=(100, 3)) + 1.0
+        forward = mmd_rbf(x, y, bandwidth=1.0, seed=0)
+        backward = mmd_rbf(y, x, bandwidth=1.0, seed=0)
+        assert forward == pytest.approx(backward, rel=1e-9)
+
+    def test_subsampling_bounds_cost(self, rng):
+        x = rng.normal(size=(5000, 4))
+        y = rng.normal(size=(5000, 4)) + 2.0
+        value = mmd_rbf(x, y, max_points=64, seed=0)
+        assert value > 0.1  # still detects the shift after subsampling
+
+    def test_too_few_points_rejected(self, rng):
+        with pytest.raises(ValueError):
+            mmd_rbf(rng.normal(size=(1, 3)), rng.normal(size=(10, 3)))
+
+    def test_nonnegative(self, rng):
+        x = rng.normal(size=(50, 2))
+        assert mmd_rbf(x, x.copy(), bandwidth=1.0) >= 0.0
+
+
+class TestMedianHeuristic:
+    def test_scales_with_data_spread(self, rng):
+        tight = median_heuristic_bandwidth(
+            rng.normal(scale=0.1, size=(100, 3)),
+            rng.normal(scale=0.1, size=(100, 3)),
+        )
+        wide = median_heuristic_bandwidth(
+            rng.normal(scale=10.0, size=(100, 3)),
+            rng.normal(scale=10.0, size=(100, 3)),
+        )
+        assert wide > 10 * tight
+
+    def test_never_zero(self):
+        x = np.ones((20, 2))
+        assert median_heuristic_bandwidth(x, x) > 0
+
+
+class TestMMDShiftScorer:
+    def test_first_batch_returns_none(self, rng):
+        scorer = MMDShiftScorer(seed=0)
+        assert scorer.score(rng.normal(size=(64, 3))) is None
+
+    def test_stable_stream_scores_low_shift_scores_high(self, rng):
+        scorer = MMDShiftScorer(seed=0)
+        scorer.score(rng.normal(size=(128, 3)))
+        stable = scorer.score(rng.normal(size=(128, 3)))
+        jumped = scorer.score(rng.normal(size=(128, 3)) + 4.0)
+        assert jumped > 10 * max(stable, 1e-9)
+
+    def test_bandwidth_fixed_after_first_pair(self, rng):
+        scorer = MMDShiftScorer(seed=0)
+        scorer.score(rng.normal(size=(64, 3)))
+        scorer.score(rng.normal(size=(64, 3)))
+        bandwidth = scorer.bandwidth
+        scorer.score(rng.normal(size=(64, 3)) * 100)
+        assert scorer.bandwidth == bandwidth
+
+    def test_feeds_severity_tracker(self, rng):
+        """End-to-end: MMD distances drive the paper's severity test."""
+        from repro.shift import SeverityTracker
+        scorer = MMDShiftScorer(seed=0)
+        tracker = SeverityTracker(window=20, decay=1.0)
+        scorer.score(rng.normal(size=(128, 4)))
+        for _ in range(15):
+            tracker.observe(scorer.score(rng.normal(size=(128, 4))))
+        severe = scorer.score(rng.normal(size=(128, 4)) + 4.0)
+        assert tracker.score(severe) > 1.96

@@ -1,0 +1,257 @@
+"""Tests for streaming models and k-means (repro.models)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    KMeans,
+    StreamingCNN,
+    StreamingLR,
+    StreamingMLP,
+)
+
+
+class TestStreamingLR:
+    def test_learns_linearly_separable_data(self, blob_data):
+        x, y = blob_data
+        model = StreamingLR(num_features=4, num_classes=2, lr=0.5, seed=0)
+        for _ in range(30):
+            model.partial_fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.95
+
+    def test_predict_proba_shape_and_simplex(self, rng):
+        model = StreamingLR(num_features=3, num_classes=4, seed=0)
+        proba = model.predict_proba(rng.normal(size=(10, 3)))
+        assert proba.shape == (10, 4)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_loss_decreases(self, blob_data):
+        x, y = blob_data
+        model = StreamingLR(num_features=4, num_classes=2, lr=0.5, seed=0)
+        first = model.partial_fit(x, y)
+        for _ in range(20):
+            last = model.partial_fit(x, y)
+        assert last < first
+
+    def test_updates_counter(self, blob_data):
+        x, y = blob_data
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        model.partial_fit(x, y)
+        model.partial_fit(x, y)
+        assert model.updates == 2
+
+    def test_label_mismatch_raises(self, rng):
+        model = StreamingLR(num_features=3, num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            model.partial_fit(rng.normal(size=(5, 3)), np.zeros(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingLR(num_features=0, num_classes=2)
+        with pytest.raises(ValueError):
+            StreamingLR(num_features=3, num_classes=1)
+        with pytest.raises(ValueError):
+            StreamingLR(num_features=3, num_classes=2, sgd_steps=0)
+
+
+class TestCloneAndState:
+    @pytest.mark.parametrize("factory", [
+        lambda: StreamingLR(num_features=4, num_classes=2, seed=3),
+        lambda: StreamingMLP(num_features=4, num_classes=2, seed=3),
+        lambda: StreamingCNN(input_shape=(6,), num_classes=2, seed=3),
+    ])
+    def test_clone_matches_initial_weights(self, factory):
+        model = factory()
+        clone = model.clone()
+        for (na, a), (nb, b) in zip(model.state_dict().items(),
+                                    clone.state_dict().items()):
+            assert na == nb
+            np.testing.assert_array_equal(a, b)
+
+    def test_clone_is_fresh_not_trained(self, blob_data):
+        x, y = blob_data
+        model = StreamingMLP(num_features=4, num_classes=2, seed=0)
+        initial = model.state_dict()
+        model.partial_fit(x, y)
+        clone = model.clone()
+        for name, value in clone.state_dict().items():
+            np.testing.assert_array_equal(value, initial[name])
+
+    def test_state_dict_round_trip_preserves_predictions(self, rng,
+                                                         blob_data):
+        x, y = blob_data
+        model = StreamingMLP(num_features=4, num_classes=2, seed=0)
+        model.partial_fit(x, y)
+        state = model.state_dict()
+        other = StreamingMLP(num_features=4, num_classes=2, seed=42)
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other.predict_proba(x),
+                                   model.predict_proba(x))
+
+    def test_num_parameters(self):
+        model = StreamingLR(num_features=10, num_classes=3)
+        assert model.num_parameters() == 10 * 3 + 3
+
+
+class TestGradientInterface:
+    def test_gradient_on_matches_partial_fit_direction(self, blob_data):
+        x, y = blob_data
+        a = StreamingLR(num_features=4, num_classes=2, lr=0.1, seed=0)
+        b = StreamingLR(num_features=4, num_classes=2, lr=0.1, seed=0)
+        grads = a.gradient_on(x, y)
+        a.apply_gradient(grads)
+        b.partial_fit(x, y)
+        for pa, pb in zip(a.module.parameters(), b.module.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_gradient_on_does_not_update(self, blob_data):
+        x, y = blob_data
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        before = model.state_dict()
+        model.gradient_on(x, y)
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+
+    def test_apply_gradient_wrong_length_raises(self, blob_data):
+        x, y = blob_data
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            model.apply_gradient([np.zeros((2, 4))])
+
+    def test_loss_on_does_not_update(self, blob_data):
+        x, y = blob_data
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        before = model.state_dict()
+        loss = model.loss_on(x, y)
+        assert loss > 0
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+
+
+class TestStreamingMLP:
+    def test_learns_nonlinear_boundary(self, rng):
+        x = rng.normal(size=(400, 2))
+        y = ((x[:, 0] * x[:, 1]) > 0).astype(np.int64)  # XOR-ish
+        model = StreamingMLP(num_features=2, num_classes=2,
+                             hidden=(32,), lr=0.3, seed=1)
+        for _ in range(150):
+            model.partial_fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.85
+
+    def test_hidden_layers_configurable(self):
+        model = StreamingMLP(num_features=4, num_classes=2,
+                             hidden=(16, 8), seed=0)
+        names = list(model.state_dict())
+        assert len([n for n in names if n.endswith("weight")]) == 3
+
+    def test_invalid_hidden(self):
+        with pytest.raises(ValueError):
+            StreamingMLP(num_features=4, num_classes=2, hidden=())
+        with pytest.raises(ValueError):
+            StreamingMLP(num_features=4, num_classes=2, hidden=(0,))
+
+
+class TestStreamingCNN:
+    def test_tabular_architecture(self):
+        model = StreamingCNN(input_shape=(10,), num_classes=3, seed=0)
+        assert not model.is_image_model
+        proba = model.predict_proba(np.zeros((4, 10)))
+        assert proba.shape == (4, 3)
+
+    def test_image_architecture(self):
+        model = StreamingCNN(input_shape=(1, 16, 16), num_classes=4, seed=0)
+        assert model.is_image_model
+        proba = model.predict_proba(np.zeros((2, 1, 16, 16)))
+        assert proba.shape == (2, 4)
+
+    def test_tabular_cnn_learns(self, blob_data):
+        x, y = blob_data
+        model = StreamingCNN(input_shape=(4,), num_classes=2, lr=0.2, seed=0)
+        for _ in range(30):
+            model.partial_fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_image_cnn_learns_synthetic_classes(self, rng):
+        from repro.data import ImageConcept
+        concept = ImageConcept(2, rng, size=8, noise=0.1)
+        x, y = concept.sample(rng, 128)
+        model = StreamingCNN(input_shape=(1, 8, 8), num_classes=2,
+                             lr=0.1, seed=0, image_channels=8)
+        for _ in range(25):
+            model.partial_fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_flat_input_reshaped_for_images(self, rng):
+        model = StreamingCNN(input_shape=(1, 8, 8), num_classes=2, seed=0)
+        flat = rng.normal(size=(3, 64))
+        assert model.predict_proba(flat).shape == (3, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingCNN(input_shape=(2, 3), num_classes=2)
+        with pytest.raises(ValueError):
+            StreamingCNN(input_shape=(2,), num_classes=2)
+        with pytest.raises(ValueError):
+            StreamingCNN(input_shape=(1, 2, 2), num_classes=2)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        x = np.concatenate([
+            rng.normal(size=(60, 2)) * 0.4 + center for center in centers
+        ])
+        kmeans = KMeans(3, seed=0)
+        labels = kmeans.fit_predict(x)
+        # Each true cluster maps to exactly one predicted cluster.
+        for start in range(0, 180, 60):
+            block = labels[start:start + 60]
+            assert (block == np.bincount(block).argmax()).mean() > 0.98
+
+    def test_centroids_near_truth(self, rng):
+        x = np.concatenate([
+            rng.normal(size=(100, 3)) * 0.2 - 5,
+            rng.normal(size=(100, 3)) * 0.2 + 5,
+        ])
+        kmeans = KMeans(2, seed=0).fit(x)
+        sorted_centroids = kmeans.centroids[
+            np.argsort(kmeans.centroids[:, 0])
+        ]
+        np.testing.assert_allclose(sorted_centroids[0], -5, atol=0.3)
+        np.testing.assert_allclose(sorted_centroids[1], 5, atol=0.3)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.normal(size=(100, 4))
+        a = KMeans(3, seed=5).fit_predict(x)
+        b = KMeans(3, seed=5).fit_predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_too_few_points_raises(self, rng):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(rng.normal(size=(3, 2)))
+
+    def test_inertia_lower_for_better_fit(self, rng):
+        x = np.concatenate([
+            rng.normal(size=(50, 2)) * 0.2 - 3,
+            rng.normal(size=(50, 2)) * 0.2 + 3,
+        ])
+        good = KMeans(2, seed=0).fit(x)
+        bad = KMeans(2, seed=0, max_iter=0)
+        bad.centroids = np.zeros((2, 2))
+        bad.centroids[1] = 0.1
+        assert good.inertia(x) < bad.inertia(x)
+
+    def test_duplicate_points_handled(self):
+        x = np.ones((10, 2))
+        labels = KMeans(2, seed=0).fit_predict(x)
+        assert len(labels) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(5))

@@ -1,0 +1,186 @@
+"""Tests for the module system (repro.nn.modules)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+def make_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 3, rng=rng)
+    )
+
+
+class TestParameterRegistration:
+    def test_linear_registers_weight_and_bias(self):
+        layer = nn.Linear(3, 2)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_bias_false_unregisters(self):
+        layer = nn.Linear(3, 2, bias=False)
+        assert set(dict(layer.named_parameters())) == {"weight"}
+        assert layer.bias is None
+
+    def test_nested_names_are_dotted(self):
+        model = make_mlp()
+        names = list(dict(model.named_parameters()))
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+
+    def test_reassigning_to_none_unregisters(self):
+        layer = nn.Linear(3, 2)
+        layer.bias = None
+        assert set(dict(layer.named_parameters())) == {"weight"}
+
+    def test_num_parameters(self):
+        layer = nn.Linear(3, 2)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_modules_iterates_tree(self):
+        model = make_mlp()
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert kinds.count("Linear") == 2
+        assert "Sequential" in kinds
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a = make_mlp(seed=1)
+        b = make_mlp(seed=2)
+        b.load_state_dict(a.state_dict())
+        for (name_a, pa), (name_b, pb) in zip(a.named_parameters(),
+                                              b.named_parameters()):
+            assert name_a == name_b
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = make_mlp()
+        state = model.state_dict()
+        state["layer0.weight"][:] = 0.0
+        assert not (dict(model.named_parameters())["layer0.weight"].data == 0).all()
+
+    def test_missing_key_raises(self):
+        model = make_mlp()
+        state = model.state_dict()
+        del state["layer0.weight"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        model = make_mlp()
+        state = model.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        model = make_mlp()
+        state = model.state_dict()
+        state["layer0.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestTrainEval:
+    def test_train_flag_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_dropout_noop_in_eval(self):
+        drop = nn.Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = nn.Tensor(np.ones((5, 5)))
+        np.testing.assert_allclose(drop(x).data, 1.0)
+
+    def test_dropout_active_in_train(self):
+        drop = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.ones((50, 50)))
+        out = drop(x).data
+        assert (out == 0).any()
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+    def test_zero_grad_clears_all(self):
+        model = make_mlp()
+        out = model(nn.Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestLayers:
+    def test_forward_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module().forward()
+
+    def test_sequential_order_and_indexing(self):
+        model = make_mlp()
+        assert len(model) == 3
+        assert isinstance(model[1], nn.ReLU)
+        assert [type(m).__name__ for m in model] == [
+            "Linear", "ReLU", "Linear"
+        ]
+
+    def test_activations(self):
+        x = nn.Tensor([-1.0, 1.0])
+        np.testing.assert_allclose(nn.ReLU()(x).data, [0.0, 1.0])
+        np.testing.assert_allclose(nn.Tanh()(x).data, np.tanh([-1.0, 1.0]))
+        np.testing.assert_allclose(
+            nn.Sigmoid()(x).data, 1 / (1 + np.exp([1.0, -1.0]))
+        )
+
+    def test_flatten(self):
+        x = nn.Tensor(np.zeros((2, 3, 4)))
+        assert nn.Flatten()(x).shape == (2, 12)
+
+    def test_conv2d_module_shapes(self):
+        rng = np.random.default_rng(0)
+        conv = nn.Conv2d(3, 8, kernel_size=3, padding=1, rng=rng)
+        x = nn.Tensor(rng.normal(size=(2, 3, 6, 6)))
+        assert conv(x).shape == (2, 8, 6, 6)
+        assert conv.weight.shape == (8, 3, 3, 3)
+
+    def test_conv2d_rectangular_kernel(self):
+        conv = nn.Conv2d(1, 4, kernel_size=(1, 3), padding=(0, 1))
+        x = nn.Tensor(np.zeros((2, 1, 1, 10)))
+        assert conv(x).shape == (2, 4, 1, 10)
+
+    def test_maxpool_module(self):
+        pool = nn.MaxPool2d(2)
+        x = nn.Tensor(np.zeros((1, 1, 4, 4)))
+        assert pool(x).shape == (1, 1, 2, 2)
+
+    def test_repr_strings(self):
+        assert "Linear" in repr(nn.Linear(2, 3))
+        assert "Conv2d" in repr(nn.Conv2d(1, 2, 3))
+        assert "MaxPool2d" in repr(nn.MaxPool2d(2))
+
+    def test_seeded_init_is_deterministic(self):
+        a = nn.Linear(4, 4, rng=np.random.default_rng(7))
+        b = nn.Linear(4, 4, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+        np.testing.assert_array_equal(a.bias.data, b.bias.data)
+
+
+class TestEndToEndTraining:
+    def test_mlp_fits_blobs(self, blob_data):
+        x, y = blob_data
+        model = make_mlp(seed=0)
+        optimizer = nn.SGD(model.parameters(), lr=0.2)
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(model(nn.Tensor(x)), y)
+            loss.backward()
+            optimizer.step()
+        predictions = model(nn.Tensor(x)).data.argmax(axis=1)
+        assert (predictions == y).mean() > 0.95

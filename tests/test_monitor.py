@@ -1,0 +1,81 @@
+"""Tests for the serving monitor (repro.core.monitor)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Learner, ServingMonitor
+from repro.core.learner import BatchReport
+from repro.data import ElectricitySimulator
+from repro.models import StreamingLR
+
+
+def report(index=0, accuracy=0.9, strategy="multi_granularity",
+           pattern="slight", reused=None, fallback=False):
+    return BatchReport(
+        index=index, num_items=64, pattern=pattern, strategy=strategy,
+        fallback=fallback, accuracy=accuracy, loss=0.1,
+        predict_seconds=0.001, update_seconds=0.002, reused_batch=reused,
+    )
+
+
+class TestObserve:
+    def test_counts_accumulate(self):
+        monitor = ServingMonitor()
+        monitor.observe(report(strategy="cec", pattern="sudden"))
+        monitor.observe(report(reused=5, strategy="knowledge_reuse",
+                               pattern="reoccurring"))
+        monitor.observe(report(fallback=True))
+        assert monitor.batches == 3
+        assert monitor.items == 192
+        assert monitor.strategy_counts["cec"] == 1
+        assert monitor.pattern_counts["reoccurring"] == 1
+        assert monitor.reuse_events == 1
+        assert monitor.fallbacks == 1
+
+    def test_rolling_accuracy(self):
+        monitor = ServingMonitor(window=2)
+        monitor.observe(report(accuracy=1.0))
+        monitor.observe(report(accuracy=0.0))
+        monitor.observe(report(accuracy=0.0))
+        assert monitor.rolling_accuracy == pytest.approx(0.0)
+        assert monitor.faded_accuracy < 0.5
+
+    def test_unlabeled_reports_skip_accuracy(self):
+        monitor = ServingMonitor()
+        monitor.observe(report(accuracy=None))
+        assert monitor.rolling_accuracy is None
+        assert monitor.batches == 1
+
+    def test_latency_percentiles(self):
+        monitor = ServingMonitor()
+        for _ in range(10):
+            monitor.observe(report())
+        stats = monitor.latency_percentiles()
+        assert stats["predict"]["p50"] == pytest.approx(0.001)
+        assert stats["update"]["p95"] == pytest.approx(0.002)
+
+    def test_summary_contents(self):
+        monitor = ServingMonitor()
+        assert monitor.summary() == "no batches observed"
+        monitor.observe(report())
+        text = monitor.summary()
+        assert "1 batches" in text
+        assert "multi_granularity=1" in text
+        assert "acc(window)=90.0%" in text
+
+
+class TestTrack:
+    def test_wraps_learner_loop(self):
+        learner = Learner(
+            lambda: StreamingLR(num_features=8, num_classes=2, lr=0.3,
+                                seed=0),
+            window_batches=4,
+        )
+        monitor = ServingMonitor(window=10)
+        reports = list(monitor.track(
+            learner, ElectricitySimulator(seed=0).stream(12, 64)
+        ))
+        assert len(reports) == 12
+        assert monitor.batches == 12
+        assert monitor.rolling_accuracy is not None
+        assert "strategies:" in monitor.summary()

@@ -1,0 +1,187 @@
+"""Tests for multi-time granularity models (repro.core.multigranularity)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GranularityLevel,
+    MultiGranularityEnsemble,
+    gaussian_kernel,
+)
+from repro.models import StreamingLR
+
+
+def factory():
+    return StreamingLR(num_features=4, num_classes=2, lr=0.3, seed=0)
+
+
+def labeled_batch(rng, center, n=32):
+    x = rng.normal(size=(n, 4)) * 0.3 + center
+    y = (x[:, 0] > center).astype(np.int64)
+    return x, y, x.mean(axis=0)[:2]  # 2-d "embedding"
+
+
+class TestGaussianKernel:
+    def test_zero_distance_is_one(self):
+        assert gaussian_kernel(0.0, 1.0) == 1.0
+
+    def test_monotone_decreasing(self):
+        values = [gaussian_kernel(d, 1.0) for d in (0.0, 0.5, 1.0, 2.0)]
+        assert all(values[i] > values[i + 1] for i in range(3))
+
+    def test_sigma_widens(self):
+        assert gaussian_kernel(1.0, 2.0) > gaussian_kernel(1.0, 0.5)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel(1.0, 0.0)
+
+
+class TestGranularityLevel:
+    def test_short_level_trains_every_batch(self, rng):
+        level = GranularityLevel(factory(), window_batches=1)
+        assert level.is_short
+        info = level.update(*labeled_batch(rng, 0.0))
+        assert info["trained"]
+        assert level.updates == 1
+
+    def test_window_level_waits_for_fullness(self, rng):
+        level = GranularityLevel(factory(), window_batches=3)
+        assert not level.is_short
+        infos = [level.update(*labeled_batch(rng, 0.0)) for _ in range(3)]
+        assert [i["trained"] for i in infos] == [False, False, True]
+        assert "disorder" in infos[-1]
+        assert level.updates == 1
+
+    def test_window_resets_after_update(self, rng):
+        level = GranularityLevel(factory(), window_batches=2)
+        level.update(*labeled_batch(rng, 0.0))
+        level.update(*labeled_batch(rng, 0.0))
+        assert len(level.window) == 0
+
+    def test_reference_embedding_tracks_training_not_pending(self, rng):
+        level = GranularityLevel(factory(), window_batches=2)
+        level.update(np.zeros((8, 4)), np.zeros(8), np.array([0.0, 0.0]))
+        level.update(np.zeros((8, 4)), np.zeros(8), np.array([1.0, 1.0]))
+        trained_reference = level.reference_embedding().copy()
+        # New pending batch far away must NOT move the reference.
+        level.update(np.zeros((8, 4)), np.zeros(8), np.array([50.0, 50.0]))
+        np.testing.assert_array_equal(level.reference_embedding(),
+                                      trained_reference)
+
+    def test_untrained_reference_is_none(self):
+        level = GranularityLevel(factory(), window_batches=4)
+        assert level.reference_embedding() is None
+        assert not level.trained
+
+    def test_multi_epoch_update(self, rng):
+        eager = GranularityLevel(factory(), window_batches=2,
+                                 update_epochs=8)
+        lazy = GranularityLevel(factory(), window_batches=2,
+                                update_epochs=1)
+        x, y, e = labeled_batch(rng, 0.0, n=64)
+        for level in (eager, lazy):
+            level.update(x, y, e)
+            level.update(x, y, e)
+        assert eager.model.loss_on(x, y) < lazy.model.loss_on(x, y)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GranularityLevel(factory(), window_batches=0)
+
+
+class TestEnsemble:
+    def test_requires_short_level(self):
+        with pytest.raises(ValueError):
+            MultiGranularityEnsemble(factory, window_sizes=(4, 8))
+        with pytest.raises(ValueError):
+            MultiGranularityEnsemble(factory, window_sizes=())
+
+    def test_level_accessors(self):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 4))
+        assert ensemble.short_level.is_short
+        assert len(ensemble.long_levels) == 1
+
+    def test_untrained_predicts_uniform(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 4))
+        proba = ensemble.predict_proba(rng.normal(size=(5, 4)),
+                                       np.zeros(2))
+        np.testing.assert_allclose(proba, 0.5)
+
+    def test_update_feeds_all_levels(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 2))
+        infos = ensemble.update(*labeled_batch(rng, 0.0))
+        assert len(infos) == 2
+        assert infos[0]["trained"]      # short
+        assert not infos[1]["trained"]  # long window still filling
+
+    def test_model_distances(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 2))
+        x, y, e = labeled_batch(rng, 0.0)
+        ensemble.update(x, y, e)
+        distances = ensemble.model_distances(e + 1.0)
+        assert distances[0] == pytest.approx(np.linalg.norm(np.ones(2)))
+        assert distances[1] is None  # long model untrained
+
+    def test_nearer_model_dominates_blend(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 2),
+                                            sigma=0.5, exclusion_ratio=100.0)
+        # Train short on center 0, fill long window at center 5.
+        for center in (0.0, 5.0):
+            x = rng.normal(size=(32, 4)) * 0.1 + center
+            y = (x[:, 0] > center).astype(np.int64)
+            embedding = np.full(2, center)
+            ensemble.levels[1].update(x, y, embedding)
+        x0, y0, e0 = labeled_batch(rng, 0.0)
+        ensemble.levels[0].update(x0, y0, np.zeros(2))
+        # Query at the short model's reference: its weight should dominate.
+        distances = ensemble.model_distances(np.zeros(2))
+        assert distances[0] < distances[1]
+
+    def test_exclusion_drops_mismatched_model(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 1),
+                                            sigma=1.0, exclusion_ratio=2.0)
+        # Two "short" levels with different references.
+        near, far = ensemble.levels
+        x, y, _ = labeled_batch(rng, 0.0)
+        near.update(x, y, np.array([0.0, 0.0]))
+        far.update(x, y, np.array([100.0, 100.0]))
+        # Make the far model's predictions degenerate so inclusion is visible.
+        for parameter in far.model.module.parameters():
+            parameter.data = parameter.data * 0 + 100.0
+        proba = ensemble.predict_proba(x, np.array([0.1, 0.0]))
+        near_only = near.model.predict_proba(x)
+        np.testing.assert_allclose(proba, near_only, atol=1e-6)
+
+    def test_auto_sigma_adapts(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1,),
+                                            sigma="auto")
+        x, y, _ = labeled_batch(rng, 0.0)
+        ensemble.levels[0].update(x, y, np.zeros(2))
+        before = ensemble.sigma
+        for _ in range(20):
+            ensemble.predict_proba(x, np.array([5.0, 0.0]))
+        assert ensemble.sigma != before
+
+    def test_sigma_validation(self):
+        with pytest.raises(ValueError):
+            MultiGranularityEnsemble(factory, sigma=0.0)
+        with pytest.raises(ValueError):
+            MultiGranularityEnsemble(factory, sigma="bogus")
+        with pytest.raises(ValueError):
+            MultiGranularityEnsemble(factory, exclusion_ratio=1.0)
+
+    def test_blend_is_probability_simplex(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1, 2))
+        for center in (0.0, 0.2, 0.4):
+            ensemble.update(*labeled_batch(rng, center))
+        x, _, e = labeled_batch(rng, 0.3)
+        proba = ensemble.predict_proba(x, e)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_predict_labels(self, rng):
+        ensemble = MultiGranularityEnsemble(factory, window_sizes=(1,))
+        x, y, e = labeled_batch(rng, 0.0, n=128)
+        for _ in range(100):
+            ensemble.update(x, y, e)
+        assert (ensemble.predict(x, e) == y).mean() > 0.9

@@ -1,0 +1,197 @@
+"""Tests for the additional streaming models (naive Bayes, Hoeffding tree)."""
+
+import numpy as np
+import pytest
+
+from repro.models import StreamingHoeffdingTree, StreamingNaiveBayes
+
+
+class TestStreamingNaiveBayes:
+    def test_separable_blobs(self, blob_data):
+        x, y = blob_data
+        model = StreamingNaiveBayes(num_features=4, num_classes=2)
+        model.partial_fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.98
+
+    def test_incremental_equals_batch(self, blob_data):
+        """Welford/Chan merging: many small fits == one big fit."""
+        x, y = blob_data
+        whole = StreamingNaiveBayes(num_features=4, num_classes=2)
+        whole.partial_fit(x, y)
+        chunked = StreamingNaiveBayes(num_features=4, num_classes=2)
+        for start in range(0, len(x), 17):
+            chunked.partial_fit(x[start:start + 17], y[start:start + 17])
+        np.testing.assert_allclose(chunked.predict_proba(x),
+                                   whole.predict_proba(x), atol=1e-8)
+
+    def test_untrained_predicts_uniform(self, rng):
+        model = StreamingNaiveBayes(num_features=3, num_classes=4)
+        proba = model.predict_proba(rng.normal(size=(5, 3)))
+        np.testing.assert_allclose(proba, 0.25)
+
+    def test_proba_simplex(self, blob_data, rng):
+        x, y = blob_data
+        model = StreamingNaiveBayes(num_features=4, num_classes=2)
+        model.partial_fit(x, y)
+        proba = model.predict_proba(rng.normal(size=(20, 4)) * 100)
+        assert np.isfinite(proba).all()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_priors_respected(self, rng):
+        # Heavily imbalanced overlapping classes: prior should dominate.
+        x = rng.normal(size=(1000, 2))
+        y = (rng.random(1000) < 0.95).astype(np.int64)  # 95% class 1
+        model = StreamingNaiveBayes(num_features=2, num_classes=2)
+        model.partial_fit(x, y)
+        predictions = model.predict(rng.normal(size=(200, 2)))
+        assert (predictions == 1).mean() > 0.8
+
+    def test_decay_forgets_old_concept(self, rng):
+        x0 = rng.normal(-2, 0.4, size=(300, 2))
+        x1 = rng.normal(2, 0.4, size=(300, 2))
+        forgetful = StreamingNaiveBayes(num_features=2, num_classes=2,
+                                        decay=0.5)
+        sticky = StreamingNaiveBayes(num_features=2, num_classes=2,
+                                     decay=1.0)
+        for model in (forgetful, sticky):
+            # Concept 1: region -2 -> label 0, region +2 -> label 1.
+            model.partial_fit(np.concatenate([x0, x1]),
+                              np.repeat([0, 1], 300))
+            # Concept 2 (flipped), fed repeatedly.
+            for _ in range(3):
+                model.partial_fit(np.concatenate([x0, x1]),
+                                  np.repeat([1, 0], 300))
+        probe = rng.normal(-2, 0.4, size=(100, 2))
+        assert (forgetful.predict(probe) == 1).mean() > 0.9
+        assert ((forgetful.predict(probe) == 1).mean()
+                >= (sticky.predict(probe) == 1).mean())
+
+    def test_state_round_trip(self, blob_data):
+        x, y = blob_data
+        model = StreamingNaiveBayes(num_features=4, num_classes=2)
+        model.partial_fit(x, y)
+        other = model.clone()
+        other.load_state_dict(model.state_dict())
+        np.testing.assert_allclose(other.predict_proba(x),
+                                   model.predict_proba(x))
+
+    def test_state_validation(self):
+        model = StreamingNaiveBayes(num_features=4, num_classes=2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"counts": np.zeros(2)})
+        with pytest.raises(ValueError):
+            model.load_state_dict({
+                "counts": np.zeros(2), "means": np.zeros((3, 3)),
+                "m2": np.zeros((2, 4)),
+            })
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingNaiveBayes(num_features=0, num_classes=2)
+        with pytest.raises(ValueError):
+            StreamingNaiveBayes(num_features=2, num_classes=1)
+        with pytest.raises(ValueError):
+            StreamingNaiveBayes(num_features=2, num_classes=2, decay=0.0)
+
+    def test_works_inside_freewayml(self):
+        from repro.core import Learner
+        from repro.data import ElectricitySimulator
+        learner = Learner(
+            lambda: StreamingNaiveBayes(num_features=8, num_classes=2),
+            window_batches=4,
+        )
+        reports = [learner.process(batch) for batch
+                   in ElectricitySimulator(seed=1).stream(20, 128)]
+        assert np.mean([r.accuracy for r in reports[5:]]) > 0.7
+
+
+class TestStreamingHoeffdingTree:
+    def test_learns_axis_aligned_concept(self, rng):
+        tree = StreamingHoeffdingTree(num_features=3, num_classes=2,
+                                      grace_period=100)
+        for _ in range(15):
+            x = rng.uniform(0, 1, size=(256, 3))
+            y = (x[:, 1] > 0.5).astype(np.int64)
+            tree.partial_fit(x, y)
+        x_test = rng.uniform(0, 1, size=(500, 3))
+        y_test = (x_test[:, 1] > 0.5).astype(np.int64)
+        # The candidate-threshold grid lands near, not exactly at, 0.5.
+        assert (tree.predict(x_test) == y_test).mean() > 0.92
+        assert tree.splits >= 1
+
+    def test_no_split_before_grace_period(self, rng):
+        tree = StreamingHoeffdingTree(num_features=2, num_classes=2,
+                                      grace_period=10_000)
+        x = rng.uniform(0, 1, size=(256, 2))
+        tree.partial_fit(x, (x[:, 0] > 0.5).astype(np.int64))
+        assert tree.splits == 0
+        assert tree.num_leaves == 1
+
+    def test_pure_stream_never_splits(self, rng):
+        tree = StreamingHoeffdingTree(num_features=2, num_classes=2,
+                                      grace_period=50)
+        for _ in range(10):
+            tree.partial_fit(rng.uniform(0, 1, size=(128, 2)),
+                             np.zeros(128, dtype=np.int64))
+        assert tree.splits == 0
+
+    def test_max_depth_respected(self, rng):
+        tree = StreamingHoeffdingTree(num_features=4, num_classes=2,
+                                      grace_period=50, max_depth=2,
+                                      tie_threshold=0.5)
+        for _ in range(40):
+            x = rng.uniform(0, 1, size=(256, 4))
+            y = ((x[:, 0] > 0.5) ^ (x[:, 1] > 0.5)).astype(np.int64)
+            tree.partial_fit(x, y)
+        assert tree.depth <= 2
+
+    def test_proba_simplex(self, rng):
+        tree = StreamingHoeffdingTree(num_features=3, num_classes=3,
+                                      grace_period=100)
+        for _ in range(5):
+            x = rng.uniform(0, 1, size=(200, 3))
+            tree.partial_fit(x, rng.integers(0, 3, size=200))
+        proba = tree.predict_proba(rng.uniform(0, 1, size=(50, 3)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_state_round_trip_preserves_structure(self, rng):
+        tree = StreamingHoeffdingTree(num_features=3, num_classes=2,
+                                      grace_period=100)
+        for _ in range(12):
+            x = rng.uniform(0, 1, size=(256, 3))
+            tree.partial_fit(x, (x[:, 1] > 0.5).astype(np.int64))
+        restored = tree.clone()
+        restored.load_state_dict(tree.state_dict())
+        assert restored.splits == tree.splits
+        probe = rng.uniform(0, 1, size=(100, 3))
+        np.testing.assert_allclose(restored.predict_proba(probe),
+                                   tree.predict_proba(probe))
+
+    def test_malformed_state_rejected(self, rng):
+        tree = StreamingHoeffdingTree(num_features=2, num_classes=2)
+        state = tree.state_dict()
+        state["kinds"] = np.array([1, 0])  # split with only one child
+        with pytest.raises((ValueError, IndexError)):
+            tree.clone().load_state_dict(state)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            StreamingHoeffdingTree(0, 2)
+        with pytest.raises(ValueError):
+            StreamingHoeffdingTree(2, 2, delta=1.0)
+        with pytest.raises(ValueError):
+            StreamingHoeffdingTree(2, 2, grace_period=0)
+        with pytest.raises(ValueError):
+            StreamingHoeffdingTree(2, 2, max_depth=0)
+
+    def test_works_inside_freewayml(self):
+        from repro.core import Learner
+        from repro.data import ElectricitySimulator
+        learner = Learner(
+            lambda: StreamingHoeffdingTree(num_features=8, num_classes=2,
+                                           grace_period=100),
+            window_batches=4,
+        )
+        reports = [learner.process(batch) for batch
+                   in ElectricitySimulator(seed=1).stream(25, 128)]
+        assert np.mean([r.accuracy for r in reports[10:]]) > 0.6

@@ -1,0 +1,166 @@
+"""Tests for the pattern classifier (repro.shift.patterns, Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.shift import PatternClassifier, ShiftPattern
+
+
+def make_classifier(**kwargs):
+    defaults = dict(alpha=1.96, warmup_points=50, severity_window=20)
+    defaults.update(kwargs)
+    return PatternClassifier(**defaults)
+
+
+def gaussian_batch(rng, center, n=64, d=6, scale=0.3):
+    return rng.normal(size=(n, d)) * scale + np.asarray(center)
+
+
+@pytest.fixture
+def centers():
+    c0 = np.zeros(6)
+    c1 = np.full(6, 8.0)
+    c2 = np.full(6, -8.0)
+    return c0, c1, c2
+
+
+class TestWarmup:
+    def test_warmup_until_pca_fits(self, rng):
+        clf = make_classifier(warmup_points=200)
+        a1 = clf.assess(gaussian_batch(rng, np.zeros(6), n=64))
+        assert a1.pattern is ShiftPattern.WARMUP
+        assert a1.embedding is None
+        # Enough points accumulated now.
+        a2 = clf.assess(gaussian_batch(rng, np.zeros(6), n=200))
+        assert a2.pattern is ShiftPattern.WARMUP
+        assert a2.embedding is not None
+
+    def test_first_batch_after_fit_has_no_distance(self, rng):
+        clf = make_classifier(warmup_points=2)
+        a = clf.assess(gaussian_batch(rng, np.zeros(6)))
+        assert a.pattern is ShiftPattern.WARMUP
+        assert a.distance is None
+
+
+class TestSlightShifts:
+    def test_stationary_stream_is_slight(self, rng, centers):
+        c0, _, _ = centers
+        clf = make_classifier(warmup_points=2)
+        patterns = [clf.assess(gaussian_batch(rng, c0)).pattern
+                    for _ in range(20)]
+        assert all(p in (ShiftPattern.WARMUP, ShiftPattern.SLIGHT)
+                   for p in patterns)
+        assert patterns[-1] is ShiftPattern.SLIGHT
+
+    def test_gradual_drift_is_slight(self, rng):
+        clf = make_classifier(warmup_points=2)
+        center = np.zeros(6)
+        patterns = []
+        for _ in range(20):
+            patterns.append(clf.assess(gaussian_batch(rng, center)).pattern)
+            center = center + 0.05  # steady directional creep
+        assert ShiftPattern.SUDDEN not in patterns[5:]
+
+    def test_severity_reported(self, rng, centers):
+        c0, _, _ = centers
+        clf = make_classifier(warmup_points=2)
+        for _ in range(10):
+            assessment = clf.assess(gaussian_batch(rng, c0))
+        assert assessment.severity is not None
+        assert assessment.distance is not None
+
+
+class TestSuddenShifts:
+    def test_jump_to_new_distribution_is_sudden(self, rng, centers):
+        c0, c1, _ = centers
+        clf = make_classifier(warmup_points=2)
+        for _ in range(12):
+            clf.assess(gaussian_batch(rng, c0))
+        assessment = clf.assess(gaussian_batch(rng, c1))
+        assert assessment.pattern is ShiftPattern.SUDDEN
+        assert assessment.severity > clf.alpha
+
+    def test_alpha_controls_sensitivity(self, rng, centers):
+        c0, c1, _ = centers
+
+        def final_pattern(alpha):
+            clf = make_classifier(alpha=alpha, warmup_points=2)
+            rng_local = np.random.default_rng(0)
+            for _ in range(12):
+                clf.assess(gaussian_batch(rng_local, c0))
+            return clf.assess(gaussian_batch(rng_local, c1)).pattern
+
+        assert final_pattern(1.96) is ShiftPattern.SUDDEN
+        assert final_pattern(1e9) is ShiftPattern.SLIGHT
+
+
+class TestReoccurringShifts:
+    def test_return_to_old_distribution_is_reoccurring(self, rng, centers):
+        c0, c1, _ = centers
+        clf = make_classifier(warmup_points=2)
+        for _ in range(12):
+            clf.assess(gaussian_batch(rng, c0))
+        for _ in range(8):
+            clf.assess(gaussian_batch(rng, c1))
+        assessment = clf.assess(gaussian_batch(rng, c0))
+        assert assessment.pattern is ShiftPattern.REOCCURRING
+        assert assessment.historical_distance < assessment.distance
+
+    def test_jump_to_genuinely_new_region_not_reoccurring(self, rng, centers):
+        c0, c1, c2 = centers
+        clf = make_classifier(warmup_points=2)
+        for _ in range(12):
+            clf.assess(gaussian_batch(rng, c0))
+        for _ in range(8):
+            clf.assess(gaussian_batch(rng, c1))
+        assessment = clf.assess(gaussian_batch(rng, c2))  # never seen
+        assert assessment.pattern is ShiftPattern.SUDDEN
+
+    def test_reoccurrence_ratio_tightens_rule(self, rng, centers):
+        c0, c1, _ = centers
+
+        def classify(ratio):
+            clf = make_classifier(warmup_points=2, reoccurrence_ratio=ratio)
+            rng_local = np.random.default_rng(1)
+            for _ in range(12):
+                clf.assess(gaussian_batch(rng_local, c0))
+            for _ in range(8):
+                clf.assess(gaussian_batch(rng_local, c1))
+            return clf.assess(gaussian_batch(rng_local, c0)).pattern
+
+        assert classify(0.5) is ShiftPattern.REOCCURRING
+        # An absurdly tight ratio rejects even a perfect return.
+        assert classify(1e-9) is ShiftPattern.SUDDEN
+
+
+class TestStateManagement:
+    def test_history_index_points_at_matching_batch(self, rng, centers):
+        c0, c1, _ = centers
+        clf = make_classifier(warmup_points=2)
+        for _ in range(6):
+            clf.assess(gaussian_batch(rng, c0))
+        for _ in range(6):
+            clf.assess(gaussian_batch(rng, c1))
+        assessment = clf.assess(gaussian_batch(rng, c0))
+        # Nearest historical embedding should be one of the c0 batches.
+        assert assessment.historical_index < 6
+
+    def test_classifier_never_reads_labels(self, rng):
+        """assess() takes features only — the API enforces label-freeness."""
+        clf = make_classifier(warmup_points=2)
+        assessment = clf.assess(rng.normal(size=(32, 4)))
+        assert assessment is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternClassifier(alpha=0.0)
+        with pytest.raises(ValueError):
+            PatternClassifier(reoccurrence_ratio=0.0)
+        with pytest.raises(ValueError):
+            PatternClassifier(reoccurrence_ratio=1.5)
+
+    def test_pattern_enum_values_match_stream_annotations(self):
+        from repro.data import Pattern
+        assert ShiftPattern.SLIGHT.value == Pattern.SLIGHT
+        assert ShiftPattern.SUDDEN.value == Pattern.SUDDEN
+        assert ShiftPattern.REOCCURRING.value == Pattern.REOCCURRING

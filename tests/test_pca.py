@@ -1,0 +1,110 @@
+"""Tests for warm-up PCA (repro.shift.pca, Eqs. 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.shift import WarmupPCA
+
+
+class TestFit:
+    def test_components_match_numpy_eigendecomposition(self, rng):
+        x = rng.normal(size=(500, 6)) @ rng.normal(size=(6, 6))
+        pca = WarmupPCA(num_components=3).fit(x)
+        centered = x - x.mean(axis=0)
+        cov = centered.T @ centered / len(x)
+        eigenvalues, eigenvectors = np.linalg.eigh(cov)
+        order = np.argsort(eigenvalues)[::-1][:3]
+        for column in range(3):
+            ours = pca.components[:, column]
+            reference = eigenvectors[:, order[column]]
+            # Eigenvectors are sign-ambiguous.
+            assert (np.allclose(ours, reference, atol=1e-8)
+                    or np.allclose(ours, -reference, atol=1e-8))
+
+    def test_explained_variance_descending(self, rng):
+        x = rng.normal(size=(200, 5)) * np.array([5, 3, 1, 0.5, 0.1])
+        pca = WarmupPCA(num_components=5).fit(x)
+        variances = pca.explained_variance
+        assert all(variances[i] >= variances[i + 1]
+                   for i in range(len(variances) - 1))
+
+    def test_dominant_direction_found(self, rng):
+        # Variance almost entirely along axis 0.
+        x = rng.normal(size=(300, 4)) * np.array([10.0, 0.1, 0.1, 0.1])
+        pca = WarmupPCA(num_components=1).fit(x)
+        direction = np.abs(pca.components[:, 0])
+        assert direction[0] > 0.99
+
+    def test_components_capped_at_input_dim(self, rng):
+        pca = WarmupPCA(num_components=10).fit(rng.normal(size=(50, 3)))
+        assert pca.components.shape == (3, 3)
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            WarmupPCA().fit(np.zeros((1, 3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupPCA(num_components=0)
+        with pytest.raises(ValueError):
+            WarmupPCA(warmup_points=1)
+
+
+class TestObserveWarmup:
+    def test_accumulates_until_threshold(self, rng):
+        pca = WarmupPCA(num_components=2, warmup_points=100)
+        assert not pca.observe(rng.normal(size=(40, 3)))
+        assert not pca.is_fitted
+        assert pca.observe(rng.normal(size=(70, 3)))  # total 110 >= 100
+        assert pca.is_fitted
+
+    def test_observe_after_fit_is_noop(self, rng):
+        pca = WarmupPCA(warmup_points=10)
+        pca.observe(rng.normal(size=(20, 3)))
+        components = pca.components.copy()
+        pca.observe(rng.normal(size=(50, 3)) * 100)
+        np.testing.assert_array_equal(pca.components, components)
+
+
+class TestTransformAndEmbedding:
+    def test_transform_centers_data(self, rng):
+        x = rng.normal(loc=5.0, size=(200, 4))
+        pca = WarmupPCA(num_components=4).fit(x)
+        projected = pca.transform(x)
+        np.testing.assert_allclose(projected.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_batch_embedding_is_projected_mean(self, rng):
+        x = rng.normal(size=(200, 4))
+        pca = WarmupPCA(num_components=2).fit(x)
+        batch = rng.normal(loc=2.0, size=(50, 4))
+        embedding = pca.batch_embedding(batch)
+        manual = pca.components.T @ (batch.mean(axis=0) - pca.mean)
+        np.testing.assert_allclose(embedding, manual)
+        assert embedding.shape == (2,)
+
+    def test_identical_batches_identical_embeddings(self, rng):
+        x = rng.normal(size=(100, 3))
+        pca = WarmupPCA(num_components=2).fit(x)
+        batch = rng.normal(size=(20, 3))
+        np.testing.assert_array_equal(pca.batch_embedding(batch),
+                                      pca.batch_embedding(batch))
+
+    def test_shifted_batch_moves_embedding(self, rng):
+        x = rng.normal(size=(100, 3))
+        pca = WarmupPCA(num_components=2).fit(x)
+        batch = rng.normal(size=(50, 3))
+        near = pca.batch_embedding(batch)
+        far = pca.batch_embedding(batch + 10.0)
+        assert np.linalg.norm(far - near) > 1.0
+
+    def test_images_flattened(self, rng):
+        x = rng.normal(size=(100, 2, 4, 4))
+        pca = WarmupPCA(num_components=2).fit(x)
+        assert pca.batch_embedding(rng.normal(size=(10, 2, 4, 4))).shape == (2,)
+
+    def test_unfitted_raises(self):
+        pca = WarmupPCA()
+        with pytest.raises(RuntimeError):
+            pca.transform(np.zeros((5, 3)))
+        with pytest.raises(RuntimeError):
+            pca.batch_embedding(np.zeros((5, 3)))

@@ -1,0 +1,115 @@
+"""Tests for learner checkpointing (repro.core.persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Learner, load_learner, save_learner
+from repro.data import NSLKDDSimulator
+from repro.models import StreamingMLP
+
+
+def factory():
+    return StreamingMLP(num_features=20, num_classes=5, lr=0.3, seed=0)
+
+
+def make_learner(**kwargs):
+    return Learner(factory, window_batches=4, seed=0, **kwargs)
+
+
+@pytest.fixture
+def trained_learner():
+    learner = make_learner()
+    for batch in NSLKDDSimulator(seed=1).stream(30, batch_size=128):
+        learner.process(batch)
+    return learner
+
+
+class TestRoundTrip:
+    def test_predictions_identical_after_restore(self, trained_learner,
+                                                 tmp_path, rng):
+        path = tmp_path / "checkpoint.npz"
+        written = save_learner(trained_learner, path)
+        assert written > 0
+        assert path.exists()
+
+        restored = load_learner(make_learner(), path)
+        probe = rng.normal(size=(64, 20))
+        for original_level, restored_level in zip(
+                trained_learner.ensemble.levels, restored.ensemble.levels):
+            np.testing.assert_allclose(
+                restored_level.model.predict_proba(probe),
+                original_level.model.predict_proba(probe.copy()),
+            )
+
+    def test_knowledge_store_restored(self, trained_learner, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_learner(trained_learner, path)
+        restored = load_learner(make_learner(), path)
+        assert len(restored.knowledge) == len(trained_learner.knowledge)
+        for original, copy in zip(trained_learner.knowledge.entries,
+                                  restored.knowledge.entries):
+            assert original.model_kind == copy.model_kind
+            assert original.batch_index == copy.batch_index
+            np.testing.assert_array_equal(original.embedding, copy.embedding)
+
+    def test_experience_buffer_restored(self, trained_learner, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_learner(trained_learner, path)
+        restored = load_learner(make_learner(), path)
+        assert len(restored.experience) == len(trained_learner.experience)
+        original_x, original_y = trained_learner.experience.recent(32)
+        restored_x, restored_y = restored.experience.recent(32)
+        np.testing.assert_array_equal(original_x, restored_x)
+        np.testing.assert_array_equal(original_y, restored_y)
+
+    def test_classifier_state_restored(self, trained_learner, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_learner(trained_learner, path)
+        restored = load_learner(make_learner(), path)
+        np.testing.assert_array_equal(
+            restored.classifier.pca.components,
+            trained_learner.classifier.pca.components,
+        )
+        assert (len(restored.classifier.severity)
+                == len(trained_learner.classifier.severity))
+        assert (len(restored.classifier.history)
+                == len(trained_learner.classifier.history))
+
+    def test_restored_learner_continues_identically(self, tmp_path):
+        """The acid test: process the same future batches from a saved and
+        a live learner — reports must match."""
+        batches = NSLKDDSimulator(seed=2).stream(40, batch_size=128
+                                                 ).materialize()
+        live = make_learner()
+        for batch in batches[:25]:
+            live.process(batch)
+
+        path = tmp_path / "mid.npz"
+        save_learner(live, path)
+        resumed = load_learner(make_learner(), path)
+
+        for batch in batches[25:]:
+            live_report = live.process(batch)
+            resumed_report = resumed.process(batch)
+            assert live_report.strategy == resumed_report.strategy
+            assert live_report.pattern == resumed_report.pattern
+            assert live_report.accuracy == pytest.approx(
+                resumed_report.accuracy
+            )
+
+
+class TestValidation:
+    def test_level_count_mismatch_rejected(self, trained_learner, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_learner(trained_learner, path)
+        wrong = Learner(factory, num_models=3, window_batches=4, seed=0)
+        with pytest.raises(ValueError, match="granularity levels"):
+            load_learner(wrong, path)
+
+    def test_untrained_learner_round_trips(self, tmp_path):
+        fresh = make_learner()
+        path = tmp_path / "fresh.npz"
+        save_learner(fresh, path)
+        restored = load_learner(make_learner(), path)
+        assert restored._batch_counter == 0
+        assert len(restored.knowledge) == 0

@@ -1,0 +1,83 @@
+"""Tests for the SVG chart writer (repro.eval.plots)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import line_chart_svg, save_svg, shift_graph_svg
+
+
+class TestLineChart:
+    def test_valid_svg_document(self):
+        svg = line_chart_svg({"a": [0.1, 0.5, 0.9]}, title="Test")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "Test" in svg
+        assert "polyline" in svg
+
+    def test_multiple_series_get_distinct_colors(self):
+        svg = line_chart_svg({"one": [0.1, 0.2], "two": [0.3, 0.4]})
+        assert svg.count("<polyline") == 2
+        assert "#2563eb" in svg and "#dc2626" in svg
+
+    def test_dashed_series(self):
+        svg = line_chart_svg({"baseline": [0.1, 0.2], "ours": [0.3, 0.4]},
+                             dashed={"baseline"})
+        assert "stroke-dasharray" in svg
+
+    def test_legend_labels_present(self):
+        svg = line_chart_svg({"freewayml": [0.5, 0.6],
+                              "plain": [0.4, 0.5]})
+        assert "freewayml" in svg
+        assert "plain" in svg
+
+    def test_different_lengths_allowed(self):
+        svg = line_chart_svg({"long": list(np.linspace(0, 1, 50)),
+                              "short": [0.5, 0.5, 0.5]})
+        assert svg.count("<polyline") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+        with pytest.raises(ValueError):
+            line_chart_svg({"a": [0.5]})
+
+
+class TestShiftGraph:
+    def test_renders_trace(self, rng):
+        points = rng.normal(size=(20, 2))
+        svg = shift_graph_svg(points, title="shift")
+        assert svg.count("<circle") == 20
+        assert "start" in svg and "end" in svg
+
+    def test_accuracy_coloring(self, rng):
+        points = rng.normal(size=(4, 2))
+        svg = shift_graph_svg(points, accuracies=[1.0, 0.0, 0.5, None])
+        assert "rgb(0,180,60)" in svg    # perfect accuracy -> green
+        assert "rgb(220,0,60)" in svg    # zero accuracy -> red
+        assert "#2563eb" in svg          # un-annotated point -> default
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            shift_graph_svg(rng.normal(size=(1, 2)))
+        with pytest.raises(ValueError):
+            shift_graph_svg(rng.normal(size=(5, 3)))
+
+
+class TestSaveSvg:
+    def test_writes_file_with_parents(self, tmp_path):
+        svg = line_chart_svg({"a": [0.1, 0.9]})
+        path = save_svg(svg, tmp_path / "charts" / "out.svg")
+        assert path.exists()
+        assert path.read_text() == svg
+
+    def test_end_to_end_with_shift_graph(self, tmp_path, rng):
+        """Realistic artifact: Figure-2-style graph from a real stream."""
+        from repro.data import ElectricitySimulator
+        from repro.shift import ShiftGraph
+        graph = ShiftGraph(warmup_points=64)
+        for batch in ElectricitySimulator(seed=0).stream(30, 64):
+            graph.observe(batch.x, accuracy=0.8)
+        svg = shift_graph_svg(graph.points, accuracies=graph.accuracies,
+                              title="electricity")
+        path = save_svg(svg, tmp_path / "fig2.svg")
+        assert path.stat().st_size > 1000

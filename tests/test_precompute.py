@@ -1,0 +1,89 @@
+"""Tests for the pre-computing window (repro.core.precompute)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PrecomputingWindow
+from repro.models import StreamingLR
+
+
+def model(seed=0, lr=0.1):
+    return StreamingLR(num_features=4, num_classes=2, lr=lr, seed=seed)
+
+
+class TestEquivalence:
+    def test_matches_full_batch_update_exactly(self, blob_data):
+        """The paper's claim: pre-computed subset gradients aggregate to the
+        same update as one full-window gradient step."""
+        x, y = blob_data
+        reference = model()
+        reference.partial_fit(x, y)
+
+        precomputed = model()
+        window = PrecomputingWindow(precomputed)
+        for start in range(0, len(x), 50):
+            window.accumulate(x[start:start + 50], y[start:start + 50])
+        window.apply()
+
+        for pa, pb in zip(reference.module.parameters(),
+                          precomputed.module.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+
+    def test_uneven_subsets_weighted_correctly(self, blob_data):
+        x, y = blob_data
+        reference = model()
+        reference.partial_fit(x, y)
+
+        precomputed = model()
+        window = PrecomputingWindow(precomputed)
+        window.accumulate(x[:10], y[:10])
+        window.accumulate(x[10:150], y[10:150])
+        window.apply(x[150:], y[150:])  # final subset folded in at apply
+
+        for pa, pb in zip(reference.module.parameters(),
+                          precomputed.module.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, atol=1e-12)
+
+
+class TestBookkeeping:
+    def test_pending_samples(self, blob_data):
+        x, y = blob_data
+        window = PrecomputingWindow(model())
+        window.accumulate(x[:30], y[:30])
+        assert window.pending_samples == 30
+        assert window.subsets_accumulated == 1
+
+    def test_apply_resets(self, blob_data):
+        x, y = blob_data
+        window = PrecomputingWindow(model())
+        window.accumulate(x[:30], y[:30])
+        window.apply()
+        assert window.pending_samples == 0
+        assert window.subsets_accumulated == 0
+
+    def test_reset_discards(self, blob_data):
+        x, y = blob_data
+        target = model()
+        before = target.state_dict()
+        window = PrecomputingWindow(target)
+        window.accumulate(x[:30], y[:30])
+        window.reset()
+        with pytest.raises(RuntimeError):
+            window.apply()
+        for name, value in target.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+
+    def test_apply_without_accumulate_raises(self):
+        with pytest.raises(RuntimeError):
+            PrecomputingWindow(model()).apply()
+
+    def test_apply_final_subset_requires_labels(self, blob_data):
+        x, y = blob_data
+        window = PrecomputingWindow(model())
+        with pytest.raises(ValueError):
+            window.apply(x[:10], None)
+
+    def test_empty_subset_rejected(self):
+        window = PrecomputingWindow(model())
+        with pytest.raises(ValueError):
+            window.accumulate(np.zeros((0, 4)), np.zeros(0))

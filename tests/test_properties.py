@@ -1,0 +1,164 @@
+"""Property-based invariants across the core data structures (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    AdaptiveStreamingWindow,
+    ExperienceBuffer,
+    KnowledgeStore,
+)
+from repro.metrics import class_recalls, macro_f1
+from repro.models import KMeans
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def finite_matrix(rows=st.integers(2, 12), cols=st.integers(1, 6)):
+    return st.tuples(rows, cols).flatmap(
+        lambda shape: hnp.arrays(
+            np.float64, shape,
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+
+
+class TestASWInvariants:
+    @given(st.lists(st.floats(-5, 5, allow_nan=False), min_size=1,
+                    max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_weights_bounded_and_disorder_normalized(self, centers):
+        window = AdaptiveStreamingWindow(max_batches=100, base_decay=0.2,
+                                         min_weight=0.01, seed=0)
+        rng = np.random.default_rng(0)
+        for center in centers:
+            x = rng.normal(size=(4, 3)) + center
+            window.add(x, np.zeros(4), x.mean(axis=0))
+            weights = window.entry_weights()
+            assert (weights > 0).all()
+            assert (weights <= 1.0).all()
+            assert 0.0 <= window.disorder <= 1.0
+            assert window.effective_items <= 4 * len(centers) + 1e-9
+
+    @given(st.lists(st.floats(-5, 5, allow_nan=False), min_size=1,
+                    max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_training_data_never_exceeds_window_rows(self, centers):
+        window = AdaptiveStreamingWindow(max_batches=100, base_decay=0.3,
+                                         seed=0)
+        rng = np.random.default_rng(0)
+        total = 0
+        for center in centers:
+            x = rng.normal(size=(6, 2)) + center
+            window.add(x, np.zeros(6), x.mean(axis=0))
+            total += 6
+        x_out, y_out = window.training_data()
+        assert len(x_out) == len(y_out)
+        assert 1 <= len(x_out) <= total
+
+
+class TestExperienceBufferInvariants:
+    @given(st.lists(st.integers(1, 40), min_size=1, max_size=20),
+           st.integers(5, 60), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_size_bounded_by_capacity(self, batch_sizes, capacity,
+                                      expiration):
+        buffer = ExperienceBuffer(capacity=capacity, per_batch=10,
+                                  expiration=expiration)
+        rng = np.random.default_rng(0)
+        for size in batch_sizes:
+            buffer.add(rng.normal(size=(size, 2)),
+                       rng.integers(0, 2, size=size))
+            assert len(buffer) <= capacity + 10  # one batch of slack max
+        x, y = buffer.recent(5)
+        assert len(x) == len(y) <= 5
+
+
+class TestKnowledgeStoreInvariants:
+    @given(st.integers(1, 30), st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_len_bounded_by_capacity(self, inserts, capacity):
+        store = KnowledgeStore(capacity=capacity)
+        for index in range(inserts):
+            store.preserve(np.zeros(2), {"w": np.zeros(3)}, "long",
+                           0.5, index)
+        assert len(store) <= capacity
+        assert store.preserved_total == inserts
+        # Whatever remains is the newest suffix.
+        indices = [entry.batch_index for entry in store.entries]
+        assert indices == sorted(indices)
+        if indices:
+            assert indices[-1] == inserts - 1
+
+
+class TestSoftmaxInvariants:
+    @given(finite_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_simplex(self, logits):
+        probs = F.softmax(Tensor(logits)).data
+        assert (probs >= 0).all()
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(finite_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_cross_entropy_nonnegative(self, logits):
+        labels = np.zeros(len(logits), dtype=np.int64)
+        loss = F.cross_entropy(Tensor(logits), labels).item()
+        assert loss >= -1e-12
+
+
+class TestKMeansInvariants:
+    @given(finite_matrix(rows=st.integers(6, 30), cols=st.integers(1, 4)),
+           st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_assignments_in_range(self, x, k):
+        kmeans = KMeans(k, seed=0)
+        labels = kmeans.fit_predict(x)
+        assert labels.min() >= 0
+        assert labels.max() < k
+        assert len(labels) == len(x)
+
+    @given(finite_matrix(rows=st.integers(8, 30), cols=st.integers(2, 3)))
+    @settings(max_examples=20, deadline=None)
+    def test_more_clusters_never_increase_inertia(self, x):
+        inertia_1 = KMeans(1, seed=0).fit(x).inertia(x)
+        inertia_3 = KMeans(3, seed=0).fit(x).inertia(x)
+        assert inertia_3 <= inertia_1 + 1e-6
+
+
+class TestMetricInvariants:
+    @given(st.integers(2, 6), st.integers(10, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_perfect_predictions_score_one(self, num_classes, n):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, num_classes, size=n)
+        recalls = class_recalls(y, y, num_classes)
+        present = ~np.isnan(recalls)
+        np.testing.assert_allclose(recalls[present], 1.0)
+        assert macro_f1(y, y, num_classes) == pytest.approx(1.0)
+
+    @given(st.integers(2, 5), st.integers(20, 80))
+    @settings(max_examples=30, deadline=None)
+    def test_macro_f1_bounded(self, num_classes, n):
+        rng = np.random.default_rng(1)
+        y_true = rng.integers(0, num_classes, size=n)
+        y_pred = rng.integers(0, num_classes, size=n)
+        assert 0.0 <= macro_f1(y_true, y_pred, num_classes) <= 1.0
+
+    def test_class_recalls_nan_for_absent_class(self):
+        recalls = class_recalls([0, 0, 1], [0, 0, 1], 3)
+        assert np.isnan(recalls[2])
+        assert recalls[0] == 1.0
+
+    def test_minority_class_visible(self):
+        # 90% majority predicted perfectly, minority never predicted:
+        # accuracy is high but the minority recall exposes the failure.
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        recalls = class_recalls(y_true, y_pred, 2)
+        assert recalls[0] == 1.0
+        assert recalls[1] == 0.0
+        assert macro_f1(y_true, y_pred, 2) < 0.5

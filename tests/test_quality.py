@@ -1,0 +1,147 @@
+"""Tests for stream preprocessing (repro.data.quality)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Batch,
+    MissingValueRepair,
+    StreamingStandardScaler,
+)
+
+
+class TestStreamingStandardScaler:
+    def test_incremental_matches_batch_statistics(self, rng):
+        data = rng.normal(loc=3.0, scale=2.0, size=(500, 4))
+        scaler = StreamingStandardScaler()
+        for start in range(0, 500, 64):
+            scaler.partial_fit(data[start:start + 64])
+        np.testing.assert_allclose(scaler.mean(), data.mean(axis=0),
+                                   atol=1e-9)
+        np.testing.assert_allclose(scaler.std(), data.std(axis=0),
+                                   atol=1e-4)
+
+    def test_transform_standardizes(self, rng):
+        data = rng.normal(loc=-5.0, scale=7.0, size=(1000, 3))
+        scaler = StreamingStandardScaler().partial_fit(data)
+        scaled = scaler.transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-3)
+
+    def test_unfitted_transform_is_identity(self, rng):
+        x = rng.normal(size=(5, 3))
+        np.testing.assert_array_equal(
+            StreamingStandardScaler().transform(x), x
+        )
+
+    def test_constant_feature_safe(self):
+        x = np.ones((50, 2))
+        scaler = StreamingStandardScaler().partial_fit(x)
+        scaled = scaler.transform(x)
+        assert np.isfinite(scaled).all()
+
+    def test_prequential_safe_ordering(self, rng):
+        """The batch transform must use only PAST statistics."""
+        scaler = StreamingStandardScaler()
+        first = Batch(rng.normal(loc=100.0, size=(64, 2)),
+                      np.zeros(64), index=0)
+        out = scaler(first)
+        # No history existed: the first batch passes through unscaled.
+        np.testing.assert_array_equal(out.x, first.x)
+        second = Batch(rng.normal(loc=100.0, size=(64, 2)),
+                       np.zeros(64), index=1)
+        out2 = scaler(second)
+        # Now scaled by the first batch's statistics: roughly centered.
+        assert abs(out2.x.mean()) < 2.0
+
+    def test_decay_tracks_drifting_range(self, rng):
+        adaptive = StreamingStandardScaler(decay=0.5)
+        sticky = StreamingStandardScaler(decay=1.0)
+        for scaler in (adaptive, sticky):
+            for _ in range(10):
+                scaler.partial_fit(rng.normal(loc=0.0, size=(128, 1)))
+            for _ in range(10):
+                scaler.partial_fit(rng.normal(loc=50.0, size=(128, 1)))
+        assert adaptive.mean()[0] > sticky.mean()[0]
+        assert adaptive.mean()[0] > 45.0
+
+    def test_stream_map_integration(self, rng):
+        from repro.data import ElectricitySimulator
+        scaler = StreamingStandardScaler()
+        stream = ElectricitySimulator(seed=0).stream(8, 64).map(scaler)
+        batches = stream.materialize()
+        assert len(batches) == 8
+        late = np.concatenate([b.x for b in batches[4:]])
+        assert abs(late.mean()) < 1.5  # roughly standardized by then
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingStandardScaler(decay=0.0)
+        with pytest.raises(ValueError):
+            StreamingStandardScaler().partial_fit(np.zeros((0, 3)))
+        scaler = StreamingStandardScaler().partial_fit(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            scaler.partial_fit(np.zeros((4, 5)))
+        with pytest.raises(RuntimeError):
+            StreamingStandardScaler().mean()
+
+
+class TestMissingValueRepair:
+    def test_repairs_nan_with_running_mean(self, rng):
+        repair = MissingValueRepair()
+        repair.repair(np.full((10, 2), 5.0))
+        dirty = np.full((4, 2), 7.0)
+        dirty[1, 0] = np.nan
+        dirty[2, 1] = np.inf
+        fixed = repair.repair(dirty)
+        assert np.isfinite(fixed).all()
+        assert fixed[1, 0] == pytest.approx(5.0)  # running mean
+        assert repair.repaired_cells == 2
+
+    def test_first_batch_fallback_zero(self):
+        repair = MissingValueRepair()
+        dirty = np.array([[np.nan, 1.0], [2.0, 3.0]])
+        fixed = repair.repair(dirty)
+        assert fixed[0, 0] == 0.0
+
+    def test_builds_valid_batch(self, rng):
+        repair = MissingValueRepair()
+        dirty = rng.normal(size=(8, 3))
+        dirty[0, 0] = np.nan
+        batch = repair(dirty, np.zeros(8), index=3)
+        assert isinstance(batch, Batch)
+        assert batch.index == 3
+        assert np.isfinite(batch.x).all()
+
+    def test_rejects_prebuilt_batch(self, rng):
+        repair = MissingValueRepair()
+        batch = Batch(rng.normal(size=(4, 2)), np.zeros(4), index=0)
+        with pytest.raises(TypeError):
+            repair(batch)
+
+    def test_statistics_ignore_injected_values_drift(self, rng):
+        """A burst of NaN cells must not drag the running mean to the
+        fill value's bias."""
+        repair = MissingValueRepair()
+        repair.repair(np.full((100, 1), 10.0))
+        burst = np.full((100, 1), np.nan)
+        repair.repair(burst)
+        # Mean stays at 10 (the repaired cells were filled WITH 10).
+        assert repair._mean[0] == pytest.approx(10.0)
+
+    def test_learner_end_to_end_with_dirty_stream(self, rng):
+        """Dirty arrays -> repair -> Learner, no crashes."""
+        from repro.core import Learner
+        from repro.models import StreamingLR
+        repair = MissingValueRepair()
+        learner = Learner(
+            lambda: StreamingLR(num_features=4, num_classes=2, lr=0.3,
+                                seed=0),
+            window_batches=4,
+        )
+        for index in range(10):
+            x = rng.normal(size=(64, 4))
+            x[rng.random(x.shape) < 0.02] = np.nan
+            y = (np.nan_to_num(x[:, 0]) > 0).astype(int)
+            report = learner.process(repair(x, y, index=index))
+            assert report.accuracy is not None

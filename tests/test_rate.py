@@ -1,0 +1,96 @@
+"""Tests for the rate-aware adjuster (repro.core.rate)."""
+
+import pytest
+
+from repro.core import RateAwareAdjuster
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make(high_rate=1000.0, **kwargs):
+    clock = FakeClock()
+    adjuster = RateAwareAdjuster(high_rate=high_rate, clock=clock, **kwargs)
+    return adjuster, clock
+
+
+class TestFlowRateEstimation:
+    def test_ema_tracks_rate(self):
+        adjuster, clock = make()
+        adjuster.observe(100)
+        for _ in range(50):
+            clock.advance(0.1)      # 100 items / 0.1s = 1000 items/s
+            adjuster.observe(100)
+        assert adjuster.flow_rate == pytest.approx(1000.0, rel=0.05)
+
+    def test_first_observation_no_rate(self):
+        adjuster, _ = make()
+        adjuster.observe(100)
+        assert adjuster.flow_rate == 0.0
+
+
+class TestThrottling:
+    def test_stride_grows_under_load(self):
+        adjuster, clock = make(high_rate=10.0, max_stride=4)
+        adjuster.observe(100)
+        for _ in range(10):
+            clock.advance(0.01)     # 10,000 items/s >> 10
+            adjuster.observe(100, window_pressure=0.95)
+        assert adjuster.inference_stride == 4
+        assert adjuster.decay_boost == 2.0
+
+    def test_stride_recovers_when_calm(self):
+        adjuster, clock = make(high_rate=10.0, max_stride=4)
+        adjuster.observe(100)
+        for _ in range(10):
+            clock.advance(0.01)
+            adjuster.observe(100, window_pressure=0.95)
+        for _ in range(30):
+            clock.advance(100.0)    # 1 item/s << 10
+            adjuster.observe(100, window_pressure=0.0)
+        assert adjuster.inference_stride == 1
+        assert adjuster.decay_boost == 1.0
+
+    def test_pressure_required_for_throttle(self):
+        adjuster, clock = make(high_rate=10.0)
+        adjuster.observe(100)
+        for _ in range(10):
+            clock.advance(0.01)
+            adjuster.observe(100, window_pressure=0.0)  # fast but no pressure
+        assert adjuster.inference_stride == 1
+
+    def test_should_infer_follows_stride(self):
+        adjuster, _ = make()
+        adjuster.inference_stride = 3
+        decisions = [adjuster.should_infer(i) for i in range(6)]
+        assert decisions == [True, False, False, True, False, False]
+
+    def test_disabled_when_high_rate_none(self):
+        clock = FakeClock()
+        adjuster = RateAwareAdjuster(high_rate=None, clock=clock)
+        adjuster.observe(100)
+        for _ in range(10):
+            clock.advance(0.0001)
+            adjuster.observe(100, window_pressure=1.0)
+        assert adjuster.inference_stride == 1
+        assert adjuster.decay_boost == 1.0
+
+
+class TestValidation:
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            RateAwareAdjuster(max_stride=0)
+
+    def test_bad_ema(self):
+        with pytest.raises(ValueError):
+            RateAwareAdjuster(ema=0.0)
+        with pytest.raises(ValueError):
+            RateAwareAdjuster(ema=1.5)

@@ -1,0 +1,108 @@
+"""Tests for the real-dataset simulators (repro.data.real)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_REGISTRY,
+    AirlinesSimulator,
+    CovertypeSimulator,
+    ElectricitySimulator,
+    NSLKDDSimulator,
+    Pattern,
+    make_dataset,
+)
+
+ALL_SIMULATORS = [
+    ElectricitySimulator,
+    NSLKDDSimulator,
+    CovertypeSimulator,
+    AirlinesSimulator,
+]
+
+
+@pytest.mark.parametrize("simulator_cls", ALL_SIMULATORS)
+class TestCommonBehaviour:
+    def test_shapes(self, simulator_cls):
+        sim = simulator_cls(seed=0)
+        batches = sim.stream(6, batch_size=32).materialize()
+        assert len(batches) == 6
+        assert batches[0].x.shape == (32, sim.num_features)
+        assert batches[0].y.max() < sim.num_classes
+
+    def test_deterministic(self, simulator_cls):
+        a = simulator_cls(seed=5).stream(4, 16).materialize()
+        b = simulator_cls(seed=5).stream(4, 16).materialize()
+        for ba, bb in zip(a, b):
+            np.testing.assert_array_equal(ba.x, bb.x)
+            np.testing.assert_array_equal(ba.y, bb.y)
+
+    def test_long_stream_covers_all_patterns(self, simulator_cls):
+        batches = simulator_cls(seed=0).stream(120, 16).materialize()
+        patterns = {b.pattern for b in batches}
+        assert Pattern.SLIGHT in patterns
+        assert Pattern.SUDDEN in patterns
+        assert Pattern.REOCCURRING in patterns
+
+    def test_stream_respects_requested_length(self, simulator_cls):
+        # Length not a multiple of the blueprint must still be exact.
+        batches = simulator_cls(seed=0).stream(37, 8).materialize()
+        assert len(batches) == 37
+
+    def test_indices_sequential(self, simulator_cls):
+        batches = simulator_cls(seed=0).stream(10, 8).materialize()
+        assert [b.index for b in batches] == list(range(10))
+
+
+class TestBlueprintSemantics:
+    def test_tiled_repeats_convert_sudden_to_reoccurring(self):
+        # Run long enough for the blueprint to repeat; the second entry of
+        # the "volatile"/"storm"-style concept must be reoccurring.  Severe
+        # entries annotate a short disruption region (entry_span batches).
+        batches = ElectricitySimulator(seed=0).stream(120, 8).materialize()
+        severe = [(b.index, b.pattern) for b in batches
+                  if b.pattern in (Pattern.SUDDEN, Pattern.REOCCURRING)]
+        sudden_count = sum(1 for _, p in severe if p == Pattern.SUDDEN)
+        reoccurring_count = len(severe) - sudden_count
+        assert 1 <= sudden_count <= 3  # only the first volatile entry is new
+        assert reoccurring_count > sudden_count
+
+    def test_nslkdd_class_imbalance(self):
+        batches = NSLKDDSimulator(seed=0).stream(10, 512).materialize()
+        labels = np.concatenate([b.y for b in batches])
+        counts = np.bincount(labels, minlength=5)
+        assert counts.argmax() == 0            # "normal" dominates
+        assert counts[4] < counts[0] * 0.2     # U2R is rare
+
+    def test_covertype_mostly_directional_slight(self):
+        batches = CovertypeSimulator(seed=0).stream(60, 8).materialize()
+        slight = sum(1 for b in batches if b.pattern == Pattern.SLIGHT)
+        assert slight / len(batches) > 0.85
+
+    def test_sudden_shift_moves_distribution(self):
+        batches = AirlinesSimulator(seed=0).stream(40, 256).materialize()
+        sudden_index = next(b.index for b in batches
+                            if b.pattern == Pattern.SUDDEN)
+        before = batches[sudden_index - 1].x.mean(axis=0)
+        after = batches[sudden_index].x.mean(axis=0)
+        slight_gap = np.linalg.norm(
+            batches[sudden_index - 1].x.mean(axis=0)
+            - batches[sudden_index - 2].x.mean(axis=0)
+        )
+        assert np.linalg.norm(after - before) > 4 * slight_gap
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(DATASET_REGISTRY) == {
+            "electricity", "nsl-kdd", "covertype", "airlines"
+        }
+
+    def test_make_dataset(self):
+        sim = make_dataset("electricity", seed=9)
+        assert isinstance(sim, ElectricitySimulator)
+        assert sim.seed == 9
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            make_dataset("nope")

@@ -1,0 +1,135 @@
+"""Tests for the related-work comparators: EWC and expert selection."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EWCBaseline, ExpertsBaseline
+from repro.models import StreamingLR, StreamingMLP
+
+
+def mlp_factory():
+    return StreamingMLP(num_features=4, num_classes=2, lr=0.3, seed=0)
+
+
+class TestEWC:
+    def test_learns_separable_data(self, blob_data):
+        x, y = blob_data
+        baseline = EWCBaseline(mlp_factory)
+        for _ in range(30):
+            baseline.partial_fit(x, y)
+        assert (baseline.predict(x) == y).mean() > 0.9
+
+    def test_consolidation_schedule(self, blob_data):
+        x, y = blob_data
+        baseline = EWCBaseline(mlp_factory, consolidate_every=5)
+        for _ in range(11):
+            baseline.partial_fit(x, y)
+        assert baseline.consolidations == 2
+
+    def test_anchor_resists_forgetting(self, rng):
+        """With a strong anchor, learning a conflicting concept degrades
+        performance on the old one less than unconstrained SGD."""
+        x_old = rng.normal(size=(256, 4))
+        y_old = (x_old[:, 0] > 0).astype(np.int64)
+        x_new = rng.normal(size=(256, 4))
+        y_new = (x_new[:, 0] <= 0).astype(np.int64)  # flipped concept
+
+        def retention(ewc_lambda):
+            baseline = EWCBaseline(mlp_factory, ewc_lambda=ewc_lambda,
+                                   consolidate_every=5)
+            for _ in range(20):
+                baseline.partial_fit(x_old, y_old)
+            for _ in range(3):
+                baseline.partial_fit(x_new, y_new)
+            return (baseline.predict(x_old) == y_old).mean()
+
+        assert retention(ewc_lambda=1.0) > retention(ewc_lambda=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWCBaseline(mlp_factory, ewc_lambda=-1.0)
+        with pytest.raises(ValueError):
+            EWCBaseline(mlp_factory, consolidate_every=0)
+
+    def test_proba_simplex(self, rng, blob_data):
+        x, y = blob_data
+        baseline = EWCBaseline(mlp_factory)
+        baseline.partial_fit(x, y)
+        proba = baseline.predict_proba(rng.normal(size=(10, 4)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestExperts:
+    def _regime_batch(self, rng, center, flip=False, n=128):
+        x = rng.normal(size=(n, 4)) + center
+        y = (x[:, 0] > center).astype(np.int64)
+        if flip:
+            y = 1 - y
+        return x, y
+
+    def test_single_expert_initially(self):
+        baseline = ExpertsBaseline(mlp_factory)
+        assert baseline.num_experts == 1
+
+    def test_spawns_expert_for_new_regime(self, rng):
+        baseline = ExpertsBaseline(mlp_factory, spawn_distance=2.0)
+        for _ in range(10):
+            baseline.partial_fit(*self._regime_batch(rng, 0.0))
+        assert baseline.num_experts == 1
+        baseline.partial_fit(*self._regime_batch(rng, 30.0))
+        assert baseline.num_experts == 2
+        assert baseline.spawns == 1
+
+    def test_routes_back_to_matching_expert(self, rng):
+        """The SEED-style promise: a reoccurring regime is served by the
+        expert that learned it."""
+        baseline = ExpertsBaseline(mlp_factory, spawn_distance=2.0)
+        # Regime A (center 0, normal labels), regime B (center 30, flipped).
+        for _ in range(15):
+            baseline.partial_fit(*self._regime_batch(rng, 0.0))
+        for _ in range(15):
+            baseline.partial_fit(*self._regime_batch(rng, 30.0, flip=True))
+        # Regime A returns: the A-expert answers well immediately.
+        x, y = self._regime_batch(rng, 0.0)
+        assert (baseline.predict(x) == y).mean() > 0.85
+
+    def test_pool_capped_and_recycled(self, rng):
+        baseline = ExpertsBaseline(mlp_factory, max_experts=2,
+                                   spawn_distance=2.0)
+        for center in (0.0, 30.0, -30.0, 60.0):
+            for _ in range(5):
+                baseline.partial_fit(*self._regime_batch(rng, center))
+        assert baseline.num_experts <= 2
+
+    def test_state_dict_unsupported(self):
+        baseline = ExpertsBaseline(mlp_factory)
+        with pytest.raises(NotImplementedError):
+            baseline.state_dict()
+        with pytest.raises(NotImplementedError):
+            baseline.load_state_dict({})
+
+    def test_clone(self):
+        baseline = ExpertsBaseline(mlp_factory, max_experts=7)
+        assert baseline.clone().max_experts == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExpertsBaseline(mlp_factory, max_experts=0)
+        with pytest.raises(ValueError):
+            ExpertsBaseline(mlp_factory, spawn_distance=1.0)
+        with pytest.raises(ValueError):
+            ExpertsBaseline(mlp_factory, centroid_ema=0.0)
+
+
+class TestRegistryIntegration:
+    def test_registered(self):
+        from repro.baselines import BASELINES, make_baseline
+        assert "ewc" in BASELINES
+        assert "experts" in BASELINES
+        baseline = make_baseline("ewc", mlp_factory, ewc_lambda=5.0)
+        assert isinstance(baseline, EWCBaseline)
+
+    def test_not_in_table1_groups(self):
+        from repro.baselines import LR_GROUP, MLP_GROUP
+        assert "ewc" not in LR_GROUP + MLP_GROUP
+        assert "experts" not in LR_GROUP + MLP_GROUP

@@ -1,0 +1,86 @@
+"""Tests for the strategy selector (repro.core.selector)."""
+
+import pytest
+
+from repro.core import Strategy, StrategySelector
+from repro.shift import ShiftAssessment, ShiftPattern
+
+
+def assessment(pattern):
+    return ShiftAssessment(pattern=pattern)
+
+
+@pytest.fixture
+def selector():
+    return StrategySelector()
+
+
+FULL_HOUSE = dict(knowledge_available=True, experience_available=True,
+                  ensemble_trained=True)
+
+
+class TestPrimaryRouting:
+    def test_slight_routes_to_ensemble(self, selector):
+        decision = selector.select(assessment(ShiftPattern.SLIGHT),
+                                   **FULL_HOUSE)
+        assert decision.strategy is Strategy.MULTI_GRANULARITY
+        assert not decision.fallback
+
+    def test_warmup_routes_to_ensemble(self, selector):
+        decision = selector.select(assessment(ShiftPattern.WARMUP),
+                                   **FULL_HOUSE)
+        assert decision.strategy is Strategy.MULTI_GRANULARITY
+
+    def test_sudden_routes_to_cec(self, selector):
+        decision = selector.select(assessment(ShiftPattern.SUDDEN),
+                                   **FULL_HOUSE)
+        assert decision.strategy is Strategy.CEC
+        assert not decision.fallback
+
+    def test_reoccurring_routes_to_knowledge(self, selector):
+        decision = selector.select(assessment(ShiftPattern.REOCCURRING),
+                                   **FULL_HOUSE)
+        assert decision.strategy is Strategy.KNOWLEDGE_REUSE
+        assert not decision.fallback
+
+    def test_exactly_one_strategy_per_batch(self, selector):
+        """Paper Section V: only ONE strategy executes per inference batch."""
+        for pattern in (ShiftPattern.SLIGHT, ShiftPattern.SUDDEN,
+                        ShiftPattern.REOCCURRING, ShiftPattern.WARMUP):
+            decision = selector.select(assessment(pattern), **FULL_HOUSE)
+            assert isinstance(decision.strategy, Strategy)
+
+
+class TestFallbacks:
+    def test_reoccurring_without_knowledge_falls_to_cec(self, selector):
+        decision = selector.select(
+            assessment(ShiftPattern.REOCCURRING),
+            knowledge_available=False, experience_available=True,
+            ensemble_trained=True,
+        )
+        assert decision.strategy is Strategy.CEC
+        assert decision.fallback
+        assert "empty" in decision.reason
+
+    def test_reoccurring_with_nothing_falls_to_ensemble(self, selector):
+        decision = selector.select(
+            assessment(ShiftPattern.REOCCURRING),
+            knowledge_available=False, experience_available=False,
+            ensemble_trained=True,
+        )
+        assert decision.strategy is Strategy.MULTI_GRANULARITY
+        assert decision.fallback
+
+    def test_sudden_without_experience_falls_to_ensemble(self, selector):
+        decision = selector.select(
+            assessment(ShiftPattern.SUDDEN),
+            knowledge_available=True, experience_available=False,
+            ensemble_trained=True,
+        )
+        assert decision.strategy is Strategy.MULTI_GRANULARITY
+        assert decision.fallback
+
+    def test_decision_records_pattern(self, selector):
+        decision = selector.select(assessment(ShiftPattern.SUDDEN),
+                                   **FULL_HOUSE)
+        assert decision.pattern is ShiftPattern.SUDDEN

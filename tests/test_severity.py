@@ -1,0 +1,111 @@
+"""Tests for shift-severity scoring (repro.shift.severity, Eqs. 8-10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shift import SeverityTracker
+
+
+class TestWeightedStatistics:
+    def test_weighted_mean_favours_recent(self):
+        tracker = SeverityTracker(window=10, decay=0.5)
+        for value in [1.0, 1.0, 10.0]:  # most recent = 10
+            tracker.observe(value)
+        # Weights: 0.25, 0.5, 1.0 -> mean = (0.25 + 0.5 + 10) / 1.75
+        assert tracker.weighted_mean() == pytest.approx(10.75 / 1.75)
+
+    def test_decay_one_is_plain_mean(self):
+        tracker = SeverityTracker(window=10, decay=1.0)
+        for value in [2.0, 4.0, 6.0]:
+            tracker.observe(value)
+        assert tracker.weighted_mean() == pytest.approx(4.0)
+
+    def test_std_matches_eq9(self):
+        tracker = SeverityTracker(window=10, decay=1.0)
+        values = [1.0, 2.0, 3.0, 4.0]
+        for value in values:
+            tracker.observe(value)
+        mean = tracker.weighted_mean()
+        expected = np.sqrt(np.mean((np.array(values) - mean) ** 2))
+        assert tracker.std() == pytest.approx(expected)
+
+    def test_window_bounds_history(self):
+        tracker = SeverityTracker(window=3, decay=1.0)
+        for value in [100.0, 1.0, 1.0, 1.0]:
+            tracker.observe(value)
+        assert tracker.weighted_mean() == pytest.approx(1.0)
+
+
+class TestScore:
+    def test_none_until_min_history(self):
+        tracker = SeverityTracker(min_history=3)
+        tracker.observe(1.0)
+        tracker.observe(1.0)
+        assert tracker.score(5.0) is None
+        tracker.observe(1.0)
+        assert tracker.score(5.0) is not None
+
+    def test_outlier_scores_high(self):
+        tracker = SeverityTracker(window=20, decay=1.0)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            tracker.observe(1.0 + rng.normal(scale=0.1))
+        assert tracker.score(3.0) > 1.96
+        assert tracker.score(1.0) < 1.96
+
+    def test_typical_value_scores_low(self):
+        tracker = SeverityTracker(window=10, decay=1.0)
+        for value in [1.0, 1.2, 0.9, 1.1, 1.0]:
+            tracker.observe(value)
+        assert abs(tracker.score(1.05)) < 1.0
+
+    def test_degenerate_history_finite_score(self):
+        tracker = SeverityTracker()
+        for _ in range(5):
+            tracker.observe(2.0)
+        score = tracker.score(3.0)
+        assert np.isfinite(score)
+        assert score > 1.96  # any strictly larger shift is extreme
+
+    @given(st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariance(self, scale):
+        """M is a z-score: rescaling all distances leaves it unchanged."""
+        base = [1.0, 1.5, 0.8, 1.2, 1.1]
+        t1 = SeverityTracker(decay=1.0)
+        t2 = SeverityTracker(decay=1.0)
+        for value in base:
+            t1.observe(value)
+            t2.observe(value * scale)
+        assert t1.score(2.0) == pytest.approx(t2.score(2.0 * scale),
+                                              rel=1e-6)
+
+    def test_ready_property(self):
+        tracker = SeverityTracker(min_history=2)
+        assert not tracker.ready
+        tracker.observe(1.0)
+        tracker.observe(1.0)
+        assert tracker.ready
+
+
+class TestValidation:
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            SeverityTracker().observe(-1.0)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SeverityTracker(window=0)
+        with pytest.raises(ValueError):
+            SeverityTracker(decay=0.0)
+        with pytest.raises(ValueError):
+            SeverityTracker(decay=1.5)
+        with pytest.raises(ValueError):
+            SeverityTracker(min_history=1)
+
+    def test_len(self):
+        tracker = SeverityTracker()
+        tracker.observe(1.0)
+        assert len(tracker) == 1

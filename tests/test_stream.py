@@ -1,0 +1,149 @@
+"""Tests for stream abstractions (repro.data.stream)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Batch, DataStream, Pattern, batches_from_arrays
+
+
+def make_batch(n=10, d=3, index=0, labeled=True, pattern=None):
+    x = np.arange(n * d, dtype=float).reshape(n, d)
+    y = np.arange(n) % 2 if labeled else None
+    return Batch(x, y, index=index, pattern=pattern)
+
+
+class TestBatch:
+    def test_basic_properties(self):
+        batch = make_batch(n=8, d=4)
+        assert len(batch) == 8
+        assert batch.num_features == 4
+        assert batch.labeled
+
+    def test_labels_coerced_to_int64(self):
+        batch = Batch(np.zeros((3, 2)), [0.0, 1.0, 0.0], index=0)
+        assert batch.y.dtype == np.int64
+
+    def test_label_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Batch(np.zeros((3, 2)), [0, 1], index=0)
+
+    def test_unlabeled_batch(self):
+        batch = make_batch(labeled=False)
+        assert not batch.labeled
+        assert batch.y is None
+
+    def test_without_labels(self):
+        batch = make_batch()
+        stripped = batch.without_labels()
+        assert not stripped.labeled
+        assert batch.labeled  # original untouched
+        np.testing.assert_array_equal(stripped.x, batch.x)
+
+    def test_flat_x_flattens_images(self):
+        batch = Batch(np.zeros((4, 2, 3, 3)), np.zeros(4), index=0)
+        assert batch.flat_x().shape == (4, 18)
+        assert batch.num_features == 18
+
+    def test_subset(self):
+        batch = make_batch(n=6)
+        sub = batch.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.y, batch.y[[0, 2, 4]])
+
+    def test_pattern_annotation(self):
+        batch = make_batch(pattern=Pattern.SUDDEN)
+        assert batch.pattern == "sudden"
+
+    def test_pattern_constants(self):
+        assert set(Pattern.ALL) == {"slight", "sudden", "reoccurring"}
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Batch(np.zeros((0, 3)), None, index=0)
+
+    def test_nan_features_rejected(self):
+        x = np.ones((4, 2))
+        x[1, 1] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            Batch(x, np.zeros(4), index=0)
+
+    def test_inf_features_rejected(self):
+        x = np.ones((4, 2))
+        x[0, 0] = np.inf
+        with pytest.raises(ValueError, match="NaN/inf"):
+            Batch(x, np.zeros(4), index=0)
+
+
+class TestDataStream:
+    def _stream(self, count=5):
+        return DataStream(
+            (make_batch(index=i) for i in range(count)),
+            num_features=3, num_classes=2, name="test",
+        )
+
+    def test_iteration(self):
+        batches = list(self._stream(4))
+        assert [b.index for b in batches] == [0, 1, 2, 3]
+
+    def test_take_limits(self):
+        taken = self._stream(10).take(3).materialize()
+        assert len(taken) == 3
+
+    def test_take_preserves_metadata(self):
+        stream = self._stream().take(2)
+        assert stream.num_features == 3
+        assert stream.num_classes == 2
+        assert stream.name == "test"
+
+    def test_map_transforms_lazily(self):
+        doubled = self._stream(3).map(
+            lambda b: Batch(b.x * 2, b.y, index=b.index)
+        )
+        first = next(iter(doubled))
+        np.testing.assert_array_equal(first.x, make_batch().x * 2)
+
+    def test_materialize_with_count(self):
+        assert len(self._stream(10).materialize(4)) == 4
+
+    def test_single_pass_semantics(self):
+        stream = self._stream(3)
+        list(stream)
+        assert list(stream) == []
+
+    def test_next_protocol(self):
+        stream = self._stream(2)
+        assert next(stream).index == 0
+        assert next(stream).index == 1
+        with pytest.raises(StopIteration):
+            next(stream)
+
+
+class TestBatchesFromArrays:
+    def test_cuts_consecutive_batches(self):
+        x = np.arange(20.0).reshape(10, 2)
+        y = np.arange(10) % 2
+        batches = list(batches_from_arrays(x, y, batch_size=3))
+        assert len(batches) == 3  # drop_last=True drops the remainder
+        np.testing.assert_array_equal(batches[1].x, x[3:6])
+
+    def test_keep_last_partial(self):
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        batches = list(batches_from_arrays(x, y, batch_size=3,
+                                           drop_last=False))
+        assert len(batches) == 4
+        assert len(batches[-1]) == 1
+
+    def test_patterns_assigned(self):
+        x = np.zeros((6, 2))
+        y = np.zeros(6)
+        batches = list(batches_from_arrays(
+            x, y, batch_size=2, patterns=[None, "sudden", "slight"]
+        ))
+        assert [b.pattern for b in batches] == [None, "sudden", "slight"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(batches_from_arrays(np.zeros((4, 2)), np.zeros(3), 2))
+        with pytest.raises(ValueError):
+            list(batches_from_arrays(np.zeros((4, 2)), np.zeros(4), 0))

@@ -1,0 +1,136 @@
+"""Tests for synthetic generators (repro.data.synth)."""
+
+import numpy as np
+import pytest
+
+from repro.data import HyperplaneGenerator, Pattern, SEAGenerator
+
+
+class TestHyperplaneGenerator:
+    def test_shapes_and_metadata(self):
+        gen = HyperplaneGenerator(num_features=8, seed=0)
+        stream = gen.stream(5, batch_size=64)
+        assert stream.num_features == 8
+        assert stream.num_classes == 2
+        batches = stream.materialize()
+        assert len(batches) == 5
+        assert batches[0].x.shape == (64, 8)
+
+    def test_deterministic_given_seed(self):
+        a = HyperplaneGenerator(seed=7).stream(3, 32).materialize()
+        b = HyperplaneGenerator(seed=7).stream(3, 32).materialize()
+        for ba, bb in zip(a, b):
+            np.testing.assert_array_equal(ba.x, bb.x)
+            np.testing.assert_array_equal(ba.y, bb.y)
+
+    def test_different_seeds_differ(self):
+        a = HyperplaneGenerator(seed=1).stream(1, 32).materialize()[0]
+        b = HyperplaneGenerator(seed=2).stream(1, 32).materialize()[0]
+        assert not np.array_equal(a.x, b.x)
+
+    def test_features_in_unit_cube(self):
+        batch = HyperplaneGenerator(seed=0).stream(1, 256).materialize()[0]
+        assert batch.x.min() >= 0.0
+        assert batch.x.max() <= 1.0
+
+    def test_noise_rate(self):
+        gen = HyperplaneGenerator(noise=0.0, magnitude=0.0, seed=0)
+        batch = gen.stream(1, 2000).materialize()[0]
+        # With no noise the hyperplane rule is exact; roughly balanced.
+        assert 0.3 < batch.y.mean() < 0.7
+
+    def test_weights_drift_over_time(self):
+        gen = HyperplaneGenerator(magnitude=0.1, seed=0)
+        batches = gen.stream(50, 512).materialize()
+        # Re-fit simple logistic direction early vs late: class balance of
+        # late batches under the early rule should degrade.
+        early, late = batches[0], batches[-1]
+        assert early.pattern is None
+        assert late.pattern == Pattern.SLIGHT
+
+    def test_all_slight_annotations(self):
+        batches = HyperplaneGenerator(seed=0).stream(10, 32).materialize()
+        assert all(b.pattern == Pattern.SLIGHT for b in batches[1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyperplaneGenerator(num_features=4, drift_features=5)
+        with pytest.raises(ValueError):
+            HyperplaneGenerator(concept_switch_every=1)
+        with pytest.raises(ValueError):
+            HyperplaneGenerator(num_concepts=1)
+
+    def test_concept_switching_annotations(self):
+        gen = HyperplaneGenerator(concept_switch_every=10, num_concepts=2,
+                                  seed=0)
+        batches = gen.stream(30, 32).materialize()
+        patterns = [b.pattern for b in batches]
+        assert patterns[10] == Pattern.SUDDEN       # first switch to pool[1]
+        assert patterns[11] == Pattern.SUDDEN       # disruption region
+        assert patterns[20] == Pattern.REOCCURRING  # back to pool[0]
+        assert patterns[5] == Pattern.SLIGHT
+
+    def test_concept_switch_is_catastrophic(self):
+        """The new hyperplane must actively mispredict under the old rule."""
+        gen = HyperplaneGenerator(concept_switch_every=10, noise=0.0,
+                                  magnitude=0.0, seed=0)
+        batches = gen.stream(12, 2000).materialize()
+        # Batch 8 is pure old concept (batch 9 carries the continuity leak).
+        before, after = batches[8], batches[10]
+        # Rule learned pre-switch = the batch-9 labeling function.
+        # Cross-label: how often does the old rule agree with new labels?
+        # Labels invert across the switch: a separator fit on the old
+        # concept actively mispredicts the new one.
+        from repro.models import StreamingLR
+        model = StreamingLR(num_features=10, num_classes=2, lr=0.5, seed=0)
+        for _ in range(100):
+            model.partial_fit(before.x, before.y)
+        assert (model.predict(before.x) == before.y).mean() > 0.85
+        assert (model.predict(after.x) == after.y).mean() < 0.3
+
+
+class TestSEAGenerator:
+    def test_label_rule(self):
+        gen = SEAGenerator(noise=0.0, seed=0)
+        batch = gen.stream(1, 512).materialize()[0]
+        theta = batch.meta["theta"]
+        expected = (batch.x[:, 0] + batch.x[:, 1]) <= theta
+        np.testing.assert_array_equal(batch.y, expected.astype(np.int64))
+
+    def test_third_feature_irrelevant(self):
+        gen = SEAGenerator(noise=0.0, seed=0)
+        batch = gen.stream(1, 4000).materialize()[0]
+        # Correlation of label with f3 should be negligible.
+        corr = np.corrcoef(batch.x[:, 2], batch.y)[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_theta_cycles_through_variants(self):
+        gen = SEAGenerator(batches_per_concept=2, seed=0)
+        batches = gen.stream(10, 16).materialize()
+        thetas = [b.meta["theta"] for b in batches]
+        assert thetas[0:2] == [8.0, 8.0]
+        assert thetas[2:4] == [9.0, 9.0]
+        assert thetas[8:10] == [8.0, 8.0]  # cycle wraps
+
+    def test_first_switch_sudden_then_reoccurring(self):
+        gen = SEAGenerator(batches_per_concept=5, seed=0)
+        batches = gen.stream(25, 16).materialize()
+        patterns = [b.pattern for b in batches]
+        assert patterns[5] == Pattern.SUDDEN        # theta 8 -> 9, new
+        assert patterns[6] == Pattern.SUDDEN        # disruption region
+        assert patterns[8] == Pattern.SLIGHT        # region over
+        assert patterns[10] == Pattern.SUDDEN       # -> 7, new
+        assert patterns[20] == Pattern.REOCCURRING  # back to 8
+        assert patterns[4] == Pattern.SLIGHT
+
+    def test_noise_flips(self):
+        gen = SEAGenerator(noise=0.3, seed=0)
+        batch = gen.stream(1, 4000).materialize()[0]
+        clean = ((batch.x[:, 0] + batch.x[:, 1]) <= batch.meta["theta"])
+        flip_rate = (batch.y != clean).mean()
+        assert 0.25 < flip_rate < 0.35
+
+    def test_deterministic(self):
+        a = SEAGenerator(seed=3).stream(2, 64).materialize()
+        b = SEAGenerator(seed=3).stream(2, 64).materialize()
+        np.testing.assert_array_equal(a[1].x, b[1].x)

@@ -1,0 +1,81 @@
+"""Tests for windowed/fading prequential accuracy (repro.metrics.windows)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    FadingAccuracy,
+    SlidingWindowAccuracy,
+    fading_series,
+    sliding_series,
+)
+
+
+class TestSlidingWindow:
+    def test_mean_of_recent_values(self):
+        tracker = SlidingWindowAccuracy(window=3)
+        for value in (0.0, 0.0, 1.0, 1.0, 1.0):
+            tracker.update(value)
+        assert tracker.value == pytest.approx(1.0)
+
+    def test_partial_window(self):
+        tracker = SlidingWindowAccuracy(window=10)
+        tracker.update(0.4)
+        tracker.update(0.6)
+        assert tracker.value == pytest.approx(0.5)
+
+    def test_no_observations_raises(self):
+        with pytest.raises(RuntimeError):
+            SlidingWindowAccuracy().value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAccuracy(window=0)
+        with pytest.raises(ValueError):
+            SlidingWindowAccuracy().update(1.5)
+
+    def test_series_helper(self):
+        smoothed = sliding_series([0.0, 1.0, 1.0, 1.0], window=2)
+        np.testing.assert_allclose(smoothed, [0.0, 0.5, 1.0, 1.0])
+
+
+class TestFading:
+    def test_constant_series_converges_to_constant(self):
+        tracker = FadingAccuracy(alpha=0.9)
+        for _ in range(100):
+            tracker.update(0.7)
+        assert tracker.value == pytest.approx(0.7)
+
+    def test_reacts_faster_than_global_mean(self):
+        # Long run at 0.9 then a drop to 0.1: the faded estimate falls
+        # below the global mean quickly.
+        values = [0.9] * 50 + [0.1] * 10
+        faded = fading_series(values, alpha=0.9)[-1]
+        global_mean = np.mean(values)
+        assert faded < global_mean
+
+    def test_recency_ordering(self):
+        # A recent improvement shows up more in the faded estimate.
+        improving = fading_series([0.2] * 20 + [0.9] * 5, alpha=0.9)[-1]
+        worsening = fading_series([0.9] * 5 + [0.2] * 20, alpha=0.9)[-1]
+        assert improving > worsening
+
+    def test_no_observations_raises(self):
+        with pytest.raises(RuntimeError):
+            FadingAccuracy().value
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FadingAccuracy(alpha=1.0)
+        with pytest.raises(ValueError):
+            FadingAccuracy().update(-0.1)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=50),
+           st.floats(0.5, 0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_faded_value_bounded_by_series_range(self, values, alpha):
+        faded = fading_series(values, alpha=alpha)
+        assert (faded >= min(values) - 1e-9).all()
+        assert (faded <= max(values) + 1e-9).all()
