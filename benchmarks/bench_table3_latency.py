@@ -128,3 +128,51 @@ def test_table3_summary(benchmark):
     cheapest = min(table[("mlp", "infer", name, 1024)]
                    for name in MLP_FRAMEWORKS if name != "freewayml")
     assert table[("mlp", "infer", "freewayml", 1024)] < 8 * cheapest
+
+
+def test_table3_stage_breakdown(benchmark):
+    """Per-stage breakdown: where FreewayML's batch latency actually goes.
+
+    Runs FreewayML with the observability tracer enabled and reports
+    mean/p50/p95 wall time per pipeline stage (shift assessment, strategy
+    routing, ensemble inference, level updates, CEC, knowledge reuse) —
+    Table III's totals, decomposed.
+    """
+    from repro.obs import Observability
+
+    def run():
+        obs = Observability.in_memory()
+        generator = HyperplaneGenerator(seed=0)
+        learner = Learner(model_factory_for(
+            "mlp", generator.num_features, 2, lr=0.3,
+        ), window_batches=4, seed=0, obs=obs)
+        for batch in generator.stream(WARM_BATCHES + 24, 1024):
+            learner.process(batch)
+        durations: dict[str, list[float]] = {}
+        for root in obs.tracer.finished:
+            for span in root.walk():
+                durations.setdefault(span.name, []).append(span.duration)
+        return {
+            name: {
+                "n": len(samples),
+                "mean_us": float(np.mean(samples)) * 1e6,
+                "p50_us": float(np.percentile(samples, 50)) * 1e6,
+                "p95_us": float(np.percentile(samples, 95)) * 1e6,
+            }
+            for name, samples in durations.items()
+        }
+
+    stages = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Table III addendum: FreewayML per-stage latency (µs)")
+    print(f"{'stage':>26s}{'n':>6s}{'mean':>10s}{'p50':>10s}{'p95':>10s}")
+    for name in sorted(stages):
+        stats = stages[name]
+        print(f"{name:>26s}{stats['n']:>6d}{stats['mean_us']:>10.0f}"
+              f"{stats['p50_us']:>10.0f}{stats['p95_us']:>10.0f}")
+    # Every processed batch produces a predict and an update span, and the
+    # stages nested under predict cannot exceed their parent on average.
+    assert stages["learner.predict"]["n"] == WARM_BATCHES + 24
+    assert stages["learner.update"]["n"] == WARM_BATCHES + 24
+    assert "shift.assess" in stages
+    assert (stages["shift.assess"]["mean_us"]
+            < stages["learner.predict"]["mean_us"])

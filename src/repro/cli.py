@@ -1,27 +1,35 @@
 """Command-line interface: run FreewayML experiments without writing code.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run --dataset nsl-kdd --framework freewayml --batches 80
     python -m repro compare --dataset electricity --model mlp
     python -m repro datasets
+    python -m repro report trace.jsonl
 
 ``run`` evaluates one framework on one dataset prequentially and prints
-G_acc / SI / throughput; ``compare`` runs every framework of the chosen
-model group plus FreewayML and renders a Table-I-style block; ``datasets``
-lists what is available.  ``--csv`` runs on your own data instead of a
-built-in generator.
+G_acc / SI / throughput (``--json`` emits the result as one JSON object;
+``--trace out.jsonl`` records the decision-event/span log; ``--metrics``
+prints the Prometheus-style metrics snapshot); ``compare`` runs every
+framework of the chosen model group plus FreewayML and renders a
+Table-I-style block; ``datasets`` lists what is available; ``report``
+summarizes a recorded trace (per-strategy latency percentiles, knowledge
+reuse hit-rate, decay timeline).  ``--csv`` runs on your own data instead
+of a built-in generator.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from .baselines import BASELINES, LR_GROUP, MLP_GROUP
 from .data import IMAGE_REGISTRY, all_benchmark_datasets
 from .data.io import stream_from_csv
 from .eval import RunConfig, render_accuracy_table, run_framework, run_matrix
+from .obs import Observability, render_report, summarize_trace
 
 FRAMEWORK_CHOICES = ["freewayml", "plain", *sorted(BASELINES)]
 
@@ -65,9 +73,23 @@ def _generator(args):
     return datasets[args.dataset]
 
 
-def _config(args) -> RunConfig:
+def _config(args, obs: Observability | None = None) -> RunConfig:
     return RunConfig(num_batches=args.batches, batch_size=args.batch_size,
-                     model=args.model, lr=args.lr, seed=args.seed)
+                     model=args.model, lr=args.lr, seed=args.seed, obs=obs)
+
+
+def _build_obs(args) -> Observability | None:
+    """Observability facade for a ``run`` invocation, if requested."""
+    if getattr(args, "trace", None):
+        # One run per file: truncate any previous trace so `report` never
+        # silently merges two runs (the sink itself appends).
+        path = Path(args.trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("")
+        return Observability.to_jsonl(args.trace)
+    if getattr(args, "metrics", False):
+        return Observability.in_memory()
+    return None
 
 
 def _add_common(parser):
@@ -87,18 +109,83 @@ def _add_common(parser):
 
 def _cmd_run(args) -> int:
     generator = _generator(args)
-    result = run_framework(args.framework, generator, _config(args))
-    print(f"framework : {result.name}")
-    print(f"dataset   : {generator.name}")
-    print(f"batches   : {len(result.accuracies)} x {args.batch_size}")
-    print(f"G_acc     : {result.g_acc * 100:.2f}%")
-    print(f"SI        : {result.si:.3f}")
-    print(f"throughput: {result.throughput / 1e3:.0f} K items/s")
+    obs = _build_obs(args)
+    if obs is not None and args.framework != "freewayml":
+        print(f"note: --trace/--metrics instrument the freewayml pipeline; "
+              f"framework {args.framework!r} records nothing",
+              file=sys.stderr)
+    result = run_framework(args.framework, generator, _config(args, obs=obs))
     by_pattern = result.accuracy_by_pattern()
-    if by_pattern:
-        per = "  ".join(f"{pattern}={accuracy * 100:.1f}%"
-                        for pattern, accuracy in sorted(by_pattern.items()))
-        print(f"by pattern: {per}")
+    if args.json:
+        payload = {
+            "framework": result.name,
+            "dataset": generator.name,
+            "batches": len(result.accuracies),
+            "batch_size": args.batch_size,
+            "g_acc": result.g_acc,
+            "si": result.si,
+            "throughput": result.throughput,
+            "accuracy_by_pattern": by_pattern,
+        }
+        if obs is not None and args.metrics:
+            payload["metrics"] = obs.registry.snapshot()
+        if obs is not None and getattr(args, "trace", None):
+            payload["trace"] = args.trace
+        print(json.dumps(payload, indent=2, default=float))
+    else:
+        print(f"framework : {result.name}")
+        print(f"dataset   : {generator.name}")
+        print(f"batches   : {len(result.accuracies)} x {args.batch_size}")
+        print(f"G_acc     : {result.g_acc * 100:.2f}%")
+        print(f"SI        : {result.si:.3f}")
+        print(f"throughput: {result.throughput / 1e3:.0f} K items/s")
+        if by_pattern:
+            per = "  ".join(f"{pattern}={accuracy * 100:.1f}%"
+                            for pattern, accuracy in sorted(by_pattern.items()))
+            print(f"by pattern: {per}")
+        if obs is not None and args.metrics:
+            print()
+            print(obs.registry.render_text(), end="")
+        if obs is not None and getattr(args, "trace", None):
+            print(f"trace     : {args.trace}")
+    if obs is not None:
+        obs.close()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    try:
+        summary = summarize_trace(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"no trace at {args.trace!r}; record one with "
+                         f"`python -m repro run --trace {args.trace}`")
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"{args.trace!r} is not a JSONL trace ({error}); expected the "
+            f"format written by `python -m repro run --trace`"
+        )
+    if args.json:
+        payload = {
+            "path": summary.path,
+            "num_events": summary.num_events,
+            "num_spans": summary.num_spans,
+            "event_counts": summary.event_counts,
+            "pattern_counts": summary.pattern_counts,
+            "strategy_counts": summary.strategy_counts,
+            "fallback_counts": summary.fallback_counts,
+            "strategy_latency": summary.strategy_latency,
+            "span_latency": summary.span_latency,
+            "reuse_attempts": summary.reuse_attempts,
+            "reuse_hits": summary.reuse_hits,
+            "reuse_hit_rate": summary.reuse_hit_rate,
+            "preserved": summary.preserved,
+            "evicted": summary.evicted,
+            "cec_calls": summary.cec_calls,
+            "decay_timeline": summary.decay_timeline,
+        }
+        print(json.dumps(payload, indent=2, default=float))
+    else:
+        print(render_report(summary))
     return 0
 
 
@@ -140,7 +227,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_parser)
     run_parser.add_argument("--framework", default="freewayml",
                             choices=FRAMEWORK_CHOICES)
+    run_parser.add_argument("--trace", metavar="PATH", default=None,
+                            help="write the decision-event/span JSONL log "
+                                 "here (freewayml only)")
+    run_parser.add_argument("--metrics", action="store_true",
+                            help="print the metrics snapshot after the run")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit the result as a single JSON object")
     run_parser.set_defaults(handler=_cmd_run)
+
+    report_parser = commands.add_parser(
+        "report", help="summarize a JSONL trace written by `run --trace`"
+    )
+    report_parser.add_argument("trace", help="path to the JSONL trace")
+    report_parser.add_argument("--json", action="store_true",
+                               help="emit the summary as JSON")
+    report_parser.set_defaults(handler=_cmd_report)
 
     compare_parser = commands.add_parser(
         "compare", help="Table-I-style comparison on one dataset"

@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import NULL_OBS, AswDecayApplied
+
 __all__ = ["WindowEntry", "AdaptiveStreamingWindow", "inversion_count"]
 
 
@@ -69,11 +71,15 @@ class AdaptiveStreamingWindow:
         Entries whose weight falls below this are evicted outright.
     seed:
         RNG seed for weighted row subsampling in :meth:`training_data`.
+    name / obs:
+        Identifier used in emitted events and the
+        :class:`~repro.obs.Observability` facade; every decay pass emits an
+        :class:`~repro.obs.AswDecayApplied` event when enabled.
     """
 
     def __init__(self, max_batches: int = 16, max_items: int = 16384,
                  base_decay: float = 0.12, min_weight: float = 0.05,
-                 seed: int = 0):
+                 seed: int = 0, name: str = "asw", obs=None):
         if max_batches < 1:
             raise ValueError(f"max_batches must be >= 1; got {max_batches}")
         if max_items < 1:
@@ -85,6 +91,8 @@ class AdaptiveStreamingWindow:
         self.base_decay = base_decay
         self.min_weight = min_weight
         self.decay_boost = 1.0  # raised by the rate-aware adjuster under load
+        self.name = name
+        self.obs = obs if obs is not None else NULL_OBS
         self._rng = np.random.default_rng(seed)
         self._entries: list[WindowEntry] = []
         self._last_disorder: float = 0.0
@@ -160,12 +168,14 @@ class AdaptiveStreamingWindow:
         # Ascending rank: closest batch gets 0 (decays least).
         ascending = np.empty(k, dtype=int)
         ascending[np.argsort(distances)] = np.arange(k)
+        inversions = 0
         if k >= 2:
             # Farthest-first ranks in chronological order; directional
             # drift makes this ascending => zero inversions => low disorder.
             farthest_first = (k - 1) - ascending
             max_pairs = k * (k - 1) // 2
-            self._last_disorder = inversion_count(farthest_first) / max_pairs
+            inversions = inversion_count(farthest_first)
+            self._last_disorder = inversions / max_pairs
         else:
             self._last_disorder = 0.0
         rank_norm = ascending / max(k - 1, 1)
@@ -177,7 +187,19 @@ class AdaptiveStreamingWindow:
             entry.weight *= (1.0 - float(rate))
             if entry.weight >= self.min_weight:
                 survivors.append(entry)
+        evicted = len(self._entries) - len(survivors)
         self._entries = survivors
+        if self.obs.enabled:
+            self.obs.emit(AswDecayApplied(
+                window=self.name, arrival=self._arrivals,
+                mean_rate=float(rates.mean()),
+                disorder=self._last_disorder, inversions=inversions,
+                entries=len(survivors), evicted=evicted,
+            ))
+            self.obs.registry.gauge(
+                "freeway_asw_disorder",
+                "window disorder at the latest decay pass",
+            ).labels(window=self.name).set(self._last_disorder)
 
     # -- training-data extraction ---------------------------------------------------
 

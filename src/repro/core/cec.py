@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..models.kmeans import KMeans
+from ..obs import NULL_OBS, CecInvoked
 
 __all__ = ["ExperienceBuffer", "CoherentExperienceClustering", "CECResult"]
 
@@ -130,10 +131,15 @@ class CoherentExperienceClustering:
         are mapped separately instead of being forced into one clustering.
     seed:
         K-means seeding.
+    obs:
+        Optional :class:`~repro.obs.Observability`; each :meth:`predict`
+        runs inside a ``cec.predict`` span and emits a
+        :class:`~repro.obs.CecInvoked` event when enabled.
     """
 
     def __init__(self, num_classes: int, experience_points: int = 256,
-                 featurizer=None, segments: int = 1, seed: int = 0):
+                 featurizer=None, segments: int = 1, seed: int = 0,
+                 obs=None):
         if num_classes < 2:
             raise ValueError(f"num_classes must be >= 2; got {num_classes}")
         if experience_points < 1:
@@ -147,28 +153,47 @@ class CoherentExperienceClustering:
         self.featurizer = featurizer
         self.segments = segments
         self.seed = seed
+        self.obs = obs if obs is not None else NULL_OBS
 
-    def predict(self, x: np.ndarray, buffer: ExperienceBuffer) -> CECResult:
+    def predict(self, x: np.ndarray, buffer: ExperienceBuffer,
+                batch: int = -1) -> CECResult:
         """Cluster ``x`` together with coherent experience and map to labels.
 
         With ``segments > 1``, each contiguous chunk of the batch is
-        processed independently and the results are concatenated.
+        processed independently and the results are concatenated.  ``batch``
+        is only used to stamp the emitted event (callers that know the
+        stream position pass it; -1 means unknown).
         """
-        x = np.asarray(x, dtype=float).reshape(len(x), -1)
-        if self.segments > 1 and len(x) >= 2 * self.segments:
-            chunks = np.array_split(np.arange(len(x)), self.segments)
-            results = [self._predict_one(x[chunk], buffer)
-                       for chunk in chunks]
-            return CECResult(
-                labels=np.concatenate([r.labels for r in results]),
-                proba=np.concatenate([r.proba for r in results]),
-                cluster_assignment=np.concatenate(
-                    [r.cluster_assignment for r in results]
-                ),
-                cluster_labels=results[-1].cluster_labels,
-                guided_clusters=min(r.guided_clusters for r in results),
-            )
-        return self._predict_one(x, buffer)
+        with self.obs.tracer.span("cec.predict", batch=batch):
+            x = np.asarray(x, dtype=float).reshape(len(x), -1)
+            if self.segments > 1 and len(x) >= 2 * self.segments:
+                chunks = np.array_split(np.arange(len(x)), self.segments)
+                results = [self._predict_one(x[chunk], buffer)
+                           for chunk in chunks]
+                result = CECResult(
+                    labels=np.concatenate([r.labels for r in results]),
+                    proba=np.concatenate([r.proba for r in results]),
+                    cluster_assignment=np.concatenate(
+                        [r.cluster_assignment for r in results]
+                    ),
+                    cluster_labels=results[-1].cluster_labels,
+                    guided_clusters=min(r.guided_clusters for r in results),
+                )
+            else:
+                result = self._predict_one(x, buffer)
+        if self.obs.enabled:
+            self.obs.emit(CecInvoked(
+                batch=batch,
+                clusters=len(result.cluster_labels),
+                labeled_points=min(self.experience_points, len(buffer)),
+                guided_clusters=result.guided_clusters,
+                vote_margin=float(result.proba.max(axis=1).mean()),
+            ))
+            self.obs.registry.counter(
+                "freeway_cec_invocations_total",
+                "coherent-experience-clustering calls",
+            ).inc()
+        return result
 
     def _predict_one(self, x: np.ndarray, buffer: ExperienceBuffer) -> CECResult:
         exp_x, exp_y = buffer.recent(self.experience_points)

@@ -28,6 +28,7 @@ from ..nn.serialization import (
     save_state_dict,
     state_dict_nbytes,
 )
+from ..obs import NULL_OBS, KnowledgeEvicted, KnowledgePreserved
 
 __all__ = ["KnowledgeEntry", "KnowledgeMatch", "KnowledgeStore"]
 
@@ -70,10 +71,14 @@ class KnowledgeStore:
     spill_dir:
         Optional directory; when the store overflows, the older half is
         written there before being evicted from memory.
+    obs:
+        Optional :class:`~repro.obs.Observability`; preservation and
+        eviction emit :class:`~repro.obs.KnowledgePreserved` /
+        :class:`~repro.obs.KnowledgeEvicted` events when enabled.
     """
 
     def __init__(self, capacity: int = 20, beta: float = 0.35,
-                 spill_dir: str | Path | None = None):
+                 spill_dir: str | Path | None = None, obs=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1; got {capacity}")
         if not 0.0 <= beta <= 1.0:
@@ -81,6 +86,7 @@ class KnowledgeStore:
         self.capacity = capacity
         self.beta = beta
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.obs = obs if obs is not None else NULL_OBS
         self._entries: list[KnowledgeEntry] = []
         self.preserved_total = 0
         self.spilled_total = 0
@@ -110,8 +116,23 @@ class KnowledgeStore:
         )
         self._entries.append(entry)
         self.preserved_total += 1
+        if self.obs.enabled:
+            self.obs.emit(KnowledgePreserved(
+                batch=entry.batch_index, model_kind=entry.model_kind,
+                disorder=entry.disorder, nbytes=entry.nbytes,
+                store_size=len(self._entries),
+            ))
+            self.obs.registry.counter(
+                "freeway_knowledge_preserved_total",
+                "knowledge entries preserved",
+            ).labels(model_kind=entry.model_kind).inc()
         if len(self._entries) > self.capacity:
             self._overflow()
+        if self.obs.enabled:
+            self.obs.registry.gauge(
+                "freeway_knowledge_entries",
+                "knowledge entries currently in memory",
+            ).set(len(self._entries))
         return entry
 
     def preserve_at_window_end(self, disorder: float, long_embedding: np.ndarray,
@@ -141,6 +162,15 @@ class KnowledgeStore:
         half = max(len(self._entries) // 2, 1)
         evicted, self._entries = self._entries[:half], self._entries[half:]
         self.spilled_total += len(evicted)
+        if self.obs.enabled:
+            self.obs.emit(KnowledgeEvicted(
+                count=len(evicted), spilled=self.spill_dir is not None,
+                store_size=len(self._entries),
+            ))
+            self.obs.registry.counter(
+                "freeway_knowledge_evicted_total",
+                "knowledge entries evicted from memory",
+            ).inc(len(evicted))
         if self.spill_dir is None:
             return
         self.spill_dir.mkdir(parents=True, exist_ok=True)

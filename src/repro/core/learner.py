@@ -25,6 +25,13 @@ import numpy as np
 
 from ..data.stream import Batch
 from ..models.base import StreamingModel
+from ..obs import (
+    NULL_OBS,
+    KnowledgeReused,
+    Observability,
+    ShiftAssessed,
+    StrategySelected,
+)
 from ..shift.patterns import PatternClassifier, ShiftAssessment, ShiftPattern
 from ..shift.severity import SeverityTracker
 from .cec import CoherentExperienceClustering, ExperienceBuffer
@@ -125,6 +132,15 @@ class Learner:
         Directory for knowledge spilled out of memory.
     seed:
         Seeds window subsampling and clustering.
+    obs:
+        Optional :class:`~repro.obs.Observability` facade threaded through
+        every component: prediction and update run inside spans, routing
+        decisions emit :class:`~repro.obs.ShiftAssessed` /
+        :class:`~repro.obs.StrategySelected` /
+        :class:`~repro.obs.KnowledgeReused` events, and the registry
+        accumulates per-strategy latency histograms.  The default is the
+        shared disabled facade, whose cost on the hot path is one attribute
+        check per instrumentation site.
     """
 
     def __init__(self, model_factory, num_models: int = 2,
@@ -140,7 +156,8 @@ class Learner:
                  confidence_margin: float = 0.25,
                  use_precompute: bool = False,
                  adjuster: RateAwareAdjuster | None = None,
-                 spill_dir=None, seed: int = 0):
+                 spill_dir=None, seed: int = 0,
+                 obs: Observability | None = None):
         if num_models < 1:
             raise ValueError(f"num_models must be >= 1; got {num_models}")
         template = model_factory()
@@ -150,27 +167,30 @@ class Learner:
                 f"{type(template).__name__}"
             )
         self.num_classes = template.num_classes
+        self.obs = obs if obs is not None else NULL_OBS
 
         sizes = [1] + [window_batches * (4 ** i) for i in range(num_models - 1)]
         self.ensemble = MultiGranularityEnsemble(
             model_factory, window_sizes=tuple(sizes),
-            precompute=use_precompute, seed=seed,
+            precompute=use_precompute, seed=seed, obs=self.obs,
         )
         self.classifier = PatternClassifier(
             alpha=alpha, num_components=pca_components,
             warmup_points=warmup_points, representation=representation,
+            obs=self.obs,
         )
-        self.selector = StrategySelector()
+        self.selector = StrategySelector(obs=self.obs)
         self.experience = ExperienceBuffer(
             capacity=experience_capacity, per_batch=experience_per_batch,
             expiration=experience_expiration,
         )
         self.cec = CoherentExperienceClustering(
             self.num_classes, experience_points=cec_points,
-            featurizer=featurizer, seed=seed,
+            featurizer=featurizer, seed=seed, obs=self.obs,
         )
         self.knowledge = KnowledgeStore(capacity=knowledge_capacity,
-                                        beta=beta, spill_dir=spill_dir)
+                                        beta=beta, spill_dir=spill_dir,
+                                        obs=self.obs)
         self.adjuster = adjuster
         self.featurizer = featurizer
         self.warm_start_on_reuse = warm_start_on_reuse
@@ -183,6 +203,7 @@ class Learner:
         self._pending_reuse = None
         self._scratch = model_factory()  # restoration target for reuse
         self._batch_counter = 0
+        self._current_index: int | None = None  # stream position, if known
 
     # -- constructor matching the paper's interface ------------------------------
 
@@ -209,25 +230,71 @@ class Learner:
 
     def predict(self, x: np.ndarray) -> PredictionResult:
         """Classify the shift, select one strategy, and answer with it."""
-        # A reuse match is only valid for the batch it was found on; drop
-        # any leftover from a predict whose labels never arrived.
-        self._pending_reuse = None
-        assessment = self.classifier.assess(self._shift_view(x))
-        assessment = self._apply_confidence_channel(x, assessment)
-        decision = self.selector.select(
-            assessment,
-            knowledge_available=len(self.knowledge) > 0,
-            experience_available=len(self.experience) > 0,
-            ensemble_trained=self.ensemble.trained,
-        )
-        if decision.strategy is Strategy.KNOWLEDGE_REUSE:
-            result = self._predict_with_knowledge(x, assessment, decision)
-            if isinstance(result, PredictionResult):
-                return result
-            decision = self._downgrade_reuse(assessment, reason=result)
-        if decision.strategy is Strategy.CEC:
-            return self._predict_with_cec(x, assessment, decision)
-        return self._predict_with_ensemble(x, assessment, decision)
+        with self.obs.tracer.span("learner.predict",
+                                  batch=self._event_index()) as span:
+            # A reuse match is only valid for the batch it was found on; drop
+            # any leftover from a predict whose labels never arrived.
+            self._pending_reuse = None
+            assessment = self.classifier.assess(self._shift_view(x))
+            raw_pattern = assessment.pattern
+            assessment = self._apply_confidence_channel(x, assessment)
+            decision = self.selector.select(
+                assessment,
+                knowledge_available=len(self.knowledge) > 0,
+                experience_available=len(self.experience) > 0,
+                ensemble_trained=self.ensemble.trained,
+            )
+            result = None
+            if decision.strategy is Strategy.KNOWLEDGE_REUSE:
+                with self.obs.tracer.span("learner.infer.knowledge"):
+                    outcome = self._predict_with_knowledge(
+                        x, assessment, decision
+                    )
+                if isinstance(outcome, PredictionResult):
+                    result = outcome
+                else:
+                    decision = self._downgrade_reuse(assessment,
+                                                     reason=outcome)
+            if result is None:
+                if decision.strategy is Strategy.CEC:
+                    result = self._predict_with_cec(x, assessment, decision)
+                else:
+                    with self.obs.tracer.span("learner.infer.ensemble"):
+                        result = self._predict_with_ensemble(
+                            x, assessment, decision
+                        )
+            span.set(strategy=decision.strategy.value,
+                     pattern=assessment.pattern.value)
+        if self.obs.enabled:
+            self._emit_routing_events(assessment, decision, raw_pattern)
+        return result
+
+    def _event_index(self) -> int:
+        """Stream position for emitted events: the index of the batch being
+        processed when known, the update counter for standalone calls."""
+        if self._current_index is not None:
+            return self._current_index
+        return self._batch_counter
+
+    def _emit_routing_events(self, assessment: ShiftAssessment,
+                             decision: StrategyDecision,
+                             raw_pattern: ShiftPattern) -> None:
+        index = self._event_index()
+        self.obs.emit(ShiftAssessed(
+            batch=index,
+            pattern=assessment.pattern.value,
+            distance=assessment.distance,
+            severity=assessment.severity,
+            historical_distance=assessment.historical_distance,
+            escalated=assessment.pattern is not raw_pattern,
+        ))
+        self.obs.emit(StrategySelected(
+            batch=index,
+            strategy=decision.strategy.value,
+            pattern=decision.pattern.value,
+            fallback=decision.fallback,
+            reason=decision.reason,
+        ))
 
     def _shift_view(self, x: np.ndarray) -> np.ndarray:
         """The representation shift analysis runs on (features if a frozen
@@ -280,7 +347,8 @@ class Learner:
                                 decision=decision, assessment=assessment)
 
     def _predict_with_cec(self, x, assessment, decision) -> PredictionResult:
-        result = self.cec.predict(x, self.experience)
+        result = self.cec.predict(x, self.experience,
+                                  batch=self._event_index())
         return PredictionResult(labels=result.labels, proba=result.proba,
                                 decision=decision, assessment=assessment)
 
@@ -306,6 +374,17 @@ class Learner:
         # paper specifies.
         if self.warm_start_on_reuse:
             self._pending_reuse = match
+        if self.obs.enabled:
+            self.obs.emit(KnowledgeReused(
+                batch=self._event_index(),
+                origin_batch=match.entry.batch_index,
+                match_distance=match.distance,
+                model_kind=match.entry.model_kind,
+            ))
+            self.obs.registry.counter(
+                "freeway_knowledge_reused_total",
+                "batches answered from preserved knowledge",
+            ).inc()
         return PredictionResult(labels=proba.argmax(axis=1), proba=proba,
                                 decision=decision, assessment=assessment,
                                 reused_batch=match.entry.batch_index)
@@ -330,24 +409,26 @@ class Learner:
         supplied when the caller already assessed this batch (avoiding a
         second PCA projection); otherwise it is computed here.
         """
-        if embedding is None:
-            view = self._shift_view(x)
-            if not self.classifier.pca.is_fitted:
-                self.classifier.pca.observe(view)
-            if self.classifier.pca.is_fitted:
-                embedding = self.classifier.pca.batch_embedding(view)
-            else:  # still warming up: use the raw projected-less mean
-                embedding = np.asarray(view, dtype=float).reshape(
-                    len(view), -1).mean(axis=0)
+        with self.obs.tracer.span("learner.update",
+                                  batch=self._event_index()):
+            if embedding is None:
+                view = self._shift_view(x)
+                if not self.classifier.pca.is_fitted:
+                    self.classifier.pca.observe(view)
+                if self.classifier.pca.is_fitted:
+                    embedding = self.classifier.pca.batch_embedding(view)
+                else:  # still warming up: use the raw projected-less mean
+                    embedding = np.asarray(view, dtype=float).reshape(
+                        len(view), -1).mean(axis=0)
 
-        self._verify_pending_reuse(x, y)
-        self._observe_errors(x, y)
-        infos = self.ensemble.update(x, y, embedding)
-        self.experience.add(x, y)
-        self._batch_counter += 1
-        self._maybe_preserve(infos, embedding)
-        short_info = infos[self._short_index()]
-        return short_info.get("loss")
+            self._verify_pending_reuse(x, y)
+            self._observe_errors(x, y)
+            infos = self.ensemble.update(x, y, embedding)
+            self.experience.add(x, y)
+            self._batch_counter += 1
+            self._maybe_preserve(infos, embedding)
+            short_info = infos[self._short_index()]
+            return short_info.get("loss")
 
     def _verify_pending_reuse(self, x: np.ndarray, y: np.ndarray) -> None:
         """Labeled verification of a knowledge match (prequential labels
@@ -456,23 +537,27 @@ class Learner:
             if not self.adjuster.should_infer(batch.index):
                 return self._update_only(batch)
 
-        start = time.perf_counter()
-        prediction = self.predict(batch.x)
-        predict_seconds = time.perf_counter() - start
-
-        accuracy = None
-        if batch.labeled:
-            accuracy = float((prediction.labels == batch.y).mean())
-
-        loss = None
-        update_seconds = 0.0
-        if batch.labeled:
+        self._current_index = batch.index
+        try:
             start = time.perf_counter()
-            loss = self.update(batch.x, batch.y,
-                               embedding=prediction.assessment.embedding)
-            update_seconds = time.perf_counter() - start
+            prediction = self.predict(batch.x)
+            predict_seconds = time.perf_counter() - start
 
-        return BatchReport(
+            accuracy = None
+            if batch.labeled:
+                accuracy = float((prediction.labels == batch.y).mean())
+
+            loss = None
+            update_seconds = 0.0
+            if batch.labeled:
+                start = time.perf_counter()
+                loss = self.update(batch.x, batch.y,
+                                   embedding=prediction.assessment.embedding)
+                update_seconds = time.perf_counter() - start
+        finally:
+            self._current_index = None
+
+        report = BatchReport(
             index=batch.index,
             num_items=len(batch),
             pattern=prediction.assessment.pattern.value,
@@ -484,14 +569,45 @@ class Learner:
             update_seconds=update_seconds,
             reused_batch=prediction.reused_batch,
         )
+        if self.obs.enabled:
+            self._record_batch_metrics(report)
+        return report
+
+    def _record_batch_metrics(self, report: BatchReport) -> None:
+        registry = self.obs.registry
+        registry.counter(
+            "freeway_batches_total", "batches processed",
+        ).labels(strategy=report.strategy).inc()
+        registry.counter(
+            "freeway_items_total", "items processed",
+        ).inc(report.num_items)
+        registry.histogram(
+            "freeway_predict_seconds", "per-batch inference latency",
+        ).labels(strategy=report.strategy).observe(report.predict_seconds)
+        if report.accuracy is not None:
+            registry.histogram(
+                "freeway_update_seconds", "per-batch training latency",
+            ).observe(report.update_seconds)
+            registry.gauge(
+                "freeway_last_batch_accuracy",
+                "prequential accuracy of the latest labeled batch",
+            ).set(report.accuracy)
+        if report.fallback:
+            registry.counter(
+                "freeway_fallbacks_total", "degraded routing decisions",
+            ).inc()
 
     def _update_only(self, batch: Batch) -> BatchReport:
         loss = None
         update_seconds = 0.0
         if batch.labeled:
-            start = time.perf_counter()
-            loss = self.update(batch.x, batch.y)
-            update_seconds = time.perf_counter() - start
+            self._current_index = batch.index
+            try:
+                start = time.perf_counter()
+                loss = self.update(batch.x, batch.y)
+                update_seconds = time.perf_counter() - start
+            finally:
+                self._current_index = None
         return BatchReport(
             index=batch.index, num_items=len(batch),
             pattern=ShiftPattern.WARMUP.value,

@@ -2,9 +2,21 @@
 
 Collects the :class:`~repro.core.learner.BatchReport` stream and maintains
 what an operator dashboard needs: rolling accuracy (sliding + fading),
-strategy/pattern counts, reuse events, latency percentiles, and a one-line
-status summary.  Pure bookkeeping — attach with :meth:`observe` or wrap a
-learner with :meth:`track`.
+strategy/pattern counts, reuse events, latency percentiles, a one-line
+status summary, and a plain-dict :meth:`ServingMonitor.snapshot`.
+
+Two feeding modes:
+
+- **report mode** (default): call :meth:`observe` with each
+  :class:`BatchReport`, or wrap a learner with :meth:`track`;
+- **event mode** (``consume_events=True``): the monitor acts as an event
+  sink — attach it to an :class:`~repro.obs.Observability` facade (e.g.
+  ``Observability.to_jsonl(path, extra_sink=monitor)``) and it derives its
+  counts from the typed event stream (:class:`~repro.obs.StrategySelected`,
+  :class:`~repro.obs.ShiftAssessed`, :class:`~repro.obs.KnowledgeReused`)
+  and its latencies from ``learner.predict`` / ``learner.update`` span
+  records.  Events are emitted at prediction time, before labels arrive,
+  so accuracy is unavailable in this mode.
 """
 
 from __future__ import annotations
@@ -14,13 +26,19 @@ from collections import Counter, deque
 import numpy as np
 
 from ..metrics.windows import FadingAccuracy, SlidingWindowAccuracy
+from ..obs import (
+    Event,
+    KnowledgeReused,
+    ShiftAssessed,
+    StrategySelected,
+)
 from .learner import BatchReport
 
 __all__ = ["ServingMonitor"]
 
 
 class ServingMonitor:
-    """Rolling statistics over a learner's batch reports.
+    """Rolling statistics over a learner's batch reports or event stream.
 
     Parameters
     ----------
@@ -28,9 +46,16 @@ class ServingMonitor:
         Batches in the sliding-accuracy window and the latency reservoir.
     fading_alpha:
         Fading factor for the exponentially weighted accuracy.
+    consume_events:
+        Build an event-driven monitor: feed it with :meth:`emit` /
+        :meth:`observe_event` (it satisfies the sink interface) instead of
+        :meth:`observe`.  Guards against mixing the two feeds, which would
+        double count.
     """
 
-    def __init__(self, window: int = 50, fading_alpha: float = 0.98):
+    def __init__(self, window: int = 50, fading_alpha: float = 0.98,
+                 consume_events: bool = False):
+        self.consume_events = consume_events
         self.sliding = SlidingWindowAccuracy(window=window)
         self.fading = FadingAccuracy(alpha=fading_alpha)
         self.strategy_counts: Counter = Counter()
@@ -44,6 +69,11 @@ class ServingMonitor:
 
     def observe(self, report: BatchReport) -> None:
         """Fold one batch report into the rolling statistics."""
+        if self.consume_events:
+            raise RuntimeError(
+                "this monitor was built with consume_events=True; feed it "
+                "events via emit()/observe_event(), not BatchReports"
+            )
         self.batches += 1
         self.items += report.num_items
         self.strategy_counts[report.strategy] += 1
@@ -67,6 +97,46 @@ class ServingMonitor:
             report = learner.process(batch)
             self.observe(report)
             yield report
+
+    # -- event-stream consumption (sink interface) ------------------------------
+
+    def emit(self, record) -> None:
+        """Sink entry point: accepts typed events and raw span dicts."""
+        if isinstance(record, Event):
+            self.observe_event(record)
+        elif isinstance(record, dict):
+            if record.get("kind") == "span":
+                self._observe_span(record)
+            elif record.get("kind") == "event":
+                from ..obs import event_from_dict
+                event = event_from_dict(record)
+                if event is not None:
+                    self.observe_event(event)
+
+    def observe_event(self, event: Event) -> None:
+        """Fold one typed pipeline event into the rolling statistics."""
+        if not self.consume_events:
+            raise RuntimeError(
+                "construct with consume_events=True to feed events "
+                "(prevents double counting alongside BatchReports)"
+            )
+        if isinstance(event, StrategySelected):
+            self.batches += 1
+            self.strategy_counts[event.strategy] += 1
+            if event.fallback:
+                self.fallbacks += 1
+        elif isinstance(event, ShiftAssessed):
+            self.pattern_counts[event.pattern] += 1
+        elif isinstance(event, KnowledgeReused):
+            self.reuse_events += 1
+
+    def _observe_span(self, record: dict) -> None:
+        if record.get("name") == "learner.predict":
+            self._predict_seconds.append(float(record.get("duration", 0.0)))
+            for child in record.get("children", ()):
+                self._observe_span(child)
+        elif record.get("name") == "learner.update":
+            self._update_seconds.append(float(record.get("duration", 0.0)))
 
     # -- dashboard values -------------------------------------------------------
 
@@ -96,6 +166,20 @@ class ServingMonitor:
                               for p in q}
         return out
 
+    def snapshot(self) -> dict:
+        """Plain-dict dashboard state (JSON-serializable)."""
+        return {
+            "batches": self.batches,
+            "items": self.items,
+            "rolling_accuracy": self.rolling_accuracy,
+            "faded_accuracy": self.faded_accuracy,
+            "strategy_counts": dict(self.strategy_counts),
+            "pattern_counts": dict(self.pattern_counts),
+            "reuse_events": self.reuse_events,
+            "fallbacks": self.fallbacks,
+            "latency": self.latency_percentiles(),
+        }
+
     def summary(self) -> str:
         """One operator-readable status line."""
         if self.batches == 0:
@@ -107,6 +191,18 @@ class ServingMonitor:
             f"{name}={count}" for name, count
             in self.strategy_counts.most_common()
         )
-        return (f"{self.batches} batches / {self.items} items | "
+        line = (f"{self.batches} batches / {self.items} items | "
                 f"{accuracy_part} | strategies: {strategies} | "
                 f"reuse={self.reuse_events} fallbacks={self.fallbacks}")
+        latency = self.latency_percentiles()
+        parts = []
+        for phase in ("predict", "update"):
+            stats = latency.get(phase)
+            if stats:
+                parts.append(
+                    f"{phase} p50={stats['p50'] * 1e3:.1f}ms "
+                    f"p95={stats['p95'] * 1e3:.1f}ms"
+                )
+        if parts:
+            line += " | " + " ".join(parts)
+        return line

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..models.base import StreamingModel
+from ..obs import NULL_OBS
 from .asw import AdaptiveStreamingWindow
 
 __all__ = ["GranularityLevel", "MultiGranularityEnsemble", "gaussian_kernel"]
@@ -49,7 +50,7 @@ class GranularityLevel:
     def __init__(self, model: StreamingModel, window_batches: int,
                  max_items: int = 1 << 20, base_decay: float = 0.12,
                  update_epochs: int | None = None, precompute: bool = False,
-                 seed: int = 0, name: str | None = None):
+                 seed: int = 0, name: str | None = None, obs=None):
         if window_batches < 1:
             raise ValueError(f"window_batches must be >= 1; got {window_batches}")
         self.model = model
@@ -83,10 +84,12 @@ class GranularityLevel:
         self.name = name or (
             "short" if window_batches == 1 else f"long-{window_batches}"
         )
+        self.obs = obs if obs is not None else NULL_OBS
         if window_batches > 1:
             self.window: AdaptiveStreamingWindow | None = AdaptiveStreamingWindow(
                 max_batches=window_batches, max_items=max_items,
-                base_decay=base_decay, seed=seed,
+                base_decay=base_decay, seed=seed, name=self.name,
+                obs=self.obs,
             )
         else:
             self.window = None
@@ -134,9 +137,11 @@ class GranularityLevel:
             else:
                 self.accuracy_ema = 0.8 * self.accuracy_ema + 0.2 * accuracy
         if self.is_short:
-            loss = self.model.partial_fit(x, y)
+            with self.obs.tracer.span("level.update", level=self.name):
+                loss = self.model.partial_fit(x, y)
             self._reference = np.asarray(embedding, dtype=float).reshape(-1)
             self.updates += 1
+            self._count_update()
             return {"trained": True, "loss": loss}
 
         self.window.add(x, y, embedding)
@@ -147,20 +152,29 @@ class GranularityLevel:
             self._precompute_window.accumulate(x, y)
         if not self.window.is_full:
             return {"trained": False, "loss": None}
-        if self._precompute_window is not None:
-            self._precompute_window.apply()
-            loss = None
-        else:
-            window_x, window_y = self.window.training_data()
-            loss = 0.0
-            for _ in range(self.update_epochs):
-                loss = self.model.partial_fit(window_x, window_y)
+        with self.obs.tracer.span("level.update", level=self.name):
+            if self._precompute_window is not None:
+                self._precompute_window.apply()
+                loss = None
+            else:
+                window_x, window_y = self.window.training_data()
+                loss = 0.0
+                for _ in range(self.update_epochs):
+                    loss = self.model.partial_fit(window_x, window_y)
         self._reference = self.window.mean_embedding()
         self._last_disorder = self.window.disorder
         self.window.reset()
         self.updates += 1
+        self._count_update()
         return {"trained": True, "loss": loss,
                 "disorder": self._last_disorder}
+
+    def _count_update(self) -> None:
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "freeway_level_updates_total",
+                "model updates per granularity level",
+            ).labels(level=self.name).inc()
 
 
 class MultiGranularityEnsemble:
@@ -196,7 +210,7 @@ class MultiGranularityEnsemble:
                  max_items: int = 1 << 20, base_decay: float = 0.12,
                  sigma: float | str = "auto", exclusion_ratio: float = 3.0,
                  performance_weighting: bool = True, precompute: bool = False,
-                 seed: int = 0):
+                 seed: int = 0, obs=None):
         if exclusion_ratio <= 1.0:
             raise ValueError(
                 f"exclusion_ratio must be > 1; got {exclusion_ratio}"
@@ -210,11 +224,12 @@ class MultiGranularityEnsemble:
             raise ValueError(
                 "one level must have window size 1 (the short-granularity model)"
             )
+        self.obs = obs if obs is not None else NULL_OBS
         self.levels = [
             GranularityLevel(model_factory(), size, max_items=max_items,
                              base_decay=base_decay,
                              precompute=precompute and size > 1,
-                             seed=seed + position)
+                             seed=seed + position, obs=self.obs)
             for position, size in enumerate(window_sizes)
         ]
         if isinstance(sigma, str):

@@ -20,6 +20,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import CheckpointWritten
 from .learner import Learner
 
 __all__ = ["save_learner", "load_learner", "learner_state", "restore_learner_state"]
@@ -119,18 +120,31 @@ def learner_state(learner: Learner) -> tuple[dict, dict]:
 
 
 def save_learner(learner: Learner, path: str | Path) -> int:
-    """Write a learner checkpoint to ``path``; returns bytes written."""
-    arrays, meta = learner_state(learner)
-    buffer = io.BytesIO()
-    arrays = dict(arrays)
-    arrays[_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
-    np.savez(buffer, **arrays)
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    blob = buffer.getvalue()
-    path.write_bytes(blob)
+    """Write a learner checkpoint to ``path``; returns bytes written.
+
+    When the learner carries an enabled observability facade, a
+    :class:`~repro.obs.CheckpointWritten` event records the durable write.
+    """
+    with learner.obs.tracer.span("persistence.save"):
+        arrays, meta = learner_state(learner)
+        buffer = io.BytesIO()
+        arrays = dict(arrays)
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(buffer, **arrays)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = buffer.getvalue()
+        path.write_bytes(blob)
+    if learner.obs.enabled:
+        learner.obs.emit(CheckpointWritten(
+            path=str(path), nbytes=len(blob),
+            batch=learner._batch_counter,
+        ))
+        learner.obs.registry.counter(
+            "freeway_checkpoints_total", "learner checkpoints written",
+        ).inc()
     return len(blob)
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..obs import NULL_OBS
 from ..shift.patterns import ShiftAssessment, ShiftPattern
 
 __all__ = ["Strategy", "StrategyDecision", "StrategySelector"]
@@ -45,7 +46,17 @@ class StrategyDecision:
 
 
 class StrategySelector:
-    """Map a :class:`ShiftAssessment` to the mechanism that should answer."""
+    """Map a :class:`ShiftAssessment` to the mechanism that should answer.
+
+    ``obs`` (optional :class:`~repro.obs.Observability`) feeds a counter of
+    raw selector decisions; the :class:`~repro.core.learner.Learner` emits
+    the :class:`~repro.obs.StrategySelected` event with the *final* routing
+    (which may differ when a knowledge match fails and the decision is
+    downgraded).
+    """
+
+    def __init__(self, obs=None):
+        self.obs = obs if obs is not None else NULL_OBS
 
     def select(self, assessment: ShiftAssessment, *,
                knowledge_available: bool,
@@ -57,6 +68,22 @@ class StrategySelector:
         knowledge store has entries, whether the experience buffer has
         labeled points, and whether any granularity model has trained yet.
         """
+        decision = self._select(assessment,
+                                knowledge_available=knowledge_available,
+                                experience_available=experience_available,
+                                ensemble_trained=ensemble_trained)
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "freeway_selector_decisions_total",
+                "raw selector decisions (before reuse-miss downgrades)",
+            ).labels(strategy=decision.strategy.value,
+                     fallback=str(decision.fallback).lower()).inc()
+        return decision
+
+    def _select(self, assessment: ShiftAssessment, *,
+                knowledge_available: bool,
+                experience_available: bool,
+                ensemble_trained: bool) -> StrategyDecision:
         pattern = assessment.pattern
 
         if pattern in (ShiftPattern.WARMUP, ShiftPattern.SLIGHT):

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.learner import Learner
 from ..data.stream import Batch
+from ..obs import NULL_OBS
 from .partition import (
     contiguous_partition,
     hash_partition,
@@ -78,13 +79,18 @@ class DistributedLearner:
         larger values trade consistency for less communication).
     partitioner:
         ``"round-robin"`` (default), ``"contiguous"``, or ``"hash"``.
+    obs:
+        Optional :class:`~repro.obs.Observability` shared by every replica
+        (their events interleave in one stream; counters aggregate across
+        replicas).  Sharding and synchronization run inside
+        ``distributed.process`` / ``distributed.sync`` spans.
     learner_kwargs:
         Extra keyword arguments for each replica's :class:`Learner`.
     """
 
     def __init__(self, model_factory, num_workers: int = 4,
                  sync_every: int = 1, partitioner: str = "round-robin",
-                 seed: int = 0, **learner_kwargs):
+                 seed: int = 0, obs=None, **learner_kwargs):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1; got {num_workers}")
         if sync_every < 1:
@@ -98,8 +104,10 @@ class DistributedLearner:
         self.sync_every = sync_every
         self.partitioner = partitioner
         self.seed = seed
+        self.obs = obs if obs is not None else NULL_OBS
         self.workers = [
-            Learner(model_factory, seed=seed + worker, **learner_kwargs)
+            Learner(model_factory, seed=seed + worker, obs=self.obs,
+                    **learner_kwargs)
             for worker in range(num_workers)
         ]
         self.syncs = 0
@@ -114,25 +122,26 @@ class DistributedLearner:
 
     def process(self, batch: Batch) -> DistributedReport:
         """Shard the batch, run each replica, and maybe synchronize."""
-        shards = self._shards(batch)
-        correct = 0
-        total = 0
-        worker_items: list[int] = []
-        worker_seconds: list[float] = []
-        for learner, shard in zip(self.workers, shards):
-            shard_batch = batch.subset(shard)
-            start = time.perf_counter()
-            report = learner.process(shard_batch)
-            worker_seconds.append(time.perf_counter() - start)
-            worker_items.append(len(shard_batch))
-            if report.accuracy is not None:
-                correct += report.accuracy * len(shard_batch)
-                total += len(shard_batch)
-        self._batches_seen += 1
-        synced = False
-        if self._batches_seen % self.sync_every == 0:
-            self.synchronize()
-            synced = True
+        with self.obs.tracer.span("distributed.process", batch=batch.index):
+            shards = self._shards(batch)
+            correct = 0
+            total = 0
+            worker_items: list[int] = []
+            worker_seconds: list[float] = []
+            for learner, shard in zip(self.workers, shards):
+                shard_batch = batch.subset(shard)
+                start = time.perf_counter()
+                report = learner.process(shard_batch)
+                worker_seconds.append(time.perf_counter() - start)
+                worker_items.append(len(shard_batch))
+                if report.accuracy is not None:
+                    correct += report.accuracy * len(shard_batch)
+                    total += len(shard_batch)
+            self._batches_seen += 1
+            synced = False
+            if self._batches_seen % self.sync_every == 0:
+                self.synchronize()
+                synced = True
         return DistributedReport(
             index=batch.index,
             accuracy=(correct / total) if total else None,
@@ -143,17 +152,23 @@ class DistributedLearner:
 
     def synchronize(self) -> None:
         """Average each granularity level's parameters across replicas."""
-        for level_index in range(len(self.workers[0].ensemble.levels)):
-            states = [
-                worker.ensemble.levels[level_index].model.state_dict()
-                for worker in self.workers
-            ]
-            averaged = average_state_dicts(states)
-            for worker in self.workers:
-                worker.ensemble.levels[level_index].model.load_state_dict(
-                    averaged
-                )
+        with self.obs.tracer.span("distributed.sync"):
+            for level_index in range(len(self.workers[0].ensemble.levels)):
+                states = [
+                    worker.ensemble.levels[level_index].model.state_dict()
+                    for worker in self.workers
+                ]
+                averaged = average_state_dicts(states)
+                for worker in self.workers:
+                    worker.ensemble.levels[level_index].model.load_state_dict(
+                        averaged
+                    )
         self.syncs += 1
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "freeway_distributed_syncs_total",
+                "parameter-averaging rounds",
+            ).inc()
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Serve a prediction from worker 0 (replicas agree after a sync)."""

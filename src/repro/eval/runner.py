@@ -20,6 +20,7 @@ from ..metrics.prequential import (
     evaluate_model,
 )
 from ..models import StreamingCNN, StreamingLR, StreamingMLP
+from ..obs import Observability
 
 __all__ = ["RunConfig", "model_factory_for", "run_framework", "run_matrix"]
 
@@ -43,6 +44,9 @@ class RunConfig:
     skip: int = 0                  # warm-up batches excluded from G_acc/SI
     learner_kwargs: dict = field(default_factory=dict)
     baseline_kwargs: dict = field(default_factory=dict)
+    #: Observability facade attached to FreewayML learners, so benchmarks
+    #: collect stage-level spans/events alongside the prequential result.
+    obs: Observability | None = None
 
     def learning_rate(self) -> float:
         return self.lr if self.lr is not None else DEFAULT_LR[self.model]
@@ -77,7 +81,8 @@ def run_framework(framework: str, generator, config: RunConfig,
     )
     stream = generator.stream(config.num_batches, batch_size=config.batch_size)
     if framework == FREEWAYML:
-        learner = Learner(factory, seed=config.seed, **config.learner_kwargs)
+        learner = Learner(factory, seed=config.seed, obs=config.obs,
+                          **config.learner_kwargs)
         return evaluate_learner(learner, stream, name=FREEWAYML,
                                 skip=config.skip)
     if framework == PLAIN:

@@ -48,7 +48,16 @@ def measure_latency(predict_fn, update_fn, batches, warmup: int = 2
     ``predict_fn(batch)`` and ``update_fn(batch)`` are called for every
     batch; the first ``warmup`` timings of each phase are discarded.
     Returns ``(infer_stats, update_stats)``.
+
+    ``batches`` is materialized and validated up front, so a too-short
+    (or lazily exhausted) stream fails before any work is timed.
     """
+    batches = list(batches)
+    if len(batches) <= warmup:
+        raise ValueError(
+            f"need more than {warmup} batches to measure latency; "
+            f"got {len(batches)}"
+        )
     infer_times: list[float] = []
     update_times: list[float] = []
     for batch in batches:
@@ -58,11 +67,6 @@ def measure_latency(predict_fn, update_fn, batches, warmup: int = 2
         start = time.perf_counter()
         update_fn(batch)
         update_times.append(time.perf_counter() - start)
-    if len(infer_times) <= warmup:
-        raise ValueError(
-            f"need more than {warmup} batches to measure latency; "
-            f"got {len(infer_times)}"
-        )
     return (_summarize(infer_times[warmup:]),
             _summarize(update_times[warmup:]))
 

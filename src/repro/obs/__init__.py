@@ -1,0 +1,79 @@
+"""``repro.obs`` — dependency-free observability for the streaming pipeline.
+
+Three layers, bundled by the :class:`Observability` facade:
+
+- :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  histograms with labels, snapshots, and Prometheus text exposition;
+- :mod:`repro.obs.trace` — nested wall-time spans with a zero-cost
+  :class:`NullTracer` default;
+- :mod:`repro.obs.events` — typed decision events (shift assessments,
+  strategy selections, window decay, knowledge life cycle) streamed to
+  JSONL/memory/composite sinks.
+
+:mod:`repro.obs.report` turns a recorded JSONL trace back into per-strategy
+latency percentiles, reuse hit-rates, and decay timelines.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    AswDecayApplied,
+    CecInvoked,
+    CheckpointWritten,
+    CompositeSink,
+    Event,
+    EventSink,
+    JsonlSink,
+    KnowledgeEvicted,
+    KnowledgePreserved,
+    KnowledgeReused,
+    MemorySink,
+    NullSink,
+    ShiftAssessed,
+    StrategySelected,
+    event_from_dict,
+    read_records,
+)
+from .facade import NULL_OBS, Observability
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import TraceSummary, render_report, summarize_trace
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "Event",
+    "ShiftAssessed",
+    "StrategySelected",
+    "AswDecayApplied",
+    "KnowledgePreserved",
+    "KnowledgeReused",
+    "KnowledgeEvicted",
+    "CecInvoked",
+    "CheckpointWritten",
+    "EVENT_TYPES",
+    "event_from_dict",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "CompositeSink",
+    "NullSink",
+    "read_records",
+    "TraceSummary",
+    "summarize_trace",
+    "render_report",
+]

@@ -1,0 +1,327 @@
+"""Process-local metrics: counters, gauges, histograms, and a registry.
+
+Dependency-free instruments in the Prometheus mold.  Every instrument is
+created through a :class:`MetricsRegistry` (same name → same instrument),
+can carry labels (``counter.labels(strategy="cec").inc()``), and the whole
+registry exports both a plain-dict :meth:`~MetricsRegistry.snapshot` for
+programmatic use and a Prometheus-style text exposition via
+:meth:`~MetricsRegistry.render_text` for scraping or diffing.
+
+Histograms use fixed bucket boundaries plus a running sum/count; quantiles
+are estimated by linear interpolation inside the bucket containing the
+target rank — the standard streaming estimate used by
+``histogram_quantile`` — so no samples are retained.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram boundaries (seconds), spanning µs-scale kernel calls
+#: to multi-second window completions.
+DEFAULT_LATENCY_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared plumbing: a family of label-keyed children under one name."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name or not all(c.isalnum() or c == "_" for c in name):
+            raise ValueError(
+                f"metric names must be alphanumeric/underscore; got {name!r}"
+            )
+        self.name = name
+        self.help = help
+        self._children: dict[tuple, "_Instrument"] = {}
+        self._labels: tuple = ()
+
+    def labels(self, **labels) -> "_Instrument":
+        """The child instrument for one label combination (created lazily)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)._blank(self.name, self.help)
+            child._labels = key
+            self._children[key] = child
+        return child
+
+    @classmethod
+    def _blank(cls, name: str, help: str) -> "_Instrument":
+        return cls(name, help)
+
+    def _series(self) -> list["_Instrument"]:
+        """Every concrete series: the bare instrument (if touched) plus
+        each labeled child."""
+        out = []
+        if self._touched():
+            out.append(self)
+        out.extend(self._children.values())
+        return out
+
+    def _touched(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _touched(self) -> bool:
+        return self._value != 0.0
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._value = 0.0
+        self._set_ever = False
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+        self._set_ever = True
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+        self._set_ever = True
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _touched(self) -> bool:
+        return self._set_ever
+
+
+class Histogram(_Instrument):
+    """Fixed-boundary bucketed distribution with streaming quantiles.
+
+    Parameters
+    ----------
+    buckets:
+        Ascending upper boundaries; an implicit ``+Inf`` bucket is always
+        appended, so every observation lands somewhere.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple = DEFAULT_LATENCY_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("need at least one bucket boundary")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket boundaries must ascend; got {bounds}")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @classmethod
+    def _blank(cls, name: str, help: str) -> "Histogram":
+        return cls(name, help)
+
+    def labels(self, **labels) -> "Histogram":
+        child = super().labels(**labels)
+        # Children inherit the parent's boundaries, not the default.
+        if child.buckets != self.buckets and child._count == 0:
+            child.buckets = self.buckets
+            child._counts = [0] * (len(self.buckets) + 1)
+        return child
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._sum += value
+        self._count += 1
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._counts[position] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile by interpolation inside the target
+        bucket (clamped to the observed min/max so tiny samples do not
+        report a bucket boundary far beyond any real observation)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1]; got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for position, bound in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += self._counts[position]
+            if cumulative >= rank and self._counts[position]:
+                fraction = (rank - previous) / self._counts[position]
+                estimate = lower + fraction * (bound - lower)
+                return min(max(estimate, self._min), self._max)
+            lower = bound
+        return self._max  # rank fell in the +Inf bucket
+
+    def _touched(self) -> bool:
+        return self._count > 0
+
+    def _value_dict(self) -> dict:
+        bucket_counts = {}
+        cumulative = 0
+        for bound, count in zip(self.buckets, self._counts):
+            cumulative += count
+            bucket_counts[bound] = cumulative
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": bucket_counts,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store: create-or-get, snapshot, and exposition."""
+
+    def __init__(self):
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+        if instrument.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"not {kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        return self._get(
+            name, lambda: Histogram(name, help, buckets=buckets), "histogram"
+        )
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{name: {"type", "help", "series": [...]}}``.
+
+        Each series entry carries its ``labels`` dict and either a scalar
+        ``value`` (counter/gauge) or the histogram's summary dict.
+        """
+        out: dict = {}
+        for name, instrument in sorted(self._instruments.items()):
+            series = []
+            for child in instrument._series():
+                labels = dict(child._labels)
+                if isinstance(child, Histogram):
+                    series.append({"labels": labels, **child._value_dict()})
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[name] = {"type": instrument.kind, "help": instrument.help,
+                         "series": series}
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus text exposition (the format scrapers and humans diff)."""
+        lines: list[str] = []
+        for name, instrument in sorted(self._instruments.items()):
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            for child in instrument._series():
+                labelled = _render_labels(child._labels)
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(child.buckets, child._counts):
+                        cumulative += count
+                        bucket_labels = _render_labels(
+                            child._labels + (("le", f"{bound:g}"),)
+                        )
+                        lines.append(
+                            f"{name}_bucket{bucket_labels} {cumulative}"
+                        )
+                    inf_labels = _render_labels(
+                        child._labels + (("le", "+Inf"),)
+                    )
+                    lines.append(f"{name}_bucket{inf_labels} {child.count}")
+                    lines.append(f"{name}_sum{labelled} {child.sum:g}")
+                    lines.append(f"{name}_count{labelled} {child.count}")
+                else:
+                    lines.append(f"{name}{labelled} {child.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,173 @@
+"""Span-based tracing for the streaming pipeline.
+
+``with tracer.span("learner.predict", batch=3) as span:`` opens a timed
+span; spans opened inside it become children, so one processed batch yields
+a small tree (predict → shift.assess → infer.cec, …).  Finished root spans
+are kept on the tracer (bounded) and, when a sink is attached, forwarded as
+``{"kind": "span", ...}`` records so a JSONL trace interleaves spans with
+the typed events.
+
+The default is :data:`NULL_TRACER`: ``span()`` hands back one shared no-op
+context manager, so an uninstrumented hot path pays a single attribute
+check and two trivial method calls per span — no allocation, no clock read.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, attributed, nestable unit of work."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer | None" = None,
+                 attributes: dict | None = None):
+        self.name = name
+        self.attributes = attributes or {}
+        self.children: list[Span] = []
+        self.start: float | None = None
+        self.end: float | None = None
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds (0.0 while the span is still open)."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes mid-span (e.g. the strategy once selected)."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (children nested)."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self):
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+                f"{self.attributes!r}, children={len(self.children)})")
+
+
+class Tracer:
+    """Collects span trees; optionally streams finished roots to a sink.
+
+    Parameters
+    ----------
+    sink:
+        Anything with ``emit(record_dict)``; each finished *root* span is
+        forwarded as its ``to_dict()``.  Child spans ride inside the root.
+    max_spans:
+        Finished root spans retained in memory (oldest dropped first).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, max_spans: int = 10000):
+        self.sink = sink
+        self.max_spans = max_spans
+        self.finished: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes) -> Span:
+        """A new span context manager; nests under the open span, if any."""
+        return Span(name, tracer=self, attributes=attributes or None)
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate exotic exits (generator abandonment) by unwinding to it.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+            return
+        self.finished.append(span)
+        if len(self.finished) > self.max_spans:
+            del self.finished[: len(self.finished) - self.max_spans]
+        if self.sink is not None:
+            self.sink.emit(span.to_dict())
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        self.finished.clear()
+        self._stack.clear()
+
+
+class _NullSpan:
+    """Shared do-nothing span: entering, exiting, and ``set`` are no-ops."""
+
+    __slots__ = ()
+    name = "null"
+    attributes: dict = {}
+    children: list = []
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the same shared no-op object."""
+
+    enabled = False
+    finished: list = []
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

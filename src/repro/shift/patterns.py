@@ -20,6 +20,7 @@ from enum import Enum
 
 import numpy as np
 
+from ..obs import NULL_OBS
 from .distance import EmbeddingHistory, shift_distance
 from .pca import WarmupPCA
 from .severity import SeverityTracker
@@ -108,6 +109,9 @@ class PatternClassifier:
         Batch distribution summary: ``"mean"`` (the paper's Eq. 6) or
         ``"mean-std"`` (the paper's future-work extension; see
         :class:`~repro.shift.pca.WarmupPCA`).
+    obs:
+        Optional :class:`~repro.obs.Observability`; assessments run inside
+        a ``shift.assess`` span and feed a per-pattern counter.
     """
 
     def __init__(self, alpha: float = 1.96, num_components: int = 2,
@@ -116,7 +120,7 @@ class PatternClassifier:
                  reoccurrence_ratio: float = 0.5,
                  min_shift_factor: float = 3.0,
                  reoccurrence_scale: float = 4.0,
-                 representation: str = "mean"):
+                 representation: str = "mean", obs=None):
         if alpha <= 0:
             raise ValueError(f"alpha must be positive; got {alpha}")
         if not 0.0 < reoccurrence_ratio <= 1.0:
@@ -142,6 +146,7 @@ class PatternClassifier:
                                         decay=severity_decay)
         self.history = EmbeddingHistory(capacity=history_capacity,
                                         exclude_recent=1)
+        self.obs = obs if obs is not None else NULL_OBS
         self._previous_embedding: np.ndarray | None = None
 
     def assess(self, x: np.ndarray) -> ShiftAssessment:
@@ -151,6 +156,16 @@ class PatternClassifier:
         embedding, the shift distance, the severity score, and the
         historical-distance comparison, and updates all internal state.
         """
+        with self.obs.tracer.span("shift.assess"):
+            assessment = self._assess(x)
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "freeway_shift_assessments_total",
+                "batches assessed per shift pattern",
+            ).labels(pattern=assessment.pattern.value).inc()
+        return assessment
+
+    def _assess(self, x: np.ndarray) -> ShiftAssessment:
         if not self.pca.is_fitted:
             fitted = self.pca.observe(x)
             if not fitted:
