@@ -1,0 +1,66 @@
+"""``repro.analysis`` — static verification for the streaming stack.
+
+Two halves, both purely static (no data is ever run through a model):
+
+- :mod:`repro.analysis.shapes` and :mod:`repro.analysis.checkpoint` —
+  symbolic shape/dtype propagation through :mod:`repro.nn` module graphs
+  and checkpoint-compatibility checking against a target architecture.
+  The compat checker gates :meth:`repro.core.knowledge.KnowledgeStore.restore`
+  and :func:`repro.core.persistence.load_learner`, turning a truncated /
+  transposed / re-dtyped blob into a typed
+  :class:`CheckpointIncompatibleError` (plus a
+  :class:`~repro.obs.CheckpointRejected` event) instead of a deep numpy
+  broadcast failure mid-stream.
+- :mod:`repro.analysis.lint` / :mod:`repro.analysis.runner` — the
+  ``REP001``–``REP006`` streaming-invariant lint pass behind
+  ``python -m repro.cli analyze`` (see ``docs/ANALYSIS.md``).
+"""
+
+from .checkpoint import (
+    CheckpointIncompatibleError,
+    CompatProblem,
+    CompatReport,
+    check_state_dict,
+    state_spec,
+    verify_checkpoint_file,
+)
+from .lint import RULES, Finding, lint_file, lint_paths, lint_source
+from .runner import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, run_analyze
+from .shapes import (
+    BATCH,
+    GraphValidationError,
+    LayerTrace,
+    TensorSpec,
+    infer_output_spec,
+    infer_shapes,
+    input_spec_for,
+    register_shape_rule,
+    validate_model,
+)
+
+__all__ = [
+    "BATCH",
+    "TensorSpec",
+    "LayerTrace",
+    "GraphValidationError",
+    "register_shape_rule",
+    "infer_shapes",
+    "infer_output_spec",
+    "input_spec_for",
+    "validate_model",
+    "CompatProblem",
+    "CompatReport",
+    "CheckpointIncompatibleError",
+    "state_spec",
+    "check_state_dict",
+    "verify_checkpoint_file",
+    "Finding",
+    "RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "run_analyze",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+]

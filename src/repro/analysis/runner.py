@@ -1,0 +1,81 @@
+"""Lint runner: text/JSON reporting and deterministic exit codes.
+
+Exit codes are stable so CI can gate on them:
+
+- ``0`` — every scanned file is clean (suppressed findings allowed);
+- ``1`` — at least one non-suppressed finding;
+- ``2`` — usage error (a path does not exist).
+
+The JSON payload is machine-readable and self-describing::
+
+    {"ok": false, "files": 83, "findings": [...], "suppressed": [...],
+     "counts": {"REP003": 1}, "rules": {"REP001": "...", ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from .lint import RULES, lint_paths
+
+__all__ = ["EXIT_CLEAN", "EXIT_FINDINGS", "EXIT_USAGE", "run_analyze"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _count_files(paths) -> int:
+    from pathlib import Path
+    total = 0
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            total += sum(
+                1 for file in entry.rglob("*.py")
+                if not any(part.startswith(".") for part in file.parts)
+            )
+        elif entry.is_file():
+            total += 1
+    return total
+
+
+def run_analyze(paths, output_format: str = "text",
+                show_suppressed: bool = False, stream=None) -> int:
+    """Lint ``paths`` and report; returns the process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    try:
+        findings = lint_paths(paths)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    active = [finding for finding in findings if not finding.suppressed]
+    suppressed = [finding for finding in findings if finding.suppressed]
+    counts: dict[str, int] = {}
+    for finding in active:
+        counts[finding.code] = counts.get(finding.code, 0) + 1
+
+    if output_format == "json":
+        payload = {
+            "ok": not active,
+            "files": _count_files(paths),
+            "findings": [finding.to_dict() for finding in active],
+            "suppressed": [finding.to_dict() for finding in suppressed],
+            "counts": dict(sorted(counts.items())),
+            "rules": RULES,
+        }
+        print(json.dumps(payload, indent=2), file=stream)
+    else:
+        for finding in active:
+            print(finding.describe(), file=stream)
+        if show_suppressed:
+            for finding in suppressed:
+                print(finding.describe(), file=stream)
+        summary = (f"{len(active)} finding(s)"
+                   + (f", {len(suppressed)} suppressed" if suppressed else ""))
+        print(f"analyzed {_count_files(paths)} file(s): {summary}",
+              file=stream)
+
+    return EXIT_FINDINGS if active else EXIT_CLEAN

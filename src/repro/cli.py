@@ -1,11 +1,12 @@
 """Command-line interface: run FreewayML experiments without writing code.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run --dataset nsl-kdd --framework freewayml --batches 80
     python -m repro compare --dataset electricity --model mlp
     python -m repro datasets
     python -m repro report trace.jsonl
+    python -m repro analyze src/ --format json
 
 ``run`` evaluates one framework on one dataset prequentially and prints
 G_acc / SI / throughput (``--json`` emits the result as one JSON object;
@@ -15,7 +16,9 @@ framework of the chosen model group plus FreewayML and renders a
 Table-I-style block; ``datasets`` lists what is available; ``report``
 summarizes a recorded trace (per-strategy latency percentiles, knowledge
 reuse hit-rate, decay timeline).  ``--csv`` runs on your own data instead
-of a built-in generator.
+of a built-in generator.  ``analyze`` runs the static REP001–REP006 lint
+pass (and, with ``--check-models``, symbolic shape verification of the
+model zoo) — see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +33,8 @@ from .data import IMAGE_REGISTRY, all_benchmark_datasets
 from .data.io import stream_from_csv
 from .eval import RunConfig, render_accuracy_table, run_framework, run_matrix
 from .obs import Observability, render_report, summarize_trace
+
+__all__ = ["build_parser", "main"]
 
 FRAMEWORK_CHOICES = ["freewayml", "plain", *sorted(BASELINES)]
 
@@ -189,6 +194,46 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _check_model_zoo(stream=sys.stdout) -> int:
+    """Statically verify the model zoo's architectures (no data executed)."""
+    from .analysis import GraphValidationError, validate_model
+    from .models import StreamingCNN, StreamingLR, StreamingMLP
+
+    zoo = [
+        ("lr", StreamingLR(num_features=20, num_classes=5)),
+        ("mlp", StreamingMLP(num_features=20, num_classes=5)),
+        ("cnn-tabular", StreamingCNN(input_shape=(20,), num_classes=5)),
+        ("cnn-image", StreamingCNN(input_shape=(1, 16, 16), num_classes=10)),
+    ]
+    failures = 0
+    for name, model in zoo:
+        try:
+            traces = validate_model(model)
+        except GraphValidationError as error:
+            print(f"  {name:12s} FAIL  {error}", file=stream)
+            failures += 1
+        else:
+            print(f"  {name:12s} ok    {len(traces)} layers, output "
+                  f"{traces[-1].output}", file=stream)
+    return failures
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import EXIT_FINDINGS, run_analyze
+
+    code = run_analyze(args.paths, output_format=args.format,
+                       show_suppressed=args.show_suppressed)
+    if args.check_models:
+        # JSON mode keeps stdout a single parseable object; the zoo
+        # report goes to stderr there.
+        stream = sys.stderr if args.format == "json" else sys.stdout
+        print("model zoo (symbolic shape check):", file=stream)
+        failures = _check_model_zoo(stream=stream)
+        if failures and code == 0:
+            code = EXIT_FINDINGS
+    return code
+
+
 def _cmd_compare(args) -> int:
     generator = _generator(args)
     group = LR_GROUP if args.model == "lr" else MLP_GROUP
@@ -254,6 +299,23 @@ def build_parser() -> argparse.ArgumentParser:
         "datasets", help="list built-in datasets"
     )
     datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="static REP001-REP006 lint pass (see docs/ANALYSIS.md)",
+    )
+    analyze_parser.add_argument("paths", nargs="*", default=["src"],
+                                help="files or directories to analyze "
+                                     "(default: src)")
+    analyze_parser.add_argument("--format", choices=["text", "json"],
+                                default="text",
+                                help="report format (json is machine-readable)")
+    analyze_parser.add_argument("--show-suppressed", action="store_true",
+                                help="also list noqa-suppressed findings")
+    analyze_parser.add_argument("--check-models", action="store_true",
+                                help="additionally run symbolic shape "
+                                     "verification over the model zoo")
+    analyze_parser.set_defaults(handler=_cmd_analyze)
     return parser
 
 

@@ -24,11 +24,12 @@ from pathlib import Path
 
 import numpy as np
 
+from ..analysis.checkpoint import check_state_dict
 from ..nn.serialization import (
     save_state_dict,
     state_dict_nbytes,
 )
-from ..obs import NULL_OBS, KnowledgeEvicted, KnowledgePreserved
+from ..obs import NULL_OBS, CheckpointRejected, KnowledgeEvicted, KnowledgePreserved
 
 __all__ = ["KnowledgeEntry", "KnowledgeMatch", "KnowledgeStore"]
 
@@ -179,6 +180,38 @@ class KnowledgeStore:
                 f"knowledge-{entry.batch_index:08d}-{entry.model_kind}.npz"
             )
             save_state_dict(entry.state, path)
+
+    # -- restoration -------------------------------------------------------------
+
+    def restore(self, entry: KnowledgeEntry, model) -> None:
+        """Load ``entry``'s parameters into ``model`` after a static check.
+
+        The stored ``state_dict`` is verified against the model's resident
+        parameters (names, shapes, dtype kinds) *before* anything is
+        written.  An incompatible entry — preserved under a different
+        architecture, truncated on disk, or re-dtyped — raises a typed
+        :class:`~repro.analysis.CheckpointIncompatibleError` and emits a
+        :class:`~repro.obs.CheckpointRejected` event instead of failing
+        deep inside a numpy broadcast.
+        """
+        report = check_state_dict(model.state_dict(), entry.state)
+        if not report.ok:
+            if self.obs.enabled:
+                self.obs.emit(CheckpointRejected(
+                    source="knowledge",
+                    reason=report.problems[0].describe(),
+                    problems=len(report.problems),
+                    batch=entry.batch_index,
+                    model_kind=entry.model_kind,
+                ))
+                self.obs.registry.counter(
+                    "freeway_checkpoints_rejected_total",
+                    "checkpoint restores blocked by the compat checker",
+                ).labels(source="knowledge").inc()
+            report.raise_if_incompatible(
+                context=f"knowledge entry from batch {entry.batch_index}"
+            )
+        model.load_state_dict(entry.state)
 
     # -- matching ----------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ..analysis.checkpoint import CheckpointIncompatibleError
 from ..data.stream import Batch
 from ..models.base import StreamingModel
 from ..obs import (
@@ -365,7 +366,12 @@ class Learner:
                                      current_shift=ceiling)
         if match is None:
             return "no knowledge match"
-        self._scratch.load_state_dict(match.entry.state)
+        try:
+            self.knowledge.restore(match.entry, self._scratch)
+        except CheckpointIncompatibleError:
+            # The store already emitted CheckpointRejected; the severe
+            # shift falls through to CEC / the ensemble.
+            return "incompatible knowledge"
         proba = self._scratch.predict_proba(x)
         # Warm-starting the resident models from this match is decided at
         # update time, when the batch's labels arrive and the matched
@@ -443,7 +449,10 @@ class Learner:
         match, self._pending_reuse = self._pending_reuse, None
         if match is None:
             return
-        self._scratch.load_state_dict(match.entry.state)
+        try:
+            self.knowledge.restore(match.entry, self._scratch)
+        except CheckpointIncompatibleError:
+            return  # blocked restore: leave the resident models untouched
         scratch_accuracy = float((self._scratch.predict(x) == y).mean())
         resident = self.ensemble.short_level
         resident_accuracy = (

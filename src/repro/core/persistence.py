@@ -20,7 +20,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..obs import CheckpointWritten
+from ..analysis.checkpoint import check_state_dict
+from ..obs import CheckpointRejected, CheckpointWritten
 from .learner import Learner
 
 __all__ = ["save_learner", "load_learner", "learner_state", "restore_learner_state"]
@@ -169,6 +170,23 @@ def restore_learner_state(learner: Learner, arrays: dict, meta: dict) -> Learner
         state = {name: value for name, value
                  in _unflatten(prefix, arrays).items()
                  if not (name.startswith("__") or name.startswith("window"))}
+        report = check_state_dict(level.model.state_dict(), state)
+        if not report.ok:
+            if learner.obs.enabled:
+                learner.obs.emit(CheckpointRejected(
+                    source="learner_checkpoint",
+                    reason=report.problems[0].describe(),
+                    problems=len(report.problems),
+                    batch=int(meta["batch_counter"]),
+                    model_kind=level.name,
+                ))
+                learner.obs.registry.counter(
+                    "freeway_checkpoints_rejected_total",
+                    "checkpoint restores blocked by the compat checker",
+                ).labels(source="learner_checkpoint").inc()
+            report.raise_if_incompatible(
+                context=f"granularity level {index} ({level.name})"
+            )
         level.model.load_state_dict(state)
         level.updates = int(level_meta["updates"])
         level.accuracy_ema = level_meta["accuracy_ema"]

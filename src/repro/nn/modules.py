@@ -125,7 +125,14 @@ class Module:
         )
 
     def load_state_dict(self, state: dict) -> None:
-        """Load parameter arrays produced by :meth:`state_dict` in place."""
+        """Load parameter arrays produced by :meth:`state_dict` in place.
+
+        Every parameter is validated before any is written: key sets must
+        match, each array's shape must equal the resident parameter's, and
+        its dtype must be of the same kind (a float parameter rejects an
+        integer or complex blob; width changes like float32 → float64 are
+        fine).  Errors name the offending parameter.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -134,14 +141,24 @@ class Module:
                 f"state_dict mismatch: missing={sorted(missing)}, "
                 f"unexpected={sorted(unexpected)}"
             )
+        incoming = {name: np.asarray(state[name]) for name in own}
         for name, parameter in own.items():
-            value = np.asarray(state[name])
+            value = incoming[name]
             if value.shape != parameter.data.shape:
                 raise ValueError(
-                    f"shape mismatch for {name!r}: "
+                    f"shape mismatch for parameter {name!r}: "
                     f"expected {parameter.data.shape}, got {value.shape}"
                 )
-            parameter.data = value.astype(parameter.data.dtype).copy()
+            if (value.dtype.kind != parameter.data.dtype.kind
+                    or not np.can_cast(value.dtype, parameter.data.dtype,
+                                       casting="same_kind")):
+                raise TypeError(
+                    f"dtype mismatch for parameter {name!r}: expected "
+                    f"{parameter.data.dtype} (kind {parameter.data.dtype.kind!r}), "
+                    f"got {value.dtype}"
+                )
+        for name, parameter in own.items():
+            parameter.data = incoming[name].astype(parameter.data.dtype)
 
 
 class Linear(Module):
@@ -150,7 +167,7 @@ class Linear(Module):
     def __init__(self, in_features: int, out_features: int, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[REP001] — explicit opt-out of seeding
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
@@ -177,7 +194,7 @@ class Conv2d(Module):
                  stride=1, padding=0, bias: bool = True,
                  rng: np.random.Generator | None = None):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro: noqa[REP001] — explicit opt-out of seeding
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = F._pair(kernel_size)
@@ -249,7 +266,7 @@ class Dropout(Module):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1); got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or np.random.default_rng()  # repro: noqa[REP001] — explicit opt-out of seeding
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, self.rng)

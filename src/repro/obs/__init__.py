@@ -18,6 +18,7 @@ from .events import (
     EVENT_TYPES,
     AswDecayApplied,
     CecInvoked,
+    CheckpointRejected,
     CheckpointWritten,
     CompositeSink,
     Event,
@@ -65,6 +66,7 @@ __all__ = [
     "KnowledgeEvicted",
     "CecInvoked",
     "CheckpointWritten",
+    "CheckpointRejected",
     "EVENT_TYPES",
     "event_from_dict",
     "EventSink",

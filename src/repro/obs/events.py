@@ -32,6 +32,7 @@ __all__ = [
     "KnowledgeEvicted",
     "CecInvoked",
     "CheckpointWritten",
+    "CheckpointRejected",
     "EVENT_TYPES",
     "event_from_dict",
     "EventSink",
@@ -162,11 +163,28 @@ class CheckpointWritten(Event):
     batch: int
 
 
+@dataclass
+class CheckpointRejected(Event):
+    """The static compatibility checker blocked a checkpoint restore.
+
+    Emitted before the typed :class:`~repro.analysis.CheckpointIncompatibleError`
+    is raised, so a trace records *why* a restore never happened.
+    """
+
+    TYPE = "checkpoint_rejected"
+
+    source: str                        # "knowledge" | "learner_checkpoint"
+    reason: str                        # first problem, human readable
+    problems: int                      # total incompatibilities found
+    batch: int | None = None           # origin batch, when known
+    model_kind: str = ""               # knowledge entries: "short" | "long"
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
     for cls in (ShiftAssessed, StrategySelected, AswDecayApplied,
                 KnowledgePreserved, KnowledgeReused, KnowledgeEvicted,
-                CecInvoked, CheckpointWritten)
+                CecInvoked, CheckpointWritten, CheckpointRejected)
 }
 
 

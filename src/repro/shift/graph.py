@@ -95,7 +95,8 @@ class ShiftGraph:
         if len(pairs) < 3:
             return None
         shifts, drops = map(np.asarray, zip(*pairs))
-        if shifts.std() == 0 or drops.std() == 0:
+        # Degenerate (near-)constant series make the correlation undefined.
+        if shifts.std() < 1e-12 or drops.std() < 1e-12:
             return None
         return float(np.corrcoef(shifts, drops)[0, 1])
 

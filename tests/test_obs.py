@@ -20,6 +20,7 @@ from repro.obs import (
     NULL_TRACER,
     AswDecayApplied,
     CecInvoked,
+    CheckpointRejected,
     CheckpointWritten,
     CompositeSink,
     Counter,
@@ -60,6 +61,9 @@ SAMPLE_EVENTS = [
     CecInvoked(batch=3, clusters=3, labeled_points=120, guided_clusters=2,
                vote_margin=0.91),
     CheckpointWritten(path="/tmp/ckpt.npz", nbytes=1234, batch=7),
+    CheckpointRejected(source="knowledge",
+                       reason="shape mismatch for parameter 'weight'",
+                       problems=2, batch=5, model_kind="long"),
 ]
 
 
