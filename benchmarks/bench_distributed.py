@@ -1,32 +1,56 @@
 """Extension bench — distributed FreewayML scalability (Section VII).
 
 The paper's future work: "optimize the scalability of FreewayML and
-enhance its performance in distributed computing environments."  This
-bench sweeps the simulated worker count and reports (a) G_acc — the
-accuracy cost of sharding each batch W ways with periodic parameter
-averaging — and (b) the ideal parallel speedup implied by the per-worker
-compute (upper bound a real deployment could reach).
+enhance its performance in distributed computing environments."  Two
+modes:
+
+As a pytest benchmark (``pytest benchmarks/bench_distributed.py``) it
+sweeps the simulated worker count on the serial backend and reports
+(a) G_acc — the accuracy cost of sharding each batch W ways with periodic
+parameter averaging — and (b) the ideal parallel speedup implied by the
+per-worker compute.
+
+As a script it measures *real* wall-clock throughput on a chosen
+execution backend and compares it against the serial reference::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py \
+        --backend process --workers 4
+
+The serial backend reproduces the legacy loop bit for bit, so the script
+also verifies the backend's accuracy sequence matches serial exactly.
+Real speedup needs real cores: on a single-CPU host the parallel backends
+can only pay IPC overhead, so the script reports ``os.cpu_count()``
+alongside the ratio.
 """
+
+import argparse
+import os
+import time
 
 import numpy as np
 
 from conftest import SEED, print_banner
 from repro.data import ElectricitySimulator
 from repro.distributed import DistributedLearner
-from repro.eval import format_table, model_factory_for
+from repro.eval import format_table, model_factory_for, summarize_reports
 
 WORKER_COUNTS = [1, 2, 4, 8]
 NUM_BATCHES = 50
 BATCH_SIZE = 512
 
 
-def _run(num_workers):
+def _make_distributed(num_workers, backend="serial", sync_every=1):
     generator = ElectricitySimulator(seed=SEED)
     factory = model_factory_for("mlp", generator.num_features,
                                 generator.num_classes, lr=0.3)
     distributed = DistributedLearner(factory, num_workers=num_workers,
-                                     sync_every=1, window_batches=8,
-                                     seed=SEED)
+                                     sync_every=sync_every, window_batches=8,
+                                     seed=SEED, backend=backend)
+    return generator, distributed
+
+
+def _run(num_workers):
+    generator, distributed = _make_distributed(num_workers)
     accuracies = []
     speedups = []
     for batch in generator.stream(NUM_BATCHES, BATCH_SIZE):
@@ -59,3 +83,90 @@ def test_distributed_scalability(benchmark):
     # Shape: parallelism scales while accuracy degrades gracefully.
     assert eight_speedup > 3.0
     assert eight_accuracy > single_accuracy - 0.10
+
+
+# -- script mode: wall-clock throughput per execution backend -----------------
+
+
+def _wall_clock_run(backend, num_workers, num_batches, batch_size,
+                    sync_every):
+    """One timed end-to-end run; returns (summary dict, accuracy list)."""
+    generator, distributed = _make_distributed(
+        num_workers, backend=backend, sync_every=sync_every
+    )
+    batches = generator.stream(num_batches, batch_size).materialize()
+    start = time.perf_counter()
+    reports = distributed.run(iter(batches))
+    elapsed = time.perf_counter() - start
+    distributed.close()
+    summary = summarize_reports(reports)
+    summary["wall_s"] = elapsed
+    summary["wall_throughput"] = summary["items"] / max(elapsed, 1e-12)
+    return summary, [r.accuracy for r in reports]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="wall-clock distributed throughput by execution backend"
+    )
+    parser.add_argument("--backend", default="serial",
+                        choices=["serial", "thread", "process"])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--batches", type=int, default=NUM_BATCHES)
+    parser.add_argument("--batch-size", type=int, default=BATCH_SIZE,
+                        dest="batch_size")
+    parser.add_argument("--sync-every", type=int, default=1,
+                        dest="sync_every",
+                        help="batches between parameter-averaging rounds")
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke-test workload (CI)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.batches = min(args.batches, 12)
+        args.batch_size = min(args.batch_size, 256)
+
+    print_banner(
+        f"Distributed wall-clock throughput — backend={args.backend}, "
+        f"workers={args.workers} (host has {os.cpu_count()} CPUs)"
+    )
+    runs = [("serial", *_wall_clock_run("serial", args.workers, args.batches,
+                                        args.batch_size, args.sync_every))]
+    if args.backend != "serial":
+        runs.append((args.backend,
+                     *_wall_clock_run(args.backend, args.workers,
+                                      args.batches, args.batch_size,
+                                      args.sync_every)))
+    rows = [
+        [name, f"{summary['accuracy'] * 100:.2f}%",
+         f"{summary['wall_s']:.2f}s",
+         f"{summary['wall_throughput'] / 1e3:.1f}",
+         f"{summary['latency_p95_s'] * 1e3:.1f}ms"]
+        for name, summary, _ in runs
+    ]
+    print(format_table(
+        ["backend", "G_acc", "wall", "K items/s", "p95 latency"], rows
+    ))
+
+    serial_summary, serial_accuracies = runs[0][1], runs[0][2]
+    if args.backend != "serial":
+        backend_summary, backend_accuracies = runs[1][1], runs[1][2]
+        speedup = (backend_summary["wall_throughput"]
+                   / max(serial_summary["wall_throughput"], 1e-12))
+        identical = serial_accuracies == backend_accuracies
+        print(f"\n{args.backend} vs serial: {speedup:.2f}x wall-clock; "
+              f"accuracy sequence identical to serial: {identical}")
+        if not identical:
+            print("ERROR: backend diverged from the serial reference")
+            return 1
+        cpus = os.cpu_count() or 1
+        if cpus >= 2 and speedup < 1.0:
+            print(f"WARNING: no speedup despite {cpus} CPUs")
+    else:
+        print(f"\nserial reference G_acc "
+              f"{serial_summary['accuracy'] * 100:.2f}% over "
+              f"{serial_summary['batches']} batches")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

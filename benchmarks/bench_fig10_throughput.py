@@ -4,12 +4,21 @@ Paper claim (shape): throughput rises with batch size for every framework;
 FreewayML clearly beats the heavyweight baselines (Spark's partition
 averaging, Camel's selection, A-GEM's reference gradients) and stays in the
 same band as the lightest framework of each group.
+
+Script mode adds an execution-backend axis to the FreewayML rows — the
+figure's actual throughput-scaling claim::
+
+    PYTHONPATH=src python benchmarks/bench_fig10_throughput.py \
+        --backend thread --workers 4
 """
+
+import argparse
 
 from conftest import print_banner
 from repro.baselines import make_baseline
 from repro.core import Learner
 from repro.data import HyperplaneGenerator
+from repro.distributed import DistributedLearner
 from repro.eval import format_table, model_factory_for
 from repro.metrics import measure_throughput
 
@@ -19,11 +28,19 @@ MLP_FRAMEWORKS = ["river", "camel", "a-gem", "freewayml"]
 NUM_BATCHES = 10
 
 
-def _throughput(framework, model, batch_size):
+def _throughput(framework, model, batch_size, backend="serial", workers=1):
     generator = HyperplaneGenerator(seed=0)
     batches = generator.stream(NUM_BATCHES, batch_size).materialize()
     factory = model_factory_for(model, generator.num_features, 2, lr=0.3)
     if framework == "freewayml":
+        if workers > 1 or backend != "serial":
+            learner = DistributedLearner(factory, num_workers=workers,
+                                         backend=backend, window_batches=4,
+                                         seed=0)
+            try:
+                return measure_throughput(learner.process, batches)
+            finally:
+                learner.close()
         learner = Learner(factory, window_batches=4, seed=0)
         return measure_throughput(learner.process, batches)
     baseline = make_baseline(framework, factory)
@@ -71,3 +88,40 @@ def test_fig10_throughput(benchmark):
     benchmark.extra_info["freeway_mlp_1024_kitems"] = round(
         table[("mlp", "freewayml", 1024)] / 1e3
     )
+
+
+# -- script mode: FreewayML throughput per execution backend ------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Figure 10 FreewayML rows with an execution-backend axis"
+    )
+    parser.add_argument("--backend", default="serial",
+                        choices=["serial", "thread", "process"])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--model", default="mlp", choices=["lr", "mlp"])
+    args = parser.parse_args(argv)
+
+    print_banner(
+        f"Figure 10 (backend axis): Streaming{args.model.upper()} "
+        f"FreewayML throughput, K items/s"
+    )
+    backends = ["serial"]
+    if args.backend != "serial":
+        backends.append(args.backend)
+    rows = []
+    for backend in backends:
+        workers = 1 if backend == "serial" else args.workers
+        rows.append([f"freewayml ({backend} x{workers})"] + [
+            f"{_throughput('freewayml', args.model, size, backend=backend, workers=workers) / 1e3:.0f}"
+            for size in BATCH_SIZES
+        ])
+    print(format_table(
+        ["configuration"] + [str(size) for size in BATCH_SIZES], rows
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

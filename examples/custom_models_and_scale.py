@@ -4,16 +4,17 @@ FreewayML wraps any :class:`~repro.models.base.StreamingModel`.  This
 script runs three very different learners through the same pipeline —
 a gradient-based MLP, a statistics-based Gaussian naive Bayes, and a
 Hoeffding tree — on the same drifting stream, then shards the stream
-across a simulated 4-worker distributed deployment.
+across a 4-worker deployment on the forked-process execution backend
+(all through the ``repro`` facade: ``FreewayML`` + ``make_learner``).
 
 Run:  python examples/custom_models_and_scale.py
 """
 
 import numpy as np
 
-from repro import Learner
+from repro import FreewayML, make_learner
 from repro.data import NSLKDDSimulator
-from repro.distributed import DistributedLearner
+from repro.distributed import ProcessBackend
 from repro.models import (
     StreamingHoeffdingTree,
     StreamingMLP,
@@ -44,7 +45,7 @@ def main():
             )
             plain.partial_fit(batch.x, batch.y)
 
-        learner = Learner(factory, window_batches=8, seed=0)
+        learner = FreewayML(factory, window_batches=8, seed=0)
         freeway_accuracy = [
             learner.process(batch).accuracy
             for batch in NSLKDDSimulator(seed=5).stream(NUM_BATCHES,
@@ -53,21 +54,30 @@ def main():
         print(f"{name:>22s}  {np.mean(plain_accuracy) * 100:10.2f}%  "
               f"{np.mean(freeway_accuracy) * 100:14.2f}%")
 
-    print("\nscale-out (simulated workers, parameter averaging every batch):")
+    # Fork-based workers need the fork start method (Linux/macOS); fall
+    # back to the thread backend elsewhere.
+    backend = "process" if ProcessBackend.available() else "thread"
+    print(f"\nscale-out ({backend} backend, parameter averaging every "
+          f"batch):")
     for workers in (1, 4):
-        distributed = DistributedLearner(
-            FACTORIES["Streaming MLP"], num_workers=workers, sync_every=1,
-            window_batches=8, seed=0,
+        cluster = make_learner(
+            FACTORIES["Streaming MLP"],
+            num_workers=workers, backend="serial" if workers == 1 else backend,
+            sync_every=1, window_batches=8, seed=0,
         )
-        reports = [
-            distributed.process(batch)
-            for batch in NSLKDDSimulator(seed=5).stream(NUM_BATCHES,
-                                                        BATCH_SIZE)
-        ]
+        stream = NSLKDDSimulator(seed=5).stream(NUM_BATCHES, BATCH_SIZE)
+        if workers == 1:  # make_learner returned a plain FreewayML learner
+            reports = cluster.run(stream)
+            accuracy = np.mean([report.accuracy for report in reports])
+            print(f"  {workers} worker(s): G_acc {accuracy * 100:.2f}%")
+            continue
+        with cluster:
+            reports = cluster.run(stream)
         accuracy = np.mean([report.accuracy for report in reports])
         speedup = np.mean([report.ideal_speedup for report in reports])
         print(f"  {workers} worker(s): G_acc {accuracy * 100:.2f}%  "
-              f"ideal speedup {speedup:.1f}x")
+              f"ideal speedup {speedup:.1f}x  "
+              f"(backend {reports[0].backend})")
 
 
 if __name__ == "__main__":

@@ -13,17 +13,39 @@ the paper's interface::
     for batch in stream:
         report = sml.process(batch)   # test-then-train
 
+The facade in :mod:`repro.api` is the stable entry point: ``FreewayML``
+(an alias of :class:`Learner`), :func:`make_learner` (which returns a
+:class:`~repro.distributed.DistributedLearner` for ``num_workers > 1`` or
+a non-serial ``backend``), the :class:`StreamingEstimator` protocol every
+estimator here implements, and the :class:`BaseReport` family their
+``process`` methods return.
+
 Subpackages: :mod:`repro.nn` (the numpy autograd substrate standing in for
 PyTorch), :mod:`repro.data` (streams, generators, dataset simulators),
 :mod:`repro.shift` (shift graph + pattern classification),
 :mod:`repro.models` (Streaming LR/MLP/CNN, k-means), :mod:`repro.core`
-(the FreewayML mechanisms), :mod:`repro.baselines` (the six comparison
+(the FreewayML mechanisms), :mod:`repro.distributed` (execution backends
++ data-parallel coordinator), :mod:`repro.baselines` (the six comparison
 frameworks), :mod:`repro.metrics` and :mod:`repro.eval` (prequential
 evaluation and the benchmark harness).
 """
 
+from .api import BaseReport, StreamingEstimator, make_learner, report_from_dict
 from .core.learner import BatchReport, Learner, PredictionResult
+
+#: Facade alias — the paper's framework under its own name.
+FreewayML = Learner
 
 __version__ = "1.0.0"
 
-__all__ = ["Learner", "PredictionResult", "BatchReport", "__version__"]
+__all__ = [
+    "Learner",
+    "FreewayML",
+    "make_learner",
+    "StreamingEstimator",
+    "PredictionResult",
+    "BatchReport",
+    "BaseReport",
+    "report_from_dict",
+    "__version__",
+]

@@ -1,0 +1,166 @@
+"""The unified estimator API: one protocol, one report family, one facade.
+
+Every learner this repository ships — the FreewayML :class:`Learner`, the
+:class:`DistributedLearner` that shards batches across execution backends,
+and the baseline frameworks in :mod:`repro.baselines` — speaks the same
+four-method :class:`StreamingEstimator` protocol, so evaluation harnesses,
+serving loops, and benchmarks can swap estimators (and backends behind
+them) without touching call sites.  This is the single-pipeline-API lesson
+FlinkML/Alink draw for streaming ML runtimes.
+
+The reports those estimators emit share :class:`BaseReport`: consistent
+field names (``batch_index``, ``strategy``, ``latency_s``) and symmetric
+``to_dict``/``from_dict`` serialization, which is also how worker processes
+ship their per-shard reports back to the coordinator.
+
+Facade::
+
+    from repro import FreewayML, make_learner
+
+    learner = FreewayML(model_factory)                       # == Learner
+    cluster = make_learner(model_factory, num_workers=4,
+                           backend="process")                # distributed
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Protocol, runtime_checkable
+
+__all__ = [
+    "StreamingEstimator",
+    "BaseReport",
+    "report_from_dict",
+    "make_learner",
+    "FreewayML",
+]
+
+
+@runtime_checkable
+class StreamingEstimator(Protocol):
+    """What every estimator in this repository implements.
+
+    ``predict`` answers a feature batch — FreewayML-class estimators return
+    a :class:`~repro.core.learner.PredictionResult` carrying the routing
+    decision alongside the labels.  ``update`` consumes one labeled batch
+    and returns the training loss (or ``None``).  ``process`` runs the full
+    prequential test-then-train step on a :class:`~repro.data.stream.Batch`
+    and returns a :class:`BaseReport` subclass.  ``summary`` reports
+    estimator state as a plain dict (counts, sizes, configuration).
+    """
+
+    def predict(self, x) -> Any:
+        ...
+
+    def update(self, x, y) -> float | None:
+        ...
+
+    def process(self, batch) -> "BaseReport":
+        ...
+
+    def summary(self) -> dict:
+        ...
+
+
+#: ``kind`` → report class, populated by ``BaseReport.__init_subclass__``.
+_REPORT_KINDS: dict[str, type] = {}
+
+
+@dataclass(kw_only=True)
+class BaseReport:
+    """Shared shape of every per-batch report.
+
+    Subclasses add their own fields but agree on the canonical trio the
+    harnesses consume: ``batch_index`` (stream position), ``strategy``
+    (which mechanism/runtime answered), and ``latency_s`` (wall-clock
+    seconds for the whole step).
+    """
+
+    kind: ClassVar[str] = "base"
+
+    batch_index: int
+    num_items: int
+    strategy: str
+    accuracy: float | None = None
+    latency_s: float = 0.0
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        _REPORT_KINDS[cls.kind] = cls
+
+    @property
+    def index(self) -> int:
+        """Deprecated alias for :attr:`batch_index` (one release)."""
+        warnings.warn(
+            f"{type(self).__name__}.index is deprecated; use batch_index",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.batch_index
+
+    def to_dict(self) -> dict:
+        """Flat, JSON-friendly payload (round-trips via ``from_dict``)."""
+        payload = {"kind": self.kind}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, (list, tuple)):
+                value = [float(v) for v in value]
+            payload[spec.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BaseReport":
+        """Rebuild a report from a ``to_dict`` payload.
+
+        Called on the base class, dispatches on ``payload["kind"]``; called
+        on a subclass, requires a matching (or absent) kind.  Unknown keys
+        are ignored so payloads stay forward compatible.
+        """
+        payload = dict(payload)
+        kind = payload.pop("kind", cls.kind)
+        target = _REPORT_KINDS.get(kind, cls) if cls is BaseReport else cls
+        if cls is not BaseReport and kind != cls.kind:
+            raise ValueError(
+                f"payload kind {kind!r} does not match {cls.__name__}"
+            )
+        known = {spec.name for spec in fields(target)}
+        return target(**{key: value for key, value in payload.items()
+                         if key in known})
+
+
+def report_from_dict(payload: dict) -> BaseReport:
+    """Rebuild any report family member from its ``to_dict`` payload."""
+    return BaseReport.from_dict(payload)
+
+
+def make_learner(model_factory, *, num_workers: int = 1,
+                 backend: str = "serial", sync_every: int = 1,
+                 partitioner: str = "round-robin", obs=None, **kwargs):
+    """Build the right estimator for a worker count and execution backend.
+
+    ``num_workers=1`` with the default serial backend returns a plain
+    :class:`~repro.core.learner.Learner`; anything else returns a
+    :class:`~repro.distributed.DistributedLearner` running its replicas on
+    the named backend (``"serial"``, ``"thread"``, or ``"process"``).
+    ``sync_every`` and ``partitioner`` configure the distributed
+    coordinator (a single in-process learner has no shards to partition
+    or average, so they are inert there); extra keyword arguments go to
+    the underlying learner(s).
+    """
+    from .core.learner import Learner
+    from .distributed.workers import DistributedLearner
+
+    if num_workers == 1 and backend == "serial":
+        return Learner(model_factory, obs=obs, **kwargs)
+    return DistributedLearner(model_factory, num_workers=num_workers,
+                              backend=backend, sync_every=sync_every,
+                              partitioner=partitioner, obs=obs, **kwargs)
+
+
+def __getattr__(name: str):
+    # Lazy alias: core.learner imports this module for BaseReport, so the
+    # facade class is resolved on first access instead of at import time.
+    if name == "FreewayML":
+        from .core.learner import Learner
+        return Learner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -9,8 +9,11 @@ policy, not the runtime.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..core.learner import BatchReport
 from ..models.base import NeuralStreamingModel, StreamingModel
 
 __all__ = ["WrappingBaseline"]
@@ -20,7 +23,11 @@ class WrappingBaseline(StreamingModel):
     """A baseline that decorates an inner neural streaming model.
 
     Subclasses override :meth:`partial_fit` (the adaptation policy) and
-    inherit inference and checkpointing from the wrapped model.
+    inherit inference and checkpointing from the wrapped model.  The
+    :class:`~repro.api.StreamingEstimator` surface (``update``/``process``/
+    ``summary``) is implemented here, so baselines drop into any harness
+    that drives FreewayML — with the one historical difference that
+    ``predict`` returns the bare label array.
     """
 
     name = "baseline"
@@ -35,6 +42,7 @@ class WrappingBaseline(StreamingModel):
         self._factory = model_factory
         self.inner = inner
         self.num_classes = inner.num_classes
+        self._processed = 0
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
         return self.inner.predict_proba(x)
@@ -54,3 +62,41 @@ class WrappingBaseline(StreamingModel):
     def reset_model(self) -> None:
         """Replace the inner model with a fresh copy (drift response)."""
         self.inner = self._factory()
+
+    # -- StreamingEstimator surface ------------------------------------------
+
+    def update(self, x: np.ndarray, y: np.ndarray) -> float | None:
+        """Train on one labeled batch; returns the adaptation-policy loss."""
+        return self.partial_fit(np.asarray(x), np.asarray(y))
+
+    def process(self, batch) -> BatchReport:
+        """Prequential test-then-train step producing a unified report."""
+        start = time.perf_counter()
+        labels = self.predict(batch.x)
+        predict_seconds = time.perf_counter() - start
+        accuracy = None
+        loss = None
+        update_seconds = 0.0
+        if batch.labeled:
+            accuracy = float(np.mean(labels == batch.y))
+            start = time.perf_counter()
+            loss = self.partial_fit(batch.x, batch.y)
+            update_seconds = time.perf_counter() - start
+        self._processed += 1
+        return BatchReport(
+            batch_index=batch.index,
+            num_items=len(batch),
+            strategy=self.name,
+            accuracy=accuracy,
+            loss=loss,
+            predict_seconds=predict_seconds,
+            update_seconds=update_seconds,
+        )
+
+    def summary(self) -> dict:
+        """Estimator state as a plain dict (StreamingEstimator protocol)."""
+        return {
+            "estimator": self.name,
+            "batches_processed": self._processed,
+            "num_classes": self.num_classes,
+        }

@@ -80,7 +80,10 @@ def _generator(args):
 
 def _config(args, obs: Observability | None = None) -> RunConfig:
     return RunConfig(num_batches=args.batches, batch_size=args.batch_size,
-                     model=args.model, lr=args.lr, seed=args.seed, obs=obs)
+                     model=args.model, lr=args.lr, seed=args.seed,
+                     num_workers=getattr(args, "workers", 1),
+                     backend=getattr(args, "backend", "serial"),
+                     sync_every=getattr(args, "sync_every", 1), obs=obs)
 
 
 def _build_obs(args) -> Observability | None:
@@ -272,6 +275,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run_parser)
     run_parser.add_argument("--framework", default="freewayml",
                             choices=FRAMEWORK_CHOICES)
+    run_parser.add_argument("--backend", default="serial",
+                            choices=["serial", "thread", "process"],
+                            help="execution backend for distributed "
+                                 "freewayml runs (with --workers > 1)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="replica count; > 1 runs the "
+                                 "data-parallel DistributedLearner")
+    run_parser.add_argument("--sync-every", type=int, default=1,
+                            dest="sync_every",
+                            help="batches between parameter-averaging "
+                                 "rounds (distributed runs)")
     run_parser.add_argument("--trace", metavar="PATH", default=None,
                             help="write the decision-event/span JSONL log "
                                  "here (freewayml only)")

@@ -12,18 +12,23 @@ The paper's constructor reads::
     SML = Learner(Model=model, ModelNum=2, MiniBatch=1024,
                   KdgBuffer=20, ExpBuffer=10, alpha=1.96)
 
-:meth:`Learner.from_paper_config` accepts exactly those names; the native
-constructor uses explicit Python parameters.
+:meth:`Learner.from_paper_config` maps those names onto the native
+snake_case parameters (the CamelCase spellings are accepted for one more
+release behind a :class:`DeprecationWarning`); the native constructor uses
+explicit keyword-only Python parameters.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
+from collections import Counter
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..analysis.checkpoint import CheckpointIncompatibleError
+from ..api import BaseReport
 from ..data.stream import Batch
 from ..models.base import StreamingModel
 from ..obs import (
@@ -43,6 +48,18 @@ from .selector import Strategy, StrategyDecision, StrategySelector
 
 __all__ = ["Learner", "PredictionResult", "BatchReport"]
 
+_UNSET = object()  # sentinel distinguishing "not passed" from None
+
+#: Paper CamelCase constructor names → canonical snake_case (deprecation
+#: shim in :meth:`Learner.from_paper_config`; removed next release).
+_PAPER_KWARGS = {
+    "Model": "model",
+    "ModelNum": "num_models",
+    "MiniBatch": "mini_batch",
+    "KdgBuffer": "knowledge_capacity",
+    "ExpBuffer": "experience_expiration",
+}
+
 
 @dataclass
 class PredictionResult:
@@ -55,21 +72,28 @@ class PredictionResult:
     reused_batch: int | None = None  # knowledge origin, if reuse fired
 
 
-@dataclass
-class BatchReport:
-    """Per-batch record emitted by :meth:`Learner.process`."""
+@dataclass(kw_only=True)
+class BatchReport(BaseReport):
+    """Per-batch record emitted by :meth:`Learner.process`.
 
-    index: int
-    num_items: int
-    pattern: str
-    strategy: str
-    fallback: bool
-    accuracy: float | None
-    loss: float | None
-    predict_seconds: float
-    update_seconds: float
+    Extends :class:`~repro.api.BaseReport` (``batch_index``, ``num_items``,
+    ``strategy``, ``accuracy``, ``latency_s``) with the single-learner
+    pipeline detail; ``latency_s`` defaults to predict + update time.
+    """
+
+    kind = "batch"
+
+    pattern: str = "unknown"
+    fallback: bool = False
+    loss: float | None = None
+    predict_seconds: float = 0.0
+    update_seconds: float = 0.0
     reused_batch: int | None = None
     skipped_inference: bool = False
+
+    def __post_init__(self):
+        if not self.latency_s:
+            self.latency_s = self.predict_seconds + self.update_seconds
 
 
 class Learner:
@@ -144,7 +168,7 @@ class Learner:
         check per instrumentation site.
     """
 
-    def __init__(self, model_factory, num_models: int = 2,
+    def __init__(self, model_factory, *, num_models: int = 2,
                  window_batches: int = 8, alpha: float = 1.96,
                  beta: float = 0.35, knowledge_capacity: int = 20,
                  experience_expiration: int = 10,
@@ -204,28 +228,66 @@ class Learner:
         self._pending_reuse = None
         self._scratch = model_factory()  # restoration target for reuse
         self._batch_counter = 0
+        self._processed = 0
+        self._strategy_counts: Counter = Counter()
         self._current_index: int | None = None  # stream position, if known
 
     # -- constructor matching the paper's interface ------------------------------
 
     @classmethod
-    def from_paper_config(cls, Model, ModelNum: int = 2, MiniBatch: int = 1024,
-                          KdgBuffer: int = 20, ExpBuffer: int = 10,
-                          alpha: float = 1.96, **kwargs) -> "Learner":
-        """Construct with the paper's parameter names.
+    def from_paper_config(cls, model=_UNSET, *, num_models=_UNSET,
+                          mini_batch=_UNSET, knowledge_capacity=_UNSET,
+                          experience_expiration=_UNSET, alpha: float = 1.96,
+                          **kwargs) -> "Learner":
+        """Construct from the paper's configuration.
 
-        ``Model`` is a template :class:`StreamingModel` (cloned per level)
-        or a factory.  ``MiniBatch`` is accepted for interface fidelity;
-        batch size is determined by the stream itself.
+        ``model`` is a template :class:`StreamingModel` (cloned per level)
+        or a factory.  ``mini_batch`` is accepted for interface fidelity;
+        batch size is determined by the stream itself.  The paper's
+        CamelCase spellings (``Model``, ``ModelNum``, ``MiniBatch``,
+        ``KdgBuffer``, ``ExpBuffer``) are still accepted for one release
+        and emit a :class:`DeprecationWarning`.
         """
-        del MiniBatch  # informational in the paper's interface
-        if isinstance(Model, StreamingModel):
-            factory = Model.clone
+        canonical = {
+            "model": model,
+            "num_models": num_models,
+            "mini_batch": mini_batch,
+            "knowledge_capacity": knowledge_capacity,
+            "experience_expiration": experience_expiration,
+        }
+        for old, new in _PAPER_KWARGS.items():
+            if old not in kwargs:
+                continue
+            warnings.warn(
+                f"Learner.from_paper_config({old}=...) is deprecated; "
+                f"use {new}=",
+                DeprecationWarning, stacklevel=2,
+            )
+            if canonical[new] is not _UNSET:
+                raise TypeError(
+                    f"from_paper_config received both {new}= and the "
+                    f"deprecated {old}="
+                )
+            canonical[new] = kwargs.pop(old)
+        defaults = {"num_models": 2, "mini_batch": 1024,
+                    "knowledge_capacity": 20, "experience_expiration": 10}
+        for name, value in defaults.items():
+            if canonical[name] is _UNSET:
+                canonical[name] = value
+        if canonical["model"] is _UNSET:
+            raise TypeError(
+                "from_paper_config requires a model (a StreamingModel "
+                "template or a factory)"
+            )
+        template = canonical["model"]
+        if isinstance(template, StreamingModel):
+            factory = template.clone
         else:
-            factory = Model
-        return cls(factory, num_models=ModelNum,
-                   knowledge_capacity=KdgBuffer,
-                   experience_expiration=ExpBuffer, alpha=alpha, **kwargs)
+            factory = template
+        return cls(factory, num_models=canonical["num_models"],
+                   knowledge_capacity=canonical["knowledge_capacity"],
+                   experience_expiration=canonical["experience_expiration"],
+                   alpha=alpha, **kwargs)
 
     # -- inference ----------------------------------------------------------------
 
@@ -567,7 +629,7 @@ class Learner:
             self._current_index = None
 
         report = BatchReport(
-            index=batch.index,
+            batch_index=batch.index,
             num_items=len(batch),
             pattern=prediction.assessment.pattern.value,
             strategy=prediction.decision.strategy.value,
@@ -578,6 +640,8 @@ class Learner:
             update_seconds=update_seconds,
             reused_batch=prediction.reused_batch,
         )
+        self._processed += 1
+        self._strategy_counts[report.strategy] += 1
         if self.obs.enabled:
             self._record_batch_metrics(report)
         return report
@@ -617,8 +681,9 @@ class Learner:
                 update_seconds = time.perf_counter() - start
             finally:
                 self._current_index = None
+        self._processed += 1
         return BatchReport(
-            index=batch.index, num_items=len(batch),
+            batch_index=batch.index, num_items=len(batch),
             pattern=ShiftPattern.WARMUP.value,
             strategy=Strategy.MULTI_GRANULARITY.value, fallback=False,
             accuracy=None, loss=loss, predict_seconds=0.0,
@@ -633,3 +698,15 @@ class Learner:
             if max_batches is not None and len(reports) >= max_batches:
                 break
         return reports
+
+    def summary(self) -> dict:
+        """Estimator state as a plain dict (StreamingEstimator protocol)."""
+        return {
+            "estimator": "freewayml",
+            "batches_processed": self._processed,
+            "updates": self._batch_counter,
+            "strategies": dict(self._strategy_counts),
+            "knowledge_entries": len(self.knowledge),
+            "experience_size": len(self.experience),
+            "num_levels": len(self.ensemble.levels),
+        }

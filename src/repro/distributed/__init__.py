@@ -6,6 +6,14 @@ package implements the algorithmic layer: batch sharding strategies and a
 parameter averaging.  See DESIGN.md ("Paper extensions implemented").
 """
 
+from .backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .partition import (
     contiguous_partition,
     hash_partition,
@@ -20,4 +28,10 @@ __all__ = [
     "DistributedLearner",
     "DistributedReport",
     "average_state_dicts",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
 ]

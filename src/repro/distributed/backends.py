@@ -1,0 +1,630 @@
+"""Pluggable execution backends for :class:`DistributedLearner`.
+
+The distributed runtime separates *what* runs (replica learners over batch
+shards, periodic parameter averaging) from *how* it runs.  Three backends
+implement the same contract:
+
+``SerialBackend``
+    Replicas run one after another in the calling thread — bit-identical
+    to the original in-process loop, and the default.
+
+``ThreadBackend``
+    One single-thread executor per replica, so shards of a batch run
+    concurrently while each replica's own batches stay strictly ordered.
+    The :mod:`repro.nn` hot path is numpy dot products, which release the
+    GIL, so threads deliver real parallelism on multi-core hosts without
+    any serialization cost.
+
+``ProcessBackend``
+    A forked worker pool.  Each child owns one replica; shard features and
+    labels travel through pre-allocated shared-memory float64/int64 ring
+    slots (one per in-flight batch — the slot count bounds in-flight work,
+    which is the pool's backpressure), and parameter averaging runs over a
+    shared ``(workers + 1, flat)`` float64 block per granularity level, so
+    a synchronization round moves no pickled state at all.  Shards that
+    outgrow their slot fall back to pipe transport transparently.
+
+All backends speak report *payloads* (``BaseReport.to_dict`` dicts), which
+is what lets a forked child ship its shard report across a pipe and the
+coordinator consume serial and process results identically.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.stream import Batch
+from ..obs import NULL_OBS
+
+__all__ = [
+    "WorkerStep",
+    "state_spec",
+    "flatten_state",
+    "unflatten_state",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "make_backend",
+]
+
+#: Methods the coordinator may invoke on a single replica via
+#: :meth:`ExecutionBackend.call` (the process backend's RPC whitelist).
+_WORKER_METHODS = ("predict", "update", "knowledge_len", "summary")
+
+
+def _invoke(learner, method: str, args: tuple):
+    """Run one whitelisted replica method (shared by all backends)."""
+    if method == "predict":
+        return learner.predict(*args)
+    if method == "update":
+        return learner.update(*args)
+    if method == "knowledge_len":
+        return len(learner.knowledge)
+    if method == "summary":
+        return learner.summary()
+    raise ValueError(f"unknown worker method {method!r}; "
+                     f"expected one of {_WORKER_METHODS}")
+
+
+@dataclass
+class WorkerStep:
+    """One replica's result for one shard: report payload + wall seconds."""
+
+    report: dict
+    seconds: float
+
+
+class ExecutionBackend(abc.ABC):
+    """Contract every execution backend implements.
+
+    Lifecycle: the coordinator constructs the backend, calls :meth:`bind`
+    with the replica learners, then drives batches through either
+    :meth:`run_shards` (synchronous) or :meth:`submit`/:meth:`drain`
+    (pipelined, at most :attr:`capacity` batches in flight), interleaved
+    with :meth:`gather_states`/:meth:`load_states` synchronization rounds
+    and single-replica :meth:`call` RPCs.  :meth:`close` releases pool
+    resources; serial has none.
+    """
+
+    name = "abstract"
+    #: Max in-flight batches for submit/drain pipelining (backpressure).
+    capacity = 1
+    #: Whether replicas may safely share the coordinator's Observability
+    #: facade (only the serial backend: sinks/registries are not
+    #: thread-safe, and forked children cannot share a JSONL fd).
+    replicas_share_obs = True
+
+    def __init__(self):
+        self.learners = []
+        self.obs = NULL_OBS
+        self._pending: deque = deque()
+
+    def bind(self, learners, obs=None) -> None:
+        """Attach the replica learners (and the coordinator's obs)."""
+        self.learners = list(learners)
+        self.obs = obs if obs is not None else NULL_OBS
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.learners)
+
+    @property
+    def inflight(self) -> int:
+        """Submitted batches not yet drained."""
+        return len(self._pending)
+
+    # -- batch execution ------------------------------------------------------
+
+    @abc.abstractmethod
+    def run_shards(self, shard_batches: list[Batch]) -> list[WorkerStep]:
+        """Run one batch's shards (one per replica) and wait for results."""
+
+    def submit(self, shard_batches: list[Batch]) -> None:
+        """Queue one batch's shards; default backends execute eagerly."""
+        if self.inflight >= self.capacity:
+            raise RuntimeError(
+                f"{self.name} backend already has {self.inflight} batches "
+                f"in flight (capacity {self.capacity}); drain first"
+            )
+        self._pending.append(self.run_shards(shard_batches))
+
+    def drain(self) -> list[WorkerStep]:
+        """Wait for and return the oldest submitted batch's steps."""
+        if not self._pending:
+            raise RuntimeError("nothing in flight to drain")
+        return self._pending.popleft()
+
+    # -- parameter synchronization -------------------------------------------
+
+    def gather_states(self, level_index: int) -> list[dict]:
+        """Every replica's ``state_dict`` for one granularity level."""
+        self._require_drained("gather_states")
+        return [worker.ensemble.levels[level_index].model.state_dict()
+                for worker in self.learners]
+
+    def load_states(self, level_index: int, state: dict) -> None:
+        """Load one averaged ``state_dict`` into every replica's level."""
+        self._require_drained("load_states")
+        for worker in self.learners:
+            worker.ensemble.levels[level_index].model.load_state_dict(state)
+
+    # -- single-replica RPC ---------------------------------------------------
+
+    def call(self, worker_index: int, method: str, *args):
+        """Invoke one whitelisted method on one replica."""
+        self._require_drained("call")
+        return _invoke(self.learners[worker_index], method, args)
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def _require_drained(self, operation: str) -> None:
+        if self._pending:
+            raise RuntimeError(
+                f"{operation} requires all in-flight batches drained; "
+                f"{self.inflight} still pending"
+            )
+
+
+class SerialBackend(ExecutionBackend):
+    """Replicas run sequentially in the caller's thread (the default).
+
+    This is, byte for byte, the original ``DistributedLearner`` loop: same
+    replica order, same state mutations, same averaging inputs — a run
+    under ``SerialBackend`` reproduces the legacy results exactly.
+    """
+
+    name = "serial"
+
+    def run_shards(self, shard_batches: list[Batch]) -> list[WorkerStep]:
+        steps = []
+        for learner, shard in zip(self.learners, shard_batches):
+            start = time.perf_counter()
+            report = learner.process(shard)
+            seconds = time.perf_counter() - start
+            steps.append(WorkerStep(report.to_dict(), seconds))
+        return steps
+
+
+class ThreadBackend(ExecutionBackend):
+    """One single-thread executor per replica.
+
+    Shards of the same batch run concurrently across replicas; each
+    replica's own work stays strictly ordered on its dedicated thread, so
+    results are deterministic and identical to the serial backend (replica
+    state is fully independent between synchronization rounds).  numpy's
+    BLAS-bound kernels release the GIL, so the dot-product-heavy
+    :mod:`repro.nn` hot path parallelizes across cores.
+
+    Parameters
+    ----------
+    max_inflight:
+        Batches that may be queued before :meth:`drain` blocks (pipelined
+        submission between synchronization barriers).
+    """
+
+    name = "thread"
+    replicas_share_obs = False
+
+    def __init__(self, max_inflight: int = 2):
+        super().__init__()
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
+        self.capacity = max_inflight
+        self._pools: list[ThreadPoolExecutor] = []
+
+    def bind(self, learners, obs=None) -> None:
+        super().bind(learners, obs)
+        self._pools = [
+            ThreadPoolExecutor(max_workers=1,
+                               thread_name_prefix=f"freeway-worker-{i}")
+            for i in range(len(self.learners))
+        ]
+
+    @staticmethod
+    def _step(learner, shard: Batch) -> WorkerStep:
+        start = time.perf_counter()
+        report = learner.process(shard)
+        return WorkerStep(report.to_dict(), time.perf_counter() - start)
+
+    def run_shards(self, shard_batches: list[Batch]) -> list[WorkerStep]:
+        futures = [
+            pool.submit(self._step, learner, shard)
+            for pool, learner, shard in zip(self._pools, self.learners,
+                                            shard_batches)
+        ]
+        return [future.result() for future in futures]
+
+    def submit(self, shard_batches: list[Batch]) -> None:
+        if self.inflight >= self.capacity:
+            raise RuntimeError(
+                f"thread backend already has {self.inflight} batches in "
+                f"flight (capacity {self.capacity}); drain first"
+            )
+        self._pending.append([
+            pool.submit(self._step, learner, shard)
+            for pool, learner, shard in zip(self._pools, self.learners,
+                                            shard_batches)
+        ])
+
+    def drain(self) -> list[WorkerStep]:
+        if not self._pending:
+            raise RuntimeError("nothing in flight to drain")
+        return [future.result() for future in self._pending.popleft()]
+
+    def _require_drained(self, operation: str) -> None:
+        # Per-worker pools are strictly ordered, but state access must not
+        # overlap a running shard, so the same barrier applies.
+        super()._require_drained(operation)
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []
+
+
+# -- process backend ----------------------------------------------------------
+
+
+def state_spec(state: dict) -> list[tuple]:
+    """``(key, shape, dtype)`` per parameter, in canonical key order.
+
+    The spec is what :func:`flatten_state`/:func:`unflatten_state` agree
+    on; coordinator and forked workers compute it independently from the
+    same architecture and land on the same layout.
+    """
+    return [
+        (key, np.asarray(state[key]).shape, np.asarray(state[key]).dtype.str)
+        for key in sorted(state)
+    ]
+
+
+def flatten_state(state: dict, spec: list[tuple]) -> np.ndarray:
+    """Concatenate a ``state_dict``'s parameters into one float64 vector."""
+    return np.concatenate([
+        np.asarray(state[key], dtype=np.float64).ravel()
+        for key, _shape, _dtype in spec
+    ]) if spec else np.zeros(0)
+
+
+def unflatten_state(flat: np.ndarray, spec: list[tuple]) -> dict:
+    """Rebuild a ``state_dict`` from :func:`flatten_state`'s vector."""
+    state = {}
+    offset = 0
+    for key, shape, dtype in spec:
+        size = int(np.prod(shape)) if shape else 1
+        value = flat[offset:offset + size].reshape(shape).astype(dtype)
+        state[key] = value
+        offset += size
+    return state
+
+
+def _worker_main(conn, worker_index: int, learner, slots, sync_blocks,
+                 specs, row_width: int, slot_rows: int):
+    """Forked child loop: serve coordinator commands until ``close``.
+
+    ``slots`` is this worker's list of ``(x_buffer, y_buffer)`` ring slots,
+    ``sync_blocks`` the per-level shared parameter blocks (rows 0..W-1 are
+    per-worker states, row W is the averaged broadcast row).
+    """
+    x_views = [np.frombuffer(x_buf, dtype=np.float64) for x_buf, _ in slots]
+    y_views = [np.frombuffer(y_buf, dtype=np.int64) for _, y_buf in slots]
+    sync_views = [
+        np.frombuffer(block, dtype=np.float64).reshape(rows, flat)
+        for block, rows, flat in sync_blocks
+    ]
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            break
+        command = message[0]
+        if command == "close":
+            break
+        try:
+            if command == "process":
+                _, slot, rows, tail_shape, labeled, index, pattern = message
+                x = (x_views[slot][:rows * row_width]
+                     .reshape((rows,) + tuple(tail_shape)).copy())
+                y = y_views[slot][:rows].copy() if labeled else None
+                batch = Batch(x, y, index=index, pattern=pattern)
+                start = time.perf_counter()
+                report = learner.process(batch)
+                conn.send(("ok", report.to_dict(),
+                           time.perf_counter() - start))
+            elif command == "process_pipe":
+                _, batch = message
+                start = time.perf_counter()
+                report = learner.process(batch)
+                conn.send(("ok", report.to_dict(),
+                           time.perf_counter() - start))
+            elif command == "push_state":
+                _, level = message
+                state = learner.ensemble.levels[level].model.state_dict()
+                sync_views[level][worker_index] = flatten_state(
+                    state, specs[level]
+                )
+                conn.send(("ok", None))
+            elif command == "pull_state":
+                _, level = message
+                broadcast_row = sync_views[level][-1]
+                learner.ensemble.levels[level].model.load_state_dict(
+                    unflatten_state(broadcast_row, specs[level])
+                )
+                conn.send(("ok", None))
+            elif command == "call":
+                _, method, args = message
+                conn.send(("ok", _invoke(learner, method, args)))
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+        except Exception:  # repro: noqa[REP004] — shipped to the coordinator
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Forked worker pool with shared-memory shard and state transport.
+
+    Children are forked lazily on the first data-bearing operation (so the
+    shard geometry is known when the ring buffers are sized); before the
+    fork, the coordinator's replica copies are canonical and all
+    operations run in-process.  After the fork each child owns the live
+    replica — the coordinator's ``workers`` list is a stale snapshot.
+
+    Parameters
+    ----------
+    max_inflight:
+        Ring slots per worker; at most this many batches are in flight
+        before :meth:`submit` demands a drain (backpressure bound).
+    slot_slack:
+        Slot capacity as a multiple of the first batch's largest shard.
+        Shards that outgrow their slot fall back to pipe transport.
+
+    Requires a platform with the ``fork`` start method (Linux/macOS):
+    forking is what lets arbitrary, non-picklable model factories and
+    learner state cross into the children.
+    """
+
+    name = "process"
+    replicas_share_obs = False
+
+    def __init__(self, max_inflight: int = 2, slot_slack: float = 2.0):
+        super().__init__()
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
+        if slot_slack < 1.0:
+            raise ValueError(f"slot_slack must be >= 1.0; got {slot_slack}")
+        self.capacity = max_inflight
+        self.slot_slack = slot_slack
+        self._started = False
+        self._closed = False
+        self._processes: list = []
+        self._conns: list = []
+        self._x_views: list[list[np.ndarray]] = []
+        self._y_views: list[list[np.ndarray]] = []
+        self._sync_views: list[np.ndarray] = []
+        self._specs: list[list[tuple]] = []
+        self._row_width = 0
+        self._slot_rows = 0
+        self._sequence = 0
+
+    # -- pool lifecycle -------------------------------------------------------
+
+    @staticmethod
+    def available() -> bool:
+        """Whether this platform supports the fork start method."""
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _ensure_started(self, shard_batches: list[Batch]) -> None:
+        if self._started:
+            return
+        if self._closed:
+            raise RuntimeError("process backend already closed")
+        if not self.available():
+            raise RuntimeError(
+                "the process backend requires the 'fork' start method, "
+                "which this platform does not provide; use the thread "
+                "backend instead"
+            )
+        context = multiprocessing.get_context("fork")
+        first = shard_batches[0].x
+        self._row_width = int(np.prod(first.shape[1:]))
+        largest = max(len(shard) for shard in shard_batches)
+        self._slot_rows = max(int(largest * self.slot_slack), 1)
+
+        reference = self.learners[0].ensemble.levels
+        self._specs = [
+            state_spec(level.model.state_dict()) for level in reference
+        ]
+        sync_blocks = []
+        for spec in self._specs:
+            flat = int(sum(np.prod(shape) if shape else 1
+                           for _key, shape, _dtype in spec))
+            rows = self.num_workers + 1  # + the averaged broadcast row
+            block = context.RawArray("d", rows * flat)
+            sync_blocks.append((block, rows, flat))
+        self._sync_views = [
+            np.frombuffer(block, dtype=np.float64).reshape(rows, flat)
+            for block, rows, flat in sync_blocks
+        ]
+
+        for worker_index, learner in enumerate(self.learners):
+            slots = []
+            for _slot in range(self.capacity):
+                x_buf = context.RawArray(
+                    "d", self._slot_rows * self._row_width
+                )
+                y_buf = context.RawArray("q", self._slot_rows)
+                slots.append((x_buf, y_buf))
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, worker_index, learner, slots, sync_blocks,
+                      self._specs, self._row_width, self._slot_rows),
+                daemon=True,
+                name=f"freeway-worker-{worker_index}",
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+            self._x_views.append([
+                np.frombuffer(x_buf, dtype=np.float64) for x_buf, _ in slots
+            ])
+            self._y_views.append([
+                np.frombuffer(y_buf, dtype=np.int64) for _, y_buf in slots
+            ])
+        self._started = True
+
+    def _receive(self, worker_index: int):
+        reply = self._conns[worker_index].recv()
+        if reply[0] == "error":
+            raise RuntimeError(
+                f"worker {worker_index} failed:\n{reply[1]}"
+            )
+        return reply[1:]
+
+    # -- batch execution ------------------------------------------------------
+
+    def _send_shard(self, worker_index: int, slot: int, shard: Batch) -> None:
+        conn = self._conns[worker_index]
+        rows = len(shard)
+        width = int(np.prod(shard.x.shape[1:]))
+        if rows > self._slot_rows or width != self._row_width:
+            # Oversized or reshaped shard: pipe transport (correct, slower).
+            conn.send(("process_pipe", shard))
+            return
+        flat = np.ascontiguousarray(shard.x, dtype=np.float64).ravel()
+        self._x_views[worker_index][slot][:rows * width] = flat
+        labeled = shard.labeled
+        if labeled:
+            self._y_views[worker_index][slot][:rows] = shard.y
+        conn.send(("process", slot, rows, tuple(shard.x.shape[1:]),
+                   labeled, shard.index, shard.pattern))
+
+    def run_shards(self, shard_batches: list[Batch]) -> list[WorkerStep]:
+        self.submit(shard_batches)
+        return self.drain()
+
+    def submit(self, shard_batches: list[Batch]) -> None:
+        self._ensure_started(shard_batches)
+        if self.inflight >= self.capacity:
+            raise RuntimeError(
+                f"process backend already has {self.inflight} batches in "
+                f"flight (capacity {self.capacity}); drain first"
+            )
+        slot = self._sequence % self.capacity
+        self._sequence += 1
+        for worker_index, shard in enumerate(shard_batches):
+            self._send_shard(worker_index, slot, shard)
+        self._pending.append(slot)
+
+    def drain(self) -> list[WorkerStep]:
+        if not self._pending:
+            raise RuntimeError("nothing in flight to drain")
+        self._pending.popleft()
+        steps = []
+        for worker_index in range(self.num_workers):
+            payload, seconds = self._receive(worker_index)
+            steps.append(WorkerStep(payload, seconds))
+        return steps
+
+    # -- parameter synchronization -------------------------------------------
+
+    def gather_states(self, level_index: int) -> list[dict]:
+        if not self._started:
+            return super().gather_states(level_index)
+        self._require_drained("gather_states")
+        for conn in self._conns:
+            conn.send(("push_state", level_index))
+        for worker_index in range(self.num_workers):
+            self._receive(worker_index)
+        spec = self._specs[level_index]
+        block = self._sync_views[level_index]
+        return [unflatten_state(block[worker_index], spec)
+                for worker_index in range(self.num_workers)]
+
+    def load_states(self, level_index: int, state: dict) -> None:
+        if not self._started:
+            super().load_states(level_index, state)
+            return
+        self._require_drained("load_states")
+        spec = self._specs[level_index]
+        self._sync_views[level_index][-1] = flatten_state(state, spec)
+        for conn in self._conns:
+            conn.send(("pull_state", level_index))
+        for worker_index in range(self.num_workers):
+            self._receive(worker_index)
+
+    # -- single-replica RPC ---------------------------------------------------
+
+    def call(self, worker_index: int, method: str, *args):
+        if not self._started:
+            return super().call(worker_index, method, *args)
+        self._require_drained("call")
+        self._conns[worker_index].send(("call", method, args))
+        (result,) = self._receive(worker_index)
+        return result
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                continue
+        deadline = time.monotonic() + 5.0
+        for process in self._processes:
+            process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._processes = []
+        self._conns = []
+        self._started = False
+
+    def __del__(self):  # best-effort cleanup; daemons die with the parent
+        try:
+            self.close()
+        except Exception:  # repro: noqa[REP004] — interpreter teardown
+            pass
+
+
+BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(backend, **options) -> ExecutionBackend:
+    """Resolve a backend name (or pass through an instance)."""
+    if isinstance(backend, ExecutionBackend):
+        if options:
+            raise ValueError(
+                "backend options only apply when the backend is named; "
+                "configure the instance directly"
+            )
+        return backend
+    try:
+        backend_cls = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKENDS)} or an ExecutionBackend instance"
+        ) from None
+    return backend_cls(**options)

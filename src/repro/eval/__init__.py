@@ -2,7 +2,12 @@
 
 from .plots import line_chart_svg, save_svg, shift_graph_svg
 from .sweeps import SweepCell, sweep_learner
-from .reporting import format_table, render_accuracy_table, render_series
+from .reporting import (
+    format_table,
+    render_accuracy_table,
+    render_series,
+    summarize_reports,
+)
 from .runner import RunConfig, model_factory_for, run_framework, run_matrix
 
 __all__ = [
@@ -13,6 +18,7 @@ __all__ = [
     "format_table",
     "render_accuracy_table",
     "render_series",
+    "summarize_reports",
     "line_chart_svg",
     "shift_graph_svg",
     "save_svg",

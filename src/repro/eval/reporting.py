@@ -2,9 +2,48 @@
 
 from __future__ import annotations
 
+from collections import Counter
+
+import numpy as np
+
 from ..metrics.prequential import PrequentialResult
 
-__all__ = ["format_table", "render_accuracy_table", "render_series"]
+__all__ = [
+    "format_table",
+    "render_accuracy_table",
+    "render_series",
+    "summarize_reports",
+]
+
+
+def summarize_reports(reports) -> dict:
+    """Aggregate any :class:`~repro.api.BaseReport` sequence into one dict.
+
+    Works identically for :class:`~repro.core.learner.BatchReport` and
+    :class:`~repro.distributed.DistributedReport` — it reads only the
+    unified base fields (``batch_index``, ``num_items``, ``strategy``,
+    ``accuracy``, ``latency_s``), which is the point of the shared report
+    base: no isinstance dispatch anywhere downstream.
+    """
+    reports = list(reports)
+    if not reports:
+        raise ValueError("no reports to summarize")
+    accuracies = [r.accuracy for r in reports if r.accuracy is not None]
+    latencies = np.asarray([r.latency_s for r in reports])
+    items = sum(r.num_items for r in reports)
+    total_latency = float(latencies.sum())
+    return {
+        "batches": len(reports),
+        "items": items,
+        "first_batch": min(r.batch_index for r in reports),
+        "last_batch": max(r.batch_index for r in reports),
+        "accuracy": float(np.mean(accuracies)) if accuracies else None,
+        "latency_total_s": total_latency,
+        "latency_mean_s": float(latencies.mean()),
+        "latency_p95_s": float(np.percentile(latencies, 95)),
+        "throughput": items / max(total_latency, 1e-12),
+        "strategies": dict(Counter(r.strategy for r in reports)),
+    }
 
 
 def format_table(headers: list[str], rows: list[list[str]],

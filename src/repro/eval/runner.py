@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..api import make_learner
 from ..baselines import make_baseline
 from ..core.learner import Learner
 from ..data import all_benchmark_datasets
@@ -42,6 +43,14 @@ class RunConfig:
     lr: float | None = None        # None = DEFAULT_LR[model]
     seed: int = 0
     skip: int = 0                  # warm-up batches excluded from G_acc/SI
+    #: Replica count for the FreewayML framework; > 1 runs the
+    #: data-parallel :class:`~repro.distributed.DistributedLearner`.
+    num_workers: int = 1
+    #: Execution backend for distributed runs: "serial" | "thread" |
+    #: "process" (see :mod:`repro.distributed.backends`).
+    backend: str = "serial"
+    #: Batches between parameter-averaging rounds (distributed runs).
+    sync_every: int = 1
     learner_kwargs: dict = field(default_factory=dict)
     baseline_kwargs: dict = field(default_factory=dict)
     #: Observability facade attached to FreewayML learners, so benchmarks
@@ -81,6 +90,17 @@ def run_framework(framework: str, generator, config: RunConfig,
     )
     stream = generator.stream(config.num_batches, batch_size=config.batch_size)
     if framework == FREEWAYML:
+        if config.num_workers > 1 or config.backend != "serial":
+            learner = make_learner(
+                factory, num_workers=config.num_workers,
+                backend=config.backend, sync_every=config.sync_every,
+                seed=config.seed, obs=config.obs, **config.learner_kwargs,
+            )
+            try:
+                return evaluate_learner(learner, stream, name=FREEWAYML,
+                                        skip=config.skip)
+            finally:
+                learner.close()
         learner = Learner(factory, seed=config.seed, obs=config.obs,
                           **config.learner_kwargs)
         return evaluate_learner(learner, stream, name=FREEWAYML,

@@ -26,7 +26,7 @@ from .modules import (
     Tanh,
 )
 from .optim import RDA, SGD, Adam, FOBOS, Optimizer
-from .tensor import Tensor, no_grad, ones, tensor, zeros
+from .tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros
 
 __all__ = [
     "Tensor",
@@ -34,6 +34,7 @@ __all__ = [
     "zeros",
     "ones",
     "no_grad",
+    "is_grad_enabled",
     "functional",
     "init",
     "serialization",

@@ -23,6 +23,7 @@ gradients) rather than special-cased for one call site.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
@@ -31,24 +32,25 @@ __all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
 
-_grad_enabled = True
+# Grad mode is per-thread, like torch's: concurrent replicas (the thread
+# execution backend) must not see each other's ``no_grad`` sections.
+_grad_state = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables gradient tracking, like ``torch.no_grad``."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _grad_enabled
+    """Return whether operations currently record gradients (this thread)."""
+    return getattr(_grad_state, "enabled", True)
 
 
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
@@ -109,7 +111,7 @@ class Tensor:
     def _make(data: np.ndarray, parents: Iterable["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
         parents = tuple(p for p in parents if isinstance(p, Tensor))
-        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)
         out.requires_grad = requires
         if requires:

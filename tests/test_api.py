@@ -1,0 +1,449 @@
+"""Tests for the unified estimator API (repro.api) and execution backends."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    BaseReport,
+    StreamingEstimator,
+    make_learner,
+    report_from_dict,
+)
+from repro.baselines import make_baseline
+from repro.core.learner import BatchReport, Learner
+from repro.data import ElectricitySimulator
+from repro.data.stream import Batch
+from repro.distributed import (
+    DistributedLearner,
+    DistributedReport,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    average_state_dicts,
+    make_backend,
+    round_robin_partition,
+)
+from repro.eval import summarize_reports
+from repro.models import StreamingLR, StreamingMLP
+
+
+def lr_factory():
+    return StreamingLR(num_features=8, num_classes=2, lr=0.3, seed=0)
+
+
+def mlp_factory():
+    return StreamingMLP(num_features=8, num_classes=2, lr=0.3, seed=0)
+
+
+def stream(n, batch_size=96, seed=1):
+    return ElectricitySimulator(seed=seed).stream(n, batch_size).materialize()
+
+
+needs_fork = pytest.mark.skipif(
+    not ProcessBackend.available(),
+    reason="platform lacks the fork start method",
+)
+
+
+# -- StreamingEstimator protocol ----------------------------------------------
+
+
+class TestProtocolConformance:
+    def test_learner_conforms(self):
+        assert isinstance(Learner(lr_factory), StreamingEstimator)
+
+    def test_distributed_learner_conforms(self):
+        distributed = DistributedLearner(lr_factory, num_workers=2)
+        assert isinstance(distributed, StreamingEstimator)
+
+    @pytest.mark.parametrize("name", ["river", "spark-mllib"])
+    def test_baselines_conform(self, name):
+        baseline = make_baseline(name, mlp_factory)
+        assert isinstance(baseline, StreamingEstimator)
+
+    def test_non_estimator_rejected(self):
+        assert not isinstance(object(), StreamingEstimator)
+
+    def test_baseline_process_and_summary(self):
+        baseline = make_baseline("river", mlp_factory)
+        batch = stream(1)[0]
+        report = baseline.process(batch)
+        assert isinstance(report, BatchReport)
+        assert report.batch_index == batch.index
+        assert report.num_items == len(batch)
+        assert report.strategy == baseline.name
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.latency_s > 0.0
+        loss = baseline.update(batch.x, batch.y)
+        assert loss is None or np.isfinite(loss)
+        summary = baseline.summary()
+        assert summary["batches_processed"] == 1
+
+    def test_learner_summary_counts(self):
+        learner = Learner(lr_factory, window_batches=4)
+        for batch in stream(3):
+            learner.process(batch)
+        summary = learner.summary()
+        assert summary["batches_processed"] == 3
+        assert sum(summary["strategies"].values()) == 3
+
+    def test_distributed_summary_counts(self):
+        distributed = DistributedLearner(lr_factory, num_workers=2,
+                                         window_batches=4)
+        for batch in stream(3):
+            distributed.process(batch)
+        summary = distributed.summary()
+        assert summary["batches_processed"] == 3
+        assert summary["backend"] == "serial"
+        assert summary["syncs"] == 3
+
+
+# -- report family ------------------------------------------------------------
+
+
+class TestReportFamily:
+    def batch_report(self):
+        return BatchReport(batch_index=4, num_items=64, strategy="cec",
+                           pattern="sudden", accuracy=0.75, loss=0.5,
+                           predict_seconds=0.01, update_seconds=0.02)
+
+    def test_batch_report_roundtrip(self):
+        report = self.batch_report()
+        payload = report.to_dict()
+        assert payload["kind"] == "batch"
+        clone = report_from_dict(payload)
+        assert isinstance(clone, BatchReport)
+        assert clone == report
+
+    def test_distributed_report_roundtrip(self):
+        report = DistributedReport(
+            batch_index=2, num_items=128, strategy="multi_granularity",
+            accuracy=0.5, latency_s=0.1, backend="thread", synced=True,
+            worker_items=[64, 64], worker_seconds=[0.01, 0.02],
+        )
+        clone = report_from_dict(report.to_dict())
+        assert isinstance(clone, DistributedReport)
+        assert clone == report
+        assert clone.worker_items == [64, 64]
+
+    def test_latency_defaults_to_stage_sum(self):
+        assert self.batch_report().latency_s == pytest.approx(0.03)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = self.batch_report().to_dict()
+        payload["added_in_a_future_release"] = 1
+        assert report_from_dict(payload).batch_index == 4
+
+    def test_subclass_rejects_foreign_kind(self):
+        payload = self.batch_report().to_dict()
+        with pytest.raises(ValueError):
+            DistributedReport.from_dict(payload)
+
+    @pytest.mark.filterwarnings("always::DeprecationWarning")
+    def test_index_alias_warns(self):
+        report = self.batch_report()
+        with pytest.warns(DeprecationWarning, match="batch_index"):
+            assert report.index == 4
+
+    def test_summarize_reports_mixes_kinds(self):
+        reports = [
+            self.batch_report(),
+            DistributedReport(batch_index=5, num_items=64, strategy="cec",
+                              accuracy=0.25, latency_s=0.01,
+                              worker_seconds=[0.01]),
+        ]
+        summary = summarize_reports(reports)
+        assert summary["batches"] == 2
+        assert summary["items"] == 128
+        assert summary["accuracy"] == pytest.approx(0.5)
+        assert summary["strategies"] == {"cec": 2}
+        assert summary["throughput"] > 0
+
+    def test_summarize_reports_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_reports([])
+
+
+# -- deprecation shims --------------------------------------------------------
+
+
+class TestPaperConfigShim:
+    @pytest.mark.filterwarnings("always::DeprecationWarning")
+    def test_camelcase_kwargs_warn_but_work(self):
+        with pytest.warns(DeprecationWarning, match="ModelNum"):
+            learner = Learner.from_paper_config(
+                Model=lr_factory, ModelNum=3, MiniBatch=512,
+                KdgBuffer=11, ExpBuffer=6,
+            )
+        assert learner.knowledge.capacity == 11
+        assert learner.experience.expiration == 6
+
+    def test_canonical_kwargs_do_not_warn(self, recwarn):
+        Learner.from_paper_config(model=lr_factory, num_models=2,
+                                  knowledge_capacity=11)
+        assert not [w for w in recwarn
+                    if issubclass(w.category, DeprecationWarning)]
+
+    @pytest.mark.filterwarnings("always::DeprecationWarning")
+    def test_collision_rejected(self):
+        with pytest.raises(TypeError, match="ModelNum"):
+            with pytest.warns(DeprecationWarning):
+                Learner.from_paper_config(model=lr_factory, num_models=2,
+                                          ModelNum=3)
+
+    def test_model_required(self):
+        with pytest.raises(TypeError):
+            Learner.from_paper_config(num_models=2)
+
+    def test_constructor_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            Learner(lr_factory, 3)  # num_models positionally
+
+
+# -- facade -------------------------------------------------------------------
+
+
+class TestFacade:
+    def test_freewayml_alias(self):
+        assert repro.FreewayML is Learner
+        from repro.api import FreewayML
+        assert FreewayML is Learner
+
+    def test_make_learner_single(self):
+        learner = make_learner(lr_factory)
+        assert type(learner) is Learner
+
+    def test_make_learner_distributed(self):
+        learner = make_learner(lr_factory, num_workers=3, sync_every=2)
+        assert isinstance(learner, DistributedLearner)
+        assert learner.num_workers == 3
+        assert learner.sync_every == 2
+
+    def test_make_learner_backend_forces_distributed(self):
+        learner = make_learner(lr_factory, backend="thread")
+        assert isinstance(learner, DistributedLearner)
+        assert learner.backend.name == "thread"
+        learner.close()
+
+    def test_reexports(self):
+        for name in ("make_learner", "StreamingEstimator", "BaseReport",
+                     "report_from_dict", "FreewayML"):
+            assert name in repro.__all__
+
+
+# -- backends -----------------------------------------------------------------
+
+
+def legacy_serial_loop(batches, num_workers=3, seed=0):
+    """The pre-backend DistributedLearner loop, replicated verbatim."""
+    workers = [Learner(mlp_factory, seed=seed + w, window_batches=4)
+               for w in range(num_workers)]
+    accuracies = []
+    for batch in batches:
+        shards = round_robin_partition(len(batch), num_workers)
+        correct = 0.0
+        total = 0
+        for learner, shard in zip(workers, shards):
+            report = learner.process(batch.subset(shard))
+            if report.accuracy is not None:
+                correct += report.accuracy * len(shard)
+                total += len(shard)
+        accuracies.append(correct / total if total else None)
+        for level_index in range(len(workers[0].ensemble.levels)):
+            states = [w.ensemble.levels[level_index].model.state_dict()
+                      for w in workers]
+            averaged = average_state_dicts(states)
+            for w in workers:
+                w.ensemble.levels[level_index].model.load_state_dict(averaged)
+    return accuracies
+
+
+def backend_accuracies(backend, batches, num_workers=3, seed=0,
+                       use_run=False):
+    distributed = DistributedLearner(mlp_factory, num_workers=num_workers,
+                                     backend=backend, seed=seed,
+                                     window_batches=4)
+    try:
+        if use_run:
+            reports = distributed.run(iter(batches))
+        else:
+            reports = [distributed.process(b) for b in batches]
+        return [r.accuracy for r in reports]
+    finally:
+        distributed.close()
+
+
+class TestBackendEquivalence:
+    def test_serial_matches_legacy_loop(self):
+        batches = stream(6)
+        assert backend_accuracies("serial", batches) == \
+            legacy_serial_loop(batches)
+
+    def test_thread_matches_serial(self):
+        batches = stream(6)
+        assert backend_accuracies("thread", batches) == \
+            backend_accuracies("serial", batches)
+
+    def test_pipelined_run_matches_process_loop(self):
+        batches = stream(6)
+        backend = ThreadBackend(max_inflight=2)
+        assert backend_accuracies(backend, batches, use_run=True) == \
+            backend_accuracies("serial", batches)
+
+    @needs_fork
+    def test_process_matches_serial(self):
+        batches = stream(6)
+        assert backend_accuracies("process", batches) == \
+            backend_accuracies("serial", batches)
+
+    @needs_fork
+    def test_process_pipe_fallback_matches_serial(self):
+        # Growing batches overflow the ring slots sized from the first
+        # batch, exercising the pipe-transport fallback mid-stream.
+        generator = ElectricitySimulator(seed=4)
+        batches = []
+        for index, size in enumerate([48, 48, 192, 192]):
+            big = next(iter(generator.stream(1, size)))
+            batches.append(Batch(big.x, big.y, index=index))
+        backend = ProcessBackend(max_inflight=2, slot_slack=1.0)
+        assert backend_accuracies(backend, batches, use_run=True) == \
+            backend_accuracies("serial", batches)
+
+
+class TestBackendBehaviour:
+    def test_make_backend_resolves_names(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("thread"), ThreadBackend)
+        assert isinstance(make_backend("process"), ProcessBackend)
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("mpi")
+
+    def test_make_backend_passthrough(self):
+        backend = ThreadBackend(max_inflight=3)
+        assert make_backend(backend) is backend
+        with pytest.raises(ValueError):
+            make_backend(backend, max_inflight=2)
+
+    def test_report_carries_backend_name(self):
+        distributed = DistributedLearner(lr_factory, num_workers=2,
+                                         backend="thread", window_batches=4)
+        try:
+            report = distributed.process(stream(1)[0])
+        finally:
+            distributed.close()
+        assert report.backend == "thread"
+        assert report.kind == "distributed"
+
+    def test_submit_backpressure(self):
+        backend = ThreadBackend(max_inflight=1)
+        distributed = DistributedLearner(lr_factory, num_workers=2,
+                                         backend=backend, window_batches=4)
+        try:
+            batch = stream(1)[0]
+            backend.submit(distributed._shard_batches(batch))
+            with pytest.raises(RuntimeError, match="in flight"):
+                backend.submit(distributed._shard_batches(batch))
+            backend.drain()
+            with pytest.raises(RuntimeError, match="nothing in flight"):
+                backend.drain()
+        finally:
+            distributed.close()
+
+    def test_state_access_requires_drained(self):
+        backend = ThreadBackend(max_inflight=1)
+        distributed = DistributedLearner(lr_factory, num_workers=2,
+                                         backend=backend, window_batches=4)
+        try:
+            backend.submit(distributed._shard_batches(stream(1)[0]))
+            with pytest.raises(RuntimeError, match="drained"):
+                backend.gather_states(0)
+            backend.drain()
+        finally:
+            distributed.close()
+
+    @needs_fork
+    def test_process_predict_update_and_close(self, rng):
+        distributed = DistributedLearner(lr_factory, num_workers=2,
+                                         backend="process", window_batches=4)
+        batches = stream(3)
+        for batch in batches:
+            distributed.process(batch)
+        prediction = distributed.predict(rng.normal(size=(10, 8)))
+        assert prediction.labels.shape == (10,)
+        loss = distributed.update(batches[0].x, batches[0].y)
+        assert loss is None or np.isfinite(loss)
+        assert distributed.knowledge_entries() >= 0
+        distributed.close()
+        distributed.close()  # idempotent
+
+    @needs_fork
+    def test_process_worker_error_propagates(self):
+        distributed = DistributedLearner(lr_factory, num_workers=2,
+                                         backend="process", window_batches=4)
+        try:
+            distributed.process(stream(1)[0])
+            bad = stream(1)[0]
+            with pytest.raises(RuntimeError, match="worker"):
+                distributed.process(Batch(bad.x[:, :5], bad.y, index=1))
+        finally:
+            distributed.close()
+
+    def test_context_manager_closes(self):
+        with DistributedLearner(lr_factory, num_workers=2,
+                                backend="thread",
+                                window_batches=4) as distributed:
+            distributed.process(stream(1)[0])
+        assert distributed.backend._pools == []
+
+
+class TestVectorizedAveraging:
+    def test_matches_per_key_mean(self, rng):
+        states = [
+            {"w": rng.normal(size=(4, 3)), "b": rng.normal(size=3)}
+            for _ in range(5)
+        ]
+        averaged = average_state_dicts(states)
+        for key in ("w", "b"):
+            np.testing.assert_allclose(
+                averaged[key],
+                np.mean([s[key] for s in states], axis=0),
+                rtol=0, atol=1e-15,
+            )
+            assert averaged[key].shape == states[0][key].shape
+
+    def test_preserves_dtype(self):
+        states = [{"w": np.zeros(2, dtype=np.float32)},
+                  {"w": np.ones(2, dtype=np.float32)}]
+        assert average_state_dicts(states)["w"].dtype == np.float32
+
+
+class TestGradModeThreadLocal:
+    def test_no_grad_does_not_leak_across_threads(self):
+        from repro import nn
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def hold_no_grad():
+            with nn.no_grad():
+                entered.set()
+                release.wait(timeout=5)
+
+        def probe():
+            entered.wait(timeout=5)
+            seen["enabled"] = nn.is_grad_enabled()
+            release.set()
+
+        workers = [threading.Thread(target=hold_no_grad),
+                   threading.Thread(target=probe)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=10)
+        assert seen["enabled"] is True

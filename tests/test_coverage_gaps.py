@@ -125,7 +125,7 @@ class TestSequentialEdge:
 class TestFromPaperConfigKwargs:
     def test_extra_kwargs_forwarded(self):
         learner = Learner.from_paper_config(
-            Model=lr_factory, ModelNum=2, window_batches=4,
+            model=lr_factory, num_models=2, window_batches=4,
             use_confidence_channel=False,
         )
         assert not learner.use_confidence_channel

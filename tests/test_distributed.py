@@ -133,8 +133,8 @@ class TestDistributedLearner:
                                          sync_every=1, window_batches=4)
         for batch in ElectricitySimulator(seed=1).stream(6, 128):
             distributed.process(batch)
-        labels = distributed.predict(rng.normal(size=(10, 8)))
-        assert labels.shape == (10,)
+        prediction = distributed.predict(rng.normal(size=(10, 8)))
+        assert prediction.labels.shape == (10,)
 
     def test_hash_partitioner_runs(self):
         distributed = DistributedLearner(factory, num_workers=2,

@@ -49,15 +49,15 @@ class TestConstruction:
     def test_from_paper_config_with_template(self):
         template = StreamingLR(num_features=6, num_classes=3, seed=1)
         learner = Learner.from_paper_config(
-            Model=template, ModelNum=2, MiniBatch=1024,
-            KdgBuffer=15, ExpBuffer=7, alpha=2.5,
+            model=template, num_models=2, mini_batch=1024,
+            knowledge_capacity=15, experience_expiration=7, alpha=2.5,
         )
         assert learner.knowledge.capacity == 15
         assert learner.experience.expiration == 7
         assert learner.classifier.alpha == 2.5
 
     def test_from_paper_config_with_factory(self):
-        learner = Learner.from_paper_config(Model=lr_factory)
+        learner = Learner.from_paper_config(model=lr_factory)
         assert learner.num_classes == 3
 
 
@@ -66,7 +66,7 @@ class TestProcessReports:
         learner = Learner(lr_factory, window_batches=4)
         batch = next(gaussian_stream(rng, [0.0]))
         report = learner.process(batch)
-        assert report.index == 0
+        assert report.batch_index == 0
         assert report.num_items == 64
         assert report.accuracy is not None
         assert report.loss is not None

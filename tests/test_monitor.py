@@ -12,7 +12,7 @@ from repro.models import StreamingLR
 def report(index=0, accuracy=0.9, strategy="multi_granularity",
            pattern="slight", reused=None, fallback=False):
     return BatchReport(
-        index=index, num_items=64, pattern=pattern, strategy=strategy,
+        batch_index=index, num_items=64, pattern=pattern, strategy=strategy,
         fallback=fallback, accuracy=accuracy, loss=0.1,
         predict_seconds=0.001, update_seconds=0.002, reused_batch=reused,
     )
