@@ -83,7 +83,9 @@ def _config(args, obs: Observability | None = None) -> RunConfig:
                      model=args.model, lr=args.lr, seed=args.seed,
                      num_workers=getattr(args, "workers", 1),
                      backend=getattr(args, "backend", "serial"),
-                     sync_every=getattr(args, "sync_every", 1), obs=obs)
+                     sync_every=getattr(args, "sync_every", 1),
+                     max_restarts=getattr(args, "max_restarts", 2),
+                     degrade=getattr(args, "degrade", False), obs=obs)
 
 
 def _build_obs(args) -> Observability | None:
@@ -286,6 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
                             dest="sync_every",
                             help="batches between parameter-averaging "
                                  "rounds (distributed runs)")
+    run_parser.add_argument("--max-restarts", type=int, default=2,
+                            dest="max_restarts",
+                            help="supervised restarts allowed per worker "
+                                 "before the failure propagates "
+                                 "(process backend)")
+    run_parser.add_argument("--degrade", action="store_true",
+                            help="graceful degradation: mechanism failures "
+                                 "downgrade along the fallback chain "
+                                 "instead of propagating")
     run_parser.add_argument("--trace", metavar="PATH", default=None,
                             help="write the decision-event/span JSONL log "
                                  "here (freewayml only)")

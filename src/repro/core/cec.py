@@ -105,8 +105,12 @@ class CECResult:
     labels: np.ndarray          # per-row predicted labels for the batch
     proba: np.ndarray           # per-row label distribution (soft, from clusters)
     cluster_assignment: np.ndarray
-    cluster_labels: np.ndarray  # label chosen for each cluster
+    cluster_labels: np.ndarray  # label per cluster (last segment if segmented)
     guided_clusters: int        # clusters that contained labeled experience
+    #: Per-segment ``cluster_labels`` when the batch was segmented
+    #: (segments are clustered independently, so their cluster ids are not
+    #: comparable); ``None`` for an unsegmented call.
+    segment_labels: list | None = None
 
 
 class CoherentExperienceClustering:
@@ -165,7 +169,10 @@ class CoherentExperienceClustering:
         stream position pass it; -1 means unknown).
         """
         with self.obs.tracer.span("cec.predict", batch=batch):
-            x = np.asarray(x, dtype=float).reshape(len(x), -1)
+            # Keep the native shape here: a convolutional featurizer needs
+            # the image axes, so flattening happens *after* featurization
+            # (in _predict_one), never before.
+            x = np.asarray(x, dtype=float)
             if self.segments > 1 and len(x) >= 2 * self.segments:
                 chunks = np.array_split(np.arange(len(x)), self.segments)
                 results = [self._predict_one(x[chunk], buffer)
@@ -178,6 +185,7 @@ class CoherentExperienceClustering:
                     ),
                     cluster_labels=results[-1].cluster_labels,
                     guided_clusters=min(r.guided_clusters for r in results),
+                    segment_labels=[r.cluster_labels for r in results],
                 )
             else:
                 result = self._predict_one(x, buffer)
@@ -197,12 +205,15 @@ class CoherentExperienceClustering:
 
     def _predict_one(self, x: np.ndarray, buffer: ExperienceBuffer) -> CECResult:
         exp_x, exp_y = buffer.recent(self.experience_points)
-        exp_x = exp_x.reshape(len(exp_x), -1)
+        # Featurize on native shapes (images stay images), THEN flatten the
+        # feature vectors for k-means.
         if self.featurizer is not None:
-            x_feat = self.featurizer(x)
-            exp_feat = self.featurizer(exp_x)
+            x_feat = np.asarray(self.featurizer(x), dtype=float)
+            exp_feat = np.asarray(self.featurizer(exp_x), dtype=float)
         else:
             x_feat, exp_feat = x, exp_x
+        x_feat = x_feat.reshape(len(x_feat), -1)
+        exp_feat = exp_feat.reshape(len(exp_feat), -1)
 
         combined = np.concatenate([x_feat, exp_feat], axis=0)
         clusters = min(self.num_classes, len(combined))

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..analysis.checkpoint import check_state_dict
 from ..nn.serialization import (
+    load_state_dict,
     save_state_dict,
     state_dict_nbytes,
 )
@@ -91,6 +92,7 @@ class KnowledgeStore:
         self._entries: list[KnowledgeEntry] = []
         self.preserved_total = 0
         self.spilled_total = 0
+        self._spill_counter = 0  # monotonic: makes spill filenames unique
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -176,10 +178,56 @@ class KnowledgeStore:
             return
         self.spill_dir.mkdir(parents=True, exist_ok=True)
         for entry in evicted:
+            # The sequence number keeps filenames unique: one window end can
+            # preserve both a long and a short entry at the same batch
+            # index, and re-preservation at a revisited index must not
+            # overwrite the earlier spill.
             path = self.spill_dir / (
-                f"knowledge-{entry.batch_index:08d}-{entry.model_kind}.npz"
+                f"knowledge-{entry.batch_index:08d}-{entry.model_kind}"
+                f"-{self._spill_counter:06d}.npz"
             )
-            save_state_dict(entry.state, path)
+            self._spill_counter += 1
+            # The full (d_i, k_i) pair goes to disk — parameters alone are
+            # unreusable because matching is distribution-indexed.
+            payload = {f"param/{name}": np.asarray(value)
+                       for name, value in entry.state.items()}
+            payload["meta/embedding"] = entry.embedding
+            payload["meta/model_kind"] = np.asarray(entry.model_kind)
+            payload["meta/disorder"] = np.asarray(entry.disorder)
+            payload["meta/batch_index"] = np.asarray(entry.batch_index)
+            payload["meta/created_at"] = np.asarray(entry.created_at)
+            save_state_dict(payload, path)
+
+    @staticmethod
+    def load_spilled(path: str | Path) -> KnowledgeEntry:
+        """Rehydrate one spilled entry (embedding, parameters, metadata).
+
+        The inverse of the overflow spill: returns a full
+        :class:`KnowledgeEntry` ready to be matched or restored.
+        """
+        archive = load_state_dict(path)
+        if "meta/embedding" not in archive:
+            raise ValueError(f"{path} is not a knowledge spill file")
+        state = {name[len("param/"):]: value
+                 for name, value in archive.items()
+                 if name.startswith("param/")}
+        return KnowledgeEntry(
+            embedding=np.asarray(archive["meta/embedding"],
+                                 dtype=float).reshape(-1),
+            state=state,
+            model_kind=str(archive["meta/model_kind"]),
+            disorder=float(archive["meta/disorder"]),
+            batch_index=int(archive["meta/batch_index"]),
+            created_at=float(archive["meta/created_at"]),
+        )
+
+    def readmit(self, path: str | Path) -> KnowledgeEntry:
+        """Load a spilled entry back into the in-memory store."""
+        entry = self.load_spilled(path)
+        self._entries.append(entry)
+        if len(self._entries) > self.capacity:
+            self._overflow()
+        return entry
 
     # -- restoration -------------------------------------------------------------
 

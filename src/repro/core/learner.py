@@ -33,11 +33,14 @@ from ..data.stream import Batch
 from ..models.base import StreamingModel
 from ..obs import (
     NULL_OBS,
+    CircuitOpened,
+    DegradedMode,
     KnowledgeReused,
     Observability,
     ShiftAssessed,
     StrategySelected,
 )
+from ..resilience.degrade import CircuitBreaker
 from ..shift.patterns import PatternClassifier, ShiftAssessment, ShiftPattern
 from ..shift.severity import SeverityTracker
 from .cec import CoherentExperienceClustering, ExperienceBuffer
@@ -153,6 +156,18 @@ class Learner:
     adjuster:
         Optional :class:`~repro.core.rate.RateAwareAdjuster`; absent means
         never throttle.
+    degrade:
+        Graceful degradation: a mechanism that raises during inference or
+        training downgrades along the fixed fallback chain (knowledge
+        reuse → CEC → multi-granularity → short model) with a
+        :class:`~repro.obs.DegradedMode` event instead of propagating,
+        and non-finite input features are sanitized on entry.  A
+        per-mechanism :class:`~repro.resilience.CircuitBreaker` stops
+        retrying a mechanism after ``breaker_threshold`` consecutive
+        failures until ``breaker_cooldown`` batches elapse.  Off by
+        default: fail-fast is the right posture for development.
+    breaker_threshold / breaker_cooldown:
+        Circuit-breaker tuning (only meaningful with ``degrade=True``).
     spill_dir:
         Directory for knowledge spilled out of memory.
     seed:
@@ -181,6 +196,8 @@ class Learner:
                  confidence_margin: float = 0.25,
                  use_precompute: bool = False,
                  adjuster: RateAwareAdjuster | None = None,
+                 degrade: bool = False, breaker_threshold: int = 3,
+                 breaker_cooldown: int = 10,
                  spill_dir=None, seed: int = 0,
                  obs: Observability | None = None):
         if num_models < 1:
@@ -217,6 +234,10 @@ class Learner:
                                         beta=beta, spill_dir=spill_dir,
                                         obs=self.obs)
         self.adjuster = adjuster
+        self.degrade = bool(degrade)
+        self.breaker = (CircuitBreaker(threshold=breaker_threshold,
+                                       cooldown=breaker_cooldown)
+                        if degrade else None)
         self.featurizer = featurizer
         self.warm_start_on_reuse = warm_start_on_reuse
         self.use_confidence_channel = use_confidence_channel
@@ -298,6 +319,8 @@ class Learner:
             # A reuse match is only valid for the batch it was found on; drop
             # any leftover from a predict whose labels never arrived.
             self._pending_reuse = None
+            if self.degrade:
+                x = self._sanitize_input(x)
             assessment = self.classifier.assess(self._shift_view(x))
             raw_pattern = assessment.pattern
             assessment = self._apply_confidence_channel(x, assessment)
@@ -307,30 +330,180 @@ class Learner:
                 experience_available=len(self.experience) > 0,
                 ensemble_trained=self.ensemble.trained,
             )
-            result = None
-            if decision.strategy is Strategy.KNOWLEDGE_REUSE:
-                with self.obs.tracer.span("learner.infer.knowledge"):
-                    outcome = self._predict_with_knowledge(
-                        x, assessment, decision
-                    )
-                if isinstance(outcome, PredictionResult):
-                    result = outcome
-                else:
-                    decision = self._downgrade_reuse(assessment,
-                                                     reason=outcome)
-            if result is None:
-                if decision.strategy is Strategy.CEC:
-                    result = self._predict_with_cec(x, assessment, decision)
-                else:
-                    with self.obs.tracer.span("learner.infer.ensemble"):
-                        result = self._predict_with_ensemble(
-                            x, assessment, decision
-                        )
+            if self.degrade:
+                result, decision = self._dispatch_degraded(
+                    x, assessment, decision
+                )
+            else:
+                result, decision = self._dispatch(x, assessment, decision)
             span.set(strategy=decision.strategy.value,
                      pattern=assessment.pattern.value)
         if self.obs.enabled:
             self._emit_routing_events(assessment, decision, raw_pattern)
         return result
+
+    def _dispatch(self, x, assessment, decision):
+        """Route one inference through the selected mechanism (fail-fast)."""
+        result = None
+        if decision.strategy is Strategy.KNOWLEDGE_REUSE:
+            with self.obs.tracer.span("learner.infer.knowledge"):
+                outcome = self._predict_with_knowledge(
+                    x, assessment, decision
+                )
+            if isinstance(outcome, PredictionResult):
+                result = outcome
+            else:
+                decision = self._downgrade_reuse(assessment, reason=outcome)
+        if result is None:
+            if decision.strategy is Strategy.CEC:
+                result = self._predict_with_cec(x, assessment, decision)
+            else:
+                with self.obs.tracer.span("learner.infer.ensemble"):
+                    result = self._predict_with_ensemble(
+                        x, assessment, decision
+                    )
+        return result, decision
+
+    # -- graceful degradation -------------------------------------------------
+
+    def _sanitize_input(self, x: np.ndarray) -> np.ndarray:
+        """Replace non-finite feature cells with zeros (degrade mode only).
+
+        :class:`~repro.data.stream.Batch` rejects non-finite features, but
+        a dirty upstream producer (or the :class:`~repro.resilience.faults.
+        DirtyData` injector) can still smuggle them in; in degrade mode
+        they are absorbed here rather than poisoning every mechanism.
+        """
+        x = np.asarray(x)
+        if np.isfinite(x).all():
+            return x
+        dirty_cells = int(x.size - np.isfinite(x).sum())
+        clean = np.nan_to_num(np.asarray(x, dtype=float),
+                              nan=0.0, posinf=0.0, neginf=0.0)
+        if self.obs.enabled:
+            self.obs.emit(DegradedMode(
+                batch=self._event_index(), mechanism="input",
+                fallback="sanitize",
+                reason=f"{dirty_cells} non-finite feature cells",
+            ))
+            self.obs.registry.counter(
+                "freeway_degraded_total",
+                "failures absorbed by graceful degradation",
+            ).labels(mechanism="input").inc()
+        return clean
+
+    def _mechanism_failed(self, mechanism: str, exc: Exception,
+                          fallback: str) -> None:
+        """Record one mechanism failure: breaker count + DegradedMode."""
+        opened = self.breaker.record_failure(mechanism)
+        if self.obs.enabled:
+            self.obs.emit(DegradedMode(
+                batch=self._event_index(), mechanism=mechanism,
+                fallback=fallback,
+                reason=f"{type(exc).__name__}: {exc}",
+            ))
+            self.obs.registry.counter(
+                "freeway_degraded_total",
+                "failures absorbed by graceful degradation",
+            ).labels(mechanism=mechanism).inc()
+            if opened:
+                self.obs.emit(CircuitOpened(
+                    mechanism=mechanism, failures=self.breaker.threshold,
+                    cooldown=self.breaker.cooldown,
+                ))
+
+    def _dispatch_degraded(self, x, assessment, decision):
+        """Route one inference with every mechanism guarded.
+
+        The fallback chain is fixed: knowledge reuse → CEC →
+        multi-granularity ensemble → sanitized short model → uniform.  A
+        mechanism that raises (or whose circuit is open) downgrades to the
+        next link with ``fallback=True``; nothing propagates.
+        """
+        self.breaker.tick()
+        if decision.strategy is Strategy.KNOWLEDGE_REUSE:
+            if not self.breaker.allow("knowledge_reuse"):
+                decision = self._downgrade_reuse(
+                    assessment, reason="knowledge_reuse circuit open"
+                )
+            else:
+                try:
+                    with self.obs.tracer.span("learner.infer.knowledge"):
+                        outcome = self._predict_with_knowledge(
+                            x, assessment, decision
+                        )
+                except Exception as exc:  # repro: noqa[REP004] — degraded
+                    self._pending_reuse = None
+                    self._mechanism_failed("knowledge_reuse", exc,
+                                           fallback="cec")
+                    decision = self._downgrade_reuse(
+                        assessment,
+                        reason=f"knowledge_reuse raised "
+                               f"{type(exc).__name__}",
+                    )
+                else:
+                    if isinstance(outcome, PredictionResult):
+                        self.breaker.record_success("knowledge_reuse")
+                        return outcome, decision
+                    decision = self._downgrade_reuse(assessment,
+                                                     reason=outcome)
+        if decision.strategy is Strategy.CEC:
+            if not self.breaker.allow("cec"):
+                decision = StrategyDecision(
+                    Strategy.MULTI_GRANULARITY, assessment.pattern,
+                    fallback=True, reason="cec circuit open",
+                )
+            else:
+                try:
+                    result = self._predict_with_cec(x, assessment, decision)
+                except Exception as exc:  # repro: noqa[REP004] — degraded
+                    self._mechanism_failed("cec", exc,
+                                           fallback="multi_granularity")
+                    decision = StrategyDecision(
+                        Strategy.MULTI_GRANULARITY, assessment.pattern,
+                        fallback=True,
+                        reason=f"cec raised {type(exc).__name__}",
+                    )
+                else:
+                    self.breaker.record_success("cec")
+                    return result, decision
+        if not self.breaker.allow("multi_granularity"):
+            decision = StrategyDecision(
+                Strategy.MULTI_GRANULARITY, assessment.pattern,
+                fallback=True, reason="multi_granularity circuit open",
+            )
+            return self._predict_with_short(x, assessment, decision), decision
+        try:
+            with self.obs.tracer.span("learner.infer.ensemble"):
+                result = self._predict_with_ensemble(x, assessment, decision)
+        except Exception as exc:  # repro: noqa[REP004] — degraded
+            self._mechanism_failed("multi_granularity", exc,
+                                   fallback="short_model")
+            decision = StrategyDecision(
+                Strategy.MULTI_GRANULARITY, assessment.pattern,
+                fallback=True,
+                reason=f"multi_granularity raised {type(exc).__name__}",
+            )
+            result = self._predict_with_short(x, assessment, decision)
+        else:
+            self.breaker.record_success("multi_granularity")
+        return result, decision
+
+    def _predict_with_short(self, x, assessment, decision) -> PredictionResult:
+        """Last link of the fallback chain: sanitized short model, then a
+        uniform distribution — this method cannot raise."""
+        uniform = 1.0 / self.num_classes
+        try:
+            short = self.ensemble.short_level
+            clean = np.nan_to_num(np.asarray(x, dtype=float))
+            if not short.trained:
+                raise RuntimeError("short model untrained")
+            proba = short.model.predict_proba(clean)
+        except Exception:  # repro: noqa[REP004] — uniform is the floor
+            proba = np.full((len(x), self.num_classes), uniform)
+        proba = np.nan_to_num(np.asarray(proba, dtype=float), nan=uniform)
+        return PredictionResult(labels=proba.argmax(axis=1), proba=proba,
+                                decision=decision, assessment=assessment)
 
     def _event_index(self) -> int:
         """Stream position for emitted events: the index of the batch being
@@ -479,6 +652,8 @@ class Learner:
         """
         with self.obs.tracer.span("learner.update",
                                   batch=self._event_index()):
+            if self.degrade:
+                x = self._sanitize_input(x)
             if embedding is None:
                 view = self._shift_view(x)
                 if not self.classifier.pca.is_fitted:
@@ -491,12 +666,31 @@ class Learner:
 
             self._verify_pending_reuse(x, y)
             self._observe_errors(x, y)
-            infos = self.ensemble.update(x, y, embedding)
+            if self.degrade:
+                infos = self._update_degraded(x, y, embedding)
+                if infos is None:
+                    self.experience.add(x, y)
+                    self._batch_counter += 1
+                    return None
+            else:
+                infos = self.ensemble.update(x, y, embedding)
             self.experience.add(x, y)
             self._batch_counter += 1
             self._maybe_preserve(infos, embedding)
             short_info = infos[self._short_index()]
             return short_info.get("loss")
+
+    def _update_degraded(self, x, y, embedding):
+        """ASW training guarded by the breaker: ``None`` means skipped."""
+        if not self.breaker.allow("asw_train"):
+            return None
+        try:
+            infos = self.ensemble.update(x, y, embedding)
+        except Exception as exc:  # repro: noqa[REP004] — degraded
+            self._mechanism_failed("asw_train", exc, fallback="skip_update")
+            return None
+        self.breaker.record_success("asw_train")
+        return infos
 
     def _verify_pending_reuse(self, x: np.ndarray, y: np.ndarray) -> None:
         """Labeled verification of a knowledge match (prequential labels
@@ -610,6 +804,12 @@ class Learner:
 
         self._current_index = batch.index
         try:
+            if self.degrade and not np.isfinite(batch.x).all():
+                # Sanitize once for the whole prequential step, so predict
+                # and update see the same repaired features (and only one
+                # DegradedMode event is emitted per dirty batch).
+                batch = Batch(self._sanitize_input(batch.x), batch.y,
+                              index=batch.index, pattern=batch.pattern)
             start = time.perf_counter()
             prediction = self.predict(batch.x)
             predict_seconds = time.perf_counter() - start
@@ -701,7 +901,7 @@ class Learner:
 
     def summary(self) -> dict:
         """Estimator state as a plain dict (StreamingEstimator protocol)."""
-        return {
+        summary = {
             "estimator": "freewayml",
             "batches_processed": self._processed,
             "updates": self._batch_counter,
@@ -710,3 +910,6 @@ class Learner:
             "experience_size": len(self.experience),
             "num_levels": len(self.ensemble.levels),
         }
+        if self.degrade:
+            summary["breaker"] = self.breaker.snapshot()
+        return summary

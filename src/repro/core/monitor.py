@@ -133,10 +133,13 @@ class ServingMonitor:
     def _observe_span(self, record: dict) -> None:
         if record.get("name") == "learner.predict":
             self._predict_seconds.append(float(record.get("duration", 0.0)))
-            for child in record.get("children", ()):
-                self._observe_span(child)
         elif record.get("name") == "learner.update":
             self._update_seconds.append(float(record.get("duration", 0.0)))
+        # Recurse uniformly: an interesting span can sit under any parent
+        # (learner.update nests under a pipeline span, for example), not
+        # just under learner.predict.
+        for child in record.get("children", ()):
+            self._observe_span(child)
 
     # -- dashboard values -------------------------------------------------------
 

@@ -100,6 +100,10 @@ class StreamingStandardScaler:
     def __call__(self, batch: Batch) -> Batch:
         """Stream transform: standardize with *past* statistics, then fold
         the batch in — the prequential-safe ordering."""
+        if len(batch.x) == 0:
+            # Nothing to scale and no statistics to fold in; rebuilding via
+            # replace() would also trip Batch's empty-batch validation.
+            return batch
         scaled = self.transform(batch.x)
         self.partial_fit(batch.x)
         return replace(batch, x=scaled)
@@ -121,6 +125,11 @@ class MissingValueRepair:
     def repair(self, x: np.ndarray) -> np.ndarray:
         """Return a finite copy of ``x``; updates the running mean."""
         x = np.asarray(x, dtype=float)
+        if len(x) == 0:
+            # A zero-row batch has no mean; folding it in would poison the
+            # running statistics with NaN for every later repair (and
+            # reshape(0, -1) cannot infer a width anyway).
+            return x.copy()
         flat = x.reshape(len(x), -1).copy()
         bad = ~np.isfinite(flat)
         if bad.any():

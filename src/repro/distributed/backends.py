@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import abc
 import multiprocessing
+import os
+import pickle
 import time
 import traceback
 from collections import deque
@@ -42,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.stream import Batch
-from ..obs import NULL_OBS
+from ..obs import NULL_OBS, WorkerRestarted
 
 __all__ = [
     "WorkerStep",
@@ -331,6 +333,14 @@ def _worker_main(conn, worker_index: int, learner, slots, sync_blocks,
         command = message[0]
         if command == "close":
             break
+        if command == "crash":
+            # Fault injection: die exactly as a segfaulting/OOM-killed
+            # worker would — no cleanup, no reply, pipe left dangling.
+            os._exit(1)
+        if command == "sleep":
+            # Fault injection: stall without replying (a hung worker).
+            time.sleep(message[1])
+            continue
         try:
             if command == "process":
                 _, slot, rows, tail_shape, labeled, index, pattern = message
@@ -362,6 +372,16 @@ def _worker_main(conn, worker_index: int, learner, slots, sync_blocks,
                     unflatten_state(broadcast_row, specs[level])
                 )
                 conn.send(("ok", None))
+            elif command == "snapshot":
+                # Full replica checkpoint for crash recovery.  Pickle
+                # explicitly (not via conn.send of the object) so a
+                # non-picklable learner degrades to None instead of
+                # corrupting the pipe mid-message.
+                try:
+                    blob = pickle.dumps(learner)
+                except Exception:  # repro: noqa[REP004] — degrades to None
+                    blob = None
+                conn.send(("ok", blob))
             elif command == "call":
                 _, method, args = message
                 conn.send(("ok", _invoke(learner, method, args)))
@@ -381,6 +401,18 @@ class ProcessBackend(ExecutionBackend):
     operations run in-process.  After the fork each child owns the live
     replica — the coordinator's ``workers`` list is a stale snapshot.
 
+    The pool is *supervised*: a worker that dies (or, with
+    ``hang_timeout`` set, stops responding) is detected while its reply is
+    awaited, terminated if still alive, and restarted with exponential
+    backoff up to ``max_restarts`` times per worker.  The replacement is
+    re-seeded from the last synchronized state (captured at every
+    parameter-averaging round), the dead worker's in-flight shards are
+    resubmitted in order, and a :class:`~repro.obs.WorkerRestarted` event
+    plus a ``freeway_worker_restarts_total`` counter record the recovery.
+    With ``sync_every=1`` recovery is exact — the replacement holds
+    precisely the state the dead worker had after its last completed
+    batch, so the run's accuracy sequence matches a fault-free run.
+
     Parameters
     ----------
     max_inflight:
@@ -389,6 +421,21 @@ class ProcessBackend(ExecutionBackend):
     slot_slack:
         Slot capacity as a multiple of the first batch's largest shard.
         Shards that outgrow their slot fall back to pipe transport.
+    max_restarts:
+        Supervised restarts allowed per worker before the failure
+        propagates to the coordinator.
+    restart_backoff:
+        Base seconds slept before a restart; doubles per restart of the
+        same worker (exponential backoff).
+    hang_timeout:
+        Seconds a reply may take before the worker is declared hung and
+        restarted.  ``None`` (default) disables hang detection — only
+        process death is supervised — because a legitimate shard has no
+        universal latency bound.
+    faults:
+        Fault injectors consulted before each shard dispatch (see
+        :mod:`repro.resilience.faults`); injectors may also append
+        themselves via their ``attach`` methods.
 
     Requires a platform with the ``fork`` start method (Linux/macOS):
     forking is what lets arbitrary, non-picklable model factories and
@@ -398,25 +445,53 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
     replicas_share_obs = False
 
-    def __init__(self, max_inflight: int = 2, slot_slack: float = 2.0):
+    def __init__(self, max_inflight: int = 2, slot_slack: float = 2.0,
+                 max_restarts: int = 2, restart_backoff: float = 0.05,
+                 hang_timeout: float | None = None, faults=None):
         super().__init__()
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
         if slot_slack < 1.0:
             raise ValueError(f"slot_slack must be >= 1.0; got {slot_slack}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0; got {max_restarts}")
+        if restart_backoff < 0:
+            raise ValueError(
+                f"restart_backoff must be >= 0; got {restart_backoff}"
+            )
+        if hang_timeout is not None and hang_timeout <= 0:
+            raise ValueError(
+                f"hang_timeout must be positive; got {hang_timeout}"
+            )
         self.capacity = max_inflight
         self.slot_slack = slot_slack
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
+        self.hang_timeout = hang_timeout
+        self.faults: list = list(faults) if faults is not None else []
         self._started = False
         self._closed = False
+        self._context = None
         self._processes: list = []
         self._conns: list = []
         self._x_views: list[list[np.ndarray]] = []
         self._y_views: list[list[np.ndarray]] = []
         self._sync_views: list[np.ndarray] = []
+        self._sync_blocks: list[tuple] = []
+        self._worker_slots: list[list[tuple]] = []
         self._specs: list[list[tuple]] = []
         self._row_width = 0
         self._slot_rows = 0
         self._sequence = 0
+        #: Restarts performed per worker (survives across restarts).
+        self.restarts: list[int] = []
+        #: Shards awaiting a reply: slot → the submitted shard batches.
+        self._inflight_shards: dict[int, list[Batch]] = {}
+        #: Flat averaged state per level at the last sync (restart seed).
+        self._last_sync_flat: list[np.ndarray] | None = None
+        #: Pickled full-replica checkpoints from the last sync boundary;
+        #: ``None`` per worker when its learner is not picklable.
+        self._worker_blobs: list = []
 
     # -- pool lifecycle -------------------------------------------------------
 
@@ -458,7 +533,9 @@ class ProcessBackend(ExecutionBackend):
             for block, rows, flat in sync_blocks
         ]
 
-        for worker_index, learner in enumerate(self.learners):
+        self._context = context
+        self._sync_blocks = sync_blocks
+        for worker_index in range(len(self.learners)):
             slots = []
             for _slot in range(self.capacity):
                 x_buf = context.RawArray(
@@ -466,33 +543,138 @@ class ProcessBackend(ExecutionBackend):
                 )
                 y_buf = context.RawArray("q", self._slot_rows)
                 slots.append((x_buf, y_buf))
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, worker_index, learner, slots, sync_blocks,
-                      self._specs, self._row_width, self._slot_rows),
-                daemon=True,
-                name=f"freeway-worker-{worker_index}",
-            )
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            self._conns.append(parent_conn)
+            self._worker_slots.append(slots)
             self._x_views.append([
                 np.frombuffer(x_buf, dtype=np.float64) for x_buf, _ in slots
             ])
             self._y_views.append([
                 np.frombuffer(y_buf, dtype=np.int64) for _, y_buf in slots
             ])
+            self._processes.append(None)
+            self._conns.append(None)
+            self.restarts.append(0)
+            self._worker_blobs.append(None)
+            self._spawn_worker(worker_index)
         self._started = True
 
-    def _receive(self, worker_index: int):
-        reply = self._conns[worker_index].recv()
-        if reply[0] == "error":
+    def _spawn_worker(self, worker_index: int) -> None:
+        """Fork one child for ``worker_index`` over the existing buffers."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, worker_index, self.learners[worker_index],
+                  self._worker_slots[worker_index], self._sync_blocks,
+                  self._specs, self._row_width, self._slot_rows),
+            daemon=True,
+            name=f"freeway-worker-{worker_index}",
+        )
+        process.start()
+        child_conn.close()
+        self._processes[worker_index] = process
+        self._conns[worker_index] = parent_conn
+
+    # -- supervision ----------------------------------------------------------
+
+    def _reap(self, worker_index: int) -> None:
+        """Terminate and discard a dead/hung worker's process + pipe."""
+        process = self._processes[worker_index]
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=1.0)
+        conn = self._conns[worker_index]
+        if conn is not None:
+            conn.close()
+
+    def _restart_worker(self, worker_index: int, reason: str) -> None:
+        """Replace a dead/hung worker: backoff, respawn, re-seed, resubmit.
+
+        The replacement forks from the coordinator (whose replica copies
+        are the pre-fork snapshot), is re-seeded with the last
+        synchronized state when one exists, and receives every in-flight
+        shard this worker still owes a reply for — in submission order,
+        so the reply stream the drain loop expects is preserved.
+        """
+        self.restarts[worker_index] += 1
+        restarts = self.restarts[worker_index]
+        if restarts > self.max_restarts:
             raise RuntimeError(
-                f"worker {worker_index} failed:\n{reply[1]}"
+                f"worker {worker_index} failed ({reason}) and exceeded "
+                f"max_restarts={self.max_restarts}"
             )
-        return reply[1:]
+        self._reap(worker_index)
+        if self.restart_backoff:
+            time.sleep(self.restart_backoff * (2 ** (restarts - 1)))
+        reseeded = False
+        if self._worker_blobs[worker_index] is not None:
+            # Full-replica checkpoint from the last sync boundary: the
+            # replacement holds exactly the dead worker's state then —
+            # windows, experience, detector statistics, everything — so
+            # with sync_every=1 recovery is bit-exact.
+            self.learners[worker_index] = pickle.loads(
+                self._worker_blobs[worker_index]
+            )
+            reseeded = True
+        self._spawn_worker(worker_index)
+        conn = self._conns[worker_index]
+        if not reseeded and self._last_sync_flat is not None:
+            for level_index, flat in enumerate(self._last_sync_flat):
+                if flat is None:  # this level never synchronized
+                    continue
+                self._sync_views[level_index][-1] = flat
+                conn.send(("pull_state", level_index))
+                reply = conn.recv()
+                if reply[0] == "error":
+                    raise RuntimeError(
+                        f"worker {worker_index} failed while re-seeding "
+                        f"after restart:\n{reply[1]}"
+                    )
+            reseeded = True
+        resubmitted = 0
+        for slot in self._pending:
+            self._send_shard(worker_index, slot,
+                             self._inflight_shards[slot][worker_index])
+            resubmitted += 1
+        if self.obs.enabled:
+            self.obs.emit(WorkerRestarted(
+                worker=worker_index, restarts=restarts, reason=reason,
+                resubmitted=resubmitted, reseeded=reseeded,
+            ))
+            self.obs.registry.counter(
+                "freeway_worker_restarts_total",
+                "supervised worker restarts, by failure reason",
+            ).labels(reason=reason).inc()
+
+    def _receive(self, worker_index: int, resend=None):
+        """One supervised reply: restarts the worker on death or hang.
+
+        ``resend`` is the command to replay after a restart for
+        request/reply operations (state sync, RPC); shard replies need no
+        replay because :meth:`_restart_worker` resubmits every pending
+        shard already.
+        """
+        while True:
+            conn = self._conns[worker_index]
+            reason = None
+            try:
+                if self.hang_timeout is not None:
+                    if not conn.poll(self.hang_timeout):
+                        reason = ("hung"
+                                  if self._processes[worker_index].is_alive()
+                                  else "crashed")
+                if reason is None:
+                    reply = conn.recv()
+            except (EOFError, ConnectionResetError, BrokenPipeError):
+                reason = "crashed"
+            if reason is None:
+                if reply[0] == "error":
+                    raise RuntimeError(
+                        f"worker {worker_index} failed:\n{reply[1]}"
+                    )
+                return reply[1:]
+            self._restart_worker(worker_index, reason)
+            if resend is not None:
+                self._conns[worker_index].send(resend)
 
     # -- batch execution ------------------------------------------------------
 
@@ -524,31 +706,72 @@ class ProcessBackend(ExecutionBackend):
                 f"flight (capacity {self.capacity}); drain first"
             )
         slot = self._sequence % self.capacity
+        sequence = self._sequence
         self._sequence += 1
-        for worker_index, shard in enumerate(shard_batches):
-            self._send_shard(worker_index, slot, shard)
+        # Record the shards *before* dispatching: if a send hits a dead
+        # pipe the restart path replays them from this record.
+        self._inflight_shards[slot] = list(shard_batches)
         self._pending.append(slot)
+        for worker_index, shard in enumerate(shard_batches):
+            self._dispatch(worker_index, slot, shard, sequence)
+
+    def _dispatch(self, worker_index: int, slot: int, shard: Batch,
+                  sequence: int) -> None:
+        """Send one shard, consulting fault injectors first."""
+        conn = self._conns[worker_index]
+        crash = any(fault.crash_before(worker_index, sequence)
+                    for fault in self.faults
+                    if hasattr(fault, "crash_before"))
+        if crash:
+            try:
+                conn.send(("crash",))
+            except (BrokenPipeError, OSError):
+                pass  # already dead: same outcome
+            # The shard is deliberately NOT sent: it is lost in flight,
+            # and supervision must recover it during drain.
+            return
+        delay = sum(fault.delay_before(worker_index, sequence)
+                    for fault in self.faults
+                    if hasattr(fault, "delay_before"))
+        try:
+            if delay > 0:
+                conn.send(("sleep", delay))
+            self._send_shard(worker_index, slot, shard)
+        except (BrokenPipeError, OSError):
+            # Writing to a dead worker: restart now; the restart replays
+            # every pending shard (including this one) from the record.
+            self._restart_worker(worker_index, "crashed")
 
     def drain(self) -> list[WorkerStep]:
         if not self._pending:
             raise RuntimeError("nothing in flight to drain")
-        self._pending.popleft()
         steps = []
         for worker_index in range(self.num_workers):
             payload, seconds = self._receive(worker_index)
             steps.append(WorkerStep(payload, seconds))
+        slot = self._pending.popleft()
+        self._inflight_shards.pop(slot, None)
         return steps
 
     # -- parameter synchronization -------------------------------------------
+
+    def _broadcast(self, message: tuple) -> None:
+        """Send one command to every worker, restarting dead ones."""
+        for worker_index in range(self.num_workers):
+            try:
+                self._conns[worker_index].send(message)
+            except (BrokenPipeError, OSError):
+                self._restart_worker(worker_index, "crashed")
+                self._conns[worker_index].send(message)
 
     def gather_states(self, level_index: int) -> list[dict]:
         if not self._started:
             return super().gather_states(level_index)
         self._require_drained("gather_states")
-        for conn in self._conns:
-            conn.send(("push_state", level_index))
+        message = ("push_state", level_index)
+        self._broadcast(message)
         for worker_index in range(self.num_workers):
-            self._receive(worker_index)
+            self._receive(worker_index, resend=message)
         spec = self._specs[level_index]
         block = self._sync_views[level_index]
         return [unflatten_state(block[worker_index], spec)
@@ -560,11 +783,31 @@ class ProcessBackend(ExecutionBackend):
             return
         self._require_drained("load_states")
         spec = self._specs[level_index]
-        self._sync_views[level_index][-1] = flatten_state(state, spec)
-        for conn in self._conns:
-            conn.send(("pull_state", level_index))
+        flat = flatten_state(state, spec)
+        self._sync_views[level_index][-1] = flat
+        # Remember the broadcast state: it is the restart seed that makes
+        # a replacement worker pick up exactly where the pool last agreed.
+        if self._last_sync_flat is None:
+            self._last_sync_flat = [None] * len(self._specs)
+        self._last_sync_flat[level_index] = flat.copy()
+        message = ("pull_state", level_index)
+        self._broadcast(message)
         for worker_index in range(self.num_workers):
-            self._receive(worker_index)
+            self._receive(worker_index, resend=message)
+        if level_index == len(self._specs) - 1 and self.max_restarts > 0:
+            # The sync round just completed (levels are loaded in order):
+            # checkpoint every replica so a restart can resume from
+            # exactly this boundary.
+            self._snapshot_workers()
+
+    def _snapshot_workers(self) -> None:
+        """Collect a pickled full-replica checkpoint from every worker."""
+        message = ("snapshot",)
+        self._broadcast(message)
+        for worker_index in range(self.num_workers):
+            (blob,) = self._receive(worker_index, resend=message)
+            if blob is not None:
+                self._worker_blobs[worker_index] = blob
 
     # -- single-replica RPC ---------------------------------------------------
 
@@ -572,8 +815,13 @@ class ProcessBackend(ExecutionBackend):
         if not self._started:
             return super().call(worker_index, method, *args)
         self._require_drained("call")
-        self._conns[worker_index].send(("call", method, args))
-        (result,) = self._receive(worker_index)
+        message = ("call", method, args)
+        try:
+            self._conns[worker_index].send(message)
+        except (BrokenPipeError, OSError):
+            self._restart_worker(worker_index, "crashed")
+            self._conns[worker_index].send(message)
+        (result,) = self._receive(worker_index, resend=message)
         return result
 
     def close(self) -> None:

@@ -15,6 +15,7 @@ from ..api import make_learner
 from ..baselines import make_baseline
 from ..core.learner import Learner
 from ..data import all_benchmark_datasets
+from ..distributed.backends import ProcessBackend
 from ..metrics.prequential import (
     PrequentialResult,
     evaluate_learner,
@@ -51,6 +52,11 @@ class RunConfig:
     backend: str = "serial"
     #: Batches between parameter-averaging rounds (distributed runs).
     sync_every: int = 1
+    #: Supervised restarts allowed per worker (process backend only).
+    max_restarts: int = 2
+    #: Graceful degradation: mechanism failures downgrade along the
+    #: fallback chain instead of propagating (see docs/RESILIENCE.md).
+    degrade: bool = False
     learner_kwargs: dict = field(default_factory=dict)
     baseline_kwargs: dict = field(default_factory=dict)
     #: Observability facade attached to FreewayML learners, so benchmarks
@@ -90,11 +96,19 @@ def run_framework(framework: str, generator, config: RunConfig,
     )
     stream = generator.stream(config.num_batches, batch_size=config.batch_size)
     if framework == FREEWAYML:
+        learner_kwargs = dict(config.learner_kwargs)
+        if config.degrade:
+            learner_kwargs.setdefault("degrade", True)
         if config.num_workers > 1 or config.backend != "serial":
+            backend = config.backend
+            if backend == "process":
+                # Instantiate here so the supervision budget reaches the
+                # pool (make_backend takes no options for named defaults).
+                backend = ProcessBackend(max_restarts=config.max_restarts)
             learner = make_learner(
                 factory, num_workers=config.num_workers,
-                backend=config.backend, sync_every=config.sync_every,
-                seed=config.seed, obs=config.obs, **config.learner_kwargs,
+                backend=backend, sync_every=config.sync_every,
+                seed=config.seed, obs=config.obs, **learner_kwargs,
             )
             try:
                 return evaluate_learner(learner, stream, name=FREEWAYML,
@@ -102,7 +116,7 @@ def run_framework(framework: str, generator, config: RunConfig,
             finally:
                 learner.close()
         learner = Learner(factory, seed=config.seed, obs=config.obs,
-                          **config.learner_kwargs)
+                          **learner_kwargs)
         return evaluate_learner(learner, stream, name=FREEWAYML,
                                 skip=config.skip)
     if framework == PLAIN:

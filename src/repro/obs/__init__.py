@@ -20,7 +20,9 @@ from .events import (
     CecInvoked,
     CheckpointRejected,
     CheckpointWritten,
+    CircuitOpened,
     CompositeSink,
+    DegradedMode,
     Event,
     EventSink,
     JsonlSink,
@@ -31,6 +33,7 @@ from .events import (
     NullSink,
     ShiftAssessed,
     StrategySelected,
+    WorkerRestarted,
     event_from_dict,
     read_records,
 )
@@ -67,6 +70,9 @@ __all__ = [
     "CecInvoked",
     "CheckpointWritten",
     "CheckpointRejected",
+    "WorkerRestarted",
+    "DegradedMode",
+    "CircuitOpened",
     "EVENT_TYPES",
     "event_from_dict",
     "EventSink",

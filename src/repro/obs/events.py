@@ -33,6 +33,9 @@ __all__ = [
     "CecInvoked",
     "CheckpointWritten",
     "CheckpointRejected",
+    "WorkerRestarted",
+    "DegradedMode",
+    "CircuitOpened",
     "EVENT_TYPES",
     "event_from_dict",
     "EventSink",
@@ -180,11 +183,55 @@ class CheckpointRejected(Event):
     model_kind: str = ""               # knowledge entries: "short" | "long"
 
 
+@dataclass
+class WorkerRestarted(Event):
+    """A supervised backend replaced a dead or hung worker process."""
+
+    TYPE = "worker_restarted"
+
+    worker: int                        # worker index in the pool
+    restarts: int                      # lifetime restarts of this slot
+    reason: str                        # "crashed" | "hung" | traceback tail
+    resubmitted: int = 0               # in-flight shards replayed
+    reseeded: bool = False             # state restored from the last sync
+
+
+@dataclass
+class DegradedMode(Event):
+    """A mechanism raised and the learner downgraded instead of crashing.
+
+    The fallback chain is fixed (knowledge → CEC → multi-granularity →
+    sanitized short model), so ``mechanism`` names what failed and
+    ``fallback`` names what answered instead.
+    """
+
+    TYPE = "degraded_mode"
+
+    batch: int
+    mechanism: str                     # what raised: "knowledge_reuse" |
+                                       # "cec" | "multi_granularity" |
+                                       # "asw_train"
+    fallback: str                      # what ran instead
+    reason: str = ""                   # exception summary
+
+
+@dataclass
+class CircuitOpened(Event):
+    """A mechanism's circuit breaker tripped after consecutive failures."""
+
+    TYPE = "circuit_opened"
+
+    mechanism: str
+    failures: int                      # consecutive failures that tripped it
+    cooldown: int                      # batches before a retry is allowed
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
     for cls in (ShiftAssessed, StrategySelected, AswDecayApplied,
                 KnowledgePreserved, KnowledgeReused, KnowledgeEvicted,
-                CecInvoked, CheckpointWritten, CheckpointRejected)
+                CecInvoked, CheckpointWritten, CheckpointRejected,
+                WorkerRestarted, DegradedMode, CircuitOpened)
 }
 
 

@@ -1,0 +1,38 @@
+"""``repro.resilience`` — runtime fault tolerance for the streaming pipeline.
+
+Three legs, matching how production streams actually fail:
+
+- **worker supervision** lives in
+  :class:`~repro.distributed.backends.ProcessBackend`: dead or hung
+  workers are detected during drain, restarted with exponential backoff,
+  re-seeded from the last synchronized state, and their lost in-flight
+  shards resubmitted;
+- **graceful degradation** lives in :class:`~repro.core.learner.Learner`
+  (``degrade=True``): a mechanism that raises downgrades along a fixed
+  fallback chain instead of propagating, guarded by a per-mechanism
+  :class:`CircuitBreaker`;
+- **fault injection** (:mod:`repro.resilience.faults`) provides seedable,
+  deterministic injectors — :class:`WorkerCrash`, :class:`SlowBatch`,
+  :class:`DirtyData`, :class:`CorruptCheckpoint` — so chaos scenarios are
+  reproducible in tests and benchmarks.
+
+See ``docs/RESILIENCE.md`` for the failure-mode catalogue.
+"""
+
+from .degrade import CircuitBreaker
+from .faults import (
+    CorruptCheckpoint,
+    DirtyData,
+    FaultInjector,
+    SlowBatch,
+    WorkerCrash,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "FaultInjector",
+    "WorkerCrash",
+    "SlowBatch",
+    "DirtyData",
+    "CorruptCheckpoint",
+]

@@ -1,0 +1,95 @@
+"""Circuit breaker for the learner's graceful-degradation chain.
+
+When a mechanism (knowledge reuse, CEC, the ensemble, ASW training) keeps
+raising, retrying it every batch just pays the failure cost repeatedly.
+The breaker counts *consecutive* failures per mechanism; at
+``threshold`` the circuit opens and the mechanism is skipped outright
+until ``cooldown`` batches elapse, after which one retry is allowed
+(half-open).  A success closes the circuit and resets the count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker"]
+
+
+@dataclass
+class _Circuit:
+    failures: int = 0            # consecutive failures
+    opened_at: int | None = None  # clock tick the circuit opened, if open
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-mechanism consecutive-failure breaker with cooldown.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures that open a mechanism's circuit.
+    cooldown:
+        Clock ticks (batches) an open circuit blocks retries.  After the
+        cooldown the next :meth:`allow` returns True once (half-open);
+        the retry's outcome decides whether the circuit closes or
+        re-opens for another full cooldown.
+    """
+
+    threshold: int = 3
+    cooldown: int = 10
+    _clock: int = 0
+    _circuits: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.threshold < 1:
+            raise ValueError(f"threshold must be >= 1; got {self.threshold}")
+        if self.cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1; got {self.cooldown}")
+
+    def tick(self) -> None:
+        """Advance the clock one batch."""
+        self._clock += 1
+
+    def _circuit(self, mechanism: str) -> _Circuit:
+        return self._circuits.setdefault(mechanism, _Circuit())
+
+    def allow(self, mechanism: str) -> bool:
+        """Whether the mechanism may run this batch."""
+        circuit = self._circuit(mechanism)
+        if circuit.opened_at is None:
+            return True
+        if self._clock - circuit.opened_at >= self.cooldown:
+            return True  # half-open: one probe allowed
+        return False
+
+    def is_open(self, mechanism: str) -> bool:
+        return not self.allow(mechanism)
+
+    def record_failure(self, mechanism: str) -> bool:
+        """Count one failure; returns True when this failure opens the
+        circuit (so the caller can emit a :class:`CircuitOpened` event
+        exactly once per opening)."""
+        circuit = self._circuit(mechanism)
+        circuit.failures += 1
+        was_open = circuit.opened_at is not None
+        if circuit.failures >= self.threshold:
+            circuit.opened_at = self._clock
+            return not was_open
+        return False
+
+    def record_success(self, mechanism: str) -> None:
+        """A mechanism ran clean: close its circuit."""
+        circuit = self._circuit(mechanism)
+        circuit.failures = 0
+        circuit.opened_at = None
+
+    def snapshot(self) -> dict:
+        """Plain-dict breaker state (for summaries and dashboards)."""
+        return {
+            mechanism: {
+                "failures": circuit.failures,
+                "open": self.is_open(mechanism),
+            }
+            for mechanism, circuit in self._circuits.items()
+        }

@@ -1,0 +1,242 @@
+"""Deterministic fault injectors for chaos testing the streaming pipeline.
+
+Production streams misbehave in a handful of canonical ways: a worker
+process dies mid-batch, a batch stalls, features arrive with NaN/inf
+cells, a preserved checkpoint is corrupted on disk.  Each injector here
+reproduces one of those failures *deterministically* — the trigger
+schedule is either explicit (``at={...}``) or drawn from a seeded RNG, so
+the same seed replays the exact same chaos and a test can assert the
+precise recovery behaviour.
+
+Plug points:
+
+- :class:`DirtyData` and :class:`SlowBatch` are stream transforms — pass
+  them to :meth:`~repro.data.stream.DataStream.map`;
+- :class:`WorkerCrash` and :class:`SlowBatch` attach to a
+  :class:`~repro.distributed.backends.ProcessBackend`
+  (``injector.attach(backend)``), which consults them before dispatching
+  each shard;
+- :class:`CorruptCheckpoint` attaches to a
+  :class:`~repro.core.knowledge.KnowledgeStore` and mangles entries as
+  they are preserved, so the next restore trips the static compatibility
+  gate.
+
+Every injector records what it did in ``fired`` (a list of opportunity
+indices), so tests can assert the chaos actually happened.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+import numpy as np
+
+from ..data.stream import Batch
+
+__all__ = [
+    "FaultInjector",
+    "WorkerCrash",
+    "SlowBatch",
+    "DirtyData",
+    "CorruptCheckpoint",
+]
+
+
+class FaultInjector:
+    """Base class: a deterministic, seedable trigger schedule.
+
+    Parameters
+    ----------
+    at:
+        Explicit opportunity indices that fire (a set of ints).  When
+        given, ``rate`` is ignored — the schedule is fully explicit.
+    rate:
+        Per-opportunity firing probability in [0, 1], drawn from a
+        dedicated ``numpy`` generator seeded with ``seed`` — two injectors
+        with the same seed and the same call sequence fire identically.
+    seed:
+        Seeds the trigger RNG (and any payload randomness in subclasses).
+    """
+
+    def __init__(self, *, at=None, rate: float = 0.0, seed: int = 0):
+        if at is None and not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]; got {rate}")
+        self.at = frozenset(int(i) for i in at) if at is not None else None
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        self._opportunities = 0
+        self.fired: list[int] = []
+
+    def should_fire(self, index: int | None = None) -> bool:
+        """One trigger opportunity; ``index`` defaults to the call count.
+
+        Deterministic: with ``at`` the decision is a set lookup; without,
+        one draw is consumed per opportunity in call order.
+        """
+        if index is None:
+            index = self._opportunities
+        self._opportunities += 1
+        if self.at is not None:
+            fire = int(index) in self.at
+        else:
+            fire = bool(self._rng.random() < self.rate)
+        if fire:
+            self.fired.append(int(index))
+        return fire
+
+    def reset(self) -> None:
+        """Rewind to the initial schedule (same seed, fresh draw stream)."""
+        self._rng = np.random.default_rng(self.seed)
+        self._opportunities = 0
+        self.fired = []
+
+
+def _copy_with_x(batch: Batch, x: np.ndarray) -> Batch:
+    """Shallow-copy ``batch`` with ``x`` swapped in, skipping validation.
+
+    :class:`Batch` rejects non-finite features by design; a dirty-data
+    injector exists precisely to smuggle such values past the front door,
+    so it bypasses ``__post_init__``.
+    """
+    dirty = copy.copy(batch)
+    dirty.x = x
+    return dirty
+
+
+class DirtyData(FaultInjector):
+    """Corrupt a fraction of feature cells with NaN/inf.
+
+    A stream transform: ``stream.map(injector)``.  On a firing batch,
+    ``cells`` randomly chosen cells are overwritten — half NaN, half
+    ±inf — in a copy (the source batch is never mutated).  The corrupted
+    batch bypasses :class:`Batch` validation, exactly like a dirty
+    upstream producer would.
+    """
+
+    def __init__(self, *, at=None, rate: float = 0.0, cells: int = 8,
+                 seed: int = 0):
+        super().__init__(at=at, rate=rate, seed=seed)
+        if cells < 1:
+            raise ValueError(f"cells must be >= 1; got {cells}")
+        self.cells = cells
+        self.corrupted_cells = 0
+
+    def __call__(self, batch: Batch) -> Batch:
+        if not self.should_fire(batch.index):
+            return batch
+        x = batch.x.copy()
+        flat = x.reshape(-1)
+        count = min(self.cells, flat.size)
+        positions = self._rng.choice(flat.size, size=count, replace=False)
+        values = np.where(self._rng.random(count) < 0.5, np.nan, np.inf)
+        values = np.where(self._rng.random(count) < 0.25, -np.inf, values)
+        flat[positions] = values
+        self.corrupted_cells += count
+        return _copy_with_x(batch, x)
+
+
+class SlowBatch(FaultInjector):
+    """Stall a batch (stream transform) or a worker (backend hook).
+
+    As a stream transform, a firing batch is delayed by ``delay`` seconds
+    before being yielded downstream — latency chaos for benchmarks.
+    Attached to a :class:`ProcessBackend`, a firing (worker, sequence)
+    dispatch makes that worker sleep ``delay`` seconds before its shard;
+    with the backend's ``hang_timeout`` below the delay the supervisor
+    declares the worker hung and restarts it.
+    """
+
+    def __init__(self, *, at=None, rate: float = 0.0, delay: float = 0.2,
+                 worker: int | None = None, seed: int = 0):
+        super().__init__(at=at, rate=rate, seed=seed)
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0; got {delay}")
+        self.delay = float(delay)
+        self.worker = worker
+
+    def __call__(self, batch: Batch) -> Batch:
+        if self.should_fire(batch.index):
+            time.sleep(self.delay)
+        return batch
+
+    # -- backend hook ---------------------------------------------------------
+
+    def delay_before(self, worker_index: int, sequence: int) -> float:
+        """Seconds this worker should stall before the given dispatch."""
+        if self.worker is not None and worker_index != self.worker:
+            return 0.0
+        return self.delay if self.should_fire(sequence) else 0.0
+
+    def attach(self, backend) -> "SlowBatch":
+        backend.faults.append(self)
+        return self
+
+
+class WorkerCrash(FaultInjector):
+    """Kill a worker process just before it would run a shard.
+
+    Attach to a :class:`ProcessBackend`; on a firing (worker, sequence)
+    dispatch the backend orders that child to ``os._exit`` instead of
+    sending it the shard, so the shard is genuinely lost in flight and
+    the supervisor must detect the death, restart the worker, re-seed it
+    from the last synchronized state, and resubmit the shard.
+    """
+
+    def __init__(self, *, at=None, rate: float = 0.0,
+                 worker: int | None = None, seed: int = 0):
+        super().__init__(at=at, rate=rate, seed=seed)
+        self.worker = worker
+
+    # -- backend hook ---------------------------------------------------------
+
+    def crash_before(self, worker_index: int, sequence: int) -> bool:
+        """Whether this worker should die before the given dispatch."""
+        if self.worker is not None and worker_index != self.worker:
+            return False
+        return self.should_fire(sequence)
+
+    def attach(self, backend) -> "WorkerCrash":
+        backend.faults.append(self)
+        return self
+
+
+class CorruptCheckpoint(FaultInjector):
+    """Mangle knowledge entries as they are preserved.
+
+    Attached to a :class:`~repro.core.knowledge.KnowledgeStore`, a firing
+    preservation gets its stored ``state_dict`` corrupted — the first
+    parameter is truncated and re-dtyped — so a later
+    :meth:`KnowledgeStore.restore` trips the static compatibility check,
+    emits :class:`~repro.obs.CheckpointRejected`, and the learner
+    downgrades instead of loading garbage weights.
+    """
+
+    def attach(self, store) -> "CorruptCheckpoint":
+        """Wrap ``store.preserve`` so firing entries are corrupted."""
+        original = store.preserve
+
+        def preserve(embedding, state, model_kind, disorder, batch_index):
+            entry = original(embedding, state, model_kind, disorder,
+                             batch_index)
+            if self.should_fire(batch_index):
+                self.corrupt(entry.state)
+            return entry
+
+        store.preserve = preserve
+        return self
+
+    @staticmethod
+    def corrupt(state: dict) -> dict:
+        """Truncate + re-dtype the first parameter in place."""
+        for name in sorted(state):
+            value = np.asarray(state[name])
+            if value.size > 1:
+                state[name] = value.reshape(-1)[:-1].astype(np.float32)
+                return state
+        # Degenerate all-scalar state: re-dtype only.
+        for name in sorted(state):
+            state[name] = np.asarray(state[name]).astype(np.int32)
+            return state
+        return state

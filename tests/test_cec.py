@@ -162,3 +162,57 @@ class TestCoherentExperienceClustering:
             CoherentExperienceClustering(1)
         with pytest.raises(ValueError):
             CoherentExperienceClustering(2, experience_points=0)
+
+
+class TestFeaturizerShapes:
+    def test_cnn_featurizer_receives_native_image_shape(self, rng):
+        """A convolutional featurizer needs (N, C, H, W) input; flattening
+        must happen after featurization (regression: predict() flattened
+        the batch before the featurizer saw it)."""
+        seen_shapes = []
+
+        def featurizer(x):
+            x = np.asarray(x)
+            seen_shapes.append(x.shape)
+            assert x.ndim == 4, "featurizer expected image-shaped input"
+            return x.reshape(len(x), -1)[:, :3]
+
+        buffer = ExperienceBuffer(capacity=500, per_batch=60)
+        buffer.add(rng.normal(size=(60, 1, 4, 4)),
+                   (rng.random(60) > 0.5).astype(np.int64))
+        cec = CoherentExperienceClustering(2, experience_points=40,
+                                           featurizer=featurizer, seed=0)
+        result = cec.predict(rng.normal(size=(12, 1, 4, 4)), buffer)
+        assert result.labels.shape == (12,)
+        assert all(len(shape) == 4 for shape in seen_shapes)
+
+
+class TestSegmentLabels:
+    def _buffer(self, rng):
+        buffer = ExperienceBuffer(capacity=500, per_batch=200)
+        fill_buffer(buffer, rng, [np.zeros(2), np.full(2, 6.0)], [0, 1],
+                    n=60)
+        return buffer
+
+    def test_segmented_result_carries_per_segment_labels(self, rng):
+        """Each segment is clustered independently; the result must expose
+        every segment's cluster→label map, not just the last one
+        (regression: only results[-1].cluster_labels survived)."""
+        buffer = self._buffer(rng)
+        cec = CoherentExperienceClustering(2, experience_points=80,
+                                           segments=3, seed=0)
+        result = cec.predict(rng.normal(size=(90, 2)), buffer)
+        assert isinstance(result.segment_labels, list)
+        assert len(result.segment_labels) == 3
+        for labels in result.segment_labels:
+            assert (labels >= 0).all()
+        # The compat field still mirrors the last segment.
+        np.testing.assert_array_equal(result.cluster_labels,
+                                      result.segment_labels[-1])
+
+    def test_unsegmented_result_has_no_segment_labels(self, rng):
+        buffer = self._buffer(rng)
+        cec = CoherentExperienceClustering(2, experience_points=80, seed=0)
+        result = cec.predict(rng.normal(size=(30, 2)), buffer)
+        assert result.segment_labels is None
+        assert (result.cluster_labels >= 0).all()

@@ -88,15 +88,49 @@ class TestOverflow:
         assert len(spilled) >= 1
 
     def test_spilled_checkpoint_loads(self, tmp_path):
-        from repro.nn.serialization import load_state_dict
         store = KnowledgeStore(capacity=2, spill_dir=tmp_path)
         reference = state(7)
-        store.preserve(np.zeros(2), reference, "short", 0.1, 0)
+        store.preserve(np.array([3.0, -1.0]), reference, "short", 0.1, 0)
         store.preserve(np.zeros(2), state(), "long", 0.5, 1)
         store.preserve(np.zeros(2), state(), "long", 0.5, 2)
-        restored = load_state_dict(tmp_path / "knowledge-00000000-short.npz")
-        np.testing.assert_array_equal(restored["weight"],
+        (path,) = tmp_path.glob("knowledge-00000000-short-*.npz")
+        entry = KnowledgeStore.load_spilled(path)
+        np.testing.assert_array_equal(entry.state["weight"],
                                       reference["weight"])
+
+    def test_spill_keeps_embedding_and_metadata(self, tmp_path):
+        store = KnowledgeStore(capacity=2, spill_dir=tmp_path)
+        embedding = np.array([3.0, -1.0])
+        store.preserve(embedding, state(7), "short", 0.125, 0)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 1)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 2)
+        (path,) = tmp_path.glob("knowledge-00000000-short-*.npz")
+        entry = KnowledgeStore.load_spilled(path)
+        np.testing.assert_array_equal(entry.embedding, embedding)
+        assert entry.model_kind == "short"
+        assert entry.disorder == pytest.approx(0.125)
+        assert entry.batch_index == 0
+
+    def test_spill_filenames_never_collide(self, tmp_path):
+        # Same batch index + same model kind used to overwrite one file.
+        store = KnowledgeStore(capacity=1, spill_dir=tmp_path)
+        for i in range(4):
+            store.preserve(np.full(2, float(i)), state(i), "long", 0.5, 7)
+        spilled = list(tmp_path.glob("knowledge-00000007-long-*.npz"))
+        assert len(spilled) == store.spilled_total
+        assert store.spilled_total >= 2
+
+    def test_readmit_restores_matchable_entry(self, tmp_path):
+        store = KnowledgeStore(capacity=2, spill_dir=tmp_path)
+        embedding = np.array([9.0, 9.0])
+        store.preserve(embedding, state(3), "short", 0.1, 0)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 1)
+        store.preserve(np.zeros(2), state(), "long", 0.5, 2)
+        (path,) = tmp_path.glob("knowledge-00000000-short-*.npz")
+        store.readmit(path)
+        match = store.match(embedding)
+        assert match.entry.model_kind == "short"
+        assert match.distance == pytest.approx(0.0)
 
 
 class TestMatch:

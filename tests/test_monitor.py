@@ -79,3 +79,34 @@ class TestTrack:
         assert monitor.batches == 12
         assert monitor.rolling_accuracy is not None
         assert "strategies:" in monitor.summary()
+
+
+class TestSpanConsumption:
+    def test_spans_found_under_any_parent(self):
+        """learner.update / learner.predict spans nest under pipeline or
+        worker spans in distributed traces; recursion must be uniform
+        (regression: children were only visited under learner.predict)."""
+        monitor = ServingMonitor()
+        monitor.emit({
+            "kind": "span", "name": "worker.step", "duration": 0.01,
+            "children": [
+                {"name": "learner.predict", "duration": 0.004,
+                 "children": []},
+                {"name": "learner.update", "duration": 0.006,
+                 "children": []},
+            ],
+        })
+        stats = monitor.latency_percentiles()
+        assert stats["predict"]["p50"] == pytest.approx(0.004)
+        assert stats["update"]["p50"] == pytest.approx(0.006)
+
+    def test_update_nested_under_predict_still_counted(self):
+        monitor = ServingMonitor()
+        monitor.emit({
+            "kind": "span", "name": "learner.predict", "duration": 0.004,
+            "children": [{"name": "learner.update", "duration": 0.002,
+                          "children": []}],
+        })
+        stats = monitor.latency_percentiles()
+        assert stats["predict"]["p50"] == pytest.approx(0.004)
+        assert stats["update"]["p50"] == pytest.approx(0.002)

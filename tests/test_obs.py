@@ -22,8 +22,10 @@ from repro.obs import (
     CecInvoked,
     CheckpointRejected,
     CheckpointWritten,
+    CircuitOpened,
     CompositeSink,
     Counter,
+    DegradedMode,
     Gauge,
     Histogram,
     JsonlSink,
@@ -36,6 +38,7 @@ from repro.obs import (
     ShiftAssessed,
     StrategySelected,
     Tracer,
+    WorkerRestarted,
     event_from_dict,
     read_records,
     summarize_trace,
@@ -64,6 +67,12 @@ SAMPLE_EVENTS = [
     CheckpointRejected(source="knowledge",
                        reason="shape mismatch for parameter 'weight'",
                        problems=2, batch=5, model_kind="long"),
+    WorkerRestarted(worker=1, restarts=1, reason="crashed", resubmitted=2,
+                    reseeded=True),
+    DegradedMode(batch=6, mechanism="cec",
+                 fallback="multi_granularity",
+                 reason="cec raised ValueError"),
+    CircuitOpened(mechanism="cec", failures=3, cooldown=10),
 ]
 
 

@@ -145,3 +145,35 @@ class TestMissingValueRepair:
             y = (np.nan_to_num(x[:, 0]) > 0).astype(int)
             report = learner.process(repair(x, y, index=index))
             assert report.accuracy is not None
+
+
+class TestEmptyBatches:
+    """Zero-row inputs must not poison running statistics (regression)."""
+
+    def test_repair_empty_batch_keeps_statistics_clean(self):
+        repair = MissingValueRepair()
+        repair.repair(np.array([[1.0, 3.0], [3.0, 5.0]]))
+        out = repair.repair(np.empty((0, 2)))
+        assert out.shape == (0, 2)
+        # The running mean must still be the first batch's column means —
+        # pre-fix, the empty batch folded a NaN mean in and every later
+        # repair filled missing cells with NaN.
+        fixed = repair.repair(np.array([[np.nan, np.nan]]))
+        np.testing.assert_allclose(fixed, [[2.0, 4.0]])
+
+    def test_repair_empty_first_batch_is_a_noop(self):
+        repair = MissingValueRepair()
+        out = repair.repair(np.empty((0, 3)))
+        assert out.shape == (0, 3)
+        fixed = repair.repair(np.array([[np.nan, 1.0, 2.0]]))
+        assert np.isfinite(fixed).all()
+
+    def test_scaler_stream_transform_skips_empty_batch(self):
+        import copy
+        scaler = StreamingStandardScaler()
+        template = Batch(np.array([[2.0]]), None, index=0)
+        empty = copy.copy(template)  # bypasses Batch's empty-batch check
+        empty.x = np.empty((0, 1))
+        out = scaler(empty)
+        assert len(out.x) == 0
+        assert not scaler.fitted  # statistics untouched
