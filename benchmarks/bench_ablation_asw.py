@@ -24,12 +24,10 @@ class _UniformDecayWindow(AdaptiveStreamingWindow):
     """ASW variant that ignores shift ranks and disorder (time-only decay)."""
 
     def _decay_against(self, new_embedding):
-        survivors = []
-        for entry in self._entries:
-            entry.weight *= (1.0 - self.base_decay)
-            if entry.weight >= self.min_weight:
-                survivors.append(entry)
-        self._entries = survivors
+        self._weights = self._weights * (1.0 - self.base_decay)
+        keep = np.flatnonzero(self._weights >= self.min_weight)
+        if len(keep) != len(self._entries):
+            self._replace_entries(keep)
         self._last_disorder = 0.0
 
 

@@ -1,0 +1,202 @@
+"""Hot-path benchmark: end-to-end ``Learner.process`` latency/throughput.
+
+Measures LR / MLP / CNN learners over the three canonical stream shapes
+(A: slight directional drift, B: sudden concept switches, C: the mixed
+schedule with reoccurrences), in two modes:
+
+- ``optimized`` — the default flag state of :mod:`repro.perf`;
+- ``reference`` — everything under ``optimizations_disabled()``.
+
+On a checkout that predates ``repro.perf`` (the "before" tree of the
+perf pass) the script still runs — both modes then measure the legacy
+implementation — so the same file produces the before/after numbers in
+``BENCH_hotpath.json``.
+
+Every invocation first asserts the equivalence gate: the optimized and
+reference modes must produce *identical* accuracy sequences on the MLP
+slight-shift stream.  A benchmark that got faster by changing results is
+reported as a failure, not a speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.core import Learner
+from repro.data.drift import (GaussianMixtureConcept, Segment,
+                              pattern_mix_schedule, stream_from_schedule)
+from repro.eval import model_factory_for
+
+try:
+    from repro.perf import optimizations_disabled
+    HAVE_PERF = True
+except ImportError:  # pre-perf-pass checkout: reference mode == optimized
+    optimizations_disabled = contextlib.nullcontext
+    HAVE_PERF = False
+
+BATCH_SIZE = 128
+NUM_FEATURES = 16
+NUM_CLASSES = 4
+MODELS = ("lr", "mlp", "cnn")
+STREAMS = ("slight", "sudden", "reoccurring")
+
+
+def make_stream(kind: str, num_batches: int, batch_size: int = BATCH_SIZE):
+    """Deterministic stream of one pattern family (same seed every call)."""
+    rng = np.random.default_rng(7)
+    if kind == "slight":
+        concepts = {"c0": GaussianMixtureConcept(NUM_CLASSES, NUM_FEATURES,
+                                                 rng, spread=3.0)}
+        segments = [Segment("c0", num_batches, kind="directional",
+                            magnitude=0.05)]
+    elif kind == "sudden":
+        base = GaussianMixtureConcept(NUM_CLASSES, NUM_FEATURES, rng,
+                                      spread=3.0)
+        concepts = {"c0": base, "c1": base.remix(rng, offset=4.0)}
+        half = max(num_batches // 2, 1)
+        segments = [
+            Segment("c0", half, kind="stationary"),
+            Segment("c1", num_batches - half, kind="stationary",
+                    entry="sudden"),
+        ]
+    elif kind == "reoccurring":
+        concepts, segments = pattern_mix_schedule(
+            rng, num_classes=NUM_CLASSES, num_features=NUM_FEATURES,
+            segment_length=max(num_batches // 7, 4),
+        )
+    else:
+        raise ValueError(f"unknown stream kind {kind!r}")
+    return list(stream_from_schedule(concepts, segments, batch_size, rng,
+                                     num_classes=NUM_CLASSES))
+
+
+def run_stream(model: str, batches, collect_accuracy: bool = False):
+    """One prequential pass; returns (per-batch seconds, accuracies)."""
+    factory = model_factory_for(model, NUM_FEATURES, NUM_CLASSES,
+                                lr=0.3, seed=0)
+    learner = Learner(factory, seed=0)
+    latencies, accuracies = [], []
+    for batch in batches:
+        start = time.perf_counter()
+        report = learner.process(batch)
+        latencies.append(time.perf_counter() - start)
+        if collect_accuracy:
+            accuracies.append(report.accuracy)
+    return latencies, accuracies
+
+
+def measure(model: str, stream_kind: str, num_batches: int, repeats: int,
+            optimized: bool, batch_size: int = BATCH_SIZE) -> dict:
+    """Median per-batch latency and throughput over ``repeats`` passes."""
+    batches = make_stream(stream_kind, num_batches, batch_size)
+    context = (contextlib.nullcontext() if optimized
+               else optimizations_disabled())
+    with context:
+        run_stream(model, batches[:max(num_batches // 4, 2)])  # warm-up
+        per_pass = []
+        all_latencies = []
+        for _ in range(repeats):
+            latencies, _ = run_stream(model, batches)
+            all_latencies.extend(latencies)
+            per_pass.append(num_batches / sum(latencies))
+    # Latency is the median over every timed batch; throughput is the
+    # *best* pass (the timeit estimator: other processes can only slow a
+    # pass down, so the fastest pass is the least-contaminated sample).
+    return {
+        "model": model,
+        "stream": stream_kind,
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "repeats": repeats,
+        "median_batch_latency_ms": statistics.median(all_latencies) * 1e3,
+        "batches_per_s": max(per_pass),
+        "items_per_s": max(per_pass) * batch_size,
+    }
+
+
+def equivalence_gate(num_batches: int = 16) -> bool:
+    """Optimized and reference must answer the stream identically."""
+    batches = make_stream("slight", num_batches)
+    _, optimized = run_stream("mlp", batches, collect_accuracy=True)
+    with optimizations_disabled():
+        _, reference = run_stream("mlp", batches, collect_accuracy=True)
+    return optimized == reference
+
+
+def run_grid(models, streams, num_batches: int, repeats: int,
+             modes=("optimized", "reference")) -> list[dict]:
+    results = []
+    for model in models:
+        for stream_kind in streams:
+            for mode in modes:
+                entry = measure(model, stream_kind, num_batches, repeats,
+                                optimized=(mode == "optimized"))
+                entry["mode"] = mode
+                results.append(entry)
+                print(f"{model:>4} {stream_kind:>11} {mode:>9}: "
+                      f"{entry['median_batch_latency_ms']:7.2f} ms/batch  "
+                      f"{entry['items_per_s']:9.0f} items/s",
+                      file=sys.stderr)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: MLP x slight only, few batches")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write results as JSON to PATH ('-' = stdout)")
+    parser.add_argument("--batches", type=int, default=None,
+                        help="batches per pass (default 60, smoke 16)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="passes per cell (default 5, smoke 2)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        models, streams = ("mlp",), ("slight",)
+        num_batches = args.batches or 16
+        repeats = args.repeats or 2
+    else:
+        models, streams = MODELS, STREAMS
+        num_batches = args.batches or 60
+        repeats = args.repeats or 5
+
+    equivalent = equivalence_gate()
+    if HAVE_PERF and not equivalent:
+        print("FAIL: optimized and reference modes disagree on the MLP "
+              "slight-shift accuracy sequence", file=sys.stderr)
+        return 1
+    print(f"equivalence gate: {'ok' if equivalent else 'n/a (no repro.perf)'}",
+          file=sys.stderr)
+
+    results = run_grid(models, streams, num_batches, repeats)
+    payload = {
+        "have_perf_package": HAVE_PERF,
+        "equivalent": equivalent,
+        "batch_size": BATCH_SIZE,
+        "results": results,
+    }
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

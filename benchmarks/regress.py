@@ -1,0 +1,153 @@
+"""Perf-regression gate over ``BENCH_hotpath.json``.
+
+``--write`` measures the current tree with ``bench_hotpath`` and stores
+the results (plus a machine-speed calibration factor) in
+``BENCH_hotpath.json`` at the repository root.  ``--check`` re-measures
+and fails (exit 1) if any cell's *normalized* throughput regressed by
+more than ``--threshold`` (default 25%).
+
+Raw items/s numbers are not comparable across machines, so both write
+and check time a fixed numpy workload; throughput is normalized by that
+calibration before comparison.  The check stays meaningful on a laptop
+or a CI runner alike — it catches "this commit made the hot path slower",
+not "this machine is slower".
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regress.py --write
+    PYTHONPATH=src python benchmarks/regress.py --check --smoke   # CI job
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from bench_hotpath import equivalence_gate, run_grid
+
+DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+SMOKE_GRID = dict(models=("mlp",), streams=("slight",), num_batches=16,
+                  repeats=3)
+FULL_GRID = dict(models=("lr", "mlp", "cnn"),
+                 streams=("slight", "sudden", "reoccurring"),
+                 num_batches=60, repeats=5)
+
+
+def calibration_seconds(rounds: int = 5) -> float:
+    """Median wall-clock of a fixed numpy workload (machine-speed probe).
+
+    The workload mirrors the hot path's mix: small gemms, reductions, and
+    elementwise ufuncs on float64.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(256, 64))
+    b = rng.normal(size=(64, 64))
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        acc = a
+        for _ in range(200):
+            acc = np.maximum(acc @ b, 0.0)
+            acc = acc - acc.max(axis=1, keepdims=True)
+            np.exp(acc).sum()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def _normalized(results: list[dict], calib: float) -> dict:
+    """Machine-invariant score per grid cell: items/s x calibration secs."""
+    return {
+        f"{entry['model']}/{entry['stream']}/{entry['mode']}":
+            entry["items_per_s"] * calib
+        for entry in results
+    }
+
+
+def _measure(smoke: bool) -> tuple[list[dict], float]:
+    grid = SMOKE_GRID if smoke else FULL_GRID
+    calib = calibration_seconds()
+    results = run_grid(grid["models"], grid["streams"], grid["num_batches"],
+                       grid["repeats"])
+    return results, calib
+
+
+def write(path: pathlib.Path) -> int:
+    if not equivalence_gate():
+        print("FAIL: equivalence gate broken; refusing to write a baseline",
+              file=sys.stderr)
+        return 1
+    payload = {"schema": 1}
+    for section, smoke in (("full", False), ("smoke", True)):
+        results, calib = _measure(smoke)
+        payload[section] = {
+            "calibration_seconds": calib,
+            "results": results,
+        }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def check(path: pathlib.Path, smoke: bool, threshold: float) -> int:
+    if not path.exists():
+        print(f"FAIL: no baseline at {path}; run --write first",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(path.read_text())
+    section = baseline["smoke" if smoke else "full"]
+    if not equivalence_gate():
+        print("FAIL: optimized and reference modes no longer produce "
+              "identical accuracy sequences", file=sys.stderr)
+        return 1
+    results, calib = _measure(smoke)
+    stored = _normalized(section["results"],
+                         section["calibration_seconds"])
+    current = _normalized(results, calib)
+    failures = []
+    for cell, reference_score in stored.items():
+        score = current.get(cell)
+        if score is None:
+            continue
+        ratio = score / reference_score
+        status = "ok" if ratio >= 1.0 - threshold else "REGRESSED"
+        print(f"{cell:>28}: {ratio:6.2f}x vs baseline  [{status}]",
+              file=sys.stderr)
+        if ratio < 1.0 - threshold:
+            failures.append((cell, ratio))
+    if failures:
+        print(f"FAIL: {len(failures)} cell(s) regressed more than "
+              f"{threshold:.0%}: "
+              + ", ".join(f"{c} ({r:.2f}x)" for c, r in failures),
+              file=sys.stderr)
+        return 1
+    print("perf gate passed", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument("--write", action="store_true",
+                        help="measure and store a new baseline")
+    action.add_argument("--check", action="store_true",
+                        help="measure and compare against the baseline")
+    parser.add_argument("--smoke", action="store_true",
+                        help="with --check: compare the CI-sized section only")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--path", type=pathlib.Path, default=DEFAULT_PATH,
+                        help=f"baseline file (default {DEFAULT_PATH})")
+    args = parser.parse_args(argv)
+    if args.write:
+        return write(args.path)
+    return check(args.path, args.smoke, args.threshold)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,13 @@ linters do not know about:
 ``REP006``
     Public module without ``__all__`` — the re-export surface of every
     public module is explicit in this codebase.
+``REP007``
+    Per-element Python ``for`` loop over window entries in ``core/`` —
+    the serving loop touches the window on every arrival, so an O(k)
+    Python-level pass over ``…entries`` belongs in a vectorized array
+    operation (see :mod:`repro.core.asw` and ``docs/PERF.md``).  Loops
+    that are inherently sequential (per-entry RNG draws, serialization)
+    carry an explanatory ``noqa``.
 
 Suppress a finding on its line (or a module-level finding on line 1) with
 ``# repro: noqa[REP001]`` (several codes comma-separated) or a blanket
@@ -60,6 +67,7 @@ RULES = {
     "REP004": "broad except swallows the error",
     "REP005": "event emitted around the Observability facade",
     "REP006": "public module missing __all__",
+    "REP007": "per-element Python loop over window entries in core/",
 }
 
 #: numpy.random attributes that are part of the seeded, explicit-Generator
@@ -125,6 +133,7 @@ class _Visitor(ast.NodeVisitor):
     def __init__(self, path_parts: tuple, add):
         self.in_nn = "nn" in path_parts
         self.in_obs = "obs" in path_parts
+        self.in_core = "core" in path_parts
         self.shift_or_core = bool({"shift", "core"} & set(path_parts))
         self.add = add
 
@@ -205,6 +214,35 @@ class _Visitor(ast.NodeVisitor):
             self.add("REP003",
                      "exact float equality on a distance/statistic is a "
                      "latent flake; compare against an explicit tolerance",
+                     node)
+        self.generic_visit(node)
+
+    # -- REP007 ---------------------------------------------------------------
+
+    @staticmethod
+    def _references_entries(node: ast.expr) -> str | None:
+        """Name the ``…entries`` collection ``node`` iterates, if any.
+
+        Sees through wrappers like ``enumerate(...)`` / ``reversed(...)`` /
+        ``zip(...)`` because :func:`ast.walk` descends into call arguments.
+        """
+        for child in ast.walk(node):
+            if (isinstance(child, ast.Attribute)
+                    and child.attr.endswith("entries")):
+                return child.attr
+            if isinstance(child, ast.Name) and child.id.endswith("entries"):
+                return child.id
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        collection = (self._references_entries(node.iter)
+                      if self.in_core else None)
+        if collection is not None:
+            self.add("REP007",
+                     f"per-element Python loop over {collection} runs O(k) "
+                     f"interpreter work on the serving hot path; vectorize "
+                     f"it (one array pass) or annotate why it must stay "
+                     f"sequential",
                      node)
         self.generic_visit(node)
 

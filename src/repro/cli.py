@@ -11,12 +11,13 @@ Five subcommands::
 ``run`` evaluates one framework on one dataset prequentially and prints
 G_acc / SI / throughput (``--json`` emits the result as one JSON object;
 ``--trace out.jsonl`` records the decision-event/span log; ``--metrics``
-prints the Prometheus-style metrics snapshot); ``compare`` runs every
-framework of the chosen model group plus FreewayML and renders a
-Table-I-style block; ``datasets`` lists what is available; ``report``
+prints the Prometheus-style metrics snapshot; ``--profile`` prints the
+per-stage hot-path time breakdown, see ``docs/PERF.md``); ``compare``
+runs every framework of the chosen model group plus FreewayML and renders
+a Table-I-style block; ``datasets`` lists what is available; ``report``
 summarizes a recorded trace (per-strategy latency percentiles, knowledge
 reuse hit-rate, decay timeline).  ``--csv`` runs on your own data instead
-of a built-in generator.  ``analyze`` runs the static REP001–REP006 lint
+of a built-in generator.  ``analyze`` runs the static REP001–REP007 lint
 pass (and, with ``--check-models``, symbolic shape verification of the
 model zoo) — see ``docs/ANALYSIS.md``.
 """
@@ -78,14 +79,16 @@ def _generator(args):
     return datasets[args.dataset]
 
 
-def _config(args, obs: Observability | None = None) -> RunConfig:
+def _config(args, obs: Observability | None = None,
+            profiler=None) -> RunConfig:
     return RunConfig(num_batches=args.batches, batch_size=args.batch_size,
                      model=args.model, lr=args.lr, seed=args.seed,
                      num_workers=getattr(args, "workers", 1),
                      backend=getattr(args, "backend", "serial"),
                      sync_every=getattr(args, "sync_every", 1),
                      max_restarts=getattr(args, "max_restarts", 2),
-                     degrade=getattr(args, "degrade", False), obs=obs)
+                     degrade=getattr(args, "degrade", False), obs=obs,
+                     profiler=profiler)
 
 
 def _build_obs(args) -> Observability | None:
@@ -117,6 +120,24 @@ def _add_common(parser):
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _build_profiler(args, obs=None):
+    """Hot-path profiler for a ``run --profile`` invocation, if viable."""
+    if not getattr(args, "profile", False):
+        return None
+    if args.framework != "freewayml":
+        print(f"note: --profile instruments the freewayml serving loop; "
+              f"framework {args.framework!r} records nothing",
+              file=sys.stderr)
+        return None
+    if getattr(args, "workers", 1) > 1 or (
+            getattr(args, "backend", "serial") != "serial"):
+        print("note: --profile is single-process only; distributed replicas "
+              "would interleave stage timings — skipping", file=sys.stderr)
+        return None
+    from .perf import HotPathProfiler
+    return HotPathProfiler(obs=obs)
+
+
 def _cmd_run(args) -> int:
     generator = _generator(args)
     obs = _build_obs(args)
@@ -124,7 +145,9 @@ def _cmd_run(args) -> int:
         print(f"note: --trace/--metrics instrument the freewayml pipeline; "
               f"framework {args.framework!r} records nothing",
               file=sys.stderr)
-    result = run_framework(args.framework, generator, _config(args, obs=obs))
+    profiler = _build_profiler(args, obs=obs)
+    result = run_framework(args.framework, generator,
+                           _config(args, obs=obs, profiler=profiler))
     by_pattern = result.accuracy_by_pattern()
     if args.json:
         payload = {
@@ -141,6 +164,8 @@ def _cmd_run(args) -> int:
             payload["metrics"] = obs.registry.snapshot()
         if obs is not None and getattr(args, "trace", None):
             payload["trace"] = args.trace
+        if profiler is not None:
+            payload["hot_path"] = profiler.summary()
         print(json.dumps(payload, indent=2, default=float))
     else:
         print(f"framework : {result.name}")
@@ -158,6 +183,10 @@ def _cmd_run(args) -> int:
             print(obs.registry.render_text(), end="")
         if obs is not None and getattr(args, "trace", None):
             print(f"trace     : {args.trace}")
+        if profiler is not None:
+            print()
+            print("hot path (per-stage):")
+            print(profiler.render())
     if obs is not None:
         obs.close()
     return 0
@@ -302,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "here (freewayml only)")
     run_parser.add_argument("--metrics", action="store_true",
                             help="print the metrics snapshot after the run")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="time each serving-loop stage and print "
+                                 "the hot-path breakdown after the run "
+                                 "(freewayml, single process)")
     run_parser.add_argument("--json", action="store_true",
                             help="emit the result as a single JSON object")
     run_parser.set_defaults(handler=_cmd_run)
@@ -327,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze_parser = commands.add_parser(
         "analyze",
-        help="static REP001-REP006 lint pass (see docs/ANALYSIS.md)",
+        help="static REP001-REP007 lint pass (see docs/ANALYSIS.md)",
     )
     analyze_parser.add_argument("paths", nargs="*", default=["src"],
                                 help="files or directories to analyze "

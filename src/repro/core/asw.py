@@ -32,23 +32,66 @@ from ..obs import NULL_OBS, AswDecayApplied
 __all__ = ["WindowEntry", "AdaptiveStreamingWindow", "inversion_count"]
 
 
-def inversion_count(sequence: np.ndarray) -> int:
-    """Number of out-of-order pairs, ``|{(i, j): i < j and s_i > s_j}|`` (Eq. 11)."""
+def _inversion_count_naive(sequence: np.ndarray) -> int:
+    """Reference O(k²) pair count — kept for property tests against the fast path."""
     sequence = np.asarray(sequence)
     count = 0
-    for i in range(len(sequence) - 1):
+    for i in range(len(sequence) - 1):  # repro: noqa[REP007] — reference implementation for fuzz tests
         count += int((sequence[i] > sequence[i + 1:]).sum())
     return count
 
 
+def _merge_count(sequence: list) -> tuple[list, int]:
+    """Merge-sort ``sequence`` ascending, returning (sorted, inversions)."""
+    n = len(sequence)
+    if n < 2:
+        return sequence, 0
+    mid = n // 2
+    left, inv_left = _merge_count(sequence[:mid])
+    right, inv_right = _merge_count(sequence[mid:])
+    merged = []
+    inversions = inv_left + inv_right
+    i = j = 0
+    len_left = len(left)
+    while i < len_left and j < len(right):
+        if left[i] <= right[j]:  # ties are not inversions (strict >)
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            # right[j] jumps ahead of every remaining left element.
+            inversions += len_left - i
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inversions
+
+
+def inversion_count(sequence: np.ndarray) -> int:
+    """Number of out-of-order pairs, ``|{(i, j): i < j and s_i > s_j}|`` (Eq. 11).
+
+    Counted during an O(k log k) merge sort; being integer arithmetic the
+    result is exactly the naive pair count (property-tested against
+    :func:`_inversion_count_naive` in ``tests/test_asw.py``).
+    """
+    values = np.asarray(sequence).tolist()
+    if len(values) < 2:
+        return 0
+    return _merge_count(values)[1]
+
+
 @dataclass
 class WindowEntry:
-    """One batch held by the window, with its decay weight."""
+    """One batch held by the window.
+
+    Decay weights live on the owning window as one array (vectorized
+    decay, see :meth:`AdaptiveStreamingWindow.entry_weights`), not on the
+    entry.
+    """
 
     x: np.ndarray
     y: np.ndarray
     embedding: np.ndarray
-    weight: float
     index: int
 
 
@@ -95,6 +138,13 @@ class AdaptiveStreamingWindow:
         self.obs = obs if obs is not None else NULL_OBS
         self._rng = np.random.default_rng(seed)
         self._entries: list[WindowEntry] = []
+        # Parallel arrays over ``_entries`` (oldest first): decay weights,
+        # row counts, and the stacked embedding matrix.  Keeping them as
+        # arrays makes the per-arrival decay one vectorized pass instead
+        # of a per-entry Python loop.
+        self._weights = np.empty(0)
+        self._sizes = np.empty(0, dtype=np.int64)
+        self._embeddings: np.ndarray | None = None
         self._last_disorder: float = 0.0
         self._arrivals = 0
 
@@ -110,7 +160,7 @@ class AdaptiveStreamingWindow:
     @property
     def effective_items(self) -> float:
         """Decay-weighted row count across the window."""
-        return float(sum(entry.weight * len(entry.x) for entry in self._entries))
+        return float(self._weights @ self._sizes)
 
     @property
     def is_full(self) -> bool:
@@ -127,13 +177,12 @@ class AdaptiveStreamingWindow:
         """Weight-averaged embedding of the window (for ``D_Long``, Eq. 13)."""
         if not self._entries:
             raise RuntimeError("window is empty")
-        weights = np.array([entry.weight for entry in self._entries])
-        embeddings = np.stack([entry.embedding for entry in self._entries])
-        return (weights[:, None] * embeddings).sum(axis=0) / weights.sum()
+        weights = self._weights
+        return (weights[:, None] * self._embeddings).sum(axis=0) / weights.sum()
 
     def entry_weights(self) -> np.ndarray:
         """Current decay weights, oldest entry first."""
-        return np.array([entry.weight for entry in self._entries])
+        return self._weights.copy()
 
     # -- Algorithm 1 ------------------------------------------------------------
 
@@ -147,23 +196,38 @@ class AdaptiveStreamingWindow:
         if self._entries:
             self._decay_against(embedding)
         self._entries.append(
-            WindowEntry(x=x, y=y, embedding=embedding, weight=1.0,
-                        index=self._arrivals)
+            WindowEntry(x=x, y=y, embedding=embedding, index=self._arrivals)
         )
+        self._weights = np.append(self._weights, 1.0)
+        self._sizes = np.append(self._sizes, len(x))
+        if self._embeddings is None:
+            self._embeddings = embedding[None, :].copy()
+        else:
+            self._embeddings = np.concatenate(
+                [self._embeddings, embedding[None, :]], axis=0)
         self._arrivals += 1
+
+    def _replace_entries(self, keep: np.ndarray) -> None:
+        """Compact the entry list and its parallel arrays to ``keep`` rows."""
+        self._entries = [self._entries[i] for i in keep]
+        self._weights = self._weights[keep]
+        self._sizes = self._sizes[keep]
+        if self._embeddings is not None:
+            self._embeddings = (self._embeddings[keep]
+                                if len(keep) else None)
 
     def _decay_against(self, new_embedding: np.ndarray) -> None:
         # Entries whose embedding lives in a different space (possible when
         # the owner's PCA fitted mid-stream) cannot be compared; drop them
-        # rather than crash — they predate the current representation.
-        self._entries = [entry for entry in self._entries
-                         if entry.embedding.shape == new_embedding.shape]
-        if not self._entries:
+        # rather than crash — they predate the current representation.  All
+        # stored embeddings share one width (the matrix invariant), so a
+        # width change drops the whole window.
+        if (self._embeddings is None
+                or self._embeddings.shape[1] != new_embedding.shape[0]):
+            self._replace_entries(np.empty(0, dtype=np.int64))
             return
-        distances = np.array([
-            np.linalg.norm(entry.embedding - new_embedding)
-            for entry in self._entries
-        ])
+        diff = self._embeddings - new_embedding
+        distances = np.sqrt(np.einsum("ij,ij->i", diff, diff))
         k = len(distances)
         # Ascending rank: closest batch gets 0 (decays least).
         ascending = np.empty(k, dtype=int)
@@ -182,19 +246,19 @@ class AdaptiveStreamingWindow:
         rates = (self.base_decay * self.decay_boost
                  * (0.5 + self._last_disorder) * (0.5 + rank_norm))
         rates = np.clip(rates, 0.0, 0.95)
-        survivors: list[WindowEntry] = []
-        for entry, rate in zip(self._entries, rates):
-            entry.weight *= (1.0 - float(rate))
-            if entry.weight >= self.min_weight:
-                survivors.append(entry)
-        evicted = len(self._entries) - len(survivors)
-        self._entries = survivors
+        # One array pass over the window: decay every weight, evict the
+        # ones that fell below the floor.
+        self._weights = self._weights * (1.0 - rates)
+        keep = np.flatnonzero(self._weights >= self.min_weight)
+        evicted = k - len(keep)
+        if evicted:
+            self._replace_entries(keep)
         if self.obs.enabled:
             self.obs.emit(AswDecayApplied(
                 window=self.name, arrival=self._arrivals,
                 mean_rate=float(rates.mean()),
                 disorder=self._last_disorder, inversions=inversions,
-                entries=len(survivors), evicted=evicted,
+                entries=len(self._entries), evicted=evicted,
             ))
             self.obs.registry.gauge(
                 "freeway_asw_disorder",
@@ -214,8 +278,11 @@ class AdaptiveStreamingWindow:
             raise RuntimeError("window is empty")
         xs: list[np.ndarray] = []
         ys: list[np.ndarray] = []
-        for entry in self._entries:
-            take = int(round(entry.weight * len(entry.x)))
+        weights = self._weights
+        # Per-entry RNG subsampling is inherently sequential: each draw
+        # advances the generator, so order is part of the contract.
+        for position, entry in enumerate(self._entries):  # repro: noqa[REP007] — sequential RNG draws per entry
+            take = int(round(float(weights[position]) * len(entry.x)))
             if take <= 0:
                 continue
             if take >= len(entry.x):
@@ -233,4 +300,7 @@ class AdaptiveStreamingWindow:
     def reset(self) -> None:
         """Clear the window (after the long-granularity model updates)."""
         self._entries.clear()
+        self._weights = np.empty(0)
+        self._sizes = np.empty(0, dtype=np.int64)
+        self._embeddings = None
         self._last_disorder = 0.0

@@ -88,7 +88,7 @@ class ExperienceBuffer:
         xs: list[np.ndarray] = []
         ys: list[np.ndarray] = []
         remaining = count
-        for x, y, _ in reversed(self._entries):
+        for x, y, _ in reversed(self._entries):  # repro: noqa[REP007] — early-exit take of newest batches, O(count) not O(k)
             if remaining <= 0:
                 break
             take = min(remaining, len(x))

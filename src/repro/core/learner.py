@@ -53,6 +53,22 @@ __all__ = ["Learner", "PredictionResult", "BatchReport"]
 
 _UNSET = object()  # sentinel distinguishing "not passed" from None
 
+
+class _NullStage:
+    """Zero-cost stand-in for :meth:`HotPathProfiler.stage` when profiling
+    is off — entering/exiting does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
 #: Paper CamelCase constructor names → canonical snake_case (deprecation
 #: shim in :meth:`Learner.from_paper_config`; removed next release).
 _PAPER_KWARGS = {
@@ -181,6 +197,14 @@ class Learner:
         accumulates per-strategy latency histograms.  The default is the
         shared disabled facade, whose cost on the hot path is one attribute
         check per instrumentation site.
+    profiler:
+        Optional :class:`~repro.perf.HotPathProfiler`.  When set, the
+        serving loop's stages (``assess``, ``select``, ``infer``,
+        ``train``, ``experience``, ``preserve``) are timed individually;
+        ``python -m repro run --profile`` prints the breakdown, and with
+        an enabled ``obs`` each sample also feeds the
+        ``freeway_hot_path_seconds{stage}`` histogram.  ``None`` (the
+        default) costs one attribute check per stage.
     """
 
     def __init__(self, model_factory, *, num_models: int = 2,
@@ -199,7 +223,8 @@ class Learner:
                  degrade: bool = False, breaker_threshold: int = 3,
                  breaker_cooldown: int = 10,
                  spill_dir=None, seed: int = 0,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 profiler=None):
         if num_models < 1:
             raise ValueError(f"num_models must be >= 1; got {num_models}")
         template = model_factory()
@@ -210,6 +235,7 @@ class Learner:
             )
         self.num_classes = template.num_classes
         self.obs = obs if obs is not None else NULL_OBS
+        self.profiler = profiler
 
         sizes = [1] + [window_batches * (4 ** i) for i in range(num_models - 1)]
         self.ensemble = MultiGranularityEnsemble(
@@ -312,6 +338,11 @@ class Learner:
 
     # -- inference ----------------------------------------------------------------
 
+    def _stage(self, name: str):
+        """Profiler span for one hot-path stage (no-op without a profiler)."""
+        profiler = self.profiler
+        return _NULL_STAGE if profiler is None else profiler.stage(name)
+
     def predict(self, x: np.ndarray) -> PredictionResult:
         """Classify the shift, select one strategy, and answer with it."""
         with self.obs.tracer.span("learner.predict",
@@ -321,21 +352,24 @@ class Learner:
             self._pending_reuse = None
             if self.degrade:
                 x = self._sanitize_input(x)
-            assessment = self.classifier.assess(self._shift_view(x))
-            raw_pattern = assessment.pattern
-            assessment = self._apply_confidence_channel(x, assessment)
-            decision = self.selector.select(
-                assessment,
-                knowledge_available=len(self.knowledge) > 0,
-                experience_available=len(self.experience) > 0,
-                ensemble_trained=self.ensemble.trained,
-            )
-            if self.degrade:
-                result, decision = self._dispatch_degraded(
-                    x, assessment, decision
+            with self._stage("assess"):
+                assessment = self.classifier.assess(self._shift_view(x))
+                raw_pattern = assessment.pattern
+                assessment = self._apply_confidence_channel(x, assessment)
+            with self._stage("select"):
+                decision = self.selector.select(
+                    assessment,
+                    knowledge_available=len(self.knowledge) > 0,
+                    experience_available=len(self.experience) > 0,
+                    ensemble_trained=self.ensemble.trained,
                 )
-            else:
-                result, decision = self._dispatch(x, assessment, decision)
+            with self._stage("infer"):
+                if self.degrade:
+                    result, decision = self._dispatch_degraded(
+                        x, assessment, decision
+                    )
+                else:
+                    result, decision = self._dispatch(x, assessment, decision)
             span.set(strategy=decision.strategy.value,
                      pattern=assessment.pattern.value)
         if self.obs.enabled:
@@ -666,17 +700,18 @@ class Learner:
 
             self._verify_pending_reuse(x, y)
             self._observe_errors(x, y)
-            if self.degrade:
-                infos = self._update_degraded(x, y, embedding)
-                if infos is None:
-                    self.experience.add(x, y)
-                    self._batch_counter += 1
-                    return None
-            else:
-                infos = self.ensemble.update(x, y, embedding)
-            self.experience.add(x, y)
+            with self._stage("train"):
+                if self.degrade:
+                    infos = self._update_degraded(x, y, embedding)
+                else:
+                    infos = self.ensemble.update(x, y, embedding)
+            with self._stage("experience"):
+                self.experience.add(x, y)
             self._batch_counter += 1
-            self._maybe_preserve(infos, embedding)
+            if infos is None:  # degraded update skipped training
+                return None
+            with self._stage("preserve"):
+                self._maybe_preserve(infos, embedding)
             short_info = infos[self._short_index()]
             return short_info.get("loss")
 

@@ -67,15 +67,17 @@ def learner_state(learner: Learner) -> tuple[dict, dict]:
         }
         if level.window is not None:
             window = level.window
-            for position, entry in enumerate(window._entries):
+            for position, entry in enumerate(window._entries):  # repro: noqa[REP007] — checkpoint serialization, off the serving path
                 prefix = f"level{index}/window{position}/"
                 arrays[f"{prefix}x"] = entry.x
                 arrays[f"{prefix}y"] = entry.y
                 arrays[f"{prefix}embedding"] = entry.embedding
+            window_weights = window.entry_weights()
             level_meta["window"] = {
                 "entries": [
-                    {"weight": entry.weight, "index": entry.index}
-                    for entry in window._entries
+                    {"weight": float(window_weights[position]),
+                     "index": entry.index}
+                    for position, entry in enumerate(window._entries)
                 ],
                 "arrivals": window._arrivals,
                 "last_disorder": window._last_disorder,
@@ -83,7 +85,7 @@ def learner_state(learner: Learner) -> tuple[dict, dict]:
             }
         meta["levels"].append(level_meta)
 
-    for index, entry in enumerate(learner.knowledge.entries):
+    for index, entry in enumerate(learner.knowledge.entries):  # repro: noqa[REP007] — checkpoint serialization, off the serving path
         prefix = f"knowledge{index}/"
         _flatten(prefix, entry.state, arrays)
         arrays[f"{prefix}__embedding__"] = entry.embedding
@@ -93,7 +95,7 @@ def learner_state(learner: Learner) -> tuple[dict, dict]:
             "batch_index": entry.batch_index,
         })
 
-    for index, (x, y, clock) in enumerate(learner.experience._entries):
+    for index, (x, y, clock) in enumerate(learner.experience._entries):  # repro: noqa[REP007] — checkpoint serialization, off the serving path
         arrays[f"experience{index}/x"] = x
         arrays[f"experience{index}/y"] = y
         meta["experience"].append({"clock": clock})
@@ -205,12 +207,21 @@ def restore_learner_state(learner: Learner, arrays: dict, meta: dict) -> Learner
                     embedding=np.asarray(
                         arrays[f"{prefix}window{position}/embedding"]
                     ),
-                    weight=float(entry_meta["weight"]),
                     index=int(entry_meta["index"]),
                 )
                 for position, entry_meta
                 in enumerate(window_meta["entries"])
             ]
+            # Rebuild the window's parallel arrays (weights/sizes/stacked
+            # embeddings) alongside the entry list.
+            window._weights = np.asarray(
+                [float(entry_meta["weight"])
+                 for entry_meta in window_meta["entries"]], dtype=float)
+            window._sizes = np.asarray(
+                [len(entry.x) for entry in window._entries], dtype=np.int64)
+            window._embeddings = (
+                np.stack([entry.embedding for entry in window._entries])
+                if window._entries else None)
             window._arrivals = int(window_meta["arrivals"])
             window._last_disorder = float(window_meta["last_disorder"])
             window._rng.bit_generator.state = window_meta["rng_state"]
@@ -254,8 +265,7 @@ def restore_learner_state(learner: Learner, arrays: dict, meta: dict) -> Learner
                           ("errors", learner._errors)):
         key = f"tracker/{name}"
         if key in arrays:
-            tracker._distances.clear()
-            tracker._distances.extend(float(v) for v in arrays[key])
+            tracker.restore(arrays[key])
     return learner
 
 

@@ -62,6 +62,11 @@ class RunConfig:
     #: Observability facade attached to FreewayML learners, so benchmarks
     #: collect stage-level spans/events alongside the prequential result.
     obs: Observability | None = None
+    #: Optional :class:`~repro.perf.HotPathProfiler` attached to the
+    #: single-process FreewayML learner (``run --profile``).  Ignored for
+    #: distributed runs — per-stage timings from concurrent replicas would
+    #: interleave into one meaningless aggregate.
+    profiler: object | None = None
 
     def learning_rate(self) -> float:
         return self.lr if self.lr is not None else DEFAULT_LR[self.model]
@@ -115,6 +120,8 @@ def run_framework(framework: str, generator, config: RunConfig,
                                         skip=config.skip)
             finally:
                 learner.close()
+        if config.profiler is not None:
+            learner_kwargs.setdefault("profiler", config.profiler)
         learner = Learner(factory, seed=config.seed, obs=config.obs,
                           **learner_kwargs)
         return evaluate_learner(learner, stream, name=FREEWAYML,

@@ -9,12 +9,17 @@ experiments in the paper's appendix.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
+from ..perf import POOL as _POOL
+from ..perf.config import config as _perf_config
 from .tensor import Tensor
 
 __all__ = [
     "linear",
+    "fused_linear",
     "relu",
     "sigmoid",
     "tanh",
@@ -47,6 +52,74 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     return out
 
 
+_FUSED_ACTIVATIONS = ("relu", "tanh", "sigmoid")
+
+
+def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                 activation: str | None = None) -> Tensor:
+    """Affine map (optionally + activation) as a *single* autograd node.
+
+    Numerically this is bitwise-identical to ``linear(x, weight, bias)``
+    followed by the activation: the forward replays the exact float
+    expressions of the unfused op chain, and the backward replays the
+    gemm calls the chain's matmul/transpose closures would have issued
+    (``grad_W = (x.T @ g).T``, ``grad_x = g @ W``, bias unbroadcast by
+    the delivery path).  What it saves is graph overhead: one node and
+    one closure instead of three to five per layer — which dominates at
+    streaming batch sizes (see ``docs/PERF.md``).
+
+    Falls back to the unfused chain for non-2D inputs.
+    """
+    x = _as_tensor(x)
+    xd = x.data
+    if xd.ndim != 2 or weight.data.ndim != 2:
+        out = linear(x, weight, bias)
+        if activation == "relu":
+            return out.relu()
+        if activation == "tanh":
+            return out.tanh()
+        if activation == "sigmoid":
+            return out.sigmoid()
+        return out
+    if activation is not None and activation not in _FUSED_ACTIVATIONS:
+        raise ValueError(f"unsupported fused activation: {activation!r}")
+    wd = weight.data
+    out = xd @ wd.T
+    if bias is not None:
+        # The product buffer is private (fresh from the gemm), so the bias
+        # add can land in place — same ufunc, same bits, one less alloc.
+        np.add(out, bias.data, out=out)
+    # act_state is what the activation's backward needs: the relu mask, or
+    # the activation output itself for tanh/sigmoid.
+    act_state = None
+    if activation == "relu":
+        act_state = out > 0
+        out = np.maximum(out, 0.0)
+    elif activation == "tanh":
+        out = np.tanh(out)
+        act_state = out
+    elif activation == "sigmoid":
+        out = 1.0 / (1.0 + np.exp(-np.clip(out, -60.0, 60.0)))
+        act_state = out
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        if activation == "relu":
+            g = g * act_state
+        elif activation == "tanh":
+            g = g * (1.0 - act_state * act_state)
+        elif activation == "sigmoid":
+            g = g * act_state * (1.0 - act_state)
+        grad_x = g @ wd
+        grad_weight = (xd.T @ g).T
+        if bias is None:
+            return grad_x, grad_weight
+        return grad_x, grad_weight, g
+
+    return Tensor._make(out, parents, backward)
+
+
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
     return _as_tensor(x).relu()
@@ -71,6 +144,15 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis``."""
+    x = _as_tensor(x)
+    if _perf_config.fused_loss and not x.requires_grad:
+        # Inference fast path: no gradient can flow, so skip graph
+        # construction and run the identical ufunc sequence on raw
+        # arrays (max → sub → exp → sum → log → sub → exp).
+        data = x.data
+        shifted = data - data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        return Tensor(np.exp(shifted - log_norm))
     return log_softmax(x, axis=axis).exp()
 
 
@@ -95,8 +177,50 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
     return -picked.mean()
 
 
+def _fused_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """``nll_loss(log_softmax(logits))`` as one autograd node.
+
+    Bitwise-identical to the unfused chain: the forward replays its exact
+    ufunc sequence, and the backward replays — in the same order — every
+    float operation the chain's ten node closures would have run (the
+    broadcast copies, the ``(-g).sum`` unbroadcast of the log-norm grad,
+    and the two-consumer pair addition at the shifted logits).  What it
+    saves is ten Tensor allocations and closure round-trips per loss
+    evaluation.
+    """
+    x = logits.data
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    mask = one_hot(labels, x.shape[-1])
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp_shifted = np.exp(shifted)
+    norm = exp_shifted.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(norm)
+    picked = (log_probs * mask).sum(axis=-1)
+    inv_count = 1.0 / picked.size
+    loss = -(picked.sum() * inv_count)
+    rows, cols = x.shape
+
+    def backward(g: np.ndarray):
+        # Broadcast *views* stand in for the chain's materialized copies:
+        # the consumers below are elementwise, so the products come out
+        # bit-for-bit the same without the intermediate allocations.
+        g_picked = np.broadcast_to(-g * inv_count, (rows,))
+        g_log_probs = np.broadcast_to(
+            np.expand_dims(g_picked, -1), (rows, cols)
+        )
+        g_masked = g_log_probs * mask
+        g_log_norm = (-g_masked).sum(axis=(1,), keepdims=True)
+        g_exp = np.broadcast_to(g_log_norm / norm, (rows, cols))
+        return (g_masked + g_exp * exp_shifted,)
+
+    return Tensor._make(loss, (logits,), backward)
+
+
 def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Softmax cross-entropy between ``logits`` and integer ``labels``."""
+    logits = _as_tensor(logits)
+    if _perf_config.fused_loss and logits.data.ndim == 2:
+        return _fused_cross_entropy(logits, labels)
     return nll_loss(log_softmax(logits, axis=-1), labels)
 
 
@@ -143,15 +267,30 @@ def _pair(value) -> tuple[int, int]:
 
 
 def _im2col_indices(x_shape, kernel_h, kernel_w, stride, padding):
-    batch, channels, height, width = x_shape
+    """Gather indices for im2col — memoized, the args fully determine them.
+
+    Streaming models call conv2d with the same shapes every batch; the
+    repeat/tile index construction is pure overhead after the first call.
+    Callers only ever *read* the returned arrays (fancy indexing), so
+    sharing cached instances is safe.
+    """
     stride_h, stride_w = _pair(stride)
     pad_h, pad_w = _pair(padding)
+    return _im2col_indices_cached(tuple(x_shape), int(kernel_h), int(kernel_w),
+                                  stride_h, stride_w, pad_h, pad_w)
+
+
+@functools.lru_cache(maxsize=128)
+def _im2col_indices_cached(x_shape, kernel_h, kernel_w, stride_h, stride_w,
+                           pad_h, pad_w):
+    batch, channels, height, width = x_shape
     out_h = (height + 2 * pad_h - kernel_h) // stride_h + 1
     out_w = (width + 2 * pad_w - kernel_w) // stride_w + 1
     if out_h <= 0 or out_w <= 0:
         raise ValueError(
             f"conv/pool output would be empty for input {x_shape} with "
-            f"kernel ({kernel_h},{kernel_w}), stride {stride}, padding {padding}"
+            f"kernel ({kernel_h},{kernel_w}), stride ({stride_h},{stride_w}), "
+            f"padding ({pad_h},{pad_w})"
         )
     i0 = np.repeat(np.arange(kernel_h), kernel_w)
     i0 = np.tile(i0, channels)
@@ -169,10 +308,25 @@ def _im2col(x: np.ndarray, kernel_h, kernel_w, stride, padding):
         x.shape, kernel_h, kernel_w, stride, padding
     )
     pad_h, pad_w = _pair(padding)
-    padded = np.pad(
-        x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant"
-    )
-    cols = padded[:, k, i, j]  # (batch, C*kh*kw, out_h*out_w)
+    if pad_h == 0 and pad_w == 0:
+        # No padding: gather straight from the input, skipping np.pad's
+        # full copy.  Fancy indexing yields the identical fresh array.
+        cols = x[:, k, i, j]  # (batch, C*kh*kw, out_h*out_w)
+        return cols, out_h, out_w
+    padded_shape = (x.shape[0], x.shape[1],
+                    x.shape[2] + 2 * pad_h, x.shape[3] + 2 * pad_w)
+    if _perf_config.buffer_pool:
+        # Zero-filled pool scratch + interior write == np.pad constant-0;
+        # the gather below copies out of it, so it can be released here.
+        padded = _POOL.zeros(padded_shape, dtype=x.dtype)
+        padded[:, :, pad_h:pad_h + x.shape[2], pad_w:pad_w + x.shape[3]] = x
+        cols = padded[:, k, i, j]
+        _POOL.release(padded)
+    else:
+        padded = np.pad(
+            x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant"
+        )
+        cols = padded[:, k, i, j]
     return cols, out_h, out_w
 
 

@@ -15,6 +15,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..perf.config import config as _perf_config
 from . import functional as F
 from . import init
 from .tensor import Tensor
@@ -178,6 +179,8 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
+        if _perf_config.fused_linear:
+            return F.fused_linear(x, self.weight, self.bias)
         return F.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:
@@ -279,8 +282,19 @@ class Flatten(Module):
         return x.flatten_batch()
 
 
+#: Activation modules Sequential can fold into a preceding Linear
+#: (exact types only — a subclass may override forward arbitrarily).
+_FUSABLE_ACTIVATIONS = {ReLU: "relu", Tanh: "tanh", Sigmoid: "sigmoid"}
+
+
 class Sequential(Module):
-    """Run child modules in order."""
+    """Run child modules in order.
+
+    With :data:`repro.perf.config.fused_linear` on, a ``Linear`` directly
+    followed by a ``ReLU``/``Tanh``/``Sigmoid`` executes as one fused
+    autograd node (:func:`repro.nn.functional.fused_linear`) — the values
+    are bitwise-identical, only the graph is smaller.
+    """
 
     def __init__(self, *layers: Module):
         super().__init__()
@@ -289,8 +303,27 @@ class Sequential(Module):
             setattr(self, f"layer{index}", layer)
 
     def forward(self, x: Tensor) -> Tensor:
+        if _perf_config.fused_linear:
+            return self._forward_fused(x)
         for layer in self.layers:
             x = layer(x)
+        return x
+
+    def _forward_fused(self, x: Tensor) -> Tensor:
+        layers = self.layers
+        count = len(layers)
+        index = 0
+        while index < count:
+            layer = layers[index]
+            if type(layer) is Linear and index + 1 < count:
+                activation = _FUSABLE_ACTIVATIONS.get(type(layers[index + 1]))
+                if activation is not None:
+                    x = F.fused_linear(x, layer.weight, layer.bias,
+                                       activation=activation)
+                    index += 2
+                    continue
+            x = layer(x)
+            index += 1
         return x
 
     def __iter__(self):

@@ -4,6 +4,16 @@
 the streaming models.  :class:`FOBOS` and :class:`RDA` implement the
 regularized online-learning updates the Alink baseline integrates with
 logistic regression (see the paper's appendix, "Details of baseline").
+
+Hot path: with :data:`repro.perf.config.inplace_optim` on, ``SGD`` and
+``Adam`` update a single preflattened float64 buffer in place — each
+parameter's ``.data`` becomes a reshaped view into it, in the spirit of
+``state_spec``/``flatten_state`` from :mod:`repro.distributed.backends`.
+Every update is elementwise, and the in-place kernels issue the exact
+same per-element float operations as the legacy per-parameter loop, so
+results stay bitwise-identical (asserted in ``tests/test_perf.py``).
+External code that replaces ``parameter.data`` (``load_state_dict``,
+checkpoint restore) is re-adopted into the flat buffer on the next step.
 """
 
 from __future__ import annotations
@@ -12,9 +22,36 @@ from typing import Iterable
 
 import numpy as np
 
+from ..perf.config import config as _perf_config
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "FOBOS", "RDA"]
+
+
+class _FlatState:
+    """Preflattened parameter storage for the in-place optimizers."""
+
+    __slots__ = ("flat", "grad", "views", "slices", "scratch_a", "scratch_b",
+                 "extra")
+
+    def __init__(self, parameters: list[Tensor]):
+        total = sum(parameter.data.size for parameter in parameters)
+        self.flat = np.empty(total)
+        self.grad = np.empty(total)
+        self.scratch_a = np.empty(total)
+        self.scratch_b = np.empty(total)
+        self.views: list[np.ndarray] = []
+        self.slices: list[tuple[int, int]] = []
+        self.extra: dict[str, np.ndarray] = {}
+        offset = 0
+        for parameter in parameters:
+            count = parameter.data.size
+            view = self.flat[offset:offset + count].reshape(parameter.data.shape)
+            view[...] = parameter.data
+            parameter.data = view
+            self.views.append(view)
+            self.slices.append((offset, offset + count))
+            offset += count
 
 
 class Optimizer:
@@ -24,6 +61,7 @@ class Optimizer:
         self.parameters = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
+        self._flat: _FlatState | None = None
 
     def zero_grad(self) -> None:
         """Clear all parameter gradients."""
@@ -38,6 +76,42 @@ class Optimizer:
         for index, parameter in enumerate(self.parameters):
             if parameter.grad is not None:
                 yield index, parameter, parameter.grad
+
+    # -- in-place fast path helpers -------------------------------------------
+
+    def _flat_state(self) -> _FlatState | None:
+        """Adopt parameters into the flat buffer; None when ineligible.
+
+        Eligibility: every parameter is float64 (mixed dtypes keep the
+        legacy loop).  A parameter whose ``.data`` was replaced since the
+        last step (``load_state_dict``, checkpoint restore) is copied
+        back into its view and re-adopted.
+        """
+        flat = self._flat
+        if flat is None:
+            if any(parameter.data.dtype != np.float64
+                   for parameter in self.parameters):
+                return None
+            flat = _FlatState(self.parameters)
+            self._flat = flat
+            return flat
+        for parameter, view in zip(self.parameters, flat.views):
+            if parameter.data is not view:
+                if (parameter.data.shape != view.shape
+                        or parameter.data.dtype != np.float64):
+                    return None
+                view[...] = parameter.data
+                parameter.data = view
+        return flat
+
+    def _gather_grads(self, flat: _FlatState) -> bool:
+        """Copy all parameter grads into ``flat.grad``; False if any is missing."""
+        if any(parameter.grad is None for parameter in self.parameters):
+            return False
+        buffer = flat.grad
+        for parameter, (start, end) in zip(self.parameters, flat.slices):
+            buffer[start:end] = parameter.grad.reshape(-1)
+        return True
 
 
 class SGD(Optimizer):
@@ -56,6 +130,9 @@ class SGD(Optimizer):
         self._velocity: dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        if _perf_config.inplace_optim and self._flat_step():
+            return
+        self._export_flat_state()
         for index, parameter, grad in self._grads():
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
@@ -67,6 +144,46 @@ class SGD(Optimizer):
                 self._velocity[index] = velocity
                 grad = velocity
             parameter.data = parameter.data - self.lr * grad
+
+    def _flat_step(self) -> bool:
+        """One whole-buffer in-place update; per-element ops match the loop."""
+        flat = self._flat_state()
+        if flat is None or not self._gather_grads(flat):
+            # Missing grads (or mixed dtypes) keep legacy subset semantics.
+            return False
+        grad = flat.grad
+        if self.weight_decay:
+            np.multiply(flat.flat, self.weight_decay, out=flat.scratch_a)
+            grad += flat.scratch_a
+        if self.momentum:
+            velocity = flat.extra.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(flat.flat)
+                if self._velocity:  # migrate state from earlier legacy steps
+                    for index, (start, end) in enumerate(flat.slices):
+                        legacy = self._velocity.get(index)
+                        if legacy is not None:
+                            velocity[start:end] = legacy.reshape(-1)
+                    self._velocity.clear()
+                flat.extra["velocity"] = velocity
+            velocity *= self.momentum
+            velocity += grad
+            grad = velocity
+        np.multiply(grad, self.lr, out=flat.scratch_b)
+        flat.flat -= flat.scratch_b
+        return True
+
+    def _export_flat_state(self) -> None:
+        """Hand flat-buffer momentum back to the per-parameter dict."""
+        flat = self._flat
+        if flat is None:
+            return
+        velocity = flat.extra.pop("velocity", None)
+        if velocity is not None:
+            for index, ((start, end), parameter) in enumerate(
+                    zip(flat.slices, self.parameters)):
+                self._velocity[index] = (
+                    velocity[start:end].reshape(parameter.data.shape).copy())
 
 
 class Adam(Optimizer):
@@ -88,6 +205,9 @@ class Adam(Optimizer):
 
     def step(self) -> None:
         self._step_count += 1
+        if _perf_config.inplace_optim and self._flat_step():
+            return
+        self._export_flat_state()
         t = self._step_count
         bias1 = 1.0 - self.beta1 ** t
         bias2 = 1.0 - self.beta2 ** t
@@ -106,6 +226,68 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _flat_step(self) -> bool:
+        """Whole-buffer Adam update, bitwise-equal to the per-parameter loop."""
+        flat = self._flat_state()
+        if flat is None or not self._gather_grads(flat):
+            return False
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        grad = flat.grad
+        if self.weight_decay:
+            np.multiply(flat.flat, self.weight_decay, out=flat.scratch_a)
+            grad += flat.scratch_a
+        m = flat.extra.get("m")
+        v = flat.extra.get("v")
+        if m is None:
+            m = np.zeros_like(flat.flat)
+            v = np.zeros_like(flat.flat)
+            if self._m:  # migrate state from earlier legacy steps
+                for index, (start, end) in enumerate(flat.slices):
+                    legacy_m = self._m.get(index)
+                    legacy_v = self._v.get(index)
+                    if legacy_m is not None:
+                        m[start:end] = legacy_m.reshape(-1)
+                    if legacy_v is not None:
+                        v[start:end] = legacy_v.reshape(-1)
+                self._m.clear()
+                self._v.clear()
+            flat.extra["m"] = m
+            flat.extra["v"] = v
+        # Each line replays one elementwise op of the legacy expressions,
+        # in the same order, so every float result is identical.
+        m *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=flat.scratch_a)
+        m += flat.scratch_a
+        v *= self.beta2
+        np.multiply(grad, 1.0 - self.beta2, out=flat.scratch_a)
+        flat.scratch_a *= grad
+        v += flat.scratch_a
+        np.divide(m, bias1, out=flat.scratch_a)          # m_hat
+        np.divide(v, bias2, out=flat.scratch_b)          # v_hat
+        np.sqrt(flat.scratch_b, out=flat.scratch_b)
+        flat.scratch_b += self.eps
+        flat.scratch_a *= self.lr
+        flat.scratch_a /= flat.scratch_b
+        flat.flat -= flat.scratch_a
+        return True
+
+    def _export_flat_state(self) -> None:
+        """Hand flat-buffer moments back to the per-parameter dicts."""
+        flat = self._flat
+        if flat is None:
+            return
+        m = flat.extra.pop("m", None)
+        v = flat.extra.pop("v", None)
+        if m is None:
+            return
+        for index, ((start, end), parameter) in enumerate(
+                zip(flat.slices, self.parameters)):
+            shape = parameter.data.shape
+            self._m[index] = m[start:end].reshape(shape).copy()
+            self._v[index] = v[start:end].reshape(shape).copy()
 
 
 def _soft_threshold(values: np.ndarray, threshold: float) -> np.ndarray:

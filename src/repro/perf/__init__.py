@@ -1,0 +1,40 @@
+"""Hot-path performance layer: feature flags, buffer pool, stage profiler.
+
+``repro.perf`` is deliberately a *leaf* package: it imports nothing from
+:mod:`repro.nn`, :mod:`repro.core`, or :mod:`repro.shift` so those modules
+can consult it without cycles.  It bundles three things:
+
+- :data:`config` — global feature flags for every optimization introduced
+  by the hot-path pass (autograd tape, fused linear, buffer pool, grad
+  ownership, in-place optimizers, cached nearest-neighbour norms).  Each
+  flag gates one optimization whose output is bitwise-identical to the
+  legacy path; ``optimizations_disabled()`` restores the reference
+  implementation wholesale so equivalence tests can diff the two.
+- :data:`POOL` — a thread-local per-shape scratch-buffer pool
+  (:class:`BufferPool`), safe under the thread execution backend because
+  free lists are never shared across threads.
+- :class:`HotPathProfiler` — per-stage wall-clock aggregation for
+  :meth:`Learner.process`, feeding the ``freeway_hot_path_seconds{stage}``
+  histogram when an :class:`~repro.obs.Observability` facade is attached
+  (see ``run --profile``).
+
+See ``docs/PERF.md`` for the design notes and the benchmark workflow.
+"""
+
+from .config import (PerfConfig, config, configure, optimizations_disabled,
+                     optimizations_enabled)
+from .pool import POOL, BufferPool, can_own
+from .profile import HOT_PATH_HISTOGRAM, HotPathProfiler
+
+__all__ = [
+    "PerfConfig",
+    "config",
+    "configure",
+    "optimizations_disabled",
+    "optimizations_enabled",
+    "BufferPool",
+    "POOL",
+    "can_own",
+    "HotPathProfiler",
+    "HOT_PATH_HISTOGRAM",
+]

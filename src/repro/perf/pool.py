@@ -1,0 +1,129 @@
+"""A thread-local per-shape scratch-buffer pool.
+
+Profiling the serving loop (see ``docs/PERF.md``) shows the matrices are
+small enough that numpy allocation — not FLOPs — dominates several hot
+call sites: conv2d's padded im2col scratch, optimizer step scratch, and
+gradient accumulation buffers.  :class:`BufferPool` keeps per-``(shape,
+dtype)`` free lists so those arrays are recycled instead of reallocated.
+
+Free lists live in ``threading.local`` storage, so two replicas running
+under the thread execution backend can never hand each other the same
+scratch array — the no-cross-thread-aliasing property is structural, and
+``tests/test_distributed.py`` asserts it under concurrency.
+
+Ownership protocol
+------------------
+``acquire`` returns an array with *unspecified contents* (callers must
+fill it); ``zeros`` returns it cleared.  ``release`` returns a buffer to
+this thread's free list — only call it when no live reference to the
+array (or a view of it) remains.  Arrays that are views (``arr.base is
+not None``) are refused, since releasing a view could recycle memory the
+base still exposes.
+
+:func:`can_own` is the aliasing oracle used by ``Tensor._accumulate``:
+a freshly-computed gradient contribution is *private* — safe to adopt
+without a defensive copy — exactly when it is a top-level buffer (not a
+view of some op's saved array) and not the very gradient being routed
+(ops like ``a + a`` deliver the same array twice).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["BufferPool", "POOL", "can_own"]
+
+
+class BufferPool:
+    """Per-thread free lists of numpy arrays keyed by ``(shape, dtype)``.
+
+    Parameters
+    ----------
+    max_per_key:
+        Cap on how many idle buffers of one shape/dtype are retained per
+        thread; beyond it, released buffers are dropped for the GC.
+    """
+
+    __slots__ = ("_local", "max_per_key")
+
+    def __init__(self, max_per_key: int = 8):
+        self.max_per_key = int(max_per_key)
+        self._local = threading.local()
+
+    # -- thread-local state ---------------------------------------------------
+
+    def _state(self) -> dict:
+        state = getattr(self._local, "state", None)
+        if state is None:
+            state = {"free": {}, "hits": 0, "misses": 0, "released": 0}
+            self._local.state = state
+        return state
+
+    # -- acquire / release ----------------------------------------------------
+
+    def acquire(self, shape, dtype=np.float64) -> np.ndarray:
+        """Return a buffer of ``shape``/``dtype`` with unspecified contents."""
+        key = (tuple(int(n) for n in np.atleast_1d(shape))
+               if not isinstance(shape, tuple) else shape,
+               np.dtype(dtype).str)
+        state = self._state()
+        stack = state["free"].get(key)
+        if stack:
+            state["hits"] += 1
+            return stack.pop()
+        state["misses"] += 1
+        return np.empty(key[0], dtype=dtype)
+
+    def zeros(self, shape, dtype=np.float64) -> np.ndarray:
+        """Like :meth:`acquire` but zero-filled."""
+        buffer = self.acquire(shape, dtype)
+        buffer[...] = 0
+        return buffer
+
+    def release(self, array: np.ndarray) -> bool:
+        """Return ``array`` to this thread's free list.
+
+        Views are refused (their base still exposes the memory); returns
+        whether the buffer was actually retained.
+        """
+        if not isinstance(array, np.ndarray) or array.base is not None:
+            return False
+        state = self._state()
+        key = (array.shape, array.dtype.str)
+        stack = state["free"].setdefault(key, [])
+        if len(stack) >= self.max_per_key:
+            return False
+        stack.append(array)
+        state["released"] += 1
+        return True
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss counters and idle-buffer count for *this thread*."""
+        state = self._state()
+        idle = sum(len(stack) for stack in state["free"].values())
+        return {"hits": state["hits"], "misses": state["misses"],
+                "released": state["released"], "idle_buffers": idle}
+
+    def clear(self) -> None:
+        """Drop this thread's free lists and reset its counters."""
+        self._local.state = {"free": {}, "hits": 0, "misses": 0,
+                             "released": 0}
+
+
+#: The process-wide pool (thread-local internally).
+POOL = BufferPool()
+
+
+def can_own(candidate: np.ndarray, source: np.ndarray) -> bool:
+    """Whether ``candidate`` is a private buffer safe to adopt as a gradient.
+
+    True when ``candidate`` is a top-level array (not a view whose base an
+    op closure may have retained) and is not ``source`` itself — the
+    gradient currently being routed, which sibling parents may also
+    receive (``a + a`` returns ``(g, g)``).
+    """
+    return candidate.base is None and candidate is not source

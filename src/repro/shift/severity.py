@@ -46,6 +46,15 @@ class SeverityTracker:
         self.min_history = min_history
         self.epsilon = epsilon
         self._distances: deque[float] = deque(maxlen=window)
+        # Stats memo: the serving loop asks for the mean/std several times
+        # per observation (score -> mean + std, plus direct reads), so the
+        # pair is computed once per history version.  The geometric weight
+        # vector depends only on the history length and is cached per
+        # length (bounded by ``window`` entries).
+        self._version = 0
+        self._stats_version = -1
+        self._stats: tuple[float, float] = (0.0, 0.0)
+        self._weights_by_len: dict[int, tuple[np.ndarray, float]] = {}
 
     def __len__(self) -> int:
         return len(self._distances)
@@ -60,18 +69,36 @@ class SeverityTracker:
         if distance < 0:
             raise ValueError(f"shift distance must be >= 0; got {distance}")
         self._distances.append(float(distance))
+        self._version += 1
+
+    def restore(self, values) -> None:
+        """Replace the history wholesale (checkpoint restore)."""
+        self._distances.clear()
+        self._distances.extend(float(v) for v in values)
+        self._version += 1
+
+    def _compute_stats(self) -> tuple[float, float]:
+        if self._stats_version != self._version:
+            distances = np.asarray(self._distances)  # oldest first
+            cached = self._weights_by_len.get(len(distances))
+            if cached is None:
+                weights = self.decay ** np.arange(len(distances) - 1, -1, -1)
+                cached = (weights, float(weights.sum()))
+                self._weights_by_len[len(distances)] = cached
+            weights, weight_sum = cached
+            mean = float((weights * distances).sum() / weight_sum)
+            std = float(np.sqrt(((distances - mean) ** 2).mean()))
+            self._stats = (mean, std)
+            self._stats_version = self._version
+        return self._stats
 
     def weighted_mean(self) -> float:
         """Recency-weighted mean of past shifts (Eq. 8)."""
-        distances = np.asarray(self._distances)  # oldest first
-        weights = self.decay ** np.arange(len(distances) - 1, -1, -1)
-        return float((weights * distances).sum() / weights.sum())
+        return self._compute_stats()[0]
 
     def std(self) -> float:
         """Standard deviation of past shifts around the weighted mean (Eq. 9)."""
-        distances = np.asarray(self._distances)
-        mean = self.weighted_mean()
-        return float(np.sqrt(((distances - mean) ** 2).mean()))
+        return self._compute_stats()[1]
 
     def score(self, distance: float) -> float | None:
         """Severity ``M`` of a candidate shift (Eq. 10), or ``None`` early on.
@@ -82,6 +109,5 @@ class SeverityTracker:
         """
         if not self.ready:
             return None
-        mean = self.weighted_mean()
-        std = self.std()
+        mean, std = self._compute_stats()
         return float((distance - mean) / max(std, self.epsilon * (1.0 + mean)))

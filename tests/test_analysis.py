@@ -463,6 +463,36 @@ class TestLintRules:
         findings = findings_for(src)
         assert findings[0].suppressed
 
+    def test_rep007_entry_loop_in_core(self):
+        src = ('__all__ = []\nfor entry in self._entries:\n'
+               '    total += entry.weight\n')
+        assert active_codes(src, path="src/repro/core/window.py") == \
+            ["REP007"]
+
+    def test_rep007_sees_through_wrappers(self):
+        src = ('__all__ = []\n'
+               'for i, entry in enumerate(reversed(window.entries)):\n'
+               '    use(entry)\n')
+        assert active_codes(src, path="src/repro/core/window.py") == \
+            ["REP007"]
+
+    def test_rep007_outside_core_clean(self):
+        src = '__all__ = []\nfor entry in self._entries:\n    use(entry)\n'
+        assert active_codes(src, path="src/repro/shift/thing.py") == []
+
+    def test_rep007_other_iterables_clean(self):
+        src = '__all__ = []\nfor level in self.levels:\n    use(level)\n'
+        assert active_codes(src, path="src/repro/core/thing.py") == []
+
+    def test_rep007_noqa_escape_hatch(self):
+        src = ('__all__ = []\n'
+               'for entry in self._entries:  '
+               '# repro: noqa[REP007] — serialization, off the hot path\n'
+               '    save(entry)\n')
+        findings = findings_for(src, path="src/repro/core/io.py")
+        assert [f.code for f in findings] == ["REP007"]
+        assert findings[0].suppressed
+
     def test_blanket_noqa(self):
         src = '__all__ = []\nimport numpy as np\nnp.random.seed(0)  # repro: noqa\n'
         assert active_codes(src) == []

@@ -182,3 +182,22 @@ class TestTrainingData:
         assert window.effective_items == pytest.approx(10.0)
         window.add(*batch(5.0, n=10, rng=rng))
         assert window.effective_items < 20.0
+
+
+class TestInversionCountImplementations:
+    """The O(k log k) merge-sort count must agree with the kept O(k²) naive."""
+
+    @given(st.lists(st.integers(-50, 50), min_size=0, max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_merge_sort_matches_naive(self, sequence):
+        from repro.core.asw import _inversion_count_naive
+        arr = np.asarray(sequence, dtype=np.int64)
+        assert inversion_count(arr) == _inversion_count_naive(arr)
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=0,
+                    max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_float_sequences_agree_too(self, sequence):
+        from repro.core.asw import _inversion_count_naive
+        arr = np.asarray(sequence, dtype=float)
+        assert inversion_count(arr) == _inversion_count_naive(arr)

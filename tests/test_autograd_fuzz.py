@@ -104,3 +104,66 @@ class TestRandomExpressionGradients:
             lambda: evaluate(program, Tensor(data)).item(), data, eps=1e-6
         )
         np.testing.assert_allclose(leaf.grad, numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestAliasedGradientOwnership:
+    """The grad-ownership fast path must never adopt an aliased buffer.
+
+    ``a + a`` (and friends) deliver the *same* gradient array to both
+    parent slots; expressions that fan one tensor into many consumers
+    accumulate several contributions into one grad.  If ``_accumulate``
+    ever adopted a buffer it does not privately own, one contribution
+    would overwrite another.  These cases pin the hazard.
+    """
+
+    def _aliased_value(self, leaf: Tensor) -> Tensor:
+        doubled = leaf + leaf          # same grad array to both slots
+        squared = doubled * doubled    # same tensor as both operands
+        mixed = squared + leaf.exp() + doubled
+        return (mixed * mixed).sum()
+
+    def test_aliased_expression_matches_numeric(self):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(-0.7, 0.7, size=(4,))
+        leaf = Tensor(data.copy(), requires_grad=True)
+        self._aliased_value(leaf).backward()
+        numeric = numeric_gradient(
+            lambda: self._aliased_value(Tensor(data)).item(), data, eps=1e-6
+        )
+        np.testing.assert_allclose(leaf.grad, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_ownership_flag_is_bitwise_neutral(self):
+        from repro.perf import configure
+        rng = np.random.default_rng(6)
+        data = rng.uniform(-0.7, 0.7, size=(8,))
+        grads = []
+        for own in (True, False):
+            with configure(grad_ownership=own):
+                leaf = Tensor(data.copy(), requires_grad=True)
+                self._aliased_value(leaf).backward()
+                grads.append(leaf.grad.tobytes())
+        assert grads[0] == grads[1]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_fuzzed_self_references(self, seed):
+        """Random self-referencing chains: ownership on == ownership off."""
+        from repro.perf import configure
+        rng = np.random.default_rng(seed)
+        data = rng.uniform(-0.9, 0.9, size=(3,))
+
+        def build(leaf):
+            value = leaf
+            for step in range(int(rng.integers(1, 5))):
+                value = value + value if step % 2 == 0 else value * leaf
+            return (value + leaf).sum()
+
+        state = rng.bit_generator.state
+        grads = []
+        for own in (True, False):
+            rng.bit_generator.state = state
+            with configure(grad_ownership=own):
+                leaf = Tensor(data.copy(), requires_grad=True)
+                build(leaf).backward()
+                grads.append(leaf.grad.tobytes())
+        assert grads[0] == grads[1]

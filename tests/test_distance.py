@@ -97,3 +97,68 @@ class TestEmbeddingHistory:
             EmbeddingHistory(capacity=0)
         with pytest.raises(ValueError):
             EmbeddingHistory(exclude_recent=-1)
+
+
+class TestEmbeddingHistoryIncrementalBuffer:
+    """The sliding-buffer bookkeeping must be invisible: ``nearest`` and
+    ``as_array`` answer exactly as a naive restack-every-call history
+    would, through appends, evictions, and the compaction memmove."""
+
+    def _naive(self, rows, capacity, exclude_recent, query):
+        live = rows[-capacity:]
+        usable = live[:len(live) - exclude_recent]
+        if not usable:
+            return None
+        stacked = np.stack(usable)
+        deltas = np.linalg.norm(stacked - query, axis=1)
+        index = int(deltas.argmin())
+        return float(deltas[index]), index
+
+    def test_nearest_unchanged_across_append_and_evict(self):
+        from repro.shift.distance import EmbeddingHistory
+        rng = np.random.default_rng(9)
+        capacity = 5
+        history = EmbeddingHistory(capacity=capacity, exclude_recent=1)
+        rows = []
+        # 4×capacity appends forces eviction and at least one compaction
+        # of the 2×capacity backing buffer.
+        for step in range(4 * capacity):
+            row = rng.normal(size=3)
+            history.append(row)
+            rows.append(row)
+            query = rng.normal(size=3)
+            expected = self._naive(rows, capacity, 1, query)
+            actual = history.nearest(query)
+            if expected is None:
+                assert actual is None
+            else:
+                distance, index = actual
+                assert index == expected[1]
+                np.testing.assert_allclose(distance, expected[0],
+                                           rtol=1e-12, atol=1e-12)
+            np.testing.assert_array_equal(
+                history.as_array(), np.stack(rows[-capacity:])
+            )
+
+    def test_cached_norms_match_reference_path(self):
+        from repro.perf import configure
+        from repro.shift.distance import EmbeddingHistory
+        rng = np.random.default_rng(10)
+        history = EmbeddingHistory(capacity=8, exclude_recent=1)
+        for _ in range(12):
+            history.append(rng.normal(size=4))
+        query = rng.normal(size=4)
+        with configure(cached_nearest=True):
+            fast = history.nearest(query)
+        with configure(cached_nearest=False):
+            slow = history.nearest(query)
+        assert fast[1] == slow[1]
+        np.testing.assert_allclose(fast[0], slow[0], rtol=1e-12, atol=1e-12)
+
+    def test_dimension_change_rebuilds_buffer(self):
+        from repro.shift.distance import EmbeddingHistory
+        history = EmbeddingHistory(capacity=4, exclude_recent=0)
+        history.append(np.ones(3))
+        history.append(np.zeros(5))  # PCA refit changed the space
+        assert len(history) == 1
+        assert history.as_array().shape == (1, 5)
