@@ -1,0 +1,152 @@
+"""Telemetry-plane smoke check — scrape a live run end to end.
+
+CI's ``obs`` job runs this script.  It drives a short distributed stream
+with the live telemetry plane attached, scrapes ``/metrics``, ``/health``
+and ``/snapshot`` over real HTTP while batches flow, validates the
+exposition with the bundled Prometheus parser, and asserts that the
+coordinator registry carries worker-labelled series aggregated from the
+process-backend replicas::
+
+    PYTHONPATH=src python benchmarks/smoke_telemetry.py
+
+It then exercises the CLI wiring itself: ``python -m repro run
+--serve-telemetry --json`` must ship an SLO summary in its payload.
+
+The process-backend stage is skip-guarded: on platforms without the fork
+start method or on single-CPU runners it falls back to the thread
+backend (the aggregation path is identical; only transport differs).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import urllib.request
+
+from conftest import SEED, print_banner
+from repro.data import ElectricitySimulator
+from repro.distributed import DistributedLearner, ProcessBackend
+from repro.eval import model_factory_for
+from repro.obs import (
+    CompositeSink,
+    Observability,
+    SloEngine,
+    TelemetryServer,
+    default_slo_rules,
+    parse_prometheus_text,
+)
+
+NUM_BATCHES = 12
+BATCH_SIZE = 128
+NUM_WORKERS = 2
+
+_GENERATOR = ElectricitySimulator(seed=SEED)
+
+
+def _factory():
+    return model_factory_for("lr", _GENERATOR.num_features,
+                             _GENERATOR.num_classes, lr=0.3)
+
+
+def _scrape(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read()
+
+
+def _pick_backend(choice: str):
+    if choice == "process" or (
+            choice == "auto" and ProcessBackend.available()
+            and (os.cpu_count() or 1) >= 2):
+        return ProcessBackend(max_restarts=1), "process"
+    return "thread", "thread"
+
+
+def live_scrape(backend_choice: str = "auto") -> None:
+    backend, backend_name = _pick_backend(backend_choice)
+    if backend_name != "process":
+        print("NOTE: fork backend unavailable or single CPU — "
+              "falling back to the thread backend")
+    obs = Observability.in_memory()
+    engine = SloEngine(default_slo_rules(), obs)
+    obs.sink = CompositeSink(obs.sink, engine)
+    learner = DistributedLearner(_factory(), num_workers=NUM_WORKERS,
+                                 backend=backend, window_batches=8,
+                                 seed=SEED, obs=obs)
+    engine.bind(learner)
+    batches = _GENERATOR.stream(NUM_BATCHES, BATCH_SIZE).materialize()
+    mid_run_families = 0
+    try:
+        with TelemetryServer(obs, engine,
+                             health_source=learner.summary) as server:
+            print(f"serving    : {server.url}")
+            for index, batch in enumerate(batches):
+                report = learner.process(batch)
+                engine.observe_report(report)
+                if index == NUM_BATCHES // 2:
+                    live = parse_prometheus_text(
+                        _scrape(f"{server.url}/metrics").decode())
+                    mid_run_families = len(live)
+            families = parse_prometheus_text(
+                _scrape(f"{server.url}/metrics").decode())
+            health = json.loads(_scrape(f"{server.url}/health"))
+            snapshot = json.loads(_scrape(f"{server.url}/snapshot"))
+    finally:
+        learner.close()
+
+    assert mid_run_families > 0, "mid-run scrape returned no families"
+    assert "freeway_batches_total" in families
+    totals = {tuple(sorted(labels.items())): value
+              for name, labels, value
+              in families["freeway_batches_total"]["samples"]}
+    assert sum(totals.values()) == NUM_BATCHES * NUM_WORKERS
+    workers = {dict(key).get("worker") for key in totals}
+    assert workers == {str(i) for i in range(NUM_WORKERS)}, (
+        f"expected worker-labelled series for every replica, got {workers}")
+    assert health["status"] in ("ok", "alerting", "degraded")
+    assert "slo" in health and health["slo"]["tick"] == NUM_BATCHES
+    assert snapshot["kind"] == "snapshot"
+    assert any(record["kind"] == "event" for record in snapshot["records"])
+    print(f"backend    : {backend_name}")
+    print(f"families   : {len(families)} (mid-run: {mid_run_families})")
+    print(f"workers    : {sorted(workers)}")
+    print(f"health     : {health['status']}")
+    print(f"snapshot   : {len(snapshot['records'])} records, "
+          f"alerts tick {snapshot['alerts']['tick']}")
+
+
+def cli_round_trip() -> None:
+    command = [sys.executable, "-m", "repro", "run",
+               "--framework", "freewayml", "--dataset", "electricity",
+               "--batches", "6", "--batch-size", "128",
+               "--serve-telemetry", "--json"]
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       os.pardir, "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p)
+    result = subprocess.run(command, capture_output=True, text=True,
+                            timeout=300, env=env, check=True)
+    payload = json.loads(result.stdout)
+    assert "slo" in payload, "run --serve-telemetry --json must report SLO"
+    assert payload["slo"]["tick"] == 6
+    assert "telemetry :" in result.stderr, "server URL not announced"
+    print(f"cli slo    : {payload['slo']['raised_total']} raised / "
+          f"{payload['slo']['resolved_total']} resolved")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--backend", choices=("auto", "process", "thread"),
+                        default="auto",
+                        help="override the skip-guarded backend choice")
+    args = parser.parse_args()
+    print_banner("Telemetry smoke — live scrape of a distributed run")
+    live_scrape(args.backend)
+    print_banner("Telemetry smoke — CLI --serve-telemetry round trip")
+    cli_round_trip()
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

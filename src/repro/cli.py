@@ -11,11 +11,14 @@ Five subcommands::
 ``run`` evaluates one framework on one dataset prequentially and prints
 G_acc / SI / throughput (``--json`` emits the result as one JSON object;
 ``--trace out.jsonl`` records the decision-event/span log; ``--metrics``
-prints the Prometheus-style metrics snapshot; ``--profile`` prints the
-per-stage hot-path time breakdown, see ``docs/PERF.md``); ``compare``
-runs every framework of the chosen model group plus FreewayML and renders
-a Table-I-style block; ``datasets`` lists what is available; ``report``
-summarizes a recorded trace (per-strategy latency percentiles, knowledge
+prints the Prometheus-style metrics snapshot; ``--serve-telemetry [PORT]``
+exposes ``/metrics``, ``/health``, and ``/snapshot`` over HTTP during the
+run with an online SLO/alert engine, see ``docs/OBSERVABILITY.md``;
+``--profile`` prints the per-stage hot-path time breakdown, see
+``docs/PERF.md``); ``compare`` runs every framework of the chosen model
+group plus FreewayML and renders a Table-I-style block; ``datasets``
+lists what is available; ``report`` summarizes a recorded trace or a
+saved ``/snapshot`` dump (per-strategy latency percentiles, knowledge
 reuse hit-rate, decay timeline).  ``--csv`` runs on your own data instead
 of a built-in generator.  ``analyze`` runs the static REP001–REP007 lint
 pass (and, with ``--check-models``, symbolic shape verification of the
@@ -33,7 +36,13 @@ from .baselines import BASELINES, LR_GROUP, MLP_GROUP
 from .data import IMAGE_REGISTRY, all_benchmark_datasets
 from .data.io import stream_from_csv
 from .eval import RunConfig, render_accuracy_table, run_framework, run_matrix
-from .obs import Observability, render_report, summarize_trace
+from .obs import (
+    CompositeSink,
+    MemorySink,
+    Observability,
+    render_report,
+    summarize_trace,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -80,7 +89,7 @@ def _generator(args):
 
 
 def _config(args, obs: Observability | None = None,
-            profiler=None) -> RunConfig:
+            profiler=None, slo_engine=None) -> RunConfig:
     return RunConfig(num_batches=args.batches, batch_size=args.batch_size,
                      model=args.model, lr=args.lr, seed=args.seed,
                      num_workers=getattr(args, "workers", 1),
@@ -88,21 +97,50 @@ def _config(args, obs: Observability | None = None,
                      sync_every=getattr(args, "sync_every", 1),
                      max_restarts=getattr(args, "max_restarts", 2),
                      degrade=getattr(args, "degrade", False), obs=obs,
-                     profiler=profiler)
+                     profiler=profiler, slo_engine=slo_engine)
 
 
 def _build_obs(args) -> Observability | None:
     """Observability facade for a ``run`` invocation, if requested."""
+    serving = getattr(args, "serve_telemetry", None) is not None
     if getattr(args, "trace", None):
         # One run per file: truncate any previous trace so `report` never
         # silently merges two runs (the sink itself appends).
         path = Path(args.trace)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text("")
-        return Observability.to_jsonl(args.trace)
-    if getattr(args, "metrics", False):
+        # The telemetry server needs an in-process ring for /snapshot's
+        # recent events; tee into one alongside the JSONL file.
+        extra = MemorySink() if serving else None
+        return Observability.to_jsonl(args.trace, extra_sink=extra)
+    if getattr(args, "metrics", False) or serving:
         return Observability.in_memory()
     return None
+
+
+def _build_telemetry(args, obs):
+    """``--serve-telemetry``: SLO engine + HTTP server around the run."""
+    if getattr(args, "serve_telemetry", None) is None:
+        return None, None
+    from .obs import SloEngine, TelemetryServer, default_slo_rules, find_ring
+
+    ring = find_ring(obs.sink)
+    engine = SloEngine(default_slo_rules(), obs,
+                       pre_emptive_degrade=getattr(args, "slo_degrade",
+                                                   False))
+    # Tee pipeline events into the engine so event-driven SLO signals
+    # (degraded-rate, worker-restart-rate, ...) see every occurrence.
+    obs.sink = CompositeSink(obs.sink, engine)
+
+    def health_source():
+        summarize = getattr(engine.target, "summary", None)
+        return summarize() if callable(summarize) else {}
+
+    server = TelemetryServer(obs, engine, health_source=health_source,
+                             port=args.serve_telemetry, ring=ring).start()
+    print(f"telemetry : {server.url}  (/metrics /health /snapshot)",
+          file=sys.stderr)
+    return engine, server
 
 
 def _add_common(parser):
@@ -142,12 +180,19 @@ def _cmd_run(args) -> int:
     generator = _generator(args)
     obs = _build_obs(args)
     if obs is not None and args.framework != "freewayml":
-        print(f"note: --trace/--metrics instrument the freewayml pipeline; "
-              f"framework {args.framework!r} records nothing",
-              file=sys.stderr)
+        print(f"note: --trace/--metrics/--serve-telemetry instrument the "
+              f"freewayml pipeline; framework {args.framework!r} records "
+              f"nothing", file=sys.stderr)
     profiler = _build_profiler(args, obs=obs)
-    result = run_framework(args.framework, generator,
-                           _config(args, obs=obs, profiler=profiler))
+    engine, server = _build_telemetry(args, obs)
+    try:
+        result = run_framework(
+            args.framework, generator,
+            _config(args, obs=obs, profiler=profiler, slo_engine=engine),
+        )
+    finally:
+        if server is not None:
+            server.stop()
     by_pattern = result.accuracy_by_pattern()
     if args.json:
         payload = {
@@ -166,6 +211,8 @@ def _cmd_run(args) -> int:
             payload["trace"] = args.trace
         if profiler is not None:
             payload["hot_path"] = profiler.summary()
+        if engine is not None:
+            payload["slo"] = engine.summary()
         print(json.dumps(payload, indent=2, default=float))
     else:
         print(f"framework : {result.name}")
@@ -183,6 +230,10 @@ def _cmd_run(args) -> int:
             print(obs.registry.render_text(), end="")
         if obs is not None and getattr(args, "trace", None):
             print(f"trace     : {args.trace}")
+        if engine is not None:
+            active = ", ".join(sorted(engine.active)) or "none"
+            print(f"slo       : {engine.raised_total} raised / "
+                  f"{engine.resolved_total} resolved (active: {active})")
         if profiler is not None:
             print()
             print("hot path (per-stage):")
@@ -331,6 +382,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "here (freewayml only)")
     run_parser.add_argument("--metrics", action="store_true",
                             help="print the metrics snapshot after the run")
+    run_parser.add_argument("--serve-telemetry", nargs="?", const=0,
+                            default=None, type=int, metavar="PORT",
+                            dest="serve_telemetry",
+                            help="serve /metrics, /health, and /snapshot "
+                                 "on 127.0.0.1 for the duration of the run "
+                                 "(omit PORT for an ephemeral port; see "
+                                 "docs/OBSERVABILITY.md)")
+    run_parser.add_argument("--slo-degrade", action="store_true",
+                            dest="slo_degrade",
+                            help="let an active SLO alert pre-emptively "
+                                 "switch the learner into degraded mode "
+                                 "(with --serve-telemetry)")
     run_parser.add_argument("--profile", action="store_true",
                             help="time each serving-loop stage and print "
                                  "the hot-path breakdown after the run "
@@ -340,9 +403,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(handler=_cmd_run)
 
     report_parser = commands.add_parser(
-        "report", help="summarize a JSONL trace written by `run --trace`"
+        "report", help="summarize a JSONL trace written by `run --trace` "
+                       "or a saved /snapshot JSON dump"
     )
-    report_parser.add_argument("trace", help="path to the JSONL trace")
+    report_parser.add_argument("trace", help="path to the JSONL trace "
+                                             "(or /snapshot JSON dump)")
     report_parser.add_argument("--json", action="store_true",
                                help="emit the summary as JSON")
     report_parser.set_defaults(handler=_cmd_report)

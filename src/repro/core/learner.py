@@ -261,6 +261,10 @@ class Learner:
                                         obs=self.obs)
         self.adjuster = adjuster
         self.degrade = bool(degrade)
+        # Remembered so set_degrade(True) can build the breaker lazily
+        # (pre-emptive degrade from the SLO engine mid-run).
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown = breaker_cooldown
         self.breaker = (CircuitBreaker(threshold=breaker_threshold,
                                        cooldown=breaker_cooldown)
                         if degrade else None)
@@ -933,6 +937,21 @@ class Learner:
             if max_batches is not None and len(reports) >= max_batches:
                 break
         return reports
+
+    def set_degrade(self, degrade: bool) -> None:
+        """Switch graceful degradation on or off mid-run.
+
+        Turning it on builds the circuit breaker lazily (with the
+        constructor's tuning) when none exists yet; turning it off keeps
+        the breaker's failure history so a later re-enable resumes where
+        it left off.  The live SLO engine uses this for pre-emptive
+        degrade: an active alert flips the learner into the fallback
+        chain before failures force it there.
+        """
+        self.degrade = bool(degrade)
+        if self.degrade and self.breaker is None:
+            self.breaker = CircuitBreaker(threshold=self._breaker_threshold,
+                                          cooldown=self._breaker_cooldown)
 
     def summary(self) -> dict:
         """Estimator state as a plain dict (StreamingEstimator protocol)."""

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data.stream import Batch
-from ..obs import NULL_OBS, WorkerRestarted
+from ..obs import NULL_OBS, WorkerRestarted, absorb_telemetry, drain_telemetry
 
 __all__ = [
     "WorkerStep",
@@ -103,7 +103,10 @@ class ExecutionBackend(abc.ABC):
     capacity = 1
     #: Whether replicas may safely share the coordinator's Observability
     #: facade (only the serial backend: sinks/registries are not
-    #: thread-safe, and forked children cannot share a JSONL fd).
+    #: thread-safe, and forked children cannot share a JSONL fd).  When
+    #: False, replicas get private in-memory facades whose telemetry is
+    #: shipped back through :meth:`collect_telemetry` at drain/sync
+    #: boundaries and on :meth:`close`.
     replicas_share_obs = True
 
     def __init__(self):
@@ -167,8 +170,33 @@ class ExecutionBackend(abc.ABC):
         self._require_drained("call")
         return _invoke(self.learners[worker_index], method, args)
 
+    # -- telemetry aggregation ------------------------------------------------
+
+    def collect_telemetry(self) -> None:
+        """Merge replica-facade telemetry into the coordinator's facade.
+
+        Replicas that run with a private :class:`Observability` (every
+        backend where :attr:`replicas_share_obs` is False) accumulate
+        metrics and events the coordinator cannot see; this drains each
+        replica's pending delta and folds it into the root registry with
+        a ``worker`` label.  Must only run at fully-drained boundaries —
+        with batches in flight the call silently skips (the process
+        backend's reply pipe is strictly FIFO, so a mid-flight telemetry
+        round trip would corrupt the shard reply stream).
+        """
+        if not self.obs.enabled or self._pending:
+            return
+        for worker_index, learner in enumerate(self.learners):
+            replica_obs = getattr(learner, "obs", None)
+            if (replica_obs is None or replica_obs is self.obs
+                    or not replica_obs.enabled):
+                continue
+            delta, records = drain_telemetry(replica_obs)
+            absorb_telemetry(self.obs, delta, records, worker=worker_index)
+
     def close(self) -> None:
-        """Release pool resources (idempotent)."""
+        """Release pool resources (idempotent); flushes replica telemetry."""
+        self.collect_telemetry()
 
     def _require_drained(self, operation: str) -> None:
         if self._pending:
@@ -273,6 +301,7 @@ class ThreadBackend(ExecutionBackend):
         for pool in self._pools:
             pool.shutdown(wait=True)
         self._pools = []
+        self.collect_telemetry()  # replica threads are quiesced now
 
 
 # -- process backend ----------------------------------------------------------
@@ -385,6 +414,11 @@ def _worker_main(conn, worker_index: int, learner, slots, sync_blocks,
             elif command == "call":
                 _, method, args = message
                 conn.send(("ok", _invoke(learner, method, args)))
+            elif command == "telemetry":
+                # Ship the replica facade's pending metric delta and
+                # buffered event records back to the coordinator.
+                delta, records = drain_telemetry(learner.obs)
+                conn.send(("ok", delta, records))
             else:
                 conn.send(("error", f"unknown command {command!r}"))
         except Exception:  # repro: noqa[REP004] — shipped to the coordinator
@@ -809,6 +843,28 @@ class ProcessBackend(ExecutionBackend):
             if blob is not None:
                 self._worker_blobs[worker_index] = blob
 
+    # -- telemetry aggregation ------------------------------------------------
+
+    def collect_telemetry(self) -> None:
+        """Drain every forked worker's telemetry over the reply pipe.
+
+        Skips silently while shards are in flight (the pipe is FIFO; a
+        telemetry reply would interleave with pending shard replies) and
+        after close.  A worker that died is restarted by the usual
+        supervision path and the request replayed, so a crash between
+        boundaries cannot wedge collection.
+        """
+        if not self._started:
+            super().collect_telemetry()
+            return
+        if not self.obs.enabled or self._pending or self._closed:
+            return
+        message = ("telemetry",)
+        self._broadcast(message)
+        for worker_index in range(self.num_workers):
+            delta, records = self._receive(worker_index, resend=message)
+            absorb_telemetry(self.obs, delta, records, worker=worker_index)
+
     # -- single-replica RPC ---------------------------------------------------
 
     def call(self, worker_index: int, method: str, *args):
@@ -827,6 +883,13 @@ class ProcessBackend(ExecutionBackend):
     def close(self) -> None:
         if self._closed:
             return
+        if self._started and not self._pending:
+            # Final telemetry flush: whatever the workers accumulated
+            # since the last boundary must not die with them.
+            try:
+                self.collect_telemetry()
+            except Exception:  # repro: noqa[REP004] — a worker beyond
+                pass  # max_restarts must not block shutdown
         self._closed = True
         for conn in self._conns:
             try:

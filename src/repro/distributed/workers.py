@@ -27,7 +27,7 @@ import numpy as np
 from ..api import BaseReport
 from ..core.learner import Learner
 from ..data.stream import Batch
-from ..obs import NULL_OBS
+from ..obs import NULL_OBS, Observability
 from .backends import (
     ExecutionBackend,
     flatten_state,
@@ -113,10 +113,14 @@ class DistributedLearner:
         :class:`~repro.distributed.backends.ExecutionBackend` instance.
     obs:
         Optional :class:`~repro.obs.Observability` for coordinator-level
-        spans and backend metrics.  Replicas share it only under the
-        serial backend (sinks are not thread-safe and forked children
-        cannot share a JSONL stream); parallel backends give replicas
-        the null facade and keep instrumentation at the coordinator.
+        spans and backend metrics.  Replicas share it directly only
+        under the serial backend (sinks are not thread-safe and forked
+        children cannot share a JSONL stream); under the thread and
+        process backends each replica gets a private in-memory facade
+        whose metric deltas and buffered events are shipped back and
+        merged into this facade — stamped with a ``worker`` label — at
+        every drain/sync boundary and on :meth:`close` (see
+        :mod:`repro.obs.live`).
     learner_kwargs:
         Extra keyword arguments for each replica's :class:`Learner`.
     """
@@ -140,9 +144,18 @@ class DistributedLearner:
         self.seed = seed
         self.obs = obs if obs is not None else NULL_OBS
         self.backend = make_backend(backend)
-        replica_obs = self.obs if self.backend.replicas_share_obs else NULL_OBS
+        if self.backend.replicas_share_obs:
+            replica_obs = [self.obs] * num_workers
+        elif self.obs.enabled:
+            # Private facade per replica: safe under threads, travels
+            # into forked children, and is drained back into self.obs at
+            # sync boundaries by backend.collect_telemetry().
+            replica_obs = [Observability.in_memory()
+                           for _ in range(num_workers)]
+        else:
+            replica_obs = [NULL_OBS] * num_workers
         self.workers = [
-            Learner(model_factory, seed=seed + worker, obs=replica_obs,
+            Learner(model_factory, seed=seed + worker, obs=replica_obs[worker],
                     **learner_kwargs)
             for worker in range(num_workers)
         ]
@@ -234,6 +247,10 @@ class DistributedLearner:
     def _record_step(self, report: DistributedReport, steps) -> None:
         if not self.obs.enabled:
             return
+        # Pull replica-side telemetry up to the coordinator.  No-op for
+        # shared facades (serial) and silently skipped while the backend
+        # still has batches in flight (pipelined run()).
+        self.backend.collect_telemetry()
         self.obs.registry.counter(
             "freeway_backend_batches_total",
             "batches executed, by backend",
@@ -299,6 +316,11 @@ class DistributedLearner:
 
     def synchronize(self) -> None:
         """Average each granularity level's parameters across replicas."""
+        # Collect telemetry BEFORE the sync round: the process backend
+        # checkpoints replicas (pickled blobs) at the end of the round,
+        # so baselines advanced here are inside the checkpoint and a
+        # restarted worker neither re-ships nor loses telemetry.
+        self.backend.collect_telemetry()
         with self.obs.tracer.span("distributed.sync",
                                   backend=self.backend.name):
             for level_index in range(len(self.workers[0].ensemble.levels)):
@@ -343,7 +365,26 @@ class DistributedLearner:
         return (weighted / items) if items else None
 
     def summary(self) -> dict:
-        """Coordinator state as a plain dict (StreamingEstimator protocol)."""
+        """Coordinator state as a plain dict (StreamingEstimator protocol).
+
+        Safe to call from another thread while the run loop owns the
+        backend (a ``TelemetryServer`` health scrape does exactly that):
+        when replicas run their own telemetry facades the knowledge
+        count is read from the aggregated ``freeway_knowledge_entries``
+        gauge instead of a worker RPC, so no pipe traffic races the
+        coordinator.  The gauge lags live state by at most one
+        collection boundary (``sync_every`` batches).
+        """
+        if self.obs.enabled and not self.backend.replicas_share_obs:
+            family = self.obs.registry.snapshot().get(
+                "freeway_knowledge_entries")
+            entries = int(sum(series["value"]
+                              for series in family["series"])
+                          ) if family else 0
+        else:
+            # Shared facade (serial) or no telemetry plane: the backend
+            # runs inline on this thread, so the exact RPC is safe.
+            entries = self.knowledge_entries()
         return {
             "estimator": "distributed",
             "backend": self.backend.name,
@@ -353,11 +394,17 @@ class DistributedLearner:
             "batches_processed": self._batches_seen,
             "syncs": self.syncs,
             "strategies": dict(self._strategy_counts),
-            "knowledge_entries": self.knowledge_entries(),
+            "knowledge_entries": entries,
         }
 
     def knowledge_entries(self) -> int:
-        """Total knowledge entries across replicas."""
+        """Total knowledge entries across replicas (worker RPC).
+
+        Coordinator-thread only: the process backend's reply pipes are
+        FIFO, so calling this concurrently with a running stream would
+        interleave replies.  Thread-safe state belongs in
+        :meth:`summary`.
+        """
         return sum(
             self.backend.call(worker_index, "knowledge_len")
             for worker_index in range(self.num_workers)

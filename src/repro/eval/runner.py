@@ -67,6 +67,14 @@ class RunConfig:
     #: distributed runs — per-stage timings from concurrent replicas would
     #: interleave into one meaningless aggregate.
     profiler: object | None = None
+    #: Optional :class:`~repro.obs.SloEngine`.  Bound to the FreewayML
+    #: learner (so pre-emptive degrade can reach it) and fed one
+    #: ``observe_report`` per batch; wire it into ``obs``'s sink chain
+    #: separately to also feed it events (``run --serve-telemetry`` does
+    #: both).
+    slo_engine: object | None = None
+    #: Extra per-batch report callback (after ``slo_engine``'s).
+    on_report: object | None = None
 
     def learning_rate(self) -> float:
         return self.lr if self.lr is not None else DEFAULT_LR[self.model]
@@ -88,6 +96,24 @@ def model_factory_for(model: str, num_features: int, num_classes: int,
     raise ValueError(f"unknown model family {model!r}")
 
 
+def _report_hook(config: RunConfig):
+    """Chain the SLO engine's per-batch intake with any user callback."""
+    callbacks = []
+    if config.slo_engine is not None:
+        callbacks.append(config.slo_engine.observe_report)
+    if config.on_report is not None:
+        callbacks.append(config.on_report)
+    if not callbacks:
+        return None
+    if len(callbacks) == 1:
+        return callbacks[0]
+
+    def hook(report):
+        for callback in callbacks:
+            callback(report)
+    return hook
+
+
 def run_framework(framework: str, generator, config: RunConfig,
                   input_shape=None) -> PrequentialResult:
     """Run one framework over one dataset generator, prequentially.
@@ -104,6 +130,7 @@ def run_framework(framework: str, generator, config: RunConfig,
         learner_kwargs = dict(config.learner_kwargs)
         if config.degrade:
             learner_kwargs.setdefault("degrade", True)
+        on_report = _report_hook(config)
         if config.num_workers > 1 or config.backend != "serial":
             backend = config.backend
             if backend == "process":
@@ -115,17 +142,22 @@ def run_framework(framework: str, generator, config: RunConfig,
                 backend=backend, sync_every=config.sync_every,
                 seed=config.seed, obs=config.obs, **learner_kwargs,
             )
+            if config.slo_engine is not None:
+                config.slo_engine.bind(learner)
             try:
                 return evaluate_learner(learner, stream, name=FREEWAYML,
-                                        skip=config.skip)
+                                        skip=config.skip,
+                                        on_report=on_report)
             finally:
                 learner.close()
         if config.profiler is not None:
             learner_kwargs.setdefault("profiler", config.profiler)
         learner = Learner(factory, seed=config.seed, obs=config.obs,
                           **learner_kwargs)
+        if config.slo_engine is not None:
+            config.slo_engine.bind(learner)
         return evaluate_learner(learner, stream, name=FREEWAYML,
-                                skip=config.skip)
+                                skip=config.skip, on_report=on_report)
     if framework == PLAIN:
         return evaluate_model(factory(), stream, name=PLAIN, skip=config.skip)
     baseline = make_baseline(framework, factory, **config.baseline_kwargs)

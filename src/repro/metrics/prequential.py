@@ -90,17 +90,23 @@ def evaluate_model(model: StreamingModel, stream, name: str | None = None,
 
 
 def evaluate_learner(learner: Learner, stream, name: str = "freewayml",
-                     skip: int = 0) -> PrequentialResult:
+                     skip: int = 0, on_report=None) -> PrequentialResult:
     """Run a FreewayML learner prequentially, collecting its batch reports.
 
     Ground-truth pattern annotations on the batches are kept alongside the
     reports so pattern-segmented analyses (Table II, Figure 11) can align
     the learner's behaviour with what actually happened in the stream.
+
+    ``on_report`` is called with every batch report as it is produced —
+    including unlabeled batches the scoring skips — which is how the live
+    telemetry plane feeds per-batch latency samples to its SLO engine.
     """
     reports = []
     patterns = []
     for batch in stream:
         report = learner.process(batch)
+        if on_report is not None:
+            on_report(report)
         if report.accuracy is None:
             continue
         reports.append(report)

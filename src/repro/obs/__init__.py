@@ -12,10 +12,19 @@ Three layers, bundled by the :class:`Observability` facade:
 
 :mod:`repro.obs.report` turns a recorded JSONL trace back into per-strategy
 latency percentiles, reuse hit-rates, and decay timelines.
+
+:mod:`repro.obs.live` is the live telemetry plane: cross-worker
+metric/event aggregation (:func:`drain_telemetry` /
+:func:`absorb_telemetry`), a stdlib HTTP :class:`TelemetryServer`
+(``/metrics``, ``/health``, ``/snapshot``), and an online SLO/alert
+engine (:class:`SloRule` / :class:`SloEngine`).
 """
 
 from .events import (
+    DEFAULT_MEMORY_SINK_CAPACITY,
     EVENT_TYPES,
+    AlertRaised,
+    AlertResolved,
     AswDecayApplied,
     CecInvoked,
     CheckpointRejected,
@@ -38,6 +47,17 @@ from .events import (
     read_records,
 )
 from .facade import NULL_OBS, Observability
+from .live import (
+    SloEngine,
+    SloRule,
+    TelemetryServer,
+    absorb_telemetry,
+    build_snapshot,
+    default_slo_rules,
+    drain_telemetry,
+    find_ring,
+    parse_prometheus_text,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -73,6 +93,8 @@ __all__ = [
     "WorkerRestarted",
     "DegradedMode",
     "CircuitOpened",
+    "AlertRaised",
+    "AlertResolved",
     "EVENT_TYPES",
     "event_from_dict",
     "EventSink",
@@ -80,7 +102,17 @@ __all__ = [
     "MemorySink",
     "CompositeSink",
     "NullSink",
+    "DEFAULT_MEMORY_SINK_CAPACITY",
     "read_records",
+    "drain_telemetry",
+    "absorb_telemetry",
+    "find_ring",
+    "SloRule",
+    "SloEngine",
+    "default_slo_rules",
+    "TelemetryServer",
+    "build_snapshot",
+    "parse_prometheus_text",
     "TraceSummary",
     "summarize_trace",
     "render_report",

@@ -36,6 +36,8 @@ __all__ = [
     "WorkerRestarted",
     "DegradedMode",
     "CircuitOpened",
+    "AlertRaised",
+    "AlertResolved",
     "EVENT_TYPES",
     "event_from_dict",
     "EventSink",
@@ -43,6 +45,7 @@ __all__ = [
     "MemorySink",
     "CompositeSink",
     "NullSink",
+    "DEFAULT_MEMORY_SINK_CAPACITY",
     "read_records",
 ]
 
@@ -226,12 +229,44 @@ class CircuitOpened(Event):
     cooldown: int                      # batches before a retry is allowed
 
 
+@dataclass
+class AlertRaised(Event):
+    """An SLO rule's sliding-window aggregate crossed its threshold.
+
+    Emitted once per breach episode by the online
+    :class:`~repro.obs.live.SloEngine`; the matching
+    :class:`AlertResolved` closes the episode when the window recovers.
+    """
+
+    TYPE = "alert_raised"
+
+    rule: str                          # SloRule.name
+    signal: str                        # the sample stream the rule watches
+    value: float                       # aggregate that breached
+    threshold: float
+    batch: int | None = None           # engine tick (batch) at the breach
+
+
+@dataclass
+class AlertResolved(Event):
+    """A previously raised SLO alert's window dropped back under threshold."""
+
+    TYPE = "alert_resolved"
+
+    rule: str
+    value: float                       # aggregate at resolution
+    threshold: float
+    batches_active: int = 0            # ticks the alert stayed raised
+    batch: int | None = None
+
+
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.TYPE: cls
     for cls in (ShiftAssessed, StrategySelected, AswDecayApplied,
                 KnowledgePreserved, KnowledgeReused, KnowledgeEvicted,
                 CecInvoked, CheckpointWritten, CheckpointRejected,
-                WorkerRestarted, DegradedMode, CircuitOpened)
+                WorkerRestarted, DegradedMode, CircuitOpened,
+                AlertRaised, AlertResolved)
 }
 
 
@@ -267,17 +302,36 @@ class NullSink(EventSink):
         pass
 
 
-class MemorySink(EventSink):
-    """Keeps records in a list; ``events`` filters to typed events."""
+#: Default :class:`MemorySink` ring size.  Generous — a typical batch
+#: contributes a handful of records, so this covers tens of thousands of
+#: batches — but bounded, so a long-lived serving run cannot grow the sink
+#: without limit.  Pass ``capacity=None`` for the old unbounded behaviour.
+DEFAULT_MEMORY_SINK_CAPACITY = 100_000
 
-    def __init__(self, capacity: int | None = None):
+
+class MemorySink(EventSink):
+    """Keeps the most recent records in a bounded ring.
+
+    ``events`` filters to typed events; :attr:`dropped` counts records the
+    ring evicted (oldest first) once ``capacity`` was exceeded;
+    :meth:`drain` hands the buffered records over and empties the ring —
+    the primitive worker-telemetry shipping is built on.
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_MEMORY_SINK_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None; got {capacity}")
         self.records: list = []
         self.capacity = capacity
+        #: Records evicted from the ring since construction.
+        self.dropped = 0
 
     def emit(self, record) -> None:
         self.records.append(record)
         if self.capacity is not None and len(self.records) > self.capacity:
-            del self.records[: len(self.records) - self.capacity]
+            excess = len(self.records) - self.capacity
+            del self.records[:excess]
+            self.dropped += excess
 
     @property
     def events(self) -> list[Event]:
@@ -287,6 +341,13 @@ class MemorySink(EventSink):
     def events_of(self, event_type: type[Event]) -> list[Event]:
         return [event for event in self.events
                 if isinstance(event, event_type)]
+
+    def drain(self) -> list:
+        """Return the buffered records and empty the ring (``dropped``
+        keeps counting across drains)."""
+        records = self.records
+        self.records = []
+        return records
 
     def clear(self) -> None:
         self.records.clear()

@@ -11,6 +11,15 @@ Histograms use fixed bucket boundaries plus a running sum/count; quantiles
 are estimated by linear interpolation inside the bucket containing the
 target rank — the standard streaming estimate used by
 ``histogram_quantile`` — so no samples are retained.
+
+Registries also speak a *wire format* for cross-process aggregation (the
+live telemetry plane, see :mod:`repro.obs.live`): :meth:`MetricsRegistry.dump`
+serializes every series to plain JSON-able dicts,
+:meth:`MetricsRegistry.collect_delta` returns only what changed since the
+previous collection (and advances the baseline), and
+:meth:`MetricsRegistry.merge` folds a dump or delta into another registry —
+counters add, gauges last-write-wins, histograms merge bucket-wise — with
+optional extra labels (``{"worker": "2"}``) stamped on every merged series.
 """
 
 from __future__ import annotations
@@ -37,10 +46,24 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
 
+def _escape_label_value(value) -> str:
+    """Prometheus text-format label-value escaping (``\\``, ``"``, newline)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Prometheus text-format HELP escaping (``\\`` and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: tuple) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    inner = ",".join(f'{name}="{_escape_label_value(value)}"'
+                     for name, value in key)
     return "{" + inner + "}"
 
 
@@ -107,6 +130,21 @@ class Counter(_Instrument):
     def _touched(self) -> bool:
         return self._value != 0.0
 
+    # -- wire format ----------------------------------------------------------
+
+    def _wire(self, baseline: dict | None) -> dict | None:
+        previous = baseline.get("value", 0.0) if baseline else 0.0
+        delta = self._value - previous
+        if baseline is not None and delta == 0.0:
+            return None
+        return {"value": delta if baseline is not None else self._value}
+
+    def _wire_baseline(self) -> dict:
+        return {"value": self._value}
+
+    def _merge_wire(self, payload: dict) -> None:
+        self.inc(float(payload["value"]))
+
 
 class Gauge(_Instrument):
     """A value that can go up and down."""
@@ -135,6 +173,20 @@ class Gauge(_Instrument):
 
     def _touched(self) -> bool:
         return self._set_ever
+
+    # -- wire format ----------------------------------------------------------
+
+    def _wire(self, baseline: dict | None) -> dict | None:
+        if baseline is not None and baseline.get("value") == self._value:
+            return None
+        return {"value": self._value}
+
+    def _wire_baseline(self) -> dict:
+        return {"value": self._value}
+
+    def _merge_wire(self, payload: dict) -> None:
+        # Last write wins: the incoming value is the series' current truth.
+        self.set(float(payload["value"]))
 
 
 class Histogram(_Instrument):
@@ -224,6 +276,57 @@ class Histogram(_Instrument):
     def _touched(self) -> bool:
         return self._count > 0
 
+    # -- wire format ----------------------------------------------------------
+
+    def _wire(self, baseline: dict | None) -> dict | None:
+        if baseline is None:
+            return {
+                "buckets": list(self.buckets),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+        if self._count == baseline["count"]:
+            return None
+        return {
+            "buckets": list(self.buckets),
+            "counts": [now - then for now, then
+                       in zip(self._counts, baseline["counts"])],
+            "sum": self._sum - baseline["sum"],
+            "count": self._count - baseline["count"],
+            # min/max are monotone over a histogram's lifetime, so the
+            # current extrema are always a safe (if slightly wide) bound
+            # for the delta's samples.
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def _wire_baseline(self) -> dict:
+        return {"counts": list(self._counts), "sum": self._sum,
+                "count": self._count}
+
+    def _merge_wire(self, payload: dict) -> None:
+        bounds = tuple(float(b) for b in payload["buckets"])
+        if self._count == 0 and self.buckets != bounds:
+            # Untouched target: adopt the incoming boundaries wholesale.
+            self.buckets = bounds
+            self._counts = [0] * (len(bounds) + 1)
+        if self.buckets != bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket boundaries "
+                f"differ ({self.buckets} vs {bounds})"
+            )
+        for position, count in enumerate(payload["counts"]):
+            self._counts[position] += int(count)
+        self._sum += float(payload["sum"])
+        self._count += int(payload["count"])
+        if payload.get("min") is not None:
+            self._min = min(self._min, float(payload["min"]))
+        if payload.get("max") is not None:
+            self._max = max(self._max, float(payload["max"]))
+
     def _value_dict(self) -> dict:
         bucket_counts = {}
         cumulative = 0
@@ -246,6 +349,9 @@ class MetricsRegistry:
 
     def __init__(self):
         self._instruments: dict[str, _Instrument] = {}
+        #: Per-series baselines for :meth:`collect_delta` (what was last
+        #: shipped), keyed by ``(name, label_key)``.
+        self._shipped: dict[tuple, dict] = {}
 
     def _get(self, name: str, factory, kind: str):
         instrument = self._instruments.get(name)
@@ -297,12 +403,96 @@ class MetricsRegistry:
                          "series": series}
         return out
 
+    # -- wire format: dump / delta / merge ------------------------------------
+
+    def _collect_wire(self, *, delta: bool) -> dict:
+        out: dict = {}
+        for name, instrument in sorted(self._instruments.items()):
+            series = []
+            for child in (instrument, *instrument._children.values()):
+                key = (name, child._labels)
+                baseline = self._shipped.get(key) if delta else None
+                if baseline is None and not child._touched():
+                    continue
+                payload = child._wire(baseline)
+                if delta:
+                    self._shipped[key] = child._wire_baseline()
+                if payload is None:
+                    continue
+                series.append({"labels": dict(child._labels), **payload})
+            if series:
+                out[name] = {"kind": instrument.kind, "help": instrument.help,
+                             "series": series}
+        return out
+
+    def dump(self) -> dict:
+        """Every series in the JSON-able wire format :meth:`merge` accepts.
+
+        Counters and gauges carry ``{"value": v}``; histograms carry their
+        raw (non-cumulative) bucket ``counts`` plus ``sum``/``count`` and
+        observed ``min``/``max``, so a merge is bit-exact bucket-wise.
+        """
+        return self._collect_wire(delta=False)
+
+    def collect_delta(self) -> dict:
+        """What changed since the previous collection, then advance the
+        baseline.
+
+        The first call returns everything (a full :meth:`dump`); later
+        calls return counter/histogram *increments* and the current value
+        of any gauge written since — so repeatedly merging consecutive
+        deltas into another registry reproduces this registry's totals
+        with no double counting.  Unchanged series are omitted.
+        """
+        return self._collect_wire(delta=True)
+
+    def merge(self, wire: dict, extra_labels: dict | None = None) -> None:
+        """Fold a :meth:`dump`/:meth:`collect_delta` payload into this
+        registry.
+
+        Counters add, gauges last-write-wins, histograms merge bucket-wise
+        (boundaries must agree unless the target series is untouched).
+        ``extra_labels`` are stamped on every merged series — the
+        coordinator passes ``{"worker": "<index>"}`` so replica telemetry
+        stays attributable after aggregation.
+        """
+        for name, family in wire.items():
+            kind = family.get("kind", "untyped")
+            help = family.get("help", "")
+            series_list = family.get("series", ())
+            if kind == "counter":
+                instrument = self.counter(name, help)
+            elif kind == "gauge":
+                instrument = self.gauge(name, help)
+            elif kind == "histogram":
+                buckets = DEFAULT_LATENCY_BUCKETS
+                for series in series_list:
+                    if series.get("buckets"):
+                        buckets = tuple(series["buckets"])
+                        break
+                instrument = self.histogram(name, help, buckets=buckets)
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
+                )
+            if help and not instrument.help:
+                instrument.help = help
+            for series in series_list:
+                labels = dict(series["labels"])
+                if extra_labels:
+                    labels.update(extra_labels)
+                child = instrument.labels(**labels) if labels else instrument
+                child._merge_wire(series)
+
     def render_text(self) -> str:
         """Prometheus text exposition (the format scrapers and humans diff)."""
         lines: list[str] = []
+        # One HELP/TYPE pair per metric family, exactly once, before any of
+        # the family's samples (the exposition-format contract scrapers
+        # check).
         for name, instrument in sorted(self._instruments.items()):
             if instrument.help:
-                lines.append(f"# HELP {name} {instrument.help}")
+                lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
             lines.append(f"# TYPE {name} {instrument.kind}")
             for child in instrument._series():
                 labelled = _render_labels(child._labels)

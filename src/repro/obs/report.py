@@ -5,10 +5,16 @@ paper's adaptive-routing design raises after a run: how often each
 mechanism answered and at what latency, how often a claimed reoccurrence
 actually produced a usable knowledge match, and how the window's decay
 behaviour evolved along the stream.
+
+Also accepts a saved ``/snapshot`` payload from the live telemetry plane
+(one JSON object with ``"kind": "snapshot"``, see
+:func:`repro.obs.live.build_snapshot`) — its recent-event ring feeds the
+same summarizer, so live and post-hoc reporting share one renderer.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -22,6 +28,7 @@ from .events import (
     KnowledgeReused,
     ShiftAssessed,
     StrategySelected,
+    event_from_dict,
     read_records,
 )
 
@@ -76,9 +83,31 @@ def _walk_spans(record: dict):
         yield from _walk_spans(child)
 
 
+def _load_records(path: str | Path):
+    """Events + spans from either a JSONL trace or a ``/snapshot`` dump."""
+    text = Path(path).read_text(encoding="utf-8")
+    if text.lstrip().startswith("{"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None  # multi-line JSONL whose first record is a dict
+        if isinstance(payload, dict) and payload.get("kind") == "snapshot":
+            events = []
+            spans = []
+            for record in payload.get("records", ()):
+                if record.get("kind") == "span":
+                    spans.append(record)
+                elif record.get("kind") == "event":
+                    event = event_from_dict(record)
+                    if event is not None:
+                        events.append(event)
+            return events, spans
+    return read_records(path)
+
+
 def summarize_trace(path: str | Path) -> TraceSummary:
-    """Parse and aggregate one JSONL trace file."""
-    events, spans = read_records(path)
+    """Parse and aggregate one JSONL trace (or ``/snapshot`` JSON) file."""
+    events, spans = _load_records(path)
 
     event_counts: dict[str, int] = {}
     pattern_counts: dict[str, int] = {}

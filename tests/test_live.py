@@ -1,0 +1,677 @@
+"""Tests for the live telemetry plane (repro.obs.live).
+
+Covers the registry wire format (dump/delta/merge), Prometheus text
+exposition correctness, the bounded MemorySink ring, the SLO/alert
+engine, the TelemetryServer endpoints, cross-backend telemetry equality
+(the process backend's merged metrics/events must match a serial run),
+and the chaos case: a worker crash mid-run still yields a consistent
+merged snapshot.
+"""
+
+import json
+import urllib.request
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import Learner
+from repro.data import ElectricitySimulator
+from repro.distributed import DistributedLearner, ProcessBackend
+from repro.models import StreamingMLP
+from repro.obs import (
+    AlertRaised,
+    AlertResolved,
+    CompositeSink,
+    DegradedMode,
+    Event,
+    MemorySink,
+    MetricsRegistry,
+    Observability,
+    ShiftAssessed,
+    SloEngine,
+    SloRule,
+    TelemetryServer,
+    WorkerRestarted,
+    absorb_telemetry,
+    build_snapshot,
+    default_slo_rules,
+    drain_telemetry,
+    parse_prometheus_text,
+    summarize_trace,
+)
+from repro.resilience import DirtyData, WorkerCrash
+
+needs_fork = pytest.mark.skipif(
+    not ProcessBackend.available(),
+    reason="platform lacks the fork start method",
+)
+
+
+def mlp_factory():
+    return StreamingMLP(num_features=8, num_classes=2, lr=0.3, seed=0)
+
+
+def stream(n, batch_size=96, seed=1):
+    return ElectricitySimulator(seed=seed).stream(n, batch_size).materialize()
+
+
+def counter_series(registry, name):
+    """``{sorted-label-tuple: value}`` for one counter family."""
+    family = registry.snapshot().get(name)
+    if family is None:
+        return {}
+    return {tuple(sorted(s["labels"].items())): s["value"]
+            for s in family["series"]}
+
+
+# -- registry wire format ------------------------------------------------------
+
+
+class TestRegistryMerge:
+    def test_counters_add(self):
+        source = MetricsRegistry()
+        source.counter("hits").inc(3)
+        source.counter("hits").labels(kind="a").inc(2)
+        target = MetricsRegistry()
+        target.counter("hits").inc(10)
+        target.merge(source.dump())
+        assert target.counter("hits").value == 13.0
+        assert target.counter("hits").labels(kind="a").value == 2.0
+
+    def test_counters_add_under_worker_label(self):
+        target = MetricsRegistry()
+        for worker in range(2):
+            source = MetricsRegistry()
+            source.counter("hits").inc(worker + 1)
+            target.merge(source.dump(), extra_labels={"worker": str(worker)})
+        series = {tuple(sorted(s["labels"].items())): s["value"]
+                  for s in target.snapshot()["hits"]["series"]}
+        assert series == {(("worker", "0"),): 1.0, (("worker", "1"),): 2.0}
+
+    def test_gauges_last_write_wins(self):
+        source = MetricsRegistry()
+        source.gauge("depth").set(7.0)
+        target = MetricsRegistry()
+        target.merge(source.dump(), extra_labels={"worker": "0"})
+        source.gauge("depth").set(3.0)
+        target.merge(source.dump(), extra_labels={"worker": "0"})
+        assert target.gauge("depth").labels(worker="0").value == 3.0
+
+    def test_histograms_merge_bucket_wise_bit_exactly(self):
+        values = [0.0001, 0.004, 0.03, 0.4, 7.5, 100.0]
+        source = MetricsRegistry()
+        reference = MetricsRegistry()
+        for value in values:
+            source.histogram("lat").observe(value)
+            reference.histogram("lat").observe(value)
+        target = MetricsRegistry()
+        target.merge(source.dump())
+        merged, expected = target.histogram("lat"), reference.histogram("lat")
+        assert merged._counts == expected._counts
+        assert merged.sum == expected.sum  # bit-exact, not approx
+        assert merged.count == expected.count
+        assert merged._min == expected._min
+        assert merged._max == expected._max
+
+    def test_histogram_boundary_mismatch_rejected(self):
+        source = MetricsRegistry()
+        source.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("lat", buckets=(5.0, 6.0)).observe(5.5)
+        with pytest.raises(ValueError, match="boundaries"):
+            target.merge(source.dump())
+
+    def test_unknown_kind_rejected(self):
+        target = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            target.merge({"x": {"kind": "mystery", "series": []}})
+
+
+class TestCollectDelta:
+    def test_first_delta_is_full_dump(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(5)
+        assert registry.collect_delta()["hits"]["series"][0]["value"] == 5.0
+
+    def test_consecutive_deltas_reproduce_totals(self):
+        source = MetricsRegistry()
+        target = MetricsRegistry()
+        for round_values in ([0.001, 0.2], [5.0], [0.03, 0.03, 9.0]):
+            source.counter("hits").inc(len(round_values))
+            for value in round_values:
+                source.histogram("lat").observe(value)
+            target.merge(source.collect_delta())
+        assert target.counter("hits").value == source.counter("hits").value
+        assert target.histogram("lat")._counts == source.histogram("lat")._counts
+        assert target.histogram("lat").sum == source.histogram("lat").sum
+
+    def test_unchanged_series_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.collect_delta()
+        assert registry.collect_delta() == {}
+        registry.counter("hits").inc()
+        delta = registry.collect_delta()
+        assert delta["hits"]["series"][0]["value"] == 1.0  # the increment
+
+    def test_gauge_delta_ships_absolute_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4.0)
+        registry.collect_delta()
+        registry.gauge("depth").set(9.0)
+        assert registry.collect_delta()["depth"]["series"][0]["value"] == 9.0
+
+
+class TestDrainAbsorb:
+    def test_round_trip_with_worker_label(self):
+        source = Observability.in_memory()
+        source.registry.counter("hits").inc(4)
+        source.emit(DegradedMode(batch=1, mechanism="cec", fallback="short"))
+        delta, records = drain_telemetry(source)
+        target = Observability.in_memory()
+        absorb_telemetry(target, delta, records, worker=3)
+        assert counter_series(target.registry, "hits") == {
+            (("worker", "3"),): 4.0
+        }
+        (event,) = target.sink.events
+        assert isinstance(event, DegradedMode) and event.mechanism == "cec"
+
+    def test_drain_is_idempotent(self):
+        source = Observability.in_memory()
+        source.registry.counter("hits").inc()
+        source.emit(ShiftAssessed(batch=0, pattern="slight"))
+        drain_telemetry(source)
+        assert drain_telemetry(source) == ({}, [])
+
+    def test_disabled_facades_are_inert(self):
+        from repro.obs import NULL_OBS
+        assert drain_telemetry(NULL_OBS) == ({}, [])
+        absorb_telemetry(NULL_OBS, {"x": {"kind": "counter", "series": []}},
+                         [], worker=0)  # must not touch the registry
+        assert NULL_OBS.registry.snapshot() == {}
+
+
+# -- Prometheus text exposition ------------------------------------------------
+
+
+class TestPrometheusExposition:
+    def test_label_values_escaped_and_round_trip(self):
+        registry = MetricsRegistry()
+        nasty = 'a\\b"c\nd'
+        registry.counter("hits", "help").labels(path=nasty).inc(2)
+        text = registry.render_text()
+        assert '\\\\' in text and '\\"' in text and '\\n' in text
+        assert "\n\n" not in text  # the raw newline never leaks into a line
+        families = parse_prometheus_text(text)
+        ((_, labels, value),) = families["hits"]["samples"]
+        assert labels == {"path": nasty}  # exact round trip
+        assert value == 2.0
+
+    def test_help_and_type_once_per_family(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", "how many")
+        counter.labels(kind="a").inc()
+        counter.labels(kind="b").inc()
+        registry.histogram("lat", "latency").observe(0.01)
+        lines = registry.render_text().splitlines()
+        for name in ("hits", "lat"):
+            assert sum(1 for l in lines
+                       if l.startswith(f"# TYPE {name} ")) == 1
+            assert sum(1 for l in lines
+                       if l.startswith(f"# HELP {name} ")) == 1
+        # HELP/TYPE precede every sample of their family.
+        assert lines.index("# TYPE hits counter") < lines.index(
+            next(l for l in lines if l.startswith("hits{")))
+
+    def test_histogram_renders_valid_exposition(self):
+        registry = MetricsRegistry()
+        for value in (0.001, 0.02, 3.0):
+            registry.histogram("lat", "latency").labels(stage="x").observe(value)
+        families = parse_prometheus_text(registry.render_text())
+        samples = families["lat"]["samples"]
+        names = {name for name, _, _ in samples}
+        assert names == {"lat_bucket", "lat_sum", "lat_count"}
+        count = next(v for n, _, v in samples if n == "lat_count")
+        assert count == 3.0
+
+    def test_parser_rejects_type_after_samples(self):
+        with pytest.raises(ValueError, match="after its"):
+            parse_prometheus_text("# TYPE x counter\nx 1\n# HELP x oops\n")
+
+    def test_parser_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus_text("mystery 1\n")
+
+    def test_parser_rejects_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_prometheus_text("# TYPE x counter\n# TYPE x counter\nx 1\n")
+
+    def test_parser_rejects_decreasing_buckets(self):
+        text = ("# TYPE lat histogram\n"
+                'lat_bucket{le="1"} 5\nlat_bucket{le="2"} 3\n'
+                "lat_sum 1\nlat_count 5\n")
+        with pytest.raises(ValueError, match="decreased"):
+            parse_prometheus_text(text)
+
+    def test_parser_rejects_bad_escape(self):
+        with pytest.raises(ValueError, match="bad escape"):
+            parse_prometheus_text('# TYPE x counter\nx{a="\\q"} 1\n')
+
+
+# -- bounded MemorySink --------------------------------------------------------
+
+
+class TestMemorySinkRing:
+    def test_capacity_caps_and_counts_drops(self):
+        sink = MemorySink(capacity=3)
+        for index in range(5):
+            sink.emit(ShiftAssessed(batch=index, pattern="slight"))
+        assert len(sink.records) == 3
+        assert sink.dropped == 2
+        assert [event.batch for event in sink.events] == [2, 3, 4]
+
+    def test_drain_empties_but_keeps_drop_count(self):
+        sink = MemorySink(capacity=2)
+        for index in range(3):
+            sink.emit(ShiftAssessed(batch=index, pattern="slight"))
+        drained = sink.drain()
+        assert len(drained) == 2 and sink.records == []
+        assert sink.dropped == 1
+
+    def test_unbounded_opt_out(self):
+        sink = MemorySink(capacity=None)
+        for index in range(10):
+            sink.emit(index)
+        assert len(sink.records) == 10 and sink.dropped == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+
+# -- SLO engine ----------------------------------------------------------------
+
+
+class TestSloRule:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloRule("", signal="x", threshold=1.0)
+        with pytest.raises(ValueError):
+            SloRule("r", signal="x", threshold=1.0, aggregate="median")
+        with pytest.raises(ValueError):
+            SloRule("r", signal="x", threshold=1.0, comparison="!=")
+        with pytest.raises(ValueError):
+            SloRule("r", signal="x", threshold=1.0, window=0)
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [SloRule("same", signal="a", threshold=1.0),
+                 SloRule("same", signal="b", threshold=1.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine(rules)
+
+
+class TestSloEngine:
+    def test_rate_rule_raises_and_resolves(self):
+        obs = Observability.in_memory()
+        engine = SloEngine(
+            [SloRule("deg", signal="degraded_mode", aggregate="rate",
+                     threshold=0.5, window=4)], obs)
+        obs.sink = CompositeSink(obs.sink, engine)
+        for index in range(4):
+            obs.emit(DegradedMode(batch=index, mechanism="cec",
+                                  fallback="short"))
+            engine.tick()
+        assert "deg" in engine.active
+        for _ in range(8):
+            engine.tick()
+        assert not engine.active
+        assert engine.raised_total == 1 and engine.resolved_total == 1
+        raised = [e for e in obs.sink.sinks[0].events
+                  if isinstance(e, AlertRaised)]
+        resolved = [e for e in obs.sink.sinks[0].events
+                    if isinstance(e, AlertResolved)]
+        assert len(raised) == 1 and raised[0].rule == "deg"
+        assert len(resolved) == 1 and resolved[0].batches_active > 0
+        assert counter_series(obs.registry, "freeway_alerts_total") == {
+            (("rule", "deg"),): 1.0
+        }
+
+    def test_latency_p99_rule(self):
+        engine = SloEngine(
+            [SloRule("p99", signal="process_latency", aggregate="p99",
+                     threshold=0.5, window=10, min_samples=3)])
+
+        class FakeReport:
+            def __init__(self, latency):
+                self.latency_s = latency
+
+        for _ in range(5):
+            engine.observe_report(FakeReport(0.01))
+        assert not engine.active
+        for _ in range(10):
+            engine.observe_report(FakeReport(2.0))
+        assert "p99" in engine.active
+
+    def test_min_samples_gates_value_aggregates(self):
+        engine = SloEngine(
+            [SloRule("p99", signal="process_latency", aggregate="p99",
+                     threshold=0.5, window=10, min_samples=5)])
+        engine.observe("process_latency", 100.0)
+        engine.tick()
+        assert not engine.active  # one huge sample is not evidence
+
+    def test_starvation_rule_waits_for_full_window(self):
+        engine = SloEngine(
+            [SloRule("starved", signal="shift_assessed", aggregate="rate",
+                     comparison="<", threshold=0.5, window=5)])
+        engine.tick()
+        assert not engine.active  # partial window: cannot judge under-rate
+        for _ in range(6):
+            engine.tick()
+        assert "starved" in engine.active
+
+    def test_default_rules_are_valid_and_unique(self):
+        engine = SloEngine(default_slo_rules())
+        names = [rule.name for rule in engine.rules]
+        assert len(names) == len(set(names)) >= 4
+
+    def test_pre_emptive_degrade_flips_learner(self):
+        learner = Learner(mlp_factory, window_batches=4, seed=0)
+        assert learner.degrade is False and learner.breaker is None
+        engine = SloEngine(
+            [SloRule("deg", signal="degraded_mode", aggregate="rate",
+                     threshold=0.5, window=4)],
+            pre_emptive_degrade=True)
+        engine.bind(learner)
+        for index in range(4):
+            engine.observe("degraded_mode", 1.0)
+            engine.tick()
+        assert learner.degrade is True
+        assert learner.breaker is not None  # built lazily by set_degrade
+        for _ in range(8):
+            engine.tick()
+        assert learner.degrade is False  # restored on resolution
+
+    def test_engine_ignores_its_own_alert_events(self):
+        obs = Observability.in_memory()
+        engine = SloEngine(
+            [SloRule("any", signal="alert_raised", aggregate="count",
+                     threshold=0.0, window=5)], obs)
+        obs.sink = CompositeSink(obs.sink, engine)
+        obs.emit(AlertRaised(rule="x", signal="s", value=1.0, threshold=0.5))
+        engine.tick()
+        assert not engine.active  # no feedback loop on its own output
+
+
+# -- telemetry server ----------------------------------------------------------
+
+
+class TestTelemetryServer:
+    def scrape(self, server, path):
+        with urllib.request.urlopen(f"{server.url}{path}", timeout=10) as r:
+            return r.read().decode()
+
+    def test_endpoints_respond_during_live_run(self):
+        obs = Observability.in_memory()
+        engine = SloEngine(default_slo_rules(), obs)
+        obs.sink = CompositeSink(obs.sink, engine)
+        learner = Learner(mlp_factory, window_batches=4, seed=0, obs=obs)
+        with TelemetryServer(obs, engine,
+                             health_source=learner.summary) as server:
+            for batch in stream(6):
+                report = learner.process(batch)
+                engine.observe_report(report)
+                text = self.scrape(server, "/metrics")
+            families = parse_prometheus_text(text)
+            assert "freeway_batches_total" in families
+            health = json.loads(self.scrape(server, "/health"))
+            assert health["status"] == "ok"
+            assert health["summary"]["batches_processed"] == 6
+            assert health["slo"]["tick"] == 6
+            snapshot = json.loads(self.scrape(server, "/snapshot"))
+            assert snapshot["kind"] == "snapshot"
+            assert snapshot["metrics"]["freeway_batches_total"]["series"]
+            assert any(record["kind"] == "event"
+                       for record in snapshot["records"])
+
+    def test_unknown_path_404(self):
+        obs = Observability.in_memory()
+        with TelemetryServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.scrape(server, "/nope")
+            assert excinfo.value.code == 404
+
+    def test_health_reports_alerting(self):
+        obs = Observability.in_memory()
+        engine = SloEngine(
+            [SloRule("deg", signal="degraded_mode", aggregate="rate",
+                     threshold=0.25, window=4)], obs)
+        obs.sink = CompositeSink(obs.sink, engine)
+        for index in range(4):
+            obs.emit(DegradedMode(batch=index, mechanism="cec",
+                                  fallback="short"))
+            engine.tick()
+        with TelemetryServer(obs, engine) as server:
+            health = json.loads(self.scrape(server, "/health"))
+        assert health["status"] == "alerting"
+        assert health["alerts"][0]["rule"] == "deg"
+
+    def test_ephemeral_port_and_clean_stop(self):
+        obs = Observability.in_memory()
+        server = TelemetryServer(obs).start()
+        port = server.port
+        assert port and port > 0
+        server.stop()
+        assert server.port is None
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=1)
+
+
+# -- fault-injected live alert (acceptance scenario) ---------------------------
+
+
+class TestLiveAlertUnderFaults:
+    def test_dirty_data_raises_then_resolves_degraded_rate(self):
+        obs = Observability.in_memory()
+        engine = SloEngine(
+            [SloRule("degraded-rate", signal="degraded_mode",
+                     aggregate="rate", threshold=0.5, window=4)], obs)
+        obs.sink = CompositeSink(obs.sink, engine)
+        learner = Learner(mlp_factory, window_batches=4, seed=0,
+                          degrade=True, obs=obs)
+        injector = DirtyData(at=set(range(2, 8)), cells=12, seed=3)
+        batches = stream(16, batch_size=64)
+        statuses = []
+        with TelemetryServer(obs, engine,
+                             health_source=learner.summary) as server:
+            for index, batch in enumerate(batches):
+                report = learner.process(injector(batch))
+                engine.observe_report(report)
+                with urllib.request.urlopen(f"{server.url}/health",
+                                            timeout=10) as response:
+                    statuses.append(json.loads(response.read())["status"])
+        assert "alerting" in statuses          # the dirty stretch raised
+        assert statuses[-1] == "ok"            # and the recovery resolved
+        assert engine.raised_total >= 1 and engine.resolved_total >= 1
+        ring = obs.sink.sinks[0]
+        assert any(isinstance(e, AlertRaised) for e in ring.events)
+        assert any(isinstance(e, AlertResolved) for e in ring.events)
+
+
+# -- cross-backend telemetry equality ------------------------------------------
+
+
+def run_with_obs(backend, batches, num_workers=2, sync_every=1):
+    obs = Observability.in_memory()
+    learner = DistributedLearner(mlp_factory, num_workers=num_workers,
+                                 sync_every=sync_every, window_batches=4,
+                                 backend=backend, seed=0, obs=obs)
+    try:
+        accuracies = [learner.process(batch).accuracy for batch in batches]
+    finally:
+        learner.close()
+    return obs, accuracies
+
+
+#: Deterministic replica-emitted counters (latency histograms excluded:
+#: their sums are wall-clock).  Worker restarts are coordinator-side.
+DETERMINISTIC_COUNTERS = ("freeway_batches_total", "freeway_items_total",
+                          "freeway_fallbacks_total")
+
+
+def total_by_family(obs, name):
+    return sum(counter_series(obs.registry, name).values())
+
+
+def event_multiset(obs):
+    return Counter(
+        (event.TYPE, getattr(event, "batch", None))
+        for event in obs.sink.events
+        if isinstance(event, Event) and not isinstance(event, WorkerRestarted)
+    )
+
+
+class TestThreadBackendTelemetryEquality:
+    def test_counters_and_events_match_serial(self):
+        batches = stream(8)
+        serial, serial_acc = run_with_obs("serial", batches)
+        thread, thread_acc = run_with_obs("thread", batches)
+        assert serial_acc == thread_acc
+        for name in DETERMINISTIC_COUNTERS:
+            assert total_by_family(serial, name) == total_by_family(
+                thread, name), name
+        assert event_multiset(serial) == event_multiset(thread)
+
+    def test_thread_series_carry_worker_labels(self):
+        thread, _ = run_with_obs("thread", stream(4))
+        labels = counter_series(thread.registry, "freeway_items_total")
+        assert {dict(k)["worker"] for k in labels} == {"0", "1"}
+
+
+@needs_fork
+class TestProcessBackendTelemetryEquality:
+    def test_counters_and_events_match_serial(self):
+        batches = stream(8)
+        serial, serial_acc = run_with_obs("serial", batches)
+        process, process_acc = run_with_obs(
+            ProcessBackend(max_restarts=0), batches)
+        assert serial_acc == process_acc
+        for name in DETERMINISTIC_COUNTERS:
+            assert total_by_family(serial, name) == total_by_family(
+                process, name), name
+        assert event_multiset(serial) == event_multiset(process)
+
+    def test_hot_path_observation_counts_match_serial(self):
+        # Histogram *sums* are wall clock (nondeterministic); observation
+        # counts per stage are structural and must agree.
+        def stage_counts(obs):
+            family = obs.registry.snapshot().get("freeway_predict_seconds")
+            if family is None:
+                return {}
+            counts: Counter = Counter()
+            for series in family["series"]:
+                labels = dict(series["labels"])
+                labels.pop("worker", None)
+                counts[tuple(sorted(labels.items()))] += series["count"]
+            return counts
+
+        batches = stream(6)
+        serial, _ = run_with_obs("serial", batches)
+        process, _ = run_with_obs(ProcessBackend(max_restarts=0), batches)
+        assert stage_counts(serial) == stage_counts(process)
+
+    def test_worker_crash_still_yields_consistent_snapshot(self):
+        batches = stream(10)
+        serial, serial_acc = run_with_obs("serial", batches)
+        backend = ProcessBackend(max_restarts=2)
+        WorkerCrash(at={3}, worker=1).attach(backend)
+        chaos, chaos_acc = run_with_obs(backend, batches)
+        # Recovery guarantee (PR 4): accuracy sequence matches fault-free.
+        assert chaos_acc == serial_acc
+        # The merged snapshot stays consistent: batch/item totals match
+        # the serial run exactly — no double count from the restarted
+        # worker's re-shipped telemetry, no loss from the crash.
+        for name in ("freeway_batches_total", "freeway_items_total"):
+            assert total_by_family(serial, name) == total_by_family(
+                chaos, name), name
+        restarts = counter_series(chaos.registry,
+                                  "freeway_worker_restarts_total")
+        assert sum(restarts.values()) == 1.0
+        assert any(isinstance(e, WorkerRestarted)
+                   for e in chaos.sink.events)
+        # Prometheus exposition of the merged registry stays well formed.
+        parse_prometheus_text(chaos.registry.render_text())
+
+    def test_concurrent_health_scrapes_do_not_corrupt_the_pipes(self):
+        # Regression: /health used to RPC knowledge_len over the worker
+        # pipes from the scrape thread, interleaving its replies with
+        # the run loop's telemetry collection (FIFO pipes → unpack
+        # crash).  summary() must stay pipe-free under a live plane.
+        import threading
+
+        obs = Observability.in_memory()
+        learner = DistributedLearner(mlp_factory, num_workers=2,
+                                     window_batches=4, seed=0,
+                                     backend=ProcessBackend(max_restarts=0),
+                                     obs=obs)
+        stop = threading.Event()
+        statuses: list = []
+
+        def hammer(url):
+            while not stop.is_set():
+                with urllib.request.urlopen(f"{url}/health",
+                                            timeout=10) as response:
+                    statuses.append(json.loads(response.read())["status"])
+
+        try:
+            with TelemetryServer(obs,
+                                 health_source=learner.summary) as server:
+                scraper = threading.Thread(target=hammer,
+                                           args=(server.url,), daemon=True)
+                scraper.start()
+                try:
+                    accuracies = [learner.process(batch).accuracy
+                                  for batch in stream(12)]
+                finally:
+                    stop.set()
+                    scraper.join(timeout=10)
+        finally:
+            learner.close()
+        assert len(accuracies) == 12       # the run survived the scrapes
+        assert statuses and all(s == "ok" for s in statuses)
+        summary = learner.summary()        # post-run summary still sane
+        assert summary["batches_processed"] == 12
+        assert summary["knowledge_entries"] >= 0
+
+
+# -- report from snapshot ------------------------------------------------------
+
+
+class TestReportFromSnapshot:
+    def test_snapshot_feeds_the_trace_renderer(self, tmp_path):
+        obs = Observability.in_memory()
+        obs.emit(ShiftAssessed(batch=0, pattern="slight"))
+        obs.emit(ShiftAssessed(batch=1, pattern="severe"))
+        obs.emit(DegradedMode(batch=1, mechanism="cec", fallback="short"))
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(build_snapshot(obs), default=float))
+        summary = summarize_trace(path)
+        assert summary.num_events == 3
+        assert summary.pattern_counts == {"severe": 1, "slight": 1}
+
+    def test_snapshot_carries_ring_drop_count(self):
+        obs = Observability(sink=MemorySink(capacity=2))
+        for index in range(4):
+            obs.emit(ShiftAssessed(batch=index, pattern="slight"))
+        snapshot = build_snapshot(obs)
+        assert snapshot["dropped_records"] == 2
+        assert len(snapshot["records"]) == 2
+
+    def test_jsonl_traces_still_summarize(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        obs = Observability.to_jsonl(path)
+        obs.emit(ShiftAssessed(batch=0, pattern="slight"))
+        obs.close()
+        assert summarize_trace(path).num_events == 1

@@ -18,6 +18,8 @@ from repro.obs import (
     EVENT_TYPES,
     NULL_OBS,
     NULL_TRACER,
+    AlertRaised,
+    AlertResolved,
     AswDecayApplied,
     CecInvoked,
     CheckpointRejected,
@@ -73,6 +75,10 @@ SAMPLE_EVENTS = [
                  fallback="multi_granularity",
                  reason="cec raised ValueError"),
     CircuitOpened(mechanism="cec", failures=3, cooldown=10),
+    AlertRaised(rule="degraded-rate", signal="degraded_mode", value=0.4,
+                threshold=0.25, batch=12),
+    AlertResolved(rule="degraded-rate", value=0.1, threshold=0.25,
+                  batches_active=9, batch=21),
 ]
 
 
