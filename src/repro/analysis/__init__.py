@@ -1,6 +1,6 @@
 """``repro.analysis`` — static verification for the streaming stack.
 
-Two halves, both purely static (no data is ever run through a model):
+Three parts, all purely static (no data is ever run through a model):
 
 - :mod:`repro.analysis.shapes` and :mod:`repro.analysis.checkpoint` —
   symbolic shape/dtype propagation through :mod:`repro.nn` module graphs
@@ -12,8 +12,12 @@ Two halves, both purely static (no data is ever run through a model):
   :class:`~repro.obs.CheckpointRejected` event) instead of a deep numpy
   broadcast failure mid-stream.
 - :mod:`repro.analysis.lint` / :mod:`repro.analysis.runner` — the
-  ``REP001``–``REP006`` streaming-invariant lint pass behind
+  ``REP001``–``REP007`` streaming-invariant lint pass behind
   ``python -m repro.cli analyze`` (see ``docs/ANALYSIS.md``).
+- :mod:`repro.analysis.concurrency` — the execution-context call-graph
+  pass (``REP008``–``REP011``): shared-state, fork-safety, blocking-call,
+  and singleton-confinement checks across {coordinator, thread-worker,
+  process-worker, server-thread}; opt-in via ``analyze --concurrency``.
 """
 
 from .checkpoint import (
@@ -24,7 +28,22 @@ from .checkpoint import (
     state_spec,
     verify_checkpoint_file,
 )
-from .lint import RULES, Finding, lint_file, lint_paths, lint_source
+from .concurrency import (
+    CONCURRENCY_RULES,
+    CONTEXTS,
+    analyze_project,
+    build_project,
+    scan_paths,
+)
+from .lint import (
+    RULE_DETAILS,
+    RULES,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_rule_catalogue,
+)
 from .runner import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, run_analyze
 from .shapes import (
     BATCH,
@@ -56,6 +75,13 @@ __all__ = [
     "verify_checkpoint_file",
     "Finding",
     "RULES",
+    "RULE_DETAILS",
+    "render_rule_catalogue",
+    "CONCURRENCY_RULES",
+    "CONTEXTS",
+    "build_project",
+    "analyze_project",
+    "scan_paths",
     "lint_source",
     "lint_file",
     "lint_paths",

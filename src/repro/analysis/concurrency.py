@@ -1,0 +1,1511 @@
+"""Execution-context call graph and the concurrency lint rules (REP008-REP011).
+
+The pass indexes the scanned tree project-wide (modules, classes, functions,
+module globals, imports), builds a receiver-typed call graph, and infers which
+*execution context* each function can run in by reachability from concurrency
+roots:
+
+- ``coordinator`` — the run loop, CLI entry points, and module import bodies;
+- ``thread-worker`` — targets handed to ``threading.Thread``/``Timer`` or
+  submitted to a ``ThreadPoolExecutor``;
+- ``process-worker`` — ``multiprocessing.Process`` targets (forked worker
+  entry points);
+- ``server-thread`` — request-handler methods of ``BaseHTTPRequestHandler``
+  subclasses (the telemetry server's handler threads).
+
+On top of the context map, four rules (full catalogue:
+``repro.analysis.lint.RULE_DETAILS`` and ``docs/ANALYSIS.md``):
+
+- ``REP008`` — an instance attribute or module-level mutable written without
+  lock protection while reachable from two or more address-space-sharing
+  contexts (``process-worker`` shares nothing after fork and is excluded);
+- ``REP009`` — fork-unsafety: a thread exists (or a lock is held) on a
+  statement path that precedes a fork, or a pipe endpoint is handed to the
+  child and never closed in the parent;
+- ``REP010`` — an unbounded blocking call (``recv``/``accept``/timeout-less
+  ``get``/``join``/``wait``/``result``) or ``sleep`` while a lock is held, or
+  an unbounded blocking call inside a ``while True`` loop running in a
+  supervised context;
+- ``REP011`` — a ``threading.local``-based (or thread-confined) singleton
+  touched from the server thread, or a shared module-level singleton mutated
+  from a non-coordinator context.
+
+Findings reuse :class:`repro.analysis.lint.Finding` and the
+``# repro: noqa[REPxxx]`` suppression machinery, so ``run_analyze`` /
+``python -m repro analyze --concurrency`` report them alongside the
+single-file rules with the same exit codes.
+
+Known limits (documented, deliberate): resolution is static and name/type
+driven — callables stored in untyped containers, ``getattr`` dispatch, and
+closures invoked through untyped attributes (e.g. ``self.health_source``) are
+not followed; lock protection is lexical (``with <lock>:`` in the same
+function), so cross-function lock discipline needs a ``noqa`` with its
+invariant spelled out.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .lint import RULE_DETAILS, Finding, _suppressed_codes
+
+__all__ = [
+    "CONCURRENCY_RULES",
+    "CONTEXTS",
+    "COORDINATOR",
+    "THREAD_WORKER",
+    "PROCESS_WORKER",
+    "SERVER_THREAD",
+    "Project",
+    "build_project",
+    "analyze_project",
+    "scan_paths",
+]
+
+#: Rule catalogue for this pass: code -> one-line summary, carved out of
+#: the project-wide registry in :mod:`repro.analysis.lint` (single source;
+#: see ``RULE_DETAILS``).
+CONCURRENCY_RULES = {
+    code: info["summary"] for code, info in RULE_DETAILS.items()
+    if info["pass"] == "concurrency"
+}
+
+COORDINATOR = "coordinator"
+THREAD_WORKER = "thread-worker"
+PROCESS_WORKER = "process-worker"
+SERVER_THREAD = "server-thread"
+CONTEXTS = (COORDINATOR, THREAD_WORKER, PROCESS_WORKER, SERVER_THREAD)
+
+#: Contexts that share one address space; a forked process-worker gets a
+#: copy-on-write snapshot and shares nothing afterwards.
+THREAD_SHARING = frozenset({COORDINATOR, THREAD_WORKER, SERVER_THREAD})
+
+#: Sentinel type for values produced by non-project (stdlib/third-party)
+#: constructors; blocks name-fallback resolution on their attributes.
+EXTERNAL = "<external>"
+
+#: An untyped ``x.m()`` call falls back to same-named project functions only
+#: when at most this many definitions share the name; otherwise the edge is
+#: dropped as too ambiguous ("weak").
+AMBIGUITY_LIMIT = 3
+
+_THREAD_CTORS = frozenset({"Thread", "Timer", "ThreadPoolExecutor"})
+_FORK_CTORS = frozenset({"Process", "ProcessPoolExecutor"})
+_LOCK_CTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                         "BoundedSemaphore"})
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "deque", "defaultdict",
+                            "OrderedDict", "Counter"})
+#: Constructors whose results are opaque external objects (their attribute
+#: calls must not resolve to project functions by name).
+_EXTERNAL_CTORS = (_THREAD_CTORS | _FORK_CTORS
+                   | frozenset({"Pipe", "Queue", "SimpleQueue", "Event",
+                                "get_context", "RawArray", "RawValue",
+                                "ThreadingHTTPServer", "HTTPServer",
+                                "local", "partial"}))
+_BLOCKING_ALWAYS = frozenset({"recv", "recv_bytes", "accept"})
+_BLOCKING_TIMEOUT = frozenset({"get", "join", "wait", "result"})
+#: Container methods that mutate their receiver in place.
+_MUTATORS = frozenset({"append", "appendleft", "extend", "extendleft", "add",
+                       "update", "insert", "remove", "discard", "pop",
+                       "popleft", "popitem", "clear", "setdefault", "sort",
+                       "reverse"})
+_INIT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+#: Method names shared with builtin containers/files/primitives: an untyped
+#: ``x.append()`` is far more likely a list than a project method, so these
+#: never resolve through the name-fallback pool.
+_NO_FALLBACK = _MUTATORS | _BLOCKING_TIMEOUT | _BLOCKING_ALWAYS | frozenset({
+    "items", "keys", "values", "copy", "count", "index", "join", "split",
+    "strip", "format", "encode", "decode", "close", "open", "read", "write",
+    "flush", "send", "put", "start", "run", "submit", "acquire", "release",
+    "notify", "notify_all", "poll", "terminate", "kill", "is_alive",
+    "cancel", "shutdown", "sleep",
+})
+#: Attribute names too generic for the unique-owner fallback (numpy arrays,
+#: dicts, and stdlib objects expose them on untyped receivers constantly).
+_NO_ATTR_FALLBACK = frozenset({
+    "size", "shape", "ndim", "dtype", "data", "T", "flat", "real", "imag",
+    "itemsize", "nbytes", "name", "value", "values", "items", "keys",
+    "args", "kwargs",
+})
+_HANDLER_METHODS = frozenset({"handle", "handle_one_request", "setup",
+                              "finish", "log_message"})
+
+
+def _terminal_name(node) -> str | None:
+    """Rightmost identifier of a Name/Attribute chain (``a.b.C`` -> ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _root_name(node) -> str | None:
+    """Leftmost identifier of a Name/Attribute chain (``a.b.C`` -> ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method (or a module body pseudo-function)."""
+
+    fid: int
+    name: str
+    qualname: str
+    module: str
+    path: str
+    node: object
+    lineno: int
+    cls: "ClassInfo | None" = None
+    parent: "FunctionInfo | None" = None
+    is_static: bool = False
+    is_property: bool = False
+    is_module_body: bool = False
+    nested: dict = field(default_factory=dict)      # name -> FunctionInfo
+    imports: dict = field(default_factory=dict)     # function-level imports
+    params: set = field(default_factory=set)
+    param_types: dict = field(default_factory=dict)  # name -> set[str]
+    return_types: set = field(default_factory=set)   # class keys / EXTERNAL
+    local_types: dict = field(default_factory=dict)  # name -> set[str]
+    local_names: set = field(default_factory=set)    # all locally bound names
+    global_decls: set = field(default_factory=set)   # names in `global` stmts
+    # -- populated by the scan/fixpoint phases --
+    edges: set = field(default_factory=set)          # strong callee fids
+    contexts: set = field(default_factory=set)
+    may_thread: bool = False
+    may_fork: bool = False
+    thread_events: list = field(default_factory=list)  # (path, lineno, what)
+    fork_events: list = field(default_factory=list)    # (path, lineno, what,
+    #                                                     under_lock)
+    blocking: list = field(default_factory=list)
+    attr_accesses: list = field(default_factory=list)
+    global_accesses: list = field(default_factory=list)
+    pipe_leaks: list = field(default_factory=list)     # (lineno, name)
+    call_sites: list = field(default_factory=list)     # (path, lineno,
+    #                                                     frozenset[fid])
+
+    def __hash__(self):
+        return self.fid
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"<fn {self.module}:{self.qualname}>"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition."""
+
+    key: str              # f"{module}.{qualname}"
+    name: str
+    qualname: str
+    module: str
+    node: object
+    bases: tuple          # terminal base names
+    methods: dict = field(default_factory=dict)   # name -> FunctionInfo
+    attrs: set = field(default_factory=set)       # data attrs (self.X writes
+    #                                               + annotated class fields)
+    attr_ann: dict = field(default_factory=dict)  # attr -> annotation node
+    lock_attrs: set = field(default_factory=set)  # attrs holding Lock/RLock
+    local_attrs: set = field(default_factory=set)  # attrs holding
+    #                                                threading.local()
+    ancestors: set = field(default_factory=set)   # class keys
+    descendants: set = field(default_factory=set)
+
+    def __hash__(self):
+        return hash(self.key)
+
+
+@dataclass
+class GlobalInfo:
+    """One module-level binding of interest."""
+
+    module: str
+    name: str
+    kind: str             # mutable | lock | thread_local | thread_confined |
+    #                       shared_instance | other
+    path: str
+    lineno: int
+    cls: "ClassInfo | None" = None
+
+
+@dataclass
+class ModuleInfo:
+    id: str
+    path: str
+    is_package: bool
+    tree: object
+    lines: list
+    body_fn: "FunctionInfo | None" = None
+    functions: dict = field(default_factory=dict)   # module-level defs
+    classes: dict = field(default_factory=dict)     # name -> ClassInfo
+    imports: dict = field(default_factory=dict)     # alias -> (module_id|None,
+    #                                                 name|None)
+    raw_globals: dict = field(default_factory=dict)  # name -> (value node,
+    #                                                  lineno)
+
+
+@dataclass
+class Project:
+    """Everything the scan and rule phases need, fully indexed."""
+
+    modules: dict = field(default_factory=dict)       # id -> ModuleInfo
+    functions: list = field(default_factory=list)     # fid-indexed
+    classes: dict = field(default_factory=dict)       # key -> ClassInfo
+    classes_by_name: dict = field(default_factory=dict)
+    funcs_by_name: dict = field(default_factory=dict)  # fallback pool
+    globals: dict = field(default_factory=dict)       # (module, name) -> Info
+    attr_types: dict = field(default_factory=dict)    # attr -> set[class key]
+    attr_external: set = field(default_factory=set)   # attrs holding external
+    attr_owners: dict = field(default_factory=dict)   # attr -> set[class key]
+    sources: dict = field(default_factory=dict)       # path -> lines
+
+    def function(self, qualname: str, module: str | None = None):
+        """Look up a function by dotted qualname (test/debug convenience)."""
+        hits = [fn for fn in self.functions
+                if fn.qualname == qualname
+                and (module is None or fn.module.endswith(module))]
+        if len(hits) != 1:
+            raise KeyError(f"{qualname!r}: {len(hits)} matches")
+        return hits[0]
+
+
+def _module_id(path: Path) -> tuple[str, bool]:
+    """Dotted module id rooted at the outermost package, plus is_package."""
+    path = path.resolve()
+    is_package = path.name == "__init__.py"
+    parts = [path.stem] if not is_package else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:
+        parts = [path.stem]
+    return ".".join(parts), is_package
+
+
+def _iter_files(paths):
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file in sorted(entry.rglob("*.py")):
+                if any(part.startswith(".") for part in file.parts):
+                    continue
+                yield file
+        elif entry.is_file():
+            yield entry
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry}")
+
+
+class _Indexer:
+    """Phase A: walk every module, register defs/classes/globals/imports."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self._next_fid = 0
+
+    # -- registration helpers -------------------------------------------------
+
+    def _new_function(self, name, qualname, mod, node, cls=None, parent=None,
+                      is_module_body=False):
+        fn = FunctionInfo(
+            fid=self._next_fid, name=name, qualname=qualname, module=mod.id,
+            path=mod.path, node=node,
+            lineno=getattr(node, "lineno", 1), cls=cls, parent=parent,
+            is_module_body=is_module_body,
+        )
+        self._next_fid += 1
+        self.project.functions.append(fn)
+        return fn
+
+    def index_module(self, mod: ModuleInfo):
+        body_node = type("_Body", (), {"lineno": 1, "col_offset": 0,
+                                       "body": mod.tree.body})()
+        mod.body_fn = self._new_function(
+            f"<module {mod.id}>", "<module>", mod, body_node,
+            is_module_body=True)
+        for stmt in mod.tree.body:
+            self._index_stmt(stmt, mod, cls=None, parent=None, prefix="")
+        # Module-level globals: record raw value nodes for Phase A2.
+        for stmt in mod.tree.body:
+            targets = []
+            value = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    mod.raw_globals.setdefault(
+                        target.id, (value, stmt.lineno))
+
+    def _index_stmt(self, stmt, mod, cls, parent, prefix):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._index_function(stmt, mod, cls, parent, prefix)
+        elif isinstance(stmt, ast.ClassDef):
+            self._index_class(stmt, mod, prefix, parent=parent)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)) and parent is None:
+            self._index_import(stmt, mod)
+        elif isinstance(stmt, (ast.If, ast.Try, ast.With)) and parent is None \
+                and cls is None:
+            # Defs under module-level guards (TYPE_CHECKING, try/except).
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._index_stmt(child, mod, cls, parent, prefix)
+
+    def _index_function(self, node, mod, cls, parent, prefix):
+        qualname = f"{prefix}{node.name}"
+        fn = self._new_function(node.name, qualname, mod, node,
+                                cls=cls, parent=parent)
+        decorators = {_terminal_name(d.func) if isinstance(d, ast.Call)
+                      else _terminal_name(d) for d in node.decorator_list}
+        fn.is_static = "staticmethod" in decorators
+        fn.is_property = bool({"property", "cached_property", "setter",
+                               "getter"} & decorators)
+        if cls is not None:
+            cls.methods.setdefault(node.name, fn)
+        elif parent is None:
+            mod.functions.setdefault(node.name, fn)
+        if parent is not None and cls is None:
+            parent.nested[node.name] = fn
+        # Fallback pool: module-level functions and methods only; nested
+        # defs and properties resolve through scope/typing instead.
+        if parent is None and not fn.is_property:
+            self.project.funcs_by_name.setdefault(node.name, []).append(fn)
+        for inner in node.body:
+            self._index_stmt(inner, mod, cls=None, parent=fn,
+                             prefix=f"{qualname}.<locals>.")
+
+    def _index_class(self, node, mod, prefix, parent=None):
+        qualname = f"{prefix}{node.name}"
+        key = f"{mod.id}.{qualname}"
+        cls = ClassInfo(
+            key=key, name=node.name, qualname=qualname, module=mod.id,
+            node=node,
+            bases=tuple(filter(None, (_terminal_name(b)
+                                      for b in node.bases))),
+        )
+        self.project.classes[key] = cls
+        self.project.classes_by_name.setdefault(node.name, []).append(cls)
+        mod.classes.setdefault(node.name, cls)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # `parent` threads the lexical closure chain through classes
+                # defined inside functions (e.g. a request Handler declared
+                # in TelemetryServer.start).
+                self._index_function(stmt, mod, cls, parent,
+                                     prefix=f"{qualname}.")
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                cls.attrs.add(stmt.target.id)
+                cls.attr_ann[stmt.target.id] = stmt.annotation
+            elif isinstance(stmt, ast.ClassDef):
+                self._index_class(stmt, mod, prefix=f"{qualname}.",
+                                  parent=parent)
+
+    def _index_import(self, stmt, mod):
+        _bind_imports(self.project, stmt, mod, mod.imports)
+
+
+def _match_module(project, dotted: str) -> str | None:
+    """Match an absolute module path against indexed ids (tail match)."""
+    if not dotted:
+        return None
+    if dotted in project.modules:
+        return dotted
+    for mid in project.modules:
+        if mid.endswith("." + dotted) or dotted.endswith("." + mid):
+            return mid
+    return None
+
+
+def _resolve_from_base(project, stmt: ast.ImportFrom, mod) -> str | None:
+    if stmt.level == 0:
+        return _match_module(project, stmt.module or "")
+    parts = mod.id.split(".")
+    if not mod.is_package:
+        parts = parts[:-1]
+    up = stmt.level - 1
+    if up:
+        parts = parts[:-up] if up <= len(parts) else []
+    if stmt.module:
+        parts = parts + stmt.module.split(".")
+    return _match_module(project, ".".join(parts))
+
+
+def _bind_imports(project, stmt, mod, table):
+    """Record an import statement's bindings into ``table`` (module or fn)."""
+    if isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            table[bound] = (_match_module(project, alias.name), None)
+        return
+    base = _resolve_from_base(project, stmt, mod)
+    for alias in stmt.names:
+        if alias.name == "*":
+            continue
+        bound = alias.asname or alias.name
+        if base is None:
+            table[bound] = (None, None)
+            continue
+        sub = _match_module(project, f"{base}.{alias.name}")
+        if sub is not None:
+            table[bound] = (sub, None)
+        else:
+            table[bound] = (base, alias.name)
+
+
+# ---------------------------------------------------------------------------
+# Phase A2: cross-module aggregation (hierarchy, typing, globals)
+# ---------------------------------------------------------------------------
+
+def _resolve_name(project, module_id, name, _seen=None):
+    """Resolve ``name`` in a module's top-level scope, chasing re-exports.
+
+    Returns ``("func", fn)`` | ``("class", cls)`` | ``("module", id)`` |
+    ``("global", (module, name))`` | ``("external", None)`` | ``None``.
+    """
+    mod = project.modules.get(module_id)
+    if mod is None:
+        return ("external", None)
+    if name in mod.functions:
+        return ("func", mod.functions[name])
+    if name in mod.classes:
+        return ("class", mod.classes[name])
+    if name in mod.imports:
+        key = (module_id, name)
+        if _seen is None:
+            _seen = set()
+        if key in _seen:
+            return None
+        _seen.add(key)
+        target, orig = mod.imports[name]
+        if target is None:
+            return ("external", None)
+        if orig is None:
+            return ("module", target)
+        return _resolve_name(project, target, orig, _seen)
+    if name in mod.raw_globals:
+        return ("global", (module_id, name))
+    return None
+
+
+def _resolve_in_fn(project, fn, name):
+    """Like :func:`_resolve_name`, but honours function-level imports."""
+    walker = fn
+    while walker is not None:
+        if name in walker.imports:
+            target, orig = walker.imports[name]
+            if target is None:
+                return ("external", None)
+            if orig is None:
+                return ("module", target)
+            return _resolve_name(project, target, orig)
+        walker = walker.parent
+    return _resolve_name(project, fn.module, name)
+
+
+def _iter_scope(node):
+    """Yield AST nodes in one function's own scope (nested defs pruned)."""
+    stack = list(getattr(node, "body", []) or [node])
+    while stack:
+        n = stack.pop()
+        yield n
+        for child in ast.iter_child_nodes(n):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _link_hierarchy(project):
+    direct = {}
+    for cls in project.classes.values():
+        parents = set()
+        for base in cls.bases:
+            for cand in project.classes_by_name.get(base, []):
+                if cand.key != cls.key:
+                    parents.add(cand.key)
+        direct[cls.key] = parents
+    for cls in project.classes.values():
+        seen, stack = set(), list(direct[cls.key])
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(direct.get(key, ()))
+        cls.ancestors = seen
+    for cls in project.classes.values():
+        for anc in cls.ancestors:
+            project.classes[anc].descendants.add(cls.key)
+
+
+def _class_chain(project, cls):
+    """The class itself plus its (project-visible) ancestors."""
+    return [cls] + [project.classes[k] for k in cls.ancestors]
+
+
+def _types_from_annotation(project, mod, ann, depth=0):
+    """Project class keys named by an annotation (``X | None`` unions)."""
+    if ann is None or depth > 6:
+        return set()
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return set()
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return (_types_from_annotation(project, mod, ann.left, depth + 1)
+                | _types_from_annotation(project, mod, ann.right, depth + 1))
+    if isinstance(ann, ast.Subscript):
+        if _terminal_name(ann.value) == "Optional":
+            return _types_from_annotation(project, mod, ann.slice, depth + 1)
+        return set()
+    name = _terminal_name(ann)
+    if name in (None, "None"):
+        return set()
+    if isinstance(ann, ast.Name):
+        resolved = _resolve_name(project, mod.id, name)
+        if resolved is not None:
+            if resolved[0] == "class":
+                return {resolved[1].key}
+            if resolved[0] == "external":
+                return {EXTERNAL}
+    classes = project.classes_by_name.get(name, [])
+    return {cls.key for cls in classes}
+
+
+def _parse_signatures(project):
+    for fn in project.functions:
+        if fn.is_module_body:
+            continue
+        node = fn.node
+        mod = project.modules[fn.module]
+        args = node.args
+        every = (list(getattr(args, "posonlyargs", [])) + list(args.args)
+                 + list(args.kwonlyargs))
+        if args.vararg:
+            every.append(args.vararg)
+        if args.kwarg:
+            every.append(args.kwarg)
+        for arg in every:
+            fn.params.add(arg.arg)
+            types = _types_from_annotation(project, mod, arg.annotation)
+            if types:
+                fn.param_types[arg.arg] = types
+        returned = _types_from_annotation(project, mod, node.returns)
+        if returned:
+            fn.return_types = returned - {EXTERNAL}
+
+
+def _local_types_of(fn, name):
+    """Types of ``name`` looked up through the lexical closure chain.
+
+    Returns ``None`` when the name is not bound anywhere in the chain
+    (so module scope applies), an empty set when bound but untyped.
+    """
+    walker = fn
+    while walker is not None:
+        types = walker.local_types.get(name) or walker.param_types.get(name)
+        if types:
+            return set(types)
+        if name in walker.local_names or name in walker.params:
+            return set()
+        walker = walker.parent
+    return None
+
+
+def _type_of_expr(project, fn, expr, depth=0):
+    """Best-effort static types of ``expr``: project class keys / EXTERNAL."""
+    if expr is None or depth > 6:
+        return set()
+    if isinstance(expr, ast.Name):
+        if expr.id == "self" and fn.cls is not None and not fn.is_static:
+            return {fn.cls.key}
+        found = _local_types_of(fn, expr.id)
+        if found is not None:
+            return found
+        resolved = _resolve_in_fn(project, fn, expr.id)
+        if resolved is not None:
+            if resolved[0] == "external":
+                return {EXTERNAL}
+            if resolved[0] == "global":
+                info = project.globals.get(resolved[1])
+                if info is not None and info.cls is not None:
+                    return {info.cls.key}
+        return set()
+    if isinstance(expr, ast.IfExp):
+        return (_type_of_expr(project, fn, expr.body, depth + 1)
+                | _type_of_expr(project, fn, expr.orelse, depth + 1))
+    if isinstance(expr, ast.BoolOp):
+        out = set()
+        for value in expr.values:
+            out |= _type_of_expr(project, fn, value, depth + 1)
+        return out
+    if isinstance(expr, ast.Await):
+        return _type_of_expr(project, fn, expr.value, depth + 1)
+    if isinstance(expr, ast.Attribute):
+        if expr.attr in project.attr_external:
+            return {EXTERNAL}
+        return set(project.attr_types.get(expr.attr, ()))
+    if isinstance(expr, ast.Call):
+        fname = _terminal_name(expr.func)
+        if fname == "__new__" and isinstance(expr.func, ast.Attribute) \
+                and isinstance(expr.func.value, ast.Name):
+            resolved = _resolve_in_fn(project, fn, expr.func.value.id)
+            if resolved is not None and resolved[0] == "class":
+                return {resolved[1].key}
+        if fname in _EXTERNAL_CTORS and fname != "partial":
+            return {EXTERNAL}
+        if isinstance(expr.func, ast.Name):
+            resolved = _resolve_in_fn(project, fn, expr.func.id)
+            if resolved is not None:
+                if resolved[0] == "class":
+                    return {resolved[1].key}
+                if resolved[0] == "func":
+                    return set(resolved[1].return_types)
+                if resolved[0] == "external":
+                    return {EXTERNAL}
+        root = _root_name(expr.func)
+        if root is not None and isinstance(expr.func, ast.Attribute):
+            resolved = _resolve_in_fn(project, fn, root)
+            if (resolved is not None and resolved[0] == "external"
+                    and _local_types_of(fn, root) is None):
+                return {EXTERNAL}
+        return set()
+    return set()
+
+
+def _prepass_locals(project, fn):
+    """Bound-name inventory and flow-insensitive local typing for one scope."""
+    node = fn.node
+    for n in _iter_scope(node):
+        if isinstance(n, ast.Global):
+            fn.global_decls.update(n.names)
+        elif isinstance(n, ast.Name) and isinstance(n.ctx,
+                                                    (ast.Store, ast.Del)):
+            fn.local_names.add(n.id)
+        elif isinstance(n, ast.ExceptHandler) and n.name:
+            fn.local_names.add(n.name)
+        elif isinstance(n, (ast.Import, ast.ImportFrom)) \
+                and not fn.is_module_body:
+            _bind_imports(project, n, project.modules[fn.module], fn.imports)
+    fn.local_names -= fn.global_decls
+    for _ in range(2):  # two rounds settle simple x = f(); y = x chains
+        for n in _iter_scope(node):
+            if isinstance(n, ast.Assign):
+                types = _type_of_expr(project, fn, n.value)
+                for target in n.targets:
+                    if isinstance(target, ast.Name) and types:
+                        fn.local_types.setdefault(target.id,
+                                                  set()).update(types)
+                    elif isinstance(target, (ast.Tuple, ast.List)) \
+                            and types == {EXTERNAL}:
+                        # e.g. ``parent, child = ctx.Pipe()``
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                fn.local_types.setdefault(
+                                    elt.id, set()).add(EXTERNAL)
+            elif isinstance(n, ast.AnnAssign) \
+                    and isinstance(n.target, ast.Name):
+                types = _types_from_annotation(
+                    project, project.modules[fn.module], n.annotation)
+                if types:
+                    fn.local_types.setdefault(n.target.id,
+                                              set()).update(types)
+            elif isinstance(n, (ast.With, ast.AsyncWith)):
+                for item in n.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        types = _type_of_expr(project, fn, item.context_expr)
+                        if types:
+                            fn.local_types.setdefault(
+                                item.optional_vars.id, set()).update(types)
+
+
+def _collect_class_attrs(project):
+    """Data attrs, lock/thread-local fields, and the global attr-type map."""
+    for cls in project.classes.values():
+        mod = project.modules[cls.module]
+        for attr, ann in cls.attr_ann.items():
+            types = _types_from_annotation(project, mod, ann)
+            if types - {EXTERNAL}:
+                project.attr_types.setdefault(attr, set()).update(
+                    types - {EXTERNAL})
+        for method in cls.methods.values():
+            for n in _iter_scope(method.node):
+                targets, value, ann = [], None, None
+                if isinstance(n, ast.Assign):
+                    targets, value = n.targets, n.value
+                elif isinstance(n, ast.AnnAssign):
+                    targets, value, ann = [n.target], n.value, n.annotation
+                elif isinstance(n, ast.AugAssign):
+                    targets = [n.target]
+                for target in targets:
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    attr = target.attr
+                    cls.attrs.add(attr)
+                    ctor = (_terminal_name(value.func)
+                            if isinstance(value, ast.Call) else None)
+                    if ctor in _LOCK_CTORS:
+                        cls.lock_attrs.add(attr)
+                    if ctor == "local":
+                        cls.local_attrs.add(attr)
+                    types = _type_of_expr(project, method, value)
+                    types |= _types_from_annotation(project, mod, ann)
+                    if EXTERNAL in types:
+                        project.attr_external.add(attr)
+                    if types - {EXTERNAL}:
+                        project.attr_types.setdefault(attr, set()).update(
+                            types - {EXTERNAL})
+    # Inherit lock/thread-local fields down the hierarchy.
+    for cls in project.classes.values():
+        for anc in cls.ancestors:
+            cls.lock_attrs |= project.classes[anc].lock_attrs
+            cls.local_attrs |= project.classes[anc].local_attrs
+
+
+def _classify_globals(project):
+    """First pass: kind for every module-level binding (cls-aware later)."""
+    for mod in project.modules.values():
+        for name, (value, lineno) in mod.raw_globals.items():
+            kind, cls = "other", None
+            if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                  ast.DictComp, ast.SetComp)):
+                kind = "mutable"
+            elif isinstance(value, ast.Call):
+                ctor = _terminal_name(value.func)
+                if ctor in _LOCK_CTORS:
+                    kind = "lock"
+                elif ctor == "local":
+                    kind = "thread_local"
+                elif ctor in _MUTABLE_CTORS:
+                    kind = "mutable"
+                else:
+                    resolved = (_resolve_name(project, mod.id, value.func.id)
+                                if isinstance(value.func, ast.Name) else None)
+                    if resolved is not None and resolved[0] == "class":
+                        kind, cls = "shared_instance", resolved[1]
+                    elif resolved is not None and resolved[0] == "func":
+                        rts = [k for k in resolved[1].return_types
+                               if k in project.classes]
+                        if len(rts) == 1:
+                            kind, cls = "shared_instance", \
+                                project.classes[rts[0]]
+                    elif ctor is not None and \
+                            len(project.classes_by_name.get(ctor, [])) == 1:
+                        kind = "shared_instance"
+                        cls = project.classes_by_name[ctor][0]
+            project.globals[(mod.id, name)] = GlobalInfo(
+                module=mod.id, name=name, kind=kind, path=mod.path,
+                lineno=lineno, cls=cls)
+
+
+def _refine_globals(project):
+    """Second pass: instances of classes with threading.local fields are
+    thread-confined, not cross-thread-shared."""
+    for info in project.globals.values():
+        if info.kind == "shared_instance" and info.cls is not None:
+            chain = _class_chain(project, info.cls)
+            if any(cls.local_attrs for cls in chain):
+                info.kind = "thread_confined"
+
+
+def build_project(paths) -> Project:
+    """Phase A + A2: parse and fully index every ``*.py`` under ``paths``."""
+    project = Project()
+    for file in _iter_files(paths):
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError:
+            continue  # the single-file lint pass reports REP000 for these
+        mid, is_pkg = _module_id(file)
+        if mid in project.modules:
+            mid = f"{mid}#{len(project.modules)}"
+        mod = ModuleInfo(id=mid, path=str(file), is_package=is_pkg,
+                         tree=tree, lines=source.splitlines())
+        project.modules[mid] = mod
+        project.sources[str(file)] = mod.lines
+    indexer = _Indexer(project)
+    for mod in project.modules.values():
+        indexer.index_module(mod)
+    _link_hierarchy(project)
+    _parse_signatures(project)
+    _classify_globals(project)
+    for fn in project.functions:
+        _prepass_locals(project, fn)
+    _collect_class_attrs(project)
+    _refine_globals(project)
+    for cls in project.classes.values():
+        for attr in cls.attrs:
+            project.attr_owners.setdefault(attr, set()).add(cls.key)
+    return project
+
+
+# ---------------------------------------------------------------------------
+# Phase B: per-function scan (edges, roots, events, accesses)
+# ---------------------------------------------------------------------------
+
+def _strictly_precedes(a, b):
+    """True when statement path ``a`` executes strictly before path ``b``.
+
+    Paths are tuples of ``(index, field)`` components; two paths that diverge
+    into different fields of the same statement (an ``if`` body versus its
+    ``else``) are unordered — only same-suite index order counts.
+    """
+    for pa, pb in zip(a, b):
+        if pa == pb:
+            continue
+        if pa[1] == pb[1]:
+            return pa[0] < pb[0]
+        return False
+    return False
+
+
+def _seed_server_roots(project, roots):
+    """Request-handler methods run on the HTTP server's handler threads."""
+    for cls in project.classes.values():
+        basenames = set(cls.bases)
+        for anc in cls.ancestors:
+            basenames.update(project.classes[anc].bases)
+        if not any(base.endswith("RequestHandler") for base in basenames):
+            continue
+        for name, method in cls.methods.items():
+            if name.startswith("do_") or name in _HANDLER_METHODS:
+                roots.setdefault(method.fid, set()).add(SERVER_THREAD)
+
+
+class _Scanner:
+    """Scan one function body: call edges, concurrency events, accesses."""
+
+    def __init__(self, project, fn, roots):
+        self.project = project
+        self.fn = fn
+        self.roots = roots
+        self._rooted = set()      # id() of arg exprs consumed as thread roots
+        self._call_funcs = set()  # id() of Attribute nodes that are call
+        #                           targets (method calls, not data access)
+        self._pipe_names = set()  # locals unpacked from a Pipe() pair
+        self._pipe_passed = {}    # endpoint name -> Process ctor lineno
+        self._closed = set()      # receivers of a .close() call
+
+    def scan(self):
+        self._block(getattr(self.fn.node, "body", []), (), "body", 0, 0)
+        for name, lineno in self._pipe_passed.items():
+            if name in self._pipe_names and name not in self._closed:
+                self.fn.pipe_leaks.append((lineno, name))
+
+    # -- statement walk -------------------------------------------------------
+
+    def _block(self, stmts, base, fieldname, lock, wt):
+        for idx, stmt in enumerate(stmts):
+            self._stmt(stmt, base + ((idx, fieldname),), lock, wt)
+
+    def _stmt(self, stmt, path, lock, wt):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # indexed and scanned as their own scopes
+        if isinstance(stmt, ast.If):
+            self._exprs(stmt.test, path, lock, wt)
+            self._block(stmt.body, path, "body", lock, wt)
+            self._block(stmt.orelse, path, "orelse", lock, wt)
+        elif isinstance(stmt, ast.While):
+            forever = (isinstance(stmt.test, ast.Constant)
+                       and stmt.test.value is True)
+            self._exprs(stmt.test, path, lock, wt)
+            self._block(stmt.body, path, "body", lock, wt + int(forever))
+            self._block(stmt.orelse, path, "orelse", lock, wt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exprs(stmt.iter, path, lock, wt)
+            self._exprs(stmt.target, path, lock, wt)
+            self._block(stmt.body, path, "body", lock, wt)
+            self._block(stmt.orelse, path, "orelse", lock, wt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner_lock = lock
+            for item in stmt.items:
+                self._exprs(item.context_expr, path, lock, wt)
+                if item.optional_vars is not None:
+                    self._exprs(item.optional_vars, path, lock, wt)
+                if self._is_lock_expr(item.context_expr):
+                    inner_lock += 1
+            self._block(stmt.body, path, "body", inner_lock, wt)
+        elif isinstance(stmt, ast.Try) or (
+                hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)):
+            self._block(stmt.body, path, "body", lock, wt)
+            for idx, handler in enumerate(stmt.handlers):
+                self._block(handler.body, path, f"handler{idx}", lock, wt)
+            self._block(stmt.orelse, path, "orelse", lock, wt)
+            self._block(stmt.finalbody, path, "finalbody", lock, wt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._ref_edges(stmt.value)
+                self._exprs(stmt.value, path, lock, wt)
+        elif isinstance(stmt, ast.Assign):
+            self._maybe_pipe_unpack(stmt)
+            for target in stmt.targets:
+                self._exprs(target, path, lock, wt)
+            self._ref_edges(stmt.value)
+            self._exprs(stmt.value, path, lock, wt)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            self._exprs(stmt.target, path, lock, wt)
+            if stmt.value is not None:
+                self._ref_edges(stmt.value)
+                self._exprs(stmt.value, path, lock, wt)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._exprs(child, path, lock, wt)
+
+    def _maybe_pipe_unpack(self, stmt):
+        if (isinstance(stmt.value, ast.Call)
+                and _terminal_name(stmt.value.func) == "Pipe"):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            self._pipe_names.add(elt.id)
+
+    def _is_lock_expr(self, expr):
+        node = expr.func if isinstance(expr, ast.Call) else expr
+        name = _terminal_name(node)
+        if name and ("lock" in name.lower() or "mutex" in name.lower()):
+            return True
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and self.fn.cls is not None
+                and node.attr in self.fn.cls.lock_attrs):
+            return True
+        if isinstance(node, ast.Name):
+            resolved = _resolve_in_fn(self.project, self.fn, node.id)
+            if resolved is not None and resolved[0] == "global":
+                info = self.project.globals.get(resolved[1])
+                if info is not None and info.kind == "lock":
+                    return True
+        return False
+
+    # -- expression walk ------------------------------------------------------
+
+    def _exprs(self, node, path, lock, wt):
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+                continue
+            if isinstance(n, ast.Lambda):
+                stack.append(n.body)  # inline the body, skip the args
+                continue
+            if isinstance(n, ast.Call):
+                if isinstance(n.func, ast.Attribute):
+                    self._call_funcs.add(id(n.func))
+                self._call(n, path, lock, wt)
+            elif isinstance(n, ast.Attribute):
+                self._attribute(n, path, lock,
+                                isinstance(n.ctx, (ast.Store, ast.Del)))
+            elif isinstance(n, ast.Name):
+                self._name(n, path, lock,
+                           isinstance(n.ctx, (ast.Store, ast.Del)))
+            elif (isinstance(n, ast.Subscript)
+                  and isinstance(n.ctx, (ast.Store, ast.Del))):
+                self._store_through(n.value, path, lock)
+            stack.extend(ast.iter_child_nodes(n))
+
+    def _record_attr(self, node, path, lock, is_write):
+        attr = node.attr
+        recv = _type_of_expr(self.project, self.fn, node.value)
+        owners = set()
+        if recv - {EXTERNAL}:
+            for key in recv - {EXTERNAL}:
+                cls = self.project.classes.get(key)
+                if cls is None:
+                    continue
+                hit = False
+                for cand in _class_chain(self.project, cls):
+                    if attr in cand.attrs:
+                        owners.add(cand.key)
+                        hit = True
+                        break
+                if not hit:
+                    for desc_key in cls.descendants:
+                        desc = self.project.classes[desc_key]
+                        if attr in desc.attrs:
+                            owners.add(desc.key)
+        elif EXTERNAL in recv:
+            return
+        else:
+            if attr in _NO_ATTR_FALLBACK or id(node) in self._call_funcs:
+                return
+            own = self.project.attr_owners.get(attr, ())
+            if len(own) == 1:
+                owners = set(own)
+        if not owners:
+            return
+        in_init = (self.fn.name in _INIT_METHODS
+                   and isinstance(node.value, ast.Name)
+                   and node.value.id == "self")
+        for owner in owners:
+            self.fn.attr_accesses.append(
+                (owner, attr, is_write, path, node.lineno, lock > 0, in_init))
+
+    def _record_global(self, key, path, lineno, lock, is_write, kind=None):
+        self.fn.global_accesses.append(
+            (key, is_write, path, lineno, lock > 0, kind))
+
+    def _attribute(self, node, path, lock, is_write):
+        if isinstance(node.value, ast.Name) and node.value.id != "self" \
+                and _local_types_of(self.fn, node.value.id) is None:
+            resolved = _resolve_in_fn(self.project, self.fn,
+                                     node.value.id)
+            if resolved is not None and resolved[0] == "module":
+                key = (resolved[1], node.attr)
+                if key in self.project.globals:
+                    self._record_global(key, path, node.lineno, lock,
+                                        is_write,
+                                        "rebind" if is_write else None)
+                    return
+            if resolved is not None and resolved[0] == "global" and is_write:
+                self._record_global(resolved[1], path, node.lineno, lock,
+                                    True, "attr")
+                return
+        self._record_attr(node, path, lock, is_write)
+
+    def _name(self, node, path, lock, is_write):
+        if node.id == "self":
+            return
+        if node.id not in self.fn.global_decls \
+                and _local_types_of(self.fn, node.id) is not None:
+            return
+        resolved = _resolve_in_fn(self.project, self.fn, node.id)
+        if resolved is not None and resolved[0] == "global":
+            self._record_global(resolved[1], path, node.lineno, lock,
+                                is_write, "rebind" if is_write else None)
+
+    def _store_through(self, target, path, lock):
+        while isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            self._attribute(target, path, lock, True)
+        elif isinstance(target, ast.Name):
+            self._name(target, path, lock, True)
+
+    # -- calls ----------------------------------------------------------------
+
+    def _call(self, call, path, lock, wt):
+        func = call.func
+        tname = _terminal_name(func)
+        lineno = call.lineno
+        if tname in _THREAD_CTORS:
+            self.fn.thread_events.append((path, lineno, f"{tname}()"))
+            self._root_from_target(call, THREAD_WORKER)
+        elif tname in _FORK_CTORS:
+            self.fn.fork_events.append((path, lineno, f"{tname}()", lock > 0))
+            self._root_from_target(call, PROCESS_WORKER)
+            self._note_pipe_args(call)
+        elif tname == "fork" and _root_name(func) == "os":
+            self.fn.fork_events.append((path, lineno, "os.fork()", lock > 0))
+        elif tname == "submit" and isinstance(func, ast.Attribute) \
+                and call.args:
+            first = call.args[0]
+            for fid in self._resolve_ref(first):
+                self.roots.setdefault(fid, set()).add(THREAD_WORKER)
+            self._rooted.add(id(first))
+        elif tname == "close" and isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            self._closed.add(func.value.id)
+        if isinstance(func, ast.Attribute):
+            if func.attr in _BLOCKING_ALWAYS:
+                self.fn.blocking.append(
+                    (func.attr, False, lock > 0, wt > 0, lineno, False))
+            elif func.attr in _BLOCKING_TIMEOUT:
+                bounded = bool(call.args) or any(
+                    kw.arg == "timeout" for kw in call.keywords)
+                self.fn.blocking.append(
+                    (func.attr, bounded, lock > 0, wt > 0, lineno, False))
+            if func.attr in _MUTATORS:
+                self._store_through(func.value, path, lock)
+        if tname == "sleep":
+            self.fn.blocking.append(
+                ("sleep", True, lock > 0, wt > 0, lineno, True))
+        if tname == "setattr" and not isinstance(func, ast.Attribute) \
+                and call.args and isinstance(call.args[0], ast.Name):
+            self._name(call.args[0], path, lock, True)
+        targets = self._resolve_call(call)
+        if targets:
+            self.fn.edges |= targets
+            self.fn.call_sites.append(
+                (path, lineno, frozenset(targets), lock > 0))
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if id(arg) in self._rooted:
+                continue
+            self.fn.edges |= self._resolve_ref(arg)
+
+    def _root_from_target(self, call, context):
+        target = None
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target = kw.value
+        if target is None and _terminal_name(call.func) == "Timer" \
+                and len(call.args) >= 2:
+            target = call.args[1]
+        if target is None:
+            return
+        for fid in self._resolve_ref(target):
+            self.roots.setdefault(fid, set()).add(context)
+        self._rooted.add(id(target))
+
+    def _note_pipe_args(self, call):
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) \
+                        and node.id in self._pipe_names:
+                    self._pipe_passed.setdefault(node.id, call.lineno)
+
+    # -- resolution -----------------------------------------------------------
+
+    def _ref_edges(self, expr):
+        """Edge for a bare callable reference (return value / assign RHS)."""
+        if isinstance(expr, (ast.Name, ast.Attribute)) \
+                and id(expr) not in self._rooted:
+            self.fn.edges |= self._resolve_ref(expr)
+
+    def _resolve_ref(self, expr):
+        """Function ids a callable *reference* (not a call) points at."""
+        if isinstance(expr, ast.Call):
+            if _terminal_name(expr.func) == "partial" and expr.args:
+                return self._resolve_ref(expr.args[0])
+            return set()
+        if isinstance(expr, ast.Name):
+            walker = self.fn
+            while walker is not None:
+                if expr.id in walker.nested:
+                    return {walker.nested[expr.id].fid}
+                walker = walker.parent
+            if _local_types_of(self.fn, expr.id) is not None:
+                return set()
+            resolved = _resolve_in_fn(self.project, self.fn, expr.id)
+            if resolved is not None and resolved[0] == "func":
+                return {resolved[1].fid}
+            return set()
+        if isinstance(expr, ast.Attribute):
+            return self._resolve_method(expr)
+        return set()
+
+    def _resolve_method(self, node):
+        mname = node.attr
+        if isinstance(node.value, ast.Name) and node.value.id != "self" \
+                and _local_types_of(self.fn, node.value.id) is None:
+            resolved = _resolve_in_fn(self.project, self.fn,
+                                     node.value.id)
+            if resolved is not None and resolved[0] == "module":
+                found = _resolve_name(self.project, resolved[1], mname)
+                if found is not None and found[0] == "func":
+                    return {found[1].fid}
+                if found is not None and found[0] == "class":
+                    return self._ctor_edge(found[1])
+                return set()
+            if resolved is not None and resolved[0] == "external":
+                return set()
+        recv = _type_of_expr(self.project, self.fn, node.value)
+        if EXTERNAL in recv and not (recv - {EXTERNAL}):
+            return set()
+        out = set()
+        for key in recv - {EXTERNAL}:
+            cls = self.project.classes.get(key)
+            if cls is None:
+                continue
+            for cand_key in [cls.key, *cls.ancestors, *cls.descendants]:
+                cand = self.project.classes.get(cand_key)
+                if cand is not None and mname in cand.methods:
+                    out.add(cand.methods[mname].fid)
+        if out or recv:
+            return out
+        if mname in _NO_FALLBACK:
+            return set()
+        pool = self.project.funcs_by_name.get(mname, [])
+        if 0 < len(pool) <= AMBIGUITY_LIMIT:
+            return {fn.fid for fn in pool}
+        return set()
+
+    def _ctor_edge(self, cls):
+        for key in [cls.key, *cls.ancestors]:
+            cand = self.project.classes.get(key)
+            if cand is not None and "__init__" in cand.methods:
+                return {cand.methods["__init__"].fid}
+        return set()
+
+    def _resolve_call(self, call):
+        func = call.func
+        if isinstance(func, ast.Name):
+            walker = self.fn
+            while walker is not None:
+                if func.id in walker.nested:
+                    return {walker.nested[func.id].fid}
+                walker = walker.parent
+            if _local_types_of(self.fn, func.id) is not None:
+                return set()
+            resolved = _resolve_in_fn(self.project, self.fn, func.id)
+            if resolved is not None:
+                if resolved[0] == "func":
+                    return {resolved[1].fid}
+                if resolved[0] == "class":
+                    return self._ctor_edge(resolved[1])
+            return set()
+        if isinstance(func, ast.Attribute):
+            return self._resolve_method(func)
+        return set()
+
+
+# ---------------------------------------------------------------------------
+# Context inference and rule evaluation
+# ---------------------------------------------------------------------------
+
+def _infer_contexts(project, roots):
+    incoming = {fn.fid: 0 for fn in project.functions}
+    for fn in project.functions:
+        for callee in fn.edges:
+            incoming[callee] = incoming.get(callee, 0) + 1
+    for fn in project.functions:
+        if fn.fid in roots:
+            fn.contexts |= roots[fn.fid]
+        if fn.is_module_body or (incoming[fn.fid] == 0
+                                 and fn.fid not in roots):
+            fn.contexts.add(COORDINATOR)
+    changed = True
+    while changed:
+        changed = False
+        for fn in project.functions:
+            if not fn.contexts:
+                continue
+            for callee_fid in fn.edges:
+                callee = project.functions[callee_fid]
+                if not fn.contexts <= callee.contexts:
+                    callee.contexts |= fn.contexts
+                    changed = True
+
+
+def _propagate_flags(project):
+    callers = {}
+    for fn in project.functions:
+        for callee in fn.edges:
+            callers.setdefault(callee, set()).add(fn.fid)
+
+    def closure(seeds, mark):
+        seen = set(seeds)
+        stack = list(seeds)
+        while stack:
+            fid = stack.pop()
+            mark(project.functions[fid])
+            for caller in callers.get(fid, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    stack.append(caller)
+
+    closure([fn.fid for fn in project.functions if fn.thread_events],
+            lambda fn: setattr(fn, "may_thread", True))
+    closure([fn.fid for fn in project.functions if fn.fork_events],
+            lambda fn: setattr(fn, "may_fork", True))
+
+
+def _make_adder(project, findings):
+    seen = set()
+
+    def add(code, message, path, lineno):
+        key = (code, path, lineno)
+        if key in seen:
+            return
+        seen.add(key)
+        lines = project.sources.get(path, [])
+        text = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        codes = _suppressed_codes(text)
+        suppressed = codes == "all" or (codes is not None and code in codes)
+        findings.append(Finding(code, message, path, lineno, 0,
+                                suppressed=suppressed))
+
+    return add
+
+
+def _ctx_label(contexts):
+    return ", ".join(sorted(contexts))
+
+
+def _rule_rep008(project, add):
+    accesses = {}
+    for fn in project.functions:
+        for (owner, attr, is_write, path, lineno, locked,
+             in_init) in fn.attr_accesses:
+            accesses.setdefault((owner, attr), []).append(
+                (fn, is_write, locked, in_init, lineno))
+    for (owner, attr), entries in sorted(accesses.items()):
+        cls = project.classes[owner]
+        if attr in cls.lock_attrs or attr in cls.local_attrs:
+            continue
+        contexts = set()
+        for entry in entries:
+            contexts |= entry[0].contexts
+        shared = contexts & THREAD_SHARING
+        if len(shared) < 2:
+            continue
+        emitted = set()
+        for (fn, is_write, locked, in_init, lineno) in entries:
+            if not is_write or locked or in_init:
+                continue
+            site = (fn.path, lineno)
+            if site in emitted:
+                continue
+            emitted.add(site)
+            add("REP008",
+                f"{cls.name}.{attr} is written without holding a lock but "
+                f"is reachable from several contexts "
+                f"({_ctx_label(shared)}); guard the write with a lock or "
+                f"annotate the happens-before that makes it safe",
+                fn.path, lineno)
+    gaccesses = {}
+    for fn in project.functions:
+        for (key, is_write, path, lineno, locked,
+             kind) in fn.global_accesses:
+            gaccesses.setdefault(key, []).append(
+                (fn, is_write, locked, lineno))
+    for key, entries in sorted(gaccesses.items()):
+        info = project.globals.get(key)
+        if info is None or info.kind != "mutable":
+            continue
+        contexts = set()
+        for entry in entries:
+            contexts |= entry[0].contexts
+        shared = contexts & THREAD_SHARING
+        if len(shared) < 2:
+            continue
+        emitted = set()
+        for (fn, is_write, locked, lineno) in entries:
+            if not is_write or locked:
+                continue
+            site = (fn.path, lineno)
+            if site in emitted:
+                continue
+            emitted.add(site)
+            add("REP008",
+                f"module-level mutable {info.name} is written without a "
+                f"lock but is reachable from several contexts "
+                f"({_ctx_label(shared)}); guard it with a lock",
+                fn.path, lineno)
+
+
+def _rule_rep009(project, add):
+    for fn in project.functions:
+        thread_evts = list(fn.thread_events)
+        fork_evts = list(fn.fork_events)
+        for (path, lineno, targets, locked) in fn.call_sites:
+            callees = [project.functions[fid] for fid in targets]
+            if any(callee.may_fork for callee in callees):
+                fork_evts.append((path, lineno, "a call that forks", locked))
+            elif any(callee.may_thread for callee in callees):
+                thread_evts.append(
+                    (path, lineno, "a call that starts a thread"))
+        for (fpath, flineno, fwhat, flocked) in fork_evts:
+            if flocked:
+                add("REP009",
+                    f"fork ({fwhat}) while a lock is held: the child "
+                    f"inherits a copy of the locked mutex and can "
+                    f"deadlock on it",
+                    fn.path, flineno)
+            for (tpath, tlineno, twhat) in thread_evts:
+                if _strictly_precedes(tpath, fpath):
+                    add("REP009",
+                        f"fork ({fwhat}) on a path after {twhat} (line "
+                        f"{tlineno}); the forked child inherits the "
+                        f"thread's locks and buffers mid-state",
+                        fn.path, flineno)
+                    break
+        for (lineno, name) in fn.pipe_leaks:
+            add("REP009",
+                f"pipe endpoint {name!r} is handed to the forked child "
+                f"but never closed in the parent, so EOF is never "
+                f"delivered",
+                fn.path, lineno)
+
+
+def _rule_rep010(project, add):
+    supervised = {PROCESS_WORKER, SERVER_THREAD}
+    for fn in project.functions:
+        for (name, bounded, locked, in_wt, lineno, is_sleep) in fn.blocking:
+            if locked and (is_sleep or not bounded):
+                add("REP010",
+                    f"{name}() blocks with a lock held; every other "
+                    f"context that needs the lock stalls behind it — "
+                    f"release the lock first or bound the wait",
+                    fn.path, lineno)
+            elif (not bounded and not is_sleep and in_wt
+                  and fn.contexts & supervised):
+                add("REP010",
+                    f"{name}() with no timeout inside a supervised "
+                    f"`while True` loop ({_ctx_label(fn.contexts & supervised)}) "
+                    f"can never observe shutdown; pass a timeout",
+                    fn.path, lineno)
+
+
+def _rule_rep011(project, add):
+    for fn in project.functions:
+        for (key, is_write, path, lineno, locked,
+             kind) in fn.global_accesses:
+            info = project.globals.get(key)
+            if info is None:
+                continue
+            if info.kind in ("thread_local", "thread_confined") \
+                    and SERVER_THREAD in fn.contexts:
+                add("REP011",
+                    f"{info.name} is thread-local/thread-confined state "
+                    f"but is touched from the server thread, which sees "
+                    f"its own empty copy, never the run loop's values",
+                    fn.path, lineno)
+            elif info.kind == "shared_instance" and is_write \
+                    and (fn.contexts - {COORDINATOR}):
+                add("REP011",
+                    f"shared singleton {info.name} is mutated from a "
+                    f"non-coordinator context "
+                    f"({_ctx_label(fn.contexts - {COORDINATOR})}); other "
+                    f"contexts assume it is fixed after startup",
+                    fn.path, lineno)
+
+
+_RULE_FUNCS = {
+    "REP008": _rule_rep008,
+    "REP009": _rule_rep009,
+    "REP010": _rule_rep010,
+    "REP011": _rule_rep011,
+}
+
+
+def analyze_project(project, rules=None):
+    """Run the scan + context inference + rules over a built project."""
+    roots = {}
+    _seed_server_roots(project, roots)
+    for fn in project.functions:
+        _Scanner(project, fn, roots).scan()
+    _infer_contexts(project, roots)
+    _propagate_flags(project)
+    findings = []
+    add = _make_adder(project, findings)
+    enabled = set(CONCURRENCY_RULES) if rules is None else set(rules)
+    for code in sorted(enabled):
+        rule = _RULE_FUNCS.get(code)
+        if rule is not None:
+            rule(project, add)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def scan_paths(paths, rules=None):
+    """Concurrency findings for files/trees; mirrors ``lint_paths``.
+
+    Raises :class:`FileNotFoundError` for a path that does not exist.
+    """
+    project = build_project(paths)
+    return analyze_project(project, rules=rules)

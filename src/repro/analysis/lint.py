@@ -1,41 +1,12 @@
 """AST-based streaming-invariant lint pass (the ``REPxxx`` rules).
 
 Project-specific reproducibility and correctness hazards that generic
-linters do not know about:
-
-``REP001``
-    Global :mod:`numpy.random` use — legacy module-level functions
-    (``np.random.seed`` / ``rand`` / ``choice`` …) mutate hidden global
-    state, and ``np.random.default_rng()`` called without a seed makes a
-    run unreproducible.  Streaming experiments must thread an explicit
-    seeded :class:`~numpy.random.Generator`.
-``REP002``
-    In-place ``Tensor.data`` mutation outside :mod:`repro.nn` — writing
-    ``tensor.data`` bypasses autograd bookkeeping; only the nn substrate
-    (optimizers, ``load_state_dict``) may do it.
-``REP003``
-    Float ``==`` / ``!=`` on distances, thresholds, or statistics in
-    ``shift/`` and ``core/`` — shift detection is built on float
-    distances; exact equality is a latent flake.  Compare against an
-    explicit tolerance.
-``REP004``
-    Broad ``except Exception`` (or bare ``except``) that swallows the
-    error — in a streaming loop this silently converts a crash into
-    thousands of wrong predictions.  Narrow the type or re-raise.
-``REP005``
-    Event emission around the :class:`~repro.obs.Observability` facade —
-    calling ``….sink.emit(...)`` directly skips the enabled check and the
-    facade contract; use ``obs.emit(...)``.
-``REP006``
-    Public module without ``__all__`` — the re-export surface of every
-    public module is explicit in this codebase.
-``REP007``
-    Per-element Python ``for`` loop over window entries in ``core/`` —
-    the serving loop touches the window on every arrival, so an O(k)
-    Python-level pass over ``…entries`` belongs in a vectorized array
-    operation (see :mod:`repro.core.asw` and ``docs/PERF.md``).  Loops
-    that are inherently sequential (per-entry RNG draws, serialization)
-    carry an explanatory ``noqa``.
+linters do not know about.  The authoritative catalogue lives in
+:data:`RULE_DETAILS` below — one entry per rule with its summary, a longer
+description, and the pass that implements it (this module for the lint
+rules, :mod:`repro.analysis.concurrency` for REP008–REP011).  The
+``docs/ANALYSIS.md`` table is rendered from the same registry via
+:func:`render_rule_catalogue`, so prose and code cannot drift.
 
 Suppress a finding on its line (or a module-level finding on line 1) with
 ``# repro: noqa[REP001]`` (several codes comma-separated) or a blanket
@@ -53,22 +24,133 @@ from pathlib import Path
 __all__ = [
     "Finding",
     "RULES",
+    "RULE_DETAILS",
+    "render_rule_catalogue",
     "lint_source",
     "lint_file",
     "lint_paths",
 ]
 
-#: Rule catalog: code -> one-line summary (docs and the runner share it).
-RULES = {
-    "REP000": "file could not be parsed",
-    "REP001": "unseeded global numpy RNG use",
-    "REP002": "in-place Tensor.data mutation outside repro.nn",
-    "REP003": "float equality on distances/thresholds in shift/ or core/",
-    "REP004": "broad except swallows the error",
-    "REP005": "event emitted around the Observability facade",
-    "REP006": "public module missing __all__",
-    "REP007": "per-element Python loop over window entries in core/",
+#: The authoritative rule registry: code -> summary (one line), detail
+#: (what the rule flags and why), and the pass that implements it
+#: (``"lint"`` = this module, run by default; ``"concurrency"`` =
+#: :mod:`repro.analysis.concurrency`, opt-in via ``analyze --concurrency``).
+RULE_DETAILS: dict[str, dict[str, str]] = {
+    "REP000": {
+        "pass": "lint",
+        "summary": "file could not be parsed",
+        "detail": "A syntax error stops every other rule for the file, so "
+                  "it is reported as a finding rather than a crash.",
+    },
+    "REP001": {
+        "pass": "lint",
+        "summary": "unseeded global numpy RNG use",
+        "detail": "Legacy `np.random.*` functions mutate hidden global "
+                  "state and `default_rng()` without a seed is "
+                  "unreproducible; thread an explicit seeded `Generator`.",
+    },
+    "REP002": {
+        "pass": "lint",
+        "summary": "in-place Tensor.data mutation outside repro.nn",
+        "detail": "Writing `tensor.data` bypasses autograd bookkeeping; "
+                  "only the nn substrate (optimizers, `load_state_dict`) "
+                  "may do it.",
+    },
+    "REP003": {
+        "pass": "lint",
+        "summary": "float equality on distances/thresholds in shift/ or "
+                   "core/",
+        "detail": "Shift detection is built on float distances; exact "
+                  "`==`/`!=` is a latent flake — compare against an "
+                  "explicit tolerance.",
+    },
+    "REP004": {
+        "pass": "lint",
+        "summary": "broad except swallows the error",
+        "detail": "In a streaming loop a swallowed crash silently becomes "
+                  "thousands of wrong predictions; narrow the type or "
+                  "re-raise.",
+    },
+    "REP005": {
+        "pass": "lint",
+        "summary": "event emitted around the Observability facade",
+        "detail": "Calling `….sink.emit(...)` directly skips the enabled "
+                  "check and the facade contract; use `obs.emit(...)`.",
+    },
+    "REP006": {
+        "pass": "lint",
+        "summary": "public module missing __all__",
+        "detail": "The re-export surface of every public module is "
+                  "explicit in this codebase.",
+    },
+    "REP007": {
+        "pass": "lint",
+        "summary": "per-element Python loop over window entries in core/",
+        "detail": "The serving loop touches the window on every arrival; "
+                  "an O(k) Python pass over `…entries` belongs in a "
+                  "vectorized array operation (see docs/PERF.md).  "
+                  "Inherently sequential loops carry an explanatory noqa.",
+    },
+    "REP008": {
+        "pass": "concurrency",
+        "summary": "unsynchronized shared mutable state reachable from "
+                   "multiple execution contexts",
+        "detail": "A module-level mutable or `self.*` attribute is written "
+                  "without a lock while reachable from two or more "
+                  "thread-sharing contexts (coordinator, thread-worker, "
+                  "server-thread); guard the write or annotate the "
+                  "happens-before that makes it safe.",
+    },
+    "REP009": {
+        "pass": "concurrency",
+        "summary": "fork-unsafety: threads, held locks, or leaked pipe "
+                   "endpoints interacting with a fork",
+        "detail": "Forking after starting a thread (or under a held lock) "
+                  "copies locks and buffers mid-state into the child; "
+                  "also flags pipe endpoints handed to a child but never "
+                  "closed in the parent.",
+    },
+    "REP010": {
+        "pass": "concurrency",
+        "summary": "unbounded blocking call while holding a lock or inside "
+                   "a supervised loop",
+        "detail": "`recv`/`get`/`accept`/`sleep` with no timeout under a "
+                  "lock (or in a supervised `while True`) can deadlock or "
+                  "never observe shutdown; pass a timeout.",
+    },
+    "REP011": {
+        "pass": "concurrency",
+        "summary": "thread-local or shared singleton used across execution "
+                   "contexts",
+        "detail": "A `threading.local` (or thread-confined) singleton read "
+                  "from a server/worker context sees different state per "
+                  "thread; a shared singleton mutated outside the "
+                  "coordinator races with readers.",
+    },
 }
+
+#: Rule catalog: code -> one-line summary (docs and the runner share it).
+#: Derived from :data:`RULE_DETAILS`; only the ``lint``-pass rules run by
+#: default, but the mapping covers every code for reporting.
+RULES = {code: info["summary"] for code, info in RULE_DETAILS.items()
+         if info["pass"] == "lint"}
+
+
+def render_rule_catalogue() -> str:
+    """The docs/ANALYSIS.md rule table, rendered from :data:`RULE_DETAILS`.
+
+    Regenerated (and asserted in tests) so the documentation cannot drift
+    from the registry again.
+    """
+    lines = [
+        "| Code | Pass | Flags | Why |",
+        "| --- | --- | --- | --- |",
+    ]
+    for code in sorted(RULE_DETAILS):
+        info = RULE_DETAILS[code]
+        lines.append(f"| {code} | {info['pass']} | {info['summary']} "
+                     f"| {info['detail']} |")
+    return "\n".join(lines) + "\n"
 
 #: numpy.random attributes that are part of the seeded, explicit-Generator
 #: API; everything else on the module is legacy global state.

@@ -42,11 +42,23 @@ def _count_files(paths) -> int:
 
 
 def run_analyze(paths, output_format: str = "text",
-                show_suppressed: bool = False, stream=None) -> int:
-    """Lint ``paths`` and report; returns the process exit code."""
+                show_suppressed: bool = False, stream=None,
+                concurrency: bool = False) -> int:
+    """Lint ``paths`` and report; returns the process exit code.
+
+    ``concurrency=True`` additionally runs the execution-context pass
+    (REP008–REP011, :mod:`repro.analysis.concurrency`) over the same
+    paths; its findings merge into the same report and exit code.
+    """
     stream = stream if stream is not None else sys.stdout
     try:
         findings = lint_paths(paths)
+        if concurrency:
+            from .concurrency import scan_paths
+            findings = sorted(
+                findings + scan_paths(paths),
+                key=lambda f: (f.path, f.line, f.col, f.code),
+            )
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE
@@ -57,6 +69,11 @@ def run_analyze(paths, output_format: str = "text",
     for finding in active:
         counts[finding.code] = counts.get(finding.code, 0) + 1
 
+    rules = dict(RULES)
+    if concurrency:
+        from .concurrency import CONCURRENCY_RULES
+        rules.update(CONCURRENCY_RULES)
+
     if output_format == "json":
         payload = {
             "ok": not active,
@@ -64,7 +81,7 @@ def run_analyze(paths, output_format: str = "text",
             "findings": [finding.to_dict() for finding in active],
             "suppressed": [finding.to_dict() for finding in suppressed],
             "counts": dict(sorted(counts.items())),
-            "rules": RULES,
+            "rules": rules,
         }
         print(json.dumps(payload, indent=2), file=stream)
     else:

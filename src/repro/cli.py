@@ -21,8 +21,9 @@ lists what is available; ``report`` summarizes a recorded trace or a
 saved ``/snapshot`` dump (per-strategy latency percentiles, knowledge
 reuse hit-rate, decay timeline).  ``--csv`` runs on your own data instead
 of a built-in generator.  ``analyze`` runs the static REP001–REP007 lint
-pass (and, with ``--check-models``, symbolic shape verification of the
-model zoo) — see ``docs/ANALYSIS.md``.
+pass (``--concurrency`` adds the execution-context pass REP008–REP011;
+``--check-models`` adds symbolic shape verification of the model zoo) —
+see ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
@@ -118,7 +119,7 @@ def _build_obs(args) -> Observability | None:
     return None
 
 
-def _build_telemetry(args, obs):
+def _build_telemetry(args, obs: Observability):
     """``--serve-telemetry``: SLO engine + HTTP server around the run."""
     if getattr(args, "serve_telemetry", None) is None:
         return None, None
@@ -130,7 +131,9 @@ def _build_telemetry(args, obs):
                                                    False))
     # Tee pipeline events into the engine so event-driven SLO signals
     # (degraded-rate, worker-restart-rate, ...) see every occurrence.
-    obs.sink = CompositeSink(obs.sink, engine)
+    # The rebind happens strictly before TelemetryServer.start() below,
+    # so no server thread can observe the sink chain mid-swap.
+    obs.sink = CompositeSink(obs.sink, engine)  # repro: noqa[REP008]
 
     def health_source():
         summarize = getattr(engine.target, "summary", None)
@@ -186,7 +189,12 @@ def _cmd_run(args) -> int:
     profiler = _build_profiler(args, obs=obs)
     engine, server = _build_telemetry(args, obs)
     try:
-        result = run_framework(
+        # --serve-telemetry starts a server thread before a process-backend
+        # run forks its workers: a real fork-after-thread ordering.  It is
+        # accepted here because workers never touch the inherited server
+        # state, and ProcessBackend._ensure_started emits a RuntimeWarning
+        # naming the leaked threads so the combination stays visible.
+        result = run_framework(  # repro: noqa[REP009]
             args.framework, generator,
             _config(args, obs=obs, profiler=profiler, slo_engine=engine),
         )
@@ -307,7 +315,8 @@ def _cmd_analyze(args) -> int:
     from .analysis import EXIT_FINDINGS, run_analyze
 
     code = run_analyze(args.paths, output_format=args.format,
-                       show_suppressed=args.show_suppressed)
+                       show_suppressed=args.show_suppressed,
+                       concurrency=args.concurrency)
     if args.check_models:
         # JSON mode keeps stdout a single parseable object; the zoo
         # report goes to stderr there.
@@ -425,7 +434,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze_parser = commands.add_parser(
         "analyze",
-        help="static REP001-REP007 lint pass (see docs/ANALYSIS.md)",
+        help="static REP001-REP007 lint pass; --concurrency adds "
+             "REP008-REP011 (see docs/ANALYSIS.md)",
     )
     analyze_parser.add_argument("paths", nargs="*", default=["src"],
                                 help="files or directories to analyze "
@@ -438,6 +448,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_parser.add_argument("--check-models", action="store_true",
                                 help="additionally run symbolic shape "
                                      "verification over the model zoo")
+    analyze_parser.add_argument("--concurrency", action="store_true",
+                                help="additionally run the execution-context "
+                                     "concurrency pass (REP008-REP011)")
     analyze_parser.set_defaults(handler=_cmd_analyze)
     return parser
 

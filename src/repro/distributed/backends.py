@@ -35,8 +35,10 @@ import abc
 import multiprocessing
 import os
 import pickle
+import threading
 import time
 import traceback
+import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -356,7 +358,10 @@ def _worker_main(conn, worker_index: int, learner, slots, sync_blocks,
     ]
     while True:
         try:
-            message = conn.recv()
+            # An idle worker parks on the command pipe indefinitely by
+            # design; liveness is the parent's job (hang timeout + reap in
+            # ProcessBackend), and "close"/EOF both end the loop.
+            message = conn.recv()  # repro: noqa[REP010]
         except (EOFError, KeyboardInterrupt):
             break
         command = message[0]
@@ -545,6 +550,7 @@ class ProcessBackend(ExecutionBackend):
                 "which this platform does not provide; use the thread "
                 "backend instead"
             )
+        self._warn_if_threads_alive()
         context = multiprocessing.get_context("fork")
         first = shard_batches[0].x
         self._row_width = int(np.prod(first.shape[1:]))
@@ -590,6 +596,33 @@ class ProcessBackend(ExecutionBackend):
             self._worker_blobs.append(None)
             self._spawn_worker(worker_index)
         self._started = True
+
+    @staticmethod
+    def _warn_if_threads_alive() -> None:
+        """Warn when forking would duplicate a threaded parent.
+
+        Forking a multi-threaded process is the classic hazard REP009
+        flags: every child inherits a snapshot of the parent's memory in
+        which the other threads simply vanish — any lock one of them held
+        (logging, telemetry registry, HTTP server internals) stays locked
+        forever in the child.  The common way to get here is starting
+        ``--serve-telemetry`` (a server thread) before the first batch
+        reaches a process backend; start the server after the pool, or
+        accept that children must never touch the inherited thread state.
+        """
+        extra = [thread.name for thread in threading.enumerate()
+                 if thread is not threading.current_thread()]
+        if extra:
+            warnings.warn(
+                "forking worker processes while other threads are alive "
+                f"({', '.join(sorted(extra))}); locks or buffers those "
+                "threads hold are copied into the children mid-state — "
+                "start thread-based services (e.g. the telemetry server) "
+                "after the process pool, or ensure workers never touch "
+                "their state",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _spawn_worker(self, worker_index: int) -> None:
         """Fork one child for ``worker_index`` over the existing buffers."""

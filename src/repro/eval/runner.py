@@ -22,7 +22,7 @@ from ..metrics.prequential import (
     evaluate_model,
 )
 from ..models import StreamingCNN, StreamingLR, StreamingMLP
-from ..obs import Observability
+from ..obs import Observability, SloEngine
 
 __all__ = ["RunConfig", "model_factory_for", "run_framework", "run_matrix"]
 
@@ -72,7 +72,7 @@ class RunConfig:
     #: ``observe_report`` per batch; wire it into ``obs``'s sink chain
     #: separately to also feed it events (``run --serve-telemetry`` does
     #: both).
-    slo_engine: object | None = None
+    slo_engine: SloEngine | None = None
     #: Extra per-batch report callback (after ``slo_engine``'s).
     on_report: object | None = None
 
@@ -114,6 +114,38 @@ def _report_hook(config: RunConfig):
     return hook
 
 
+def _run_freewayml_distributed(factory, stream, config: RunConfig,
+                               on_report, learner_kwargs):
+    """Distributed FreewayML path: build the worker pool, then evaluate.
+
+    Kept as its own function so the concurrency analyzer sees exactly one
+    thread-pool/fork site pair here, with the invariant spelled out below.
+    """
+    backend = config.backend
+    if backend == "process":
+        # Instantiate here so the supervision budget reaches the
+        # pool (make_backend takes no options for named defaults).
+        backend = ProcessBackend(max_restarts=config.max_restarts)
+    learner = make_learner(
+        factory, num_workers=config.num_workers,
+        backend=backend, sync_every=config.sync_every,
+        seed=config.seed, obs=config.obs, **learner_kwargs,
+    )
+    if config.slo_engine is not None:
+        config.slo_engine.bind(learner)
+    try:
+        # One run drives exactly one backend: the thread pool behind
+        # make_learner exists only when backend="thread" and the fork in
+        # evaluate_learner's process path only when backend="process", so
+        # the thread-then-fork ordering flagged statically cannot occur
+        # inside a single run.
+        return evaluate_learner(learner, stream, name=FREEWAYML,  # repro: noqa[REP009]
+                                skip=config.skip,
+                                on_report=on_report)
+    finally:
+        learner.close()
+
+
 def run_framework(framework: str, generator, config: RunConfig,
                   input_shape=None) -> PrequentialResult:
     """Run one framework over one dataset generator, prequentially.
@@ -132,24 +164,8 @@ def run_framework(framework: str, generator, config: RunConfig,
             learner_kwargs.setdefault("degrade", True)
         on_report = _report_hook(config)
         if config.num_workers > 1 or config.backend != "serial":
-            backend = config.backend
-            if backend == "process":
-                # Instantiate here so the supervision budget reaches the
-                # pool (make_backend takes no options for named defaults).
-                backend = ProcessBackend(max_restarts=config.max_restarts)
-            learner = make_learner(
-                factory, num_workers=config.num_workers,
-                backend=backend, sync_every=config.sync_every,
-                seed=config.seed, obs=config.obs, **learner_kwargs,
-            )
-            if config.slo_engine is not None:
-                config.slo_engine.bind(learner)
-            try:
-                return evaluate_learner(learner, stream, name=FREEWAYML,
-                                        skip=config.skip,
-                                        on_report=on_report)
-            finally:
-                learner.close()
+            return _run_freewayml_distributed(factory, stream, config,
+                                              on_report, learner_kwargs)
         if config.profiler is not None:
             learner_kwargs.setdefault("profiler", config.profiler)
         learner = Learner(factory, seed=config.seed, obs=config.obs,

@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.learner import Learner
 from ..models.base import StreamingModel
 from .accuracy import AccuracyTracker
+
+if TYPE_CHECKING:  # circular at runtime; used in annotations only
+    from ..distributed.workers import DistributedLearner
 
 __all__ = ["PrequentialResult", "evaluate_model", "evaluate_learner"]
 
@@ -89,7 +93,8 @@ def evaluate_model(model: StreamingModel, stream, name: str | None = None,
     )
 
 
-def evaluate_learner(learner: Learner, stream, name: str = "freewayml",
+def evaluate_learner(learner: Learner | DistributedLearner, stream,
+                     name: str = "freewayml",
                      skip: int = 0, on_report=None) -> PrequentialResult:
     """Run a FreewayML learner prequentially, collecting its batch reports.
 

@@ -19,6 +19,7 @@ file, :class:`MemorySink` keeps records in a list (tests, dashboards), and
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
@@ -316,6 +317,9 @@ class MemorySink(EventSink):
     ring evicted (oldest first) once ``capacity`` was exceeded;
     :meth:`drain` hands the buffered records over and empties the ring —
     the primitive worker-telemetry shipping is built on.
+
+    Mutators and :meth:`snapshot` are lock-guarded: the run loop emits
+    while a TelemetryServer thread reads the ring for ``/snapshot``.
     """
 
     def __init__(self, capacity: int | None = DEFAULT_MEMORY_SINK_CAPACITY):
@@ -325,13 +329,16 @@ class MemorySink(EventSink):
         self.capacity = capacity
         #: Records evicted from the ring since construction.
         self.dropped = 0
+        self._lock = threading.Lock()
 
     def emit(self, record) -> None:
-        self.records.append(record)
-        if self.capacity is not None and len(self.records) > self.capacity:
-            excess = len(self.records) - self.capacity
-            del self.records[:excess]
-            self.dropped += excess
+        with self._lock:
+            self.records.append(record)
+            if (self.capacity is not None
+                    and len(self.records) > self.capacity):
+                excess = len(self.records) - self.capacity
+                del self.records[:excess]
+                self.dropped += excess
 
     @property
     def events(self) -> list[Event]:
@@ -345,12 +352,30 @@ class MemorySink(EventSink):
     def drain(self) -> list:
         """Return the buffered records and empty the ring (``dropped``
         keeps counting across drains)."""
-        records = self.records
-        self.records = []
+        with self._lock:
+            records = self.records
+            self.records = []
         return records
 
     def clear(self) -> None:
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
+
+    def snapshot(self) -> tuple[list, int]:
+        """A consistent ``(records, dropped)`` pair: the list is a copy
+        taken under the lock, so a concurrent emit cannot shift it."""
+        with self._lock:
+            return list(self.records), self.dropped
+
+    # Sinks ride inside pickled worker checkpoints; locks do not pickle.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
 
 class JsonlSink(EventSink):

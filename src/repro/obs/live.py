@@ -255,6 +255,22 @@ class SloEngine(EventSink):
         self.active: dict[str, _AlertState] = {}
         self.raised_total = 0
         self.resolved_total = 0
+        #: Guards sample intake and alert state: the run loop ticks while
+        #: a TelemetryServer thread reads ``status``/``summary``.
+        #: Re-entrant because ``_evaluate`` → ``_publish`` → ``obs.emit``
+        #: can come straight back through a composite sink into ``emit``.
+        self._lock = threading.RLock()
+
+    # An engine can ride inside a pickled checkpoint via a learner's obs
+    # sink chain; locks do not pickle.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- wiring ----------------------------------------------------------------
 
@@ -287,9 +303,10 @@ class SloEngine(EventSink):
         rules = self._by_signal.get(signal)
         if not rules:
             return
-        self._samples[signal].append((self._tick, float(value)))
-        for rule in rules:
-            self._evaluate(rule)
+        with self._lock:
+            self._samples[signal].append((self._tick, float(value)))
+            for rule in rules:
+                self._evaluate(rule)
 
     def observe_report(self, report) -> None:
         """Feed one per-batch report: a latency sample plus one tick."""
@@ -302,13 +319,14 @@ class SloEngine(EventSink):
 
     def tick(self) -> None:
         """Advance the engine clock one batch and age out old samples."""
-        self._tick += 1
-        for signal, samples in self._samples.items():
-            horizon = self._tick - self._horizon[signal]
-            while samples and samples[0][0] <= horizon:
-                samples.popleft()
-        for rule in self.rules:
-            self._evaluate(rule)
+        with self._lock:
+            self._tick += 1
+            for signal, samples in self._samples.items():
+                horizon = self._tick - self._horizon[signal]
+                while samples and samples[0][0] <= horizon:
+                    samples.popleft()
+            for rule in self.rules:
+                self._evaluate(rule)
 
     # -- evaluation ------------------------------------------------------------
 
@@ -339,34 +357,37 @@ class SloEngine(EventSink):
         return ordered[low] * (1 - fraction) + ordered[high] * fraction
 
     def _evaluate(self, rule: SloRule) -> None:
-        values = self._window_values(rule)
-        value = self._aggregate(rule, values)
-        breached = (value is not None
-                    and _compare(value, rule.comparison, rule.threshold))
-        if breached and rule.comparison in ("<", "<="):
-            # Starvation rules ("too little activity") cannot be judged on
-            # a partial window: a fresh engine is always under-rate.
-            breached = self._tick >= rule.window
-        name = rule.name
-        if breached and name not in self.active:
-            self.active[name] = _AlertState(rule, self._tick, value)
-            self.raised_total += 1
-            self._publish(AlertRaised(
-                rule=name, signal=rule.signal, value=float(value),
-                threshold=rule.threshold, batch=self._tick,
-            ), count=True)
-            self._nudge_degrade()
-        elif not breached and name in self.active:
-            state = self.active.pop(name)
-            self.resolved_total += 1
-            self._publish(AlertResolved(
-                rule=name,
-                value=float(value) if value is not None else state.value,
-                threshold=rule.threshold,
-                batches_active=self._tick - state.raised_at,
-                batch=self._tick,
-            ), count=False)
-            self._nudge_degrade()
+        # Callers (observe/tick) already hold the lock; re-acquiring the
+        # RLock is cheap and keeps this safe if ever called standalone.
+        with self._lock:
+            values = self._window_values(rule)
+            value = self._aggregate(rule, values)
+            breached = (value is not None
+                        and _compare(value, rule.comparison, rule.threshold))
+            if breached and rule.comparison in ("<", "<="):
+                # Starvation rules ("too little activity") cannot be judged
+                # on a partial window: a fresh engine is always under-rate.
+                breached = self._tick >= rule.window
+            name = rule.name
+            if breached and name not in self.active:
+                self.active[name] = _AlertState(rule, self._tick, value)
+                self.raised_total += 1
+                self._publish(AlertRaised(
+                    rule=name, signal=rule.signal, value=float(value),
+                    threshold=rule.threshold, batch=self._tick,
+                ), count=True)
+                self._nudge_degrade()
+            elif not breached and name in self.active:
+                state = self.active.pop(name)
+                self.resolved_total += 1
+                self._publish(AlertResolved(
+                    rule=name,
+                    value=float(value) if value is not None else state.value,
+                    threshold=rule.threshold,
+                    batches_active=self._tick - state.raised_at,
+                    batch=self._tick,
+                ), count=False)
+                self._nudge_degrade()
 
     def _publish(self, event: Event, *, count: bool) -> None:
         obs = self._obs
@@ -399,19 +420,21 @@ class SloEngine(EventSink):
 
     def status(self) -> list[dict]:
         """The active alerts, JSON-able, ordered by rule name."""
-        return [self.active[name].to_dict()
-                for name in sorted(self.active)]
+        with self._lock:
+            return [self.active[name].to_dict()
+                    for name in sorted(self.active)]
 
     def summary(self) -> dict:
         """Engine state for ``/health`` and ``/snapshot``."""
-        return {
-            "tick": self._tick,
-            "rules": [rule.describe() for rule in self.rules],
-            "active": self.status(),
-            "raised_total": self.raised_total,
-            "resolved_total": self.resolved_total,
-            "pre_emptive_degrade": self.pre_emptive_degrade,
-        }
+        with self._lock:
+            return {
+                "tick": self._tick,
+                "rules": [rule.describe() for rule in self.rules],
+                "active": self.status(),
+                "raised_total": self.raised_total,
+                "resolved_total": self.resolved_total,
+                "pre_emptive_degrade": self.pre_emptive_degrade,
+            }
 
 
 # -- layer 2: HTTP exposition --------------------------------------------------
@@ -438,13 +461,16 @@ def build_snapshot(obs: Observability, engine: SloEngine | None = None,
     """
     if ring is None:
         ring = find_ring(obs.sink)
-    records = ([EventSink._as_dict(record) for record in ring.records]
-               if ring is not None else [])
+    if ring is not None:
+        # Locked copy: a concurrent emit cannot shift the list mid-read.
+        ring_records, ring_dropped = ring.snapshot()
+    else:
+        ring_records, ring_dropped = [], 0
     return {
         "kind": "snapshot",
         "metrics": obs.registry.snapshot(),
-        "records": records,
-        "dropped_records": ring.dropped if ring is not None else 0,
+        "records": [EventSink._as_dict(record) for record in ring_records],
+        "dropped_records": ring_dropped,
         "alerts": engine.summary() if engine is not None else None,
     }
 
@@ -561,7 +587,12 @@ class TelemetryServer:
 
     @staticmethod
     def _retry(render, attempts: int = 8):
-        """Re-run ``render`` when a concurrent mutation trips iteration."""
+        """Re-run ``render`` when a concurrent mutation trips iteration.
+
+        The registry, ring, and SLO engine all lock their readers now, so
+        this is belt-and-braces for ``health_source`` callables and any
+        other unlocked state a renderer touches.
+        """
         for remaining in range(attempts - 1, -1, -1):
             try:
                 return render()

@@ -20,11 +20,19 @@ previous collection (and advances the baseline), and
 :meth:`MetricsRegistry.merge` folds a dump or delta into another registry —
 counters add, gauges last-write-wins, histograms merge bucket-wise — with
 optional extra labels (``{"worker": "2"}``) stamped on every merged series.
+
+Thread safety: every instrument guards its mutators with an ``RLock``.
+Instruments created through a registry all share the *registry's* lock
+(children from :meth:`~_Instrument.labels` inherit their parent's), so a
+scrape — :meth:`MetricsRegistry.snapshot`, :meth:`~MetricsRegistry.render_text`,
+or the wire-format collectors — observes an atomic view even while the run
+loop increments counters from another thread (the TelemetryServer case).
 """
 
 from __future__ import annotations
 
 import math
+import threading
 
 __all__ = [
     "Counter",
@@ -81,20 +89,41 @@ class _Instrument:
         self.help = help
         self._children: dict[tuple, "_Instrument"] = {}
         self._labels: tuple = ()
+        #: Guards every mutator.  Standalone instruments own their lock;
+        #: registry-created ones are re-pointed at the registry's single
+        #: lock (and children inherit it below), so whole-registry reads
+        #: are atomic against concurrent writes.
+        self._lock = threading.RLock()
 
     def labels(self, **labels) -> "_Instrument":
         """The child instrument for one label combination (created lazily)."""
         key = _label_key(labels)
-        child = self._children.get(key)
-        if child is None:
-            child = type(self)._blank(self.name, self.help)
-            child._labels = key
-            self._children[key] = child
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = type(self)._blank(self.name, self.help)
+                child._labels = key
+                child._lock = self._lock
+                self._children[key] = child
         return child
 
     @classmethod
     def _blank(cls, name: str, help: str) -> "_Instrument":
         return cls(name, help)
+
+    # Locks are not picklable, and instruments travel inside worker
+    # checkpoints (crash recovery pickles whole learners).  Drop the lock
+    # on the way out, rebuild on the way in; children re-share it.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        for child in self._children.values():
+            child._lock = self._lock
 
     def _series(self) -> list["_Instrument"]:
         """Every concrete series: the bare instrument (if touched) plus
@@ -121,7 +150,8 @@ class Counter(_Instrument):
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount}")
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
@@ -157,12 +187,14 @@ class Gauge(_Instrument):
         self._set_ever = False
 
     def set(self, value: float) -> None:
-        self._value = float(value)
-        self._set_ever = True
+        with self._lock:
+            self._value = float(value)
+            self._set_ever = True
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
-        self._set_ever = True
+        with self._lock:
+            self._value += amount
+            self._set_ever = True
 
     def dec(self, amount: float = 1.0) -> None:
         self.inc(-amount)
@@ -221,24 +253,26 @@ class Histogram(_Instrument):
         return cls(name, help)
 
     def labels(self, **labels) -> "Histogram":
-        child = super().labels(**labels)
-        # Children inherit the parent's boundaries, not the default.
-        if child.buckets != self.buckets and child._count == 0:
-            child.buckets = self.buckets
-            child._counts = [0] * (len(self.buckets) + 1)
+        with self._lock:
+            child = super().labels(**labels)
+            # Children inherit the parent's boundaries, not the default.
+            if child.buckets != self.buckets and child._count == 0:
+                child.buckets = self.buckets
+                child._counts = [0] * (len(self.buckets) + 1)
         return child
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self._sum += value
-        self._count += 1
-        self._min = min(self._min, value)
-        self._max = max(self._max, value)
-        for position, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._counts[position] += 1
-                return
-        self._counts[-1] += 1
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[position] += 1
+                    return
+            self._counts[-1] += 1
 
     @property
     def count(self) -> int:
@@ -309,23 +343,24 @@ class Histogram(_Instrument):
 
     def _merge_wire(self, payload: dict) -> None:
         bounds = tuple(float(b) for b in payload["buckets"])
-        if self._count == 0 and self.buckets != bounds:
-            # Untouched target: adopt the incoming boundaries wholesale.
-            self.buckets = bounds
-            self._counts = [0] * (len(bounds) + 1)
-        if self.buckets != bounds:
-            raise ValueError(
-                f"cannot merge histogram {self.name!r}: bucket boundaries "
-                f"differ ({self.buckets} vs {bounds})"
-            )
-        for position, count in enumerate(payload["counts"]):
-            self._counts[position] += int(count)
-        self._sum += float(payload["sum"])
-        self._count += int(payload["count"])
-        if payload.get("min") is not None:
-            self._min = min(self._min, float(payload["min"]))
-        if payload.get("max") is not None:
-            self._max = max(self._max, float(payload["max"]))
+        with self._lock:
+            if self._count == 0 and self.buckets != bounds:
+                # Untouched target: adopt the incoming boundaries wholesale.
+                self.buckets = bounds
+                self._counts = [0] * (len(bounds) + 1)
+            if self.buckets != bounds:
+                raise ValueError(
+                    f"cannot merge histogram {self.name!r}: bucket boundaries "
+                    f"differ ({self.buckets} vs {bounds})"
+                )
+            for position, count in enumerate(payload["counts"]):
+                self._counts[position] += int(count)
+            self._sum += float(payload["sum"])
+            self._count += int(payload["count"])
+            if payload.get("min") is not None:
+                self._min = min(self._min, float(payload["min"]))
+            if payload.get("max") is not None:
+                self._max = max(self._max, float(payload["max"]))
 
     def _value_dict(self) -> dict:
         bucket_counts = {}
@@ -352,13 +387,33 @@ class MetricsRegistry:
         #: Per-series baselines for :meth:`collect_delta` (what was last
         #: shipped), keyed by ``(name, label_key)``.
         self._shipped: dict[tuple, dict] = {}
+        #: One lock for the registry and every instrument it creates, so
+        #: a scrape sees an atomic registry-wide view (re-entrant because
+        #: a locked scrape calls locked instrument methods).
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        # Restore the one-lock-per-registry invariant.
+        for instrument in self._instruments.values():
+            instrument._lock = self._lock
+            for child in instrument._children.values():
+                child._lock = self._lock
 
     def _get(self, name: str, factory, kind: str):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-            return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                instrument._lock = self._lock
+                self._instruments[name] = instrument
+                return instrument
         if instrument.kind != kind:
             raise ValueError(
                 f"metric {name!r} already registered as {instrument.kind}, "
@@ -391,38 +446,42 @@ class MetricsRegistry:
         ``value`` (counter/gauge) or the histogram's summary dict.
         """
         out: dict = {}
-        for name, instrument in sorted(self._instruments.items()):
-            series = []
-            for child in instrument._series():
-                labels = dict(child._labels)
-                if isinstance(child, Histogram):
-                    series.append({"labels": labels, **child._value_dict()})
-                else:
-                    series.append({"labels": labels, "value": child.value})
-            out[name] = {"type": instrument.kind, "help": instrument.help,
-                         "series": series}
+        with self._lock:
+            for name, instrument in sorted(self._instruments.items()):
+                series = []
+                for child in instrument._series():
+                    labels = dict(child._labels)
+                    if isinstance(child, Histogram):
+                        series.append({"labels": labels,
+                                       **child._value_dict()})
+                    else:
+                        series.append({"labels": labels,
+                                       "value": child.value})
+                out[name] = {"type": instrument.kind,
+                             "help": instrument.help, "series": series}
         return out
 
     # -- wire format: dump / delta / merge ------------------------------------
 
     def _collect_wire(self, *, delta: bool) -> dict:
         out: dict = {}
-        for name, instrument in sorted(self._instruments.items()):
-            series = []
-            for child in (instrument, *instrument._children.values()):
-                key = (name, child._labels)
-                baseline = self._shipped.get(key) if delta else None
-                if baseline is None and not child._touched():
-                    continue
-                payload = child._wire(baseline)
-                if delta:
-                    self._shipped[key] = child._wire_baseline()
-                if payload is None:
-                    continue
-                series.append({"labels": dict(child._labels), **payload})
-            if series:
-                out[name] = {"kind": instrument.kind, "help": instrument.help,
-                             "series": series}
+        with self._lock:
+            for name, instrument in sorted(self._instruments.items()):
+                series = []
+                for child in (instrument, *instrument._children.values()):
+                    key = (name, child._labels)
+                    baseline = self._shipped.get(key) if delta else None
+                    if baseline is None and not child._touched():
+                        continue
+                    payload = child._wire(baseline)
+                    if delta:
+                        self._shipped[key] = child._wire_baseline()
+                    if payload is None:
+                        continue
+                    series.append({"labels": dict(child._labels), **payload})
+                if series:
+                    out[name] = {"kind": instrument.kind,
+                                 "help": instrument.help, "series": series}
         return out
 
     def dump(self) -> dict:
@@ -456,33 +515,36 @@ class MetricsRegistry:
         coordinator passes ``{"worker": "<index>"}`` so replica telemetry
         stays attributable after aggregation.
         """
-        for name, family in wire.items():
-            kind = family.get("kind", "untyped")
-            help = family.get("help", "")
-            series_list = family.get("series", ())
-            if kind == "counter":
-                instrument = self.counter(name, help)
-            elif kind == "gauge":
-                instrument = self.gauge(name, help)
-            elif kind == "histogram":
-                buckets = DEFAULT_LATENCY_BUCKETS
+        with self._lock:
+            for name, family in wire.items():
+                kind = family.get("kind", "untyped")
+                help = family.get("help", "")
+                series_list = family.get("series", ())
+                if kind == "counter":
+                    instrument = self.counter(name, help)
+                elif kind == "gauge":
+                    instrument = self.gauge(name, help)
+                elif kind == "histogram":
+                    buckets = DEFAULT_LATENCY_BUCKETS
+                    for series in series_list:
+                        if series.get("buckets"):
+                            buckets = tuple(series["buckets"])
+                            break
+                    instrument = self.histogram(name, help, buckets=buckets)
+                else:
+                    raise ValueError(
+                        f"cannot merge metric {name!r} of unknown kind "
+                        f"{kind!r}"
+                    )
+                if help and not instrument.help:
+                    instrument.help = help
                 for series in series_list:
-                    if series.get("buckets"):
-                        buckets = tuple(series["buckets"])
-                        break
-                instrument = self.histogram(name, help, buckets=buckets)
-            else:
-                raise ValueError(
-                    f"cannot merge metric {name!r} of unknown kind {kind!r}"
-                )
-            if help and not instrument.help:
-                instrument.help = help
-            for series in series_list:
-                labels = dict(series["labels"])
-                if extra_labels:
-                    labels.update(extra_labels)
-                child = instrument.labels(**labels) if labels else instrument
-                child._merge_wire(series)
+                    labels = dict(series["labels"])
+                    if extra_labels:
+                        labels.update(extra_labels)
+                    child = (instrument.labels(**labels) if labels
+                             else instrument)
+                    child._merge_wire(series)
 
     def render_text(self) -> str:
         """Prometheus text exposition (the format scrapers and humans diff)."""
@@ -490,6 +552,11 @@ class MetricsRegistry:
         # One HELP/TYPE pair per metric family, exactly once, before any of
         # the family's samples (the exposition-format contract scrapers
         # check).
+        with self._lock:
+            self._render_into(lines)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def _render_into(self, lines: list[str]) -> None:
         for name, instrument in sorted(self._instruments.items()):
             if instrument.help:
                 lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
@@ -514,4 +581,3 @@ class MetricsRegistry:
                     lines.append(f"{name}_count{labelled} {child.count}")
                 else:
                     lines.append(f"{name}{labelled} {child.value:g}")
-        return "\n".join(lines) + ("\n" if lines else "")
