@@ -24,7 +24,6 @@ Facade::
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields
 from typing import Any, ClassVar, Protocol, runtime_checkable
 
@@ -48,6 +47,13 @@ class StreamingEstimator(Protocol):
     prequential test-then-train step on a :class:`~repro.data.stream.Batch`
     and returns a :class:`BaseReport` subclass.  ``summary`` reports
     estimator state as a plain dict (counts, sizes, configuration).
+
+    ``close`` releases whatever the estimator owns beyond its own memory —
+    worker pools, sockets, spill files.  It must be idempotent and must
+    leave ``summary()`` callable; after ``close`` the estimator may refuse
+    further ``predict``/``update``/``process`` calls.  Estimators are also
+    context managers (``__exit__`` calls ``close``), which is how the
+    serving session registry retires any estimator uniformly on eviction.
     """
 
     def predict(self, x) -> Any:
@@ -60,6 +66,9 @@ class StreamingEstimator(Protocol):
         ...
 
     def summary(self) -> dict:
+        ...
+
+    def close(self) -> None:
         ...
 
 
@@ -89,15 +98,6 @@ class BaseReport:
         super().__init_subclass__(**kwargs)
         _REPORT_KINDS[cls.kind] = cls
 
-    @property
-    def index(self) -> int:
-        """Deprecated alias for :attr:`batch_index` (one release)."""
-        warnings.warn(
-            f"{type(self).__name__}.index is deprecated; use batch_index",
-            DeprecationWarning, stacklevel=2,
-        )
-        return self.batch_index
-
     def to_dict(self) -> dict:
         """Flat, JSON-friendly payload (round-trips via ``from_dict``)."""
         payload = {"kind": self.kind}
@@ -113,19 +113,31 @@ class BaseReport:
         """Rebuild a report from a ``to_dict`` payload.
 
         Called on the base class, dispatches on ``payload["kind"]``; called
-        on a subclass, requires a matching (or absent) kind.  Unknown keys
-        are ignored so payloads stay forward compatible.
+        on a subclass, requires a matching (or absent) kind.  An unknown
+        ``kind`` raises :class:`ValueError` naming the registered kinds —
+        silently downgrading a newer producer's report to ``BaseReport``
+        would drop its fields without a trace.  Unknown *keys* are ignored
+        so payloads stay forward compatible within a kind.
         """
         payload = dict(payload)
         kind = payload.pop("kind", cls.kind)
-        target = _REPORT_KINDS.get(kind, cls) if cls is BaseReport else cls
         if cls is not BaseReport and kind != cls.kind:
             raise ValueError(
                 f"payload kind {kind!r} does not match {cls.__name__}"
             )
+        target = _REPORT_KINDS.get(kind) if cls is BaseReport else cls
+        if target is None:
+            known = ", ".join(sorted(_REPORT_KINDS))
+            raise ValueError(
+                f"unknown report kind {kind!r}; known kinds: {known}"
+            )
         known = {spec.name for spec in fields(target)}
         return target(**{key: value for key, value in payload.items()
                          if key in known})
+
+
+# __init_subclass__ only fires for subclasses; the base kind registers here.
+_REPORT_KINDS[BaseReport.kind] = BaseReport
 
 
 def report_from_dict(payload: dict) -> BaseReport:

@@ -100,3 +100,12 @@ class WrappingBaseline(StreamingModel):
             "batches_processed": self._processed,
             "num_classes": self.num_classes,
         }
+
+    def close(self) -> None:
+        """Release estimator resources (no-op: baselines own only memory)."""
+
+    def __enter__(self) -> "WrappingBaseline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

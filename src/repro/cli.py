@@ -1,9 +1,10 @@
 """Command-line interface: run FreewayML experiments without writing code.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro run --dataset nsl-kdd --framework freewayml --batches 80
     python -m repro compare --dataset electricity --model mlp
+    python -m repro serve --tenants 256 --capacity 32 --requests 4000
     python -m repro datasets
     python -m repro report trace.jsonl
     python -m repro analyze src/ --format json
@@ -16,7 +17,10 @@ exposes ``/metrics``, ``/health``, and ``/snapshot`` over HTTP during the
 run with an online SLO/alert engine, see ``docs/OBSERVABILITY.md``;
 ``--profile`` prints the per-stage hot-path time breakdown, see
 ``docs/PERF.md``); ``compare`` runs every framework of the chosen model
-group plus FreewayML and renders a Table-I-style block; ``datasets``
+group plus FreewayML and renders a Table-I-style block; ``serve`` drives
+the multi-tenant serving front end over a synthetic Zipf workload — every
+flag maps one-to-one onto a :class:`~repro.serving.ServeConfig` field,
+see ``docs/SERVING.md``; ``datasets``
 lists what is available; ``report`` summarizes a recorded trace or a
 saved ``/snapshot`` dump (per-strategy latency percentiles, knowledge
 reuse hit-rate, decay timeline).  ``--csv`` runs on your own data instead
@@ -328,6 +332,99 @@ def _cmd_analyze(args) -> int:
     return code
 
 
+def _cmd_serve(args) -> int:
+    import time
+
+    from .core.learner import Learner
+    from .eval import model_factory_for
+    from .serving import (
+        DirCheckpointStore,
+        ServeConfig,
+        SessionRegistry,
+        make_requests,
+        serve_requests,
+        zipf_tenants,
+    )
+
+    config = ServeConfig(
+        max_active_tenants=args.capacity,
+        microbatch_size=args.microbatch_size,
+        microbatch_timeout_s=args.microbatch_timeout,
+        shed_policy=args.shed_policy,
+        max_pending_per_tenant=args.max_pending_per_tenant,
+        max_pending_total=args.max_pending_total,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        degrade_high_watermark=args.degrade_watermark,
+        tenant_metrics=args.tenant_metrics,
+        learner_kwargs={"num_models": 1, "seed": args.seed},
+    )
+    lr = args.lr if args.lr is not None else 0.05
+    model_factory = model_factory_for(args.model, args.features,
+                                      args.classes, lr, seed=args.seed)
+
+    def factory(_tenant: str) -> Learner:
+        return Learner(model_factory, **config.learner_kwargs)
+
+    obs = Observability.in_memory() if args.metrics else None
+    store = (DirCheckpointStore(args.checkpoint_dir)
+             if args.checkpoint_dir else None)
+    registry = SessionRegistry(factory, capacity=config.max_active_tenants,
+                               store=store, obs=obs)
+    arrivals = zipf_tenants(args.requests, args.tenants,
+                            exponent=args.zipf, seed=args.seed)
+    requests = make_requests(arrivals, rows_per_request=args.rows,
+                             num_features=args.features,
+                             num_classes=args.classes, seed=args.seed)
+    started = time.perf_counter()
+    results, service = serve_requests(config, registry, requests,
+                                      obs=obs, window=args.window)
+    elapsed = time.perf_counter() - started
+    summary = service.summary()
+    rows_served = sum(len(result.labels) for result in results
+                      if result.accepted)
+    latencies = sorted(result.latency_s for result in results
+                       if result.accepted)
+    p50 = latencies[len(latencies) // 2] if latencies else 0.0
+    p99 = latencies[int(len(latencies) * 0.99)] if latencies else 0.0
+    shed_rate = summary["requests_shed"] / max(1, len(results))
+    if args.json:
+        payload = {
+            "tenants": args.tenants,
+            "requests": len(results),
+            "elapsed_s": elapsed,
+            "throughput_rows_s": rows_served / max(elapsed, 1e-9),
+            "latency_p50_s": p50,
+            "latency_p99_s": p99,
+            "shed_rate": shed_rate,
+            **summary,
+        }
+        if obs is not None:
+            payload["metrics"] = obs.registry.snapshot()
+        print(json.dumps(payload, indent=2, default=float))
+    else:
+        registry_stats = summary["registry"]
+        print(f"tenants   : {args.tenants} "
+              f"(capacity {config.max_active_tenants})")
+        print(f"requests  : {len(results)} "
+              f"(ok {summary['requests_ok']}, "
+              f"shed {summary['requests_shed']}, "
+              f"failed {summary['requests_failed']})")
+        print(f"throughput: {rows_served / max(elapsed, 1e-9) / 1e3:.1f} "
+              f"K rows/s over {elapsed:.2f}s")
+        print(f"latency   : p50 {p50 * 1e3:.2f} ms, p99 {p99 * 1e3:.2f} ms")
+        print(f"shed rate : {shed_rate * 100:.2f}%")
+        print(f"registry  : {registry_stats['activations']} activations "
+              f"({registry_stats['rehydrations']} rehydrated), "
+              f"{registry_stats['evictions']} evictions")
+        if obs is not None:
+            print()
+            print(obs.registry.render_text(), end="")
+    if obs is not None:
+        obs.close()
+    return 0
+
+
 def _cmd_compare(args) -> int:
     generator = _generator(args)
     group = LR_GROUP if args.model == "lr" else MLP_GROUP
@@ -426,6 +523,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(compare_parser)
     compare_parser.set_defaults(handler=_cmd_compare)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="drive the multi-tenant serving front end over a synthetic "
+             "Zipf workload (see docs/SERVING.md)",
+    )
+    serve_parser.add_argument("--tenants", type=int, default=256,
+                              help="distinct tenants in the workload")
+    serve_parser.add_argument("--requests", type=int, default=4000,
+                              help="total requests across all tenants")
+    serve_parser.add_argument("--capacity", type=int, default=32,
+                              help="resident-session bound "
+                                   "(ServeConfig.max_active_tenants)")
+    serve_parser.add_argument("--microbatch-size", type=int, default=32,
+                              dest="microbatch_size",
+                              help="rows coalesced per micro-batch")
+    serve_parser.add_argument("--microbatch-timeout", type=float,
+                              default=0.05, dest="microbatch_timeout",
+                              help="seconds a partial micro-batch may age")
+    serve_parser.add_argument("--shed-policy", default="reject",
+                              dest="shed_policy",
+                              choices=["reject", "oldest", "block"],
+                              help="admission policy when a queue bound "
+                                   "is hit")
+    serve_parser.add_argument("--max-pending-per-tenant", type=int,
+                              default=64, dest="max_pending_per_tenant",
+                              help="per-tenant pending-request bound")
+    serve_parser.add_argument("--max-pending-total", type=int, default=4096,
+                              dest="max_pending_total",
+                              help="global pending-request bound")
+    serve_parser.add_argument("--breaker-threshold", type=int, default=3,
+                              dest="breaker_threshold",
+                              help="consecutive failures opening a "
+                                   "tenant's serving circuit")
+    serve_parser.add_argument("--breaker-cooldown", type=int, default=50,
+                              dest="breaker_cooldown",
+                              help="micro-batches an open circuit blocks "
+                                   "admission")
+    serve_parser.add_argument("--degrade-watermark", type=float,
+                              default=None, dest="degrade_watermark",
+                              metavar="FRACTION",
+                              help="global pending fraction above which "
+                                   "resident estimators degrade "
+                                   "(default: coupling disabled)")
+    serve_parser.add_argument("--tenant-metrics", action="store_true",
+                              dest="tenant_metrics",
+                              help="label serving metrics per tenant "
+                                   "(high cardinality)")
+    serve_parser.add_argument("--checkpoint-dir", default=None,
+                              dest="checkpoint_dir", metavar="PATH",
+                              help="durable per-tenant .npz checkpoints "
+                                   "here (default: in-memory store)")
+    serve_parser.add_argument("--zipf", type=float, default=1.1,
+                              help="Zipf exponent of tenant popularity")
+    serve_parser.add_argument("--rows", type=int, default=8,
+                              help="rows per request")
+    serve_parser.add_argument("--window", type=int, default=256,
+                              help="concurrent in-flight submissions")
+    serve_parser.add_argument("--model", default="lr",
+                              choices=["lr", "mlp", "cnn"])
+    serve_parser.add_argument("--features", type=int, default=8,
+                              help="features per row")
+    serve_parser.add_argument("--classes", type=int, default=2,
+                              help="label classes per tenant stream")
+    serve_parser.add_argument("--lr", type=float, default=None,
+                              help="learning rate (default 0.05)")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--metrics", action="store_true",
+                              help="print the serving metrics snapshot")
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit the result as a single JSON "
+                                   "object")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     datasets_parser = commands.add_parser(
         "datasets", help="list built-in datasets"

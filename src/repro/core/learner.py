@@ -13,15 +13,13 @@ The paper's constructor reads::
                   KdgBuffer=20, ExpBuffer=10, alpha=1.96)
 
 :meth:`Learner.from_paper_config` maps those names onto the native
-snake_case parameters (the CamelCase spellings are accepted for one more
-release behind a :class:`DeprecationWarning`); the native constructor uses
-explicit keyword-only Python parameters.
+snake_case parameters; the native constructor uses explicit keyword-only
+Python parameters.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from collections import Counter
 from dataclasses import dataclass, replace
 
@@ -68,16 +66,6 @@ class _NullStage:
 
 
 _NULL_STAGE = _NullStage()
-
-#: Paper CamelCase constructor names → canonical snake_case (deprecation
-#: shim in :meth:`Learner.from_paper_config`; removed next release).
-_PAPER_KWARGS = {
-    "Model": "model",
-    "ModelNum": "num_models",
-    "MiniBatch": "mini_batch",
-    "KdgBuffer": "knowledge_capacity",
-    "ExpBuffer": "experience_expiration",
-}
 
 
 @dataclass
@@ -294,10 +282,11 @@ class Learner:
 
         ``model`` is a template :class:`StreamingModel` (cloned per level)
         or a factory.  ``mini_batch`` is accepted for interface fidelity;
-        batch size is determined by the stream itself.  The paper's
-        CamelCase spellings (``Model``, ``ModelNum``, ``MiniBatch``,
-        ``KdgBuffer``, ``ExpBuffer``) are still accepted for one release
-        and emit a :class:`DeprecationWarning`.
+        batch size is determined by the stream itself.  Parameter names are
+        the canonical snake_case spellings — the paper's CamelCase aliases
+        (``Model``, ``ModelNum``, ...) were removed after their one-release
+        deprecation window and now raise :class:`TypeError` like any other
+        unknown keyword.
         """
         canonical = {
             "model": model,
@@ -306,20 +295,6 @@ class Learner:
             "knowledge_capacity": knowledge_capacity,
             "experience_expiration": experience_expiration,
         }
-        for old, new in _PAPER_KWARGS.items():
-            if old not in kwargs:
-                continue
-            warnings.warn(
-                f"Learner.from_paper_config({old}=...) is deprecated; "
-                f"use {new}=",
-                DeprecationWarning, stacklevel=2,
-            )
-            if canonical[new] is not _UNSET:
-                raise TypeError(
-                    f"from_paper_config received both {new}= and the "
-                    f"deprecated {old}="
-                )
-            canonical[new] = kwargs.pop(old)
         defaults = {"num_models": 2, "mini_batch": 1024,
                     "knowledge_capacity": 20, "experience_expiration": 10}
         for name, value in defaults.items():
@@ -952,6 +927,25 @@ class Learner:
         if self.degrade and self.breaker is None:
             self.breaker = CircuitBreaker(threshold=self._breaker_threshold,
                                           cooldown=self._breaker_cooldown)
+
+    # -- lifecycle (StreamingEstimator protocol) -----------------------------------
+
+    def close(self) -> None:
+        """Release estimator resources.
+
+        A single in-process learner owns nothing that outlives it, so this
+        is a no-op — it exists so the serving session registry (and any
+        other holder of a :class:`~repro.api.StreamingEstimator`) can
+        retire estimators uniformly; :class:`~repro.distributed.
+        DistributedLearner` overrides it to shut its worker pool down.
+        Closing is idempotent.
+        """
+
+    def __enter__(self) -> "Learner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def summary(self) -> dict:
         """Estimator state as a plain dict (StreamingEstimator protocol)."""

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import io
 import json
+from collections import Counter
 from pathlib import Path
 
 import numpy as np
 
 from ..analysis.checkpoint import check_state_dict
 from ..obs import CheckpointRejected, CheckpointWritten
+from ..resilience.degrade import CircuitBreaker
 from .learner import Learner
 
 __all__ = ["save_learner", "load_learner", "learner_state", "restore_learner_state"]
@@ -53,7 +55,14 @@ def learner_state(learner: Learner) -> tuple[dict, dict]:
         "levels": [],
         "knowledge": [],
         "experience": [],
+        # Degrade-chain state: without these a rehydrated tenant silently
+        # reset its circuit breakers (and its processed/strategy tallies).
+        "processed": learner._processed,
+        "strategy_counts": dict(learner._strategy_counts),
+        "degrade": learner.degrade,
     }
+    if learner.breaker is not None:
+        meta["breaker"] = learner.breaker.state_dict()
 
     for index, level in enumerate(learner.ensemble.levels):
         _flatten(f"level{index}/", level.model.state_dict(), arrays)
@@ -165,6 +174,22 @@ def restore_learner_state(learner: Learner, arrays: dict, meta: dict) -> Learner
     learner._batch_counter = int(meta["batch_counter"])
     learner._concept_alert = bool(meta["concept_alert"])
     learner.ensemble.sigma = float(meta["sigma"])
+
+    # Optional keys: absent in pre-fix version-1 checkpoints, which stay
+    # loadable (the degrade chain then starts fresh, as it always did).
+    if "processed" in meta:
+        learner._processed = int(meta["processed"])
+    if "strategy_counts" in meta:
+        learner._strategy_counts = Counter(
+            {name: int(count)
+             for name, count in meta["strategy_counts"].items()}
+        )
+    if "degrade" in meta:
+        learner.set_degrade(bool(meta["degrade"]))
+    if "breaker" in meta:
+        if learner.breaker is None:
+            learner.breaker = CircuitBreaker()
+        learner.breaker.load_state_dict(meta["breaker"])
 
     for index, (level, level_meta) in enumerate(
             zip(learner.ensemble.levels, meta["levels"])):

@@ -40,8 +40,11 @@ from .events import (
     KnowledgeReused,
     MemorySink,
     NullSink,
+    RequestShed,
     ShiftAssessed,
     StrategySelected,
+    TenantActivated,
+    TenantEvicted,
     WorkerRestarted,
     event_from_dict,
     read_records,
@@ -93,6 +96,9 @@ __all__ = [
     "WorkerRestarted",
     "DegradedMode",
     "CircuitOpened",
+    "TenantActivated",
+    "TenantEvicted",
+    "RequestShed",
     "AlertRaised",
     "AlertResolved",
     "EVENT_TYPES",

@@ -37,6 +37,9 @@ __all__ = [
     "WorkerRestarted",
     "DegradedMode",
     "CircuitOpened",
+    "TenantActivated",
+    "TenantEvicted",
+    "RequestShed",
     "AlertRaised",
     "AlertResolved",
     "EVENT_TYPES",
@@ -231,6 +234,51 @@ class CircuitOpened(Event):
 
 
 @dataclass
+class TenantActivated(Event):
+    """A serving session entered memory (freshly built or rehydrated).
+
+    Emitted by the :class:`~repro.serving.SessionRegistry` when a tenant's
+    estimator becomes resident: ``rehydrated`` distinguishes a checkpoint
+    restore from a cold build, and ``active`` records the resident-session
+    count right after activation.
+    """
+
+    TYPE = "tenant_activated"
+
+    tenant: str
+    rehydrated: bool = False
+    active: int = 0
+
+
+@dataclass
+class TenantEvicted(Event):
+    """LRU eviction: a cold tenant's session checkpointed out of memory."""
+
+    TYPE = "tenant_evicted"
+
+    tenant: str
+    nbytes: int = 0                    # checkpoint size written on the way out
+    active: int = 0                    # resident sessions after eviction
+
+
+@dataclass
+class RequestShed(Event):
+    """Admission control refused (or displaced) a serving request.
+
+    ``reason`` names the policy decision: ``"tenant-queue-full"``,
+    ``"global-queue-full"``, ``"displaced"`` (the ``oldest`` shed policy
+    dropped it to admit newer work), or ``"circuit-open"`` (the tenant's
+    serving circuit breaker is open).
+    """
+
+    TYPE = "request_shed"
+
+    tenant: str
+    reason: str
+    pending: int = 0                   # global pending items at the decision
+
+
+@dataclass
 class AlertRaised(Event):
     """An SLO rule's sliding-window aggregate crossed its threshold.
 
@@ -267,6 +315,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
                 KnowledgePreserved, KnowledgeReused, KnowledgeEvicted,
                 CecInvoked, CheckpointWritten, CheckpointRejected,
                 WorkerRestarted, DegradedMode, CircuitOpened,
+                TenantActivated, TenantEvicted, RequestShed,
                 AlertRaised, AlertResolved)
 }
 

@@ -93,3 +93,38 @@ class CircuitBreaker:
             }
             for mechanism, circuit in self._circuits.items()
         }
+
+    def state_dict(self) -> dict:
+        """Full JSON-able breaker state for checkpointing.
+
+        Unlike :meth:`snapshot` (a derived view for dashboards), this is
+        lossless: :meth:`load_state_dict` reproduces the exact clock and
+        per-mechanism counters, so a rehydrated learner resumes cooldowns
+        where it left off instead of silently resetting them.
+        """
+        return {
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "clock": self._clock,
+            "circuits": {
+                mechanism: {
+                    "failures": circuit.failures,
+                    "opened_at": circuit.opened_at,
+                }
+                for mechanism, circuit in self._circuits.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore breaker state written by :meth:`state_dict`."""
+        self.threshold = int(state["threshold"])
+        self.cooldown = int(state["cooldown"])
+        self._clock = int(state["clock"])
+        self._circuits = {
+            mechanism: _Circuit(
+                failures=int(circuit["failures"]),
+                opened_at=(None if circuit["opened_at"] is None
+                           else int(circuit["opened_at"])),
+            )
+            for mechanism, circuit in state["circuits"].items()
+        }

@@ -1,0 +1,48 @@
+"""``repro.serving`` — the multi-tenant streaming serving front end.
+
+Multiplexes 1k–10k per-tenant streams onto one process (docs/SERVING.md):
+
+- :class:`StreamingService` — asyncio ingest with admission control,
+  per-tenant micro-batching, load shedding wired into the degrade chain,
+  and a per-tenant circuit breaker;
+- :class:`SessionRegistry` — tenant → estimator sessions with LRU
+  activation, single-flight rehydration, and checkpoint-through
+  eviction over a :class:`CheckpointStore`;
+- :class:`ServeConfig` — the deployment's knobs, mapped one-to-one onto
+  ``python -m repro serve`` flags;
+- :mod:`repro.serving.traffic` — Zipf tenant arrivals and per-tenant
+  reproducible streams for the serving bench.
+"""
+
+from .config import SHED_POLICIES, ServeConfig
+from .registry import (
+    CheckpointStore,
+    DirCheckpointStore,
+    MemoryCheckpointStore,
+    NullCheckpointStore,
+    SessionRegistry,
+)
+from .service import (
+    ServeResult,
+    StreamingService,
+    predict_and_update,
+    serve_requests,
+)
+from .traffic import TenantStream, make_requests, zipf_tenants
+
+__all__ = [
+    "ServeConfig",
+    "SHED_POLICIES",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DirCheckpointStore",
+    "NullCheckpointStore",
+    "SessionRegistry",
+    "StreamingService",
+    "ServeResult",
+    "predict_and_update",
+    "serve_requests",
+    "TenantStream",
+    "zipf_tenants",
+    "make_requests",
+]

@@ -142,11 +142,26 @@ class TestReportFamily:
         with pytest.raises(ValueError):
             DistributedReport.from_dict(payload)
 
-    @pytest.mark.filterwarnings("always::DeprecationWarning")
-    def test_index_alias_warns(self):
-        report = self.batch_report()
-        with pytest.warns(DeprecationWarning, match="batch_index"):
-            assert report.index == 4
+    def test_index_alias_removed(self):
+        # The PR-3 ``.index`` deprecation shim is gone: one release of
+        # warnings, then a clean AttributeError.
+        with pytest.raises(AttributeError):
+            self.batch_report().index
+
+    def test_unknown_kind_rejected_with_known_kinds(self):
+        payload = self.batch_report().to_dict()
+        payload["kind"] = "hologram"
+        with pytest.raises(ValueError, match="unknown report kind"):
+            report_from_dict(payload)
+        with pytest.raises(ValueError, match="batch"):
+            report_from_dict(payload)  # the error lists known kinds
+
+    def test_base_kind_round_trips(self):
+        report = BaseReport(batch_index=7, num_items=32, strategy="plain",
+                            accuracy=0.5, latency_s=0.01)
+        clone = report_from_dict(report.to_dict())
+        assert type(clone) is BaseReport
+        assert clone == report
 
     def test_summarize_reports_mixes_kinds(self):
         reports = [
@@ -154,45 +169,48 @@ class TestReportFamily:
             DistributedReport(batch_index=5, num_items=64, strategy="cec",
                               accuracy=0.25, latency_s=0.01,
                               worker_seconds=[0.01]),
+            BaseReport(batch_index=6, num_items=64, strategy="plain",
+                       accuracy=0.5, latency_s=0.02),
         ]
         summary = summarize_reports(reports)
-        assert summary["batches"] == 2
-        assert summary["items"] == 128
+        assert summary["batches"] == 3
+        assert summary["items"] == 192
         assert summary["accuracy"] == pytest.approx(0.5)
-        assert summary["strategies"] == {"cec": 2}
+        assert summary["strategies"] == {"cec": 2, "plain": 1}
         assert summary["throughput"] > 0
+
+    def test_summarize_reports_survives_round_trip(self):
+        # Mixed-kind summaries must not care whether reports were
+        # reconstructed from their serialized form.
+        reports = [
+            self.batch_report(),
+            DistributedReport(batch_index=5, num_items=64, strategy="cec",
+                              accuracy=0.25, latency_s=0.01,
+                              worker_seconds=[0.01]),
+        ]
+        revived = [report_from_dict(report.to_dict())
+                   for report in reports]
+        assert summarize_reports(revived) == summarize_reports(reports)
 
     def test_summarize_reports_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize_reports([])
 
 
-# -- deprecation shims --------------------------------------------------------
+# -- estimator-API v1 ----------------------------------------------------------
 
 
-class TestPaperConfigShim:
-    @pytest.mark.filterwarnings("always::DeprecationWarning")
-    def test_camelcase_kwargs_warn_but_work(self):
-        with pytest.warns(DeprecationWarning, match="ModelNum"):
-            learner = Learner.from_paper_config(
-                Model=lr_factory, ModelNum=3, MiniBatch=512,
-                KdgBuffer=11, ExpBuffer=6,
-            )
+class TestEstimatorApiV1:
+    def test_camelcase_kwargs_removed(self):
+        # PR-3's CamelCase paper aliases finished their deprecation
+        # window: they now raise like any other unknown keyword.
+        with pytest.raises(TypeError):
+            Learner.from_paper_config(Model=lr_factory, ModelNum=3)
+
+    def test_canonical_kwargs_work(self):
+        learner = Learner.from_paper_config(model=lr_factory, num_models=2,
+                                            knowledge_capacity=11)
         assert learner.knowledge.capacity == 11
-        assert learner.experience.expiration == 6
-
-    def test_canonical_kwargs_do_not_warn(self, recwarn):
-        Learner.from_paper_config(model=lr_factory, num_models=2,
-                                  knowledge_capacity=11)
-        assert not [w for w in recwarn
-                    if issubclass(w.category, DeprecationWarning)]
-
-    @pytest.mark.filterwarnings("always::DeprecationWarning")
-    def test_collision_rejected(self):
-        with pytest.raises(TypeError, match="ModelNum"):
-            with pytest.warns(DeprecationWarning):
-                Learner.from_paper_config(model=lr_factory, num_models=2,
-                                          ModelNum=3)
 
     def test_model_required(self):
         with pytest.raises(TypeError):
@@ -201,6 +219,33 @@ class TestPaperConfigShim:
     def test_constructor_config_is_keyword_only(self):
         with pytest.raises(TypeError):
             Learner(lr_factory, 3)  # num_models positionally
+
+    @pytest.mark.parametrize("build", [
+        lambda: Learner(lr_factory),
+        lambda: make_baseline("river", mlp_factory),
+        lambda: DistributedLearner(lr_factory, num_workers=2),
+    ], ids=["learner", "baseline", "distributed"])
+    def test_close_is_idempotent_and_leaves_summary_usable(self, build):
+        estimator = build()
+        estimator.process(stream(1)[0])
+        estimator.close()
+        estimator.close()  # idempotent by contract
+        assert estimator.summary()["batches_processed"] == 1
+
+    def test_estimators_are_context_managers(self):
+        with Learner(lr_factory) as learner:
+            learner.process(stream(1)[0])
+        assert learner.summary()["batches_processed"] == 1
+        with make_baseline("river", mlp_factory) as baseline:
+            baseline.process(stream(1)[0])
+        assert baseline.summary()["batches_processed"] == 1
+
+    def test_distributed_context_manager_closes_backend(self):
+        with DistributedLearner(lr_factory, num_workers=2,
+                                backend="thread") as distributed:
+            distributed.process(stream(1)[0])
+        summary = distributed.summary()
+        assert summary["batches_processed"] == 1
 
 
 # -- facade -------------------------------------------------------------------

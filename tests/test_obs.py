@@ -37,8 +37,11 @@ from repro.obs import (
     MemorySink,
     MetricsRegistry,
     Observability,
+    RequestShed,
     ShiftAssessed,
     StrategySelected,
+    TenantActivated,
+    TenantEvicted,
     Tracer,
     WorkerRestarted,
     event_from_dict,
@@ -79,6 +82,9 @@ SAMPLE_EVENTS = [
                 threshold=0.25, batch=12),
     AlertResolved(rule="degraded-rate", value=0.1, threshold=0.25,
                   batches_active=9, batch=21),
+    TenantActivated(tenant="acme", rehydrated=True, active=7),
+    TenantEvicted(tenant="acme", nbytes=2048, active=6),
+    RequestShed(tenant="acme", reason="tenant-queue-full", pending=64),
 ]
 
 

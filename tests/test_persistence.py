@@ -98,6 +98,75 @@ class TestRoundTrip:
             )
 
 
+class TestResilienceStateRoundTrip:
+    """Regression: degrade/breaker posture must survive a checkpoint.
+
+    Before the fix, ``save_learner`` dropped the degrade flag, the
+    breaker's circuits, and the processed/strategy counters — a serving
+    registry that evicted a degraded tenant would rehydrate it with every
+    circuit silently closed.
+    """
+
+    def test_degrade_and_open_circuit_survive_restore(self, tmp_path):
+        learner = make_learner(degrade=True, breaker_threshold=2,
+                               breaker_cooldown=50)
+        for batch in NSLKDDSimulator(seed=1).stream(3, batch_size=128):
+            learner.process(batch)
+        learner.breaker.record_failure("cec")
+        learner.breaker.record_failure("cec")
+        assert learner.breaker.is_open("cec")
+
+        path = tmp_path / "degraded.npz"
+        save_learner(learner, path)
+        restored = load_learner(make_learner(), path)
+
+        assert restored.degrade is True
+        assert restored.breaker is not None
+        assert restored.breaker.is_open("cec")
+        assert restored.breaker.state_dict() == learner.breaker.state_dict()
+        assert restored._processed == learner._processed
+        assert restored._strategy_counts == learner._strategy_counts
+
+    def test_cooldown_clock_resumes_not_resets(self, tmp_path):
+        learner = make_learner(degrade=True, breaker_threshold=1,
+                               breaker_cooldown=4)
+        learner.breaker.tick()
+        learner.breaker.tick()
+        learner.breaker.record_failure("asw")
+        path = tmp_path / "mid-cooldown.npz"
+        save_learner(learner, path)
+        restored = load_learner(make_learner(), path)
+        # Ticks reach the recorded cooldown horizon exactly when the
+        # uninterrupted learner's would — the clock was not reset.
+        for _ in range(4):
+            assert restored.breaker.is_open("asw")
+            restored.breaker.tick()
+            learner.breaker.tick()
+        assert not restored.breaker.is_open("asw")
+        assert not learner.breaker.is_open("asw")
+
+    def test_old_checkpoints_without_resilience_keys_load(self, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = tmp_path / "old.npz"
+        save_learner(make_learner(), path)
+        # Strip the new meta keys, simulating a pre-fix checkpoint.
+        meta_key = "__freewayml_meta__"
+        with np.load(path, allow_pickle=False) as bundle:
+            arrays = {name: bundle[name] for name in bundle.files}
+        meta = json.loads(bytes(arrays[meta_key]).decode("utf-8"))
+        for key in ("processed", "strategy_counts", "degrade", "breaker"):
+            meta.pop(key, None)
+        arrays[meta_key] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez(path, **arrays)
+        restored = load_learner(make_learner(), path)
+        assert restored.degrade is False
+        assert restored.breaker is None
+
+
 class TestValidation:
     def test_level_count_mismatch_rejected(self, trained_learner, tmp_path):
         path = tmp_path / "checkpoint.npz"
