@@ -17,10 +17,18 @@ reference modes must produce *identical* accuracy sequences on the MLP
 slight-shift stream.  A benchmark that got faster by changing results is
 reported as a failure, not a speedup.
 
+``--stacked`` measures a different axis: N small same-architecture
+models served by the stacked multi-model engine (:mod:`repro.nn.stacked`)
+versus the per-model serial loop, with its own equivalence gate — every
+per-model prediction and every updated parameter must be bitwise
+identical between the two paths — plus a throughput floor (the stacked
+engine must be at least 2x the serial loop at N >= 32).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full grid
     PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --stacked  # model axis
     PYTHONPATH=src python benchmarks/bench_hotpath.py --json out.json
 """
 
@@ -136,6 +144,132 @@ def equivalence_gate(num_batches: int = 16) -> bool:
     return optimized == reference
 
 
+STACKED_MODELS = ("lr", "mlp")
+STACKED_SIZES = (8, 32)
+STACKED_SPEEDUP_FLOOR = 2.0  # required at N >= 32
+
+
+def _small_module(kind: str, seed: int):
+    """A tenant-sized model for the stacked axis (LR or one-hidden MLP)."""
+    from repro import nn
+
+    rng = np.random.default_rng(seed)
+    if kind == "lr":
+        return nn.Sequential(nn.Linear(NUM_FEATURES, NUM_CLASSES, rng=rng))
+    return nn.Sequential(nn.Linear(NUM_FEATURES, 16, rng=rng), nn.ReLU(),
+                         nn.Linear(16, NUM_CLASSES, rng=rng))
+
+
+def _softmax(data: np.ndarray) -> np.ndarray:
+    shifted = data - data.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    return np.exp(shifted - log_norm)
+
+
+def measure_stacked(kind: str, num_models: int, steps: int, repeats: int,
+                    batch_size: int = 32) -> dict:
+    """Stacked engine vs. per-model serial loop over one model fleet.
+
+    Both paths run predict-then-train each step (the serving pattern).
+    The equivalence gate compares *every* step's per-model predictions
+    and the final parameters bitwise; the timing takes the best of
+    ``repeats`` passes per path, each from a freshly built fleet.
+    """
+    from repro import nn
+    from repro.nn import functional as F
+
+    rng = np.random.default_rng(11)
+    xs = rng.normal(size=(steps, num_models, batch_size, NUM_FEATURES))
+    ys = rng.integers(0, NUM_CLASSES, size=(steps, num_models, batch_size))
+
+    def build():
+        modules = [_small_module(kind, seed) for seed in range(num_models)]
+        optimizers = [nn.SGD(module.parameters(), lr=0.1, momentum=0.9)
+                      for module in modules]
+        return modules, optimizers
+
+    def serial_run(modules, optimizers):
+        predictions = np.empty((steps, num_models, batch_size), dtype=int)
+        start = time.perf_counter()
+        for step in range(steps):
+            for index, (module, optimizer) in enumerate(
+                    zip(modules, optimizers)):
+                x, y = xs[step, index], ys[step, index]
+                module.eval()
+                with nn.no_grad():
+                    logits = module(nn.Tensor(x))
+                module.train()
+                predictions[step, index] = _softmax(
+                    logits.data).argmax(axis=-1)
+                optimizer.zero_grad()
+                loss = F.cross_entropy(module(nn.Tensor(x)), y)
+                loss.backward()
+                optimizer.step()
+        return time.perf_counter() - start, predictions
+
+    def stacked_run(modules, optimizers):
+        predictions = np.empty((steps, num_models, batch_size), dtype=int)
+        start = time.perf_counter()
+        stack = nn.stack_models(modules)
+        optimizer = nn.make_stacked_optimizer(stack, optimizers)
+        for step in range(steps):
+            predictions[step] = stack.predict_proba(
+                xs[step]).argmax(axis=-1)
+            nn.stacked_fit(stack, optimizer, xs[step], ys[step])
+        nn.unstack_models(stack)
+        optimizer.export_to(optimizers)
+        return time.perf_counter() - start, predictions
+
+    serial_models, serial_opts = build()
+    stacked_models, stacked_opts = build()
+    serial_times, stacked_times = [], []
+    elapsed, serial_preds = serial_run(serial_models, serial_opts)
+    serial_times.append(elapsed)
+    elapsed, stacked_preds = stacked_run(stacked_models, stacked_opts)
+    stacked_times.append(elapsed)
+    equivalent = bool(np.array_equal(serial_preds, stacked_preds)) and all(
+        np.array_equal(mine.data, theirs.data)
+        for serial_module, stacked_module in zip(serial_models,
+                                                 stacked_models)
+        for mine, theirs in zip(serial_module.parameters(),
+                                stacked_module.parameters()))
+    for _ in range(repeats - 1):
+        serial_times.append(serial_run(*build())[0])
+        stacked_times.append(stacked_run(*build())[0])
+    rows = steps * num_models * batch_size
+    speedup = min(serial_times) / min(stacked_times)
+    return {
+        "axis": "stacked",
+        "model": kind,
+        "num_models": num_models,
+        "steps": steps,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "serial_items_per_s": rows / min(serial_times),
+        "stacked_items_per_s": rows / min(stacked_times),
+        "speedup": speedup,
+        "equivalent": equivalent,
+        "meets_floor": (speedup >= STACKED_SPEEDUP_FLOOR
+                        if num_models >= 32 else True),
+    }
+
+
+def run_stacked_axis(num_models_list=STACKED_SIZES, steps: int = 30,
+                     repeats: int = 3,
+                     models=STACKED_MODELS) -> list[dict]:
+    results = []
+    for kind in models:
+        for num_models in num_models_list:
+            entry = measure_stacked(kind, num_models, steps, repeats)
+            results.append(entry)
+            gate = "ok" if entry["equivalent"] else "NOT EQUIVALENT"
+            print(f"{kind:>4} x{num_models:<3} stacked: "
+                  f"{entry['speedup']:5.2f}x serial "
+                  f"({entry['stacked_items_per_s']:9.0f} items/s)  "
+                  f"[bitwise {gate}]", file=sys.stderr)
+    return results
+
+
 def run_grid(models, streams, num_batches: int, repeats: int,
              modes=("optimized", "reference")) -> list[dict]:
     results = []
@@ -157,6 +291,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run: MLP x slight only, few batches")
+    parser.add_argument("--stacked", action="store_true",
+                        help="measure the stacked multi-model engine vs "
+                             "the per-model serial loop instead")
     parser.add_argument("--json", metavar="PATH",
                         help="write results as JSON to PATH ('-' = stdout)")
     parser.add_argument("--batches", type=int, default=None,
@@ -164,6 +301,33 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="passes per cell (default 5, smoke 2)")
     args = parser.parse_args(argv)
+
+    if args.stacked:
+        steps = args.batches or (12 if args.smoke else 30)
+        repeats = args.repeats or (2 if args.smoke else 3)
+        results = run_stacked_axis(steps=steps, repeats=repeats)
+        broken = [entry for entry in results if not entry["equivalent"]]
+        slow = [entry for entry in results if not entry["meets_floor"]]
+        if broken:
+            print("FAIL: stacked and serial execution disagree bitwise for "
+                  + ", ".join(f"{e['model']} x{e['num_models']}"
+                              for e in broken), file=sys.stderr)
+            return 1
+        if slow:
+            print(f"FAIL: stacked speedup below "
+                  f"{STACKED_SPEEDUP_FLOOR:.0f}x at N >= 32 for "
+                  + ", ".join(f"{e['model']} x{e['num_models']} "
+                              f"({e['speedup']:.2f}x)" for e in slow),
+                  file=sys.stderr)
+            return 1
+        payload = {"axis": "stacked", "results": results}
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        elif args.json:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+        return 0
 
     if args.smoke:
         models, streams = ("mlp",), ("slight",)

@@ -33,7 +33,9 @@ import numpy as np
 from conftest import SEED, print_banner
 from repro.core.learner import Learner
 from repro.eval import model_factory_for
+from repro.models import StreamingLR
 from repro.serving import (
+    ModelEstimator,
     ServeConfig,
     SessionRegistry,
     make_requests,
@@ -56,20 +58,34 @@ def _model_factory():
                              seed=SEED)
 
 
-def _make_registry(capacity):
+def _estimator_factory(stacked):
+    """Per-tenant estimator builder for the chosen execution mode.
+
+    ``--stacked`` serves bare :class:`ModelEstimator` tenants (the
+    stackable shape); the default tier serves full FreewayML ``Learner``
+    sessions, which always take the serial path.
+    """
+    if stacked:
+        return lambda: ModelEstimator(StreamingLR(
+            num_features=NUM_FEATURES, num_classes=NUM_CLASSES, lr=0.3,
+            seed=SEED))
     model_factory = _model_factory()
-    return SessionRegistry(
-        lambda tenant: Learner(model_factory, **LEARNER_KWARGS),
-        capacity=capacity)
+    return lambda: Learner(model_factory, **LEARNER_KWARGS)
 
 
-def assert_serving_equivalence(requests, results, service, sample):
+def _make_registry(capacity, stacked=False):
+    factory = _estimator_factory(stacked)
+    return SessionRegistry(lambda tenant: factory(), capacity=capacity)
+
+
+def assert_serving_equivalence(requests, results, service, sample,
+                               stacked=False):
     """Served labels for sampled tenants == serial replay, byte for byte."""
     by_tenant = {}
     for (tenant, x, y), result in zip(requests, results):
         if result.accepted:
             by_tenant.setdefault(tenant, []).append((x, y, result))
-    model_factory = _model_factory()
+    replica_factory = _estimator_factory(stacked)
     checked = 0
     for tenant in sample:
         entries = by_tenant.get(tenant)
@@ -79,7 +95,7 @@ def assert_serving_equivalence(requests, results, service, sample):
         assert sum(grouping) == len(entries), (
             f"{tenant}: grouping covers {sum(grouping)} requests, "
             f"{len(entries)} were served")
-        replica = Learner(model_factory, **LEARNER_KWARGS)
+        replica = replica_factory()
         served = np.concatenate([result.labels for _x, _y, result in entries])
         replayed = []
         cursor = 0
@@ -98,15 +114,17 @@ def assert_serving_equivalence(requests, results, service, sample):
 
 
 def run_serving(num_tenants, num_requests, capacity, *,
-                shed_policy="reject", window=256, sample_size=8):
+                shed_policy="reject", window=256, sample_size=8,
+                stacked=False):
     """One serving tier; returns the reported metrics as a dict."""
     config = ServeConfig(
         max_active_tenants=capacity, microbatch_size=16,
         microbatch_timeout_s=0.005, shed_policy=shed_policy,
         max_pending_per_tenant=64,
         max_pending_total=max(4096, 2 * window),
-        learner_kwargs=dict(LEARNER_KWARGS))
-    registry = _make_registry(capacity)
+        learner_kwargs=dict(LEARNER_KWARGS),
+        stacked_execution=stacked)
+    registry = _make_registry(capacity, stacked=stacked)
     arrivals = zipf_tenants(num_requests, num_tenants, exponent=1.05,
                             seed=SEED)
     requests = make_requests(arrivals, rows_per_request=ROWS_PER_REQUEST,
@@ -128,9 +146,13 @@ def run_serving(num_tenants, num_requests, capacity, *,
     # tail is the one that round-trips through checkpoints.
     stride = max(1, len(distinct) // sample_size)
     sample = distinct[::stride][:sample_size]
-    checked = assert_serving_equivalence(requests, results, service, sample)
+    checked = assert_serving_equivalence(requests, results, service, sample,
+                                         stacked=stacked)
     return {
         "tenants": num_tenants,
+        "stacked": stacked,
+        "batches_stacked": summary.get("batches_stacked", 0),
+        "stacked_groups": summary.get("stacked_groups", 0),
         "tenants_seen": len(distinct),
         "capacity": capacity,
         "requests": len(results),
@@ -165,6 +187,9 @@ def _report(metrics) -> None:
     print(f"registry   : {metrics['activations']} activations "
           f"({metrics['rehydrations']} rehydrated), "
           f"{metrics['evictions']} evictions")
+    if metrics["stacked"]:
+        print(f"stacked    : {metrics['batches_stacked']} micro-batches "
+              f"co-scheduled in {metrics['stacked_groups']} groups")
     print(f"equivalence: {metrics['equivalence_checked']} tenants "
           f"replayed serially — identical")
 
@@ -204,6 +229,9 @@ def main(argv=None) -> int:
                         help="concurrent in-flight submissions")
     parser.add_argument("--smoke", action="store_true",
                         help="CI tier: 64 tenants, capacity 16")
+    parser.add_argument("--stacked", action="store_true",
+                        help="serve stackable ModelEstimator tenants with "
+                             "stacked co-scheduling on")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -221,10 +249,13 @@ def main(argv=None) -> int:
                   "the harness; latency numbers will be pessimistic")
     print_banner(f"Multi-tenant serving — {tier}, capacity {capacity}")
     metrics = run_serving(tenants, requests, capacity,
-                          shed_policy=args.shed_policy, window=args.window)
+                          shed_policy=args.shed_policy, window=args.window,
+                          stacked=args.stacked)
     _report(metrics)
     assert metrics["failed"] == 0
     assert metrics["evictions"] > 0, "no churn: capacity too generous"
+    if args.stacked:
+        assert metrics["batches_stacked"] > 0, "stacked tier never stacked"
     print("\nOK")
     return 0
 

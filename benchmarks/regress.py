@@ -28,7 +28,7 @@ import time
 
 import numpy as np
 
-from bench_hotpath import equivalence_gate, run_grid
+from bench_hotpath import equivalence_gate, run_grid, run_stacked_axis
 
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 SMOKE_GRID = dict(models=("mlp",), streams=("slight",), num_batches=16,
@@ -77,10 +77,42 @@ def _measure(smoke: bool) -> tuple[list[dict], float]:
     return results, calib
 
 
+def _measure_stacked() -> tuple[list[dict], float, int]:
+    """The stacked-engine axis plus its own gates (0 = both passed).
+
+    The same axis backs write and check, so baseline and measurement
+    cells always line up.
+    """
+    calib = calibration_seconds()
+    results = run_stacked_axis()
+    status = 0
+    if any(not entry["equivalent"] for entry in results):
+        print("FAIL: stacked and serial execution disagree bitwise",
+              file=sys.stderr)
+        status = 1
+    if any(not entry["meets_floor"] for entry in results):
+        print("FAIL: stacked speedup below the 2x floor at N >= 32",
+              file=sys.stderr)
+        status = 1
+    return results, calib, status
+
+
+def _normalized_stacked(results: list[dict], calib: float) -> dict:
+    return {
+        f"stacked/{entry['model']}/x{entry['num_models']}":
+            entry["stacked_items_per_s"] * calib
+        for entry in results
+    }
+
+
 def write(path: pathlib.Path) -> int:
     if not equivalence_gate():
         print("FAIL: equivalence gate broken; refusing to write a baseline",
               file=sys.stderr)
+        return 1
+    stacked_results, stacked_calib, status = _measure_stacked()
+    if status:
+        print("refusing to write a baseline", file=sys.stderr)
         return 1
     payload = {"schema": 1}
     for section, smoke in (("full", False), ("smoke", True)):
@@ -89,6 +121,10 @@ def write(path: pathlib.Path) -> int:
             "calibration_seconds": calib,
             "results": results,
         }
+    payload["stacked"] = {
+        "calibration_seconds": stacked_calib,
+        "results": stacked_results,
+    }
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {path}", file=sys.stderr)
     return 0
@@ -109,6 +145,15 @@ def check(path: pathlib.Path, smoke: bool, threshold: float) -> int:
     stored = _normalized(section["results"],
                          section["calibration_seconds"])
     current = _normalized(results, calib)
+    stacked_section = baseline.get("stacked")
+    if stacked_section is not None:
+        stacked_results, stacked_calib, status = _measure_stacked()
+        if status:
+            return 1
+        stored.update(_normalized_stacked(
+            stacked_section["results"],
+            stacked_section["calibration_seconds"]))
+        current.update(_normalized_stacked(stacked_results, stacked_calib))
     failures = []
     for cell, reference_score in stored.items():
         score = current.get(cell)

@@ -11,7 +11,7 @@ evaluation environment is offline and has no ``torch``).  It provides:
 - checkpoint serialization utilities used by the historical-knowledge store.
 """
 
-from . import functional, init, serialization
+from . import functional, init, serialization, stacked
 from .modules import (
     Conv2d,
     Dropout,
@@ -26,6 +26,17 @@ from .modules import (
     Tanh,
 )
 from .optim import RDA, SGD, Adam, FOBOS, Optimizer
+from .stacked import (
+    ModelStack,
+    StackedAdam,
+    StackedModelError,
+    StackedSGD,
+    make_stacked_optimizer,
+    stack_models,
+    stacked_cross_entropy,
+    stacked_fit,
+    unstack_models,
+)
 from .tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros
 
 __all__ = [
@@ -54,4 +65,14 @@ __all__ = [
     "Adam",
     "FOBOS",
     "RDA",
+    "stacked",
+    "ModelStack",
+    "StackedModelError",
+    "StackedSGD",
+    "StackedAdam",
+    "stack_models",
+    "unstack_models",
+    "stacked_cross_entropy",
+    "stacked_fit",
+    "make_stacked_optimizer",
 ]

@@ -85,24 +85,51 @@ class Optimizer:
         Eligibility: every parameter is float64 (mixed dtypes keep the
         legacy loop).  A parameter whose ``.data`` was replaced since the
         last step (``load_state_dict``, checkpoint restore) is copied
-        back into its view and re-adopted.
+        back into its view and re-adopted.  When the replacement no
+        longer fits its stale view (a restore changed shape or dtype),
+        the old buffer is dropped — salvaging its optimizer state — and
+        eligibility is re-evaluated from the parameters' *current* data,
+        so one incompatible restore does not disable the fast path for
+        the optimizer's remaining lifetime.
         """
         flat = self._flat
-        if flat is None:
-            if any(parameter.data.dtype != np.float64
-                   for parameter in self.parameters):
-                return None
-            flat = _FlatState(self.parameters)
-            self._flat = flat
-            return flat
-        for parameter, view in zip(self.parameters, flat.views):
-            if parameter.data is not view:
-                if (parameter.data.shape != view.shape
-                        or parameter.data.dtype != np.float64):
-                    return None
-                view[...] = parameter.data
-                parameter.data = view
+        if flat is not None:
+            for parameter, view in zip(self.parameters, flat.views):
+                if parameter.data is view:
+                    continue
+                if (parameter.data.shape == view.shape
+                        and parameter.data.dtype == np.float64):
+                    view[...] = parameter.data
+                    parameter.data = view
+                    continue
+                self._drop_flat_state()
+                flat = None
+                break
+            if flat is not None:
+                return flat
+        if any(parameter.data.dtype != np.float64
+               for parameter in self.parameters):
+            return None
+        flat = _FlatState(self.parameters)
+        self._flat = flat
         return flat
+
+    def _drop_flat_state(self) -> None:
+        """Retire the flat buffer, handing its state back per parameter.
+
+        Parameters still viewing the buffer keep their values (the views
+        keep the buffer alive until re-adoption copies them out).
+        """
+        if self._flat is None:
+            return
+        self._export_flat_state()
+        self._flat = None
+
+    def _export_flat_state(self) -> None:
+        """Hand flat-buffer optimizer state back to per-parameter dicts.
+
+        Base optimizers keep no extra state; ``SGD``/``Adam`` override.
+        """
 
     def _gather_grads(self, flat: _FlatState) -> bool:
         """Copy all parameter grads into ``flat.grad``; False if any is missing."""
@@ -138,7 +165,8 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * parameter.data
             if self.momentum:
                 velocity = self._velocity.get(index)
-                if velocity is None:
+                if velocity is None or velocity.shape != parameter.data.shape:
+                    # Shape changed under a restore: momentum restarts.
                     velocity = np.zeros_like(parameter.data)
                 velocity = self.momentum * velocity + grad
                 self._velocity[index] = velocity
@@ -162,7 +190,7 @@ class SGD(Optimizer):
                 if self._velocity:  # migrate state from earlier legacy steps
                     for index, (start, end) in enumerate(flat.slices):
                         legacy = self._velocity.get(index)
-                        if legacy is not None:
+                        if legacy is not None and legacy.size == end - start:
                             velocity[start:end] = legacy.reshape(-1)
                     self._velocity.clear()
                 flat.extra["velocity"] = velocity
@@ -180,10 +208,13 @@ class SGD(Optimizer):
             return
         velocity = flat.extra.pop("velocity", None)
         if velocity is not None:
-            for index, ((start, end), parameter) in enumerate(
-                    zip(flat.slices, self.parameters)):
+            # The buffer's own layout (view shapes) is the state's true
+            # shape — parameter.data may have been replaced with a
+            # different shape since the last step.
+            for index, ((start, end), view) in enumerate(
+                    zip(flat.slices, flat.views)):
                 self._velocity[index] = (
-                    velocity[start:end].reshape(parameter.data.shape).copy())
+                    velocity[start:end].reshape(view.shape).copy())
 
 
 class Adam(Optimizer):
@@ -216,7 +247,8 @@ class Adam(Optimizer):
                 grad = grad + self.weight_decay * parameter.data
             m = self._m.get(index)
             v = self._v.get(index)
-            if m is None:
+            if m is None or m.shape != parameter.data.shape:
+                # Absent — or stale after a shape-changing restore.
                 m = np.zeros_like(parameter.data)
                 v = np.zeros_like(parameter.data)
             m = self.beta1 * m + (1.0 - self.beta1) * grad
@@ -248,9 +280,9 @@ class Adam(Optimizer):
                 for index, (start, end) in enumerate(flat.slices):
                     legacy_m = self._m.get(index)
                     legacy_v = self._v.get(index)
-                    if legacy_m is not None:
+                    if legacy_m is not None and legacy_m.size == end - start:
                         m[start:end] = legacy_m.reshape(-1)
-                    if legacy_v is not None:
+                    if legacy_v is not None and legacy_v.size == end - start:
                         v[start:end] = legacy_v.reshape(-1)
                 self._m.clear()
                 self._v.clear()
@@ -283,9 +315,11 @@ class Adam(Optimizer):
         v = flat.extra.pop("v", None)
         if m is None:
             return
-        for index, ((start, end), parameter) in enumerate(
-                zip(flat.slices, self.parameters)):
-            shape = parameter.data.shape
+        # Export at the buffer's own layout (view shapes): a replaced
+        # parameter.data may no longer match the state's true shape.
+        for index, ((start, end), view) in enumerate(
+                zip(flat.slices, flat.views)):
+            shape = view.shape
             self._m[index] = m[start:end].reshape(shape).copy()
             self._v[index] = v[start:end].reshape(shape).copy()
 

@@ -1,0 +1,530 @@
+"""Stacked multi-model execution: N same-architecture models, one program.
+
+Most tenants of the serving layer run the *same architecture* (LR / MLP)
+with different parameters, so executing them one at a time pays the
+Python/autograd overhead N times for tiny tensors.  :func:`stack_models`
+stacks N models' parameters along a leading model axis — the canonical
+per-model layout is exactly what ``state_spec``/``flatten_state`` in
+:mod:`repro.distributed.backends` flatten, here extended with a model
+axis — and :class:`ModelStack` runs one batched forward/backward for all
+N at once.  :class:`StackedSGD` / :class:`StackedAdam` extend the PR-5
+preflattened in-place optimizers over the stacked parameters and
+import/export per-model optimizer state, so a group of mid-training
+models can be stacked, stepped, and unstacked at any point.
+
+**Equivalence contract.**  Every stacked operation replays, per model
+slice, the exact float operations of the serial per-model path: batched
+``np.matmul`` over a leading axis computes each slice with the same gemm
+as the 2-D call, elementwise ufuncs and per-row reductions are
+slice-identical, and Dropout draws each model's mask from that model's
+own generator in the serial order.  Predictions, losses, updated
+parameters, and optimizer state after :func:`unstack_models` are
+therefore **bitwise-identical** to running each model alone (asserted in
+``tests/test_stacked.py`` and gated in ``benchmarks/bench_hotpath.py
+--stacked``).
+
+Only architectures built from ``Linear``, the fusable activations,
+``Dropout``, ``Flatten``, and ``Sequential`` can stack; anything else
+(e.g. ``Conv2d``) raises :class:`StackedModelError` and callers fall
+back to the serial loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modules import (
+    Dropout,
+    Flatten,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .optim import SGD, Adam
+from .tensor import Tensor
+
+__all__ = [
+    "StackedModelError",
+    "ModelStack",
+    "stack_models",
+    "unstack_models",
+    "architecture_key",
+    "stacked_cross_entropy",
+    "stacked_fit",
+    "StackedSGD",
+    "StackedAdam",
+    "make_stacked_optimizer",
+]
+
+
+class StackedModelError(ValueError):
+    """A model set cannot be stacked (heterogeneous, unsupported, …)."""
+
+
+_ACTIVATION_NAMES = {ReLU: "relu", Tanh: "tanh", Sigmoid: "sigmoid"}
+
+
+def _flatten_layers(module: Module) -> list[Module]:
+    """The module tree as a flat layer sequence (Sequential unrolled)."""
+    if type(module) is Sequential:
+        return [leaf for layer in module.layers
+                for leaf in _flatten_layers(layer)]
+    return [module]
+
+
+def architecture_key(module: Module) -> tuple:
+    """Hashable fingerprint of a module's stackable architecture.
+
+    Two modules share a key iff they can stack together: same layer
+    sequence (types + Linear dimensions + Dropout rates) and same
+    per-parameter shapes/dtypes.  Raises :class:`StackedModelError` for
+    architectures the stacked engine does not support.
+    """
+    ops = []
+    for layer in _flatten_layers(module):
+        kind = type(layer)
+        if kind is Linear:
+            ops.append(("linear", layer.in_features, layer.out_features,
+                        layer.bias is not None))
+        elif kind in _ACTIVATION_NAMES:
+            ops.append((_ACTIVATION_NAMES[kind],))
+        elif kind is Dropout:
+            ops.append(("dropout", layer.p))
+        elif kind is Flatten:
+            ops.append(("flatten",))
+        else:
+            raise StackedModelError(
+                f"cannot stack {kind.__name__} layers (supported: Linear, "
+                f"ReLU/Tanh/Sigmoid, Dropout, Flatten, Sequential)")
+    spec = tuple((name, parameter.data.shape, parameter.data.dtype.str)
+                 for name, parameter in module.named_parameters())
+    return (tuple(ops), spec)
+
+
+# -- fused stacked autograd nodes -------------------------------------------
+
+
+def _stacked_linear(x: Tensor, weight: Parameter, bias: Parameter | None,
+                    activation: str | None) -> Tensor:
+    """Batched affine map over ``(models, batch, features)`` input.
+
+    Mirrors :func:`repro.nn.functional.fused_linear` with a leading model
+    axis: batched gemms compute each model slice with the same float
+    operations as the per-model 2-D call, so values (and gradients) are
+    bitwise-identical per slice.
+    """
+    xd = x.data
+    wd = weight.data  # (models, out, in)
+    out = np.matmul(xd, np.swapaxes(wd, -1, -2))
+    if bias is not None:
+        np.add(out, bias.data[:, None, :], out=out)
+    act_state = None
+    if activation == "relu":
+        act_state = out > 0
+        out = np.maximum(out, 0.0)
+    elif activation == "tanh":
+        out = np.tanh(out)
+        act_state = out
+    elif activation == "sigmoid":
+        out = 1.0 / (1.0 + np.exp(-np.clip(out, -60.0, 60.0)))
+        act_state = out
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g: np.ndarray):
+        if activation == "relu":
+            g = g * act_state
+        elif activation == "tanh":
+            g = g * (1.0 - act_state * act_state)
+        elif activation == "sigmoid":
+            g = g * act_state * (1.0 - act_state)
+        grad_x = np.matmul(g, wd)
+        grad_weight = np.swapaxes(
+            np.matmul(np.swapaxes(xd, -1, -2), g), -1, -2)
+        if bias is None:
+            return grad_x, grad_weight
+        return grad_x, grad_weight, g.sum(axis=1)
+
+    return Tensor._make(out, parents, backward)
+
+
+def _stacked_dropout(x: Tensor, p: float,
+                     layers: list[Dropout]) -> Tensor:
+    """Inverted dropout drawing each model's mask from its own generator.
+
+    Model ``m``'s mask consumes exactly the draw the serial per-model
+    forward would have made from ``layers[m].rng``, so each model's RNG
+    stream advances identically whether it runs stacked or alone.
+    """
+    data = x.data
+    mask = np.empty(data.shape, dtype=data.dtype)
+    for index, layer in enumerate(layers):
+        mask[index] = (layer.rng.random(data.shape[1:]) >= p).astype(
+            data.dtype)
+    mask /= (1.0 - p)
+    return x * Tensor(mask)
+
+
+def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Per-model softmax cross-entropy: ``(models,)`` losses in one node.
+
+    Replays :func:`repro.nn.functional._fused_cross_entropy`'s exact
+    ufunc sequence with a leading model axis — each model slice of the
+    forward and backward is bitwise-identical to the per-model fused (or
+    unfused) loss.  Seed ``backward`` with ``np.ones(models)`` to mirror
+    N independent scalar ``loss.backward()`` calls.
+    """
+    x = logits.data
+    if x.ndim != 3:
+        raise StackedModelError(
+            f"stacked_cross_entropy expects (models, batch, classes) "
+            f"logits; got shape {x.shape}")
+    models, rows, cols = x.shape
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape != (models, rows):
+        raise ValueError(
+            f"labels must have shape {(models, rows)}; got {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= cols):
+        raise ValueError(
+            f"labels must lie in [0, {cols}); got range "
+            f"[{labels.min()}, {labels.max()}]")
+    mask = np.zeros(x.shape)
+    mask[np.arange(models)[:, None], np.arange(rows)[None, :], labels] = 1.0
+    shifted = x - x.max(axis=-1, keepdims=True)
+    exp_shifted = np.exp(shifted)
+    norm = exp_shifted.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(norm)
+    picked = (log_probs * mask).sum(axis=-1)
+    inv_count = 1.0 / rows
+    loss = -(picked.sum(axis=-1) * inv_count)
+
+    def backward(g: np.ndarray):
+        g_picked = np.broadcast_to((-g * inv_count)[:, None], (models, rows))
+        g_log_probs = np.broadcast_to(
+            np.expand_dims(g_picked, -1), (models, rows, cols))
+        g_masked = g_log_probs * mask
+        g_log_norm = (-g_masked).sum(axis=(2,), keepdims=True)
+        g_exp = np.broadcast_to(g_log_norm / norm, (models, rows, cols))
+        return (g_masked + g_exp * exp_shifted,)
+
+    return Tensor._make(loss, (logits,), backward)
+
+
+# -- the stack ---------------------------------------------------------------
+
+
+class ModelStack(Module):
+    """N same-architecture modules executing as one batched program.
+
+    Build with :func:`stack_models`; write parameters back with
+    :func:`unstack_models`.  The stack owns *copies* of the source
+    parameters stacked along a leading model axis — source modules are
+    untouched until unstacking.
+    """
+
+    def __init__(self, modules: list[Module]):
+        super().__init__()
+        if not modules:
+            raise StackedModelError("stack_models needs at least one model")
+        key = architecture_key(modules[0])
+        for module in modules[1:]:
+            other = architecture_key(module)
+            if other[0] != key[0]:
+                raise StackedModelError(
+                    f"architecture mismatch: {other[0]} != {key[0]}")
+            if other[1] != key[1]:
+                mine = [s for _n, _s, s in key[1]]
+                theirs = [s for _n, _s, s in other[1]]
+                if mine != theirs:
+                    raise StackedModelError(
+                        f"mixed parameter dtypes across models: "
+                        f"{theirs} != {mine} — stacking needs a uniform "
+                        f"dtype")
+                raise StackedModelError(
+                    f"parameter spec mismatch: {other[1]} != {key[1]}")
+        self.num_models = len(modules)
+        self.sources = list(modules)
+        object.__setattr__(self, "key", key)
+        self._source_params = [list(m.parameters()) for m in modules]
+        stacked: list[Parameter] = []
+        for index in range(len(self._source_params[0])):
+            parameter = Parameter(np.stack(
+                [params[index].data for params in self._source_params]))
+            setattr(self, f"stacked{index}", parameter)
+            stacked.append(parameter)
+        self.stacked_params = stacked
+        self._plan = self._build_plan(modules)
+
+    def _build_plan(self, modules: list[Module]) -> list[tuple]:
+        """Fold the lockstep layer sequences into stacked ops.
+
+        A ``Linear`` directly followed by a fusable activation folds into
+        one node, mirroring ``Sequential._forward_fused`` (the folded and
+        unfolded forms are bitwise-identical, so the fold is safe in both
+        perf modes).
+        """
+        index_of = {id(parameter): position for position, parameter
+                    in enumerate(self._source_params[0])}
+        layer_seqs = [_flatten_layers(module) for module in modules]
+        plan: list[tuple] = []
+        position = 0
+        first = layer_seqs[0]
+        while position < len(first):
+            layer = first[position]
+            kind = type(layer)
+            if kind is Linear:
+                weight = self.stacked_params[index_of[id(layer.weight)]]
+                bias = (self.stacked_params[index_of[id(layer.bias)]]
+                        if layer.bias is not None else None)
+                activation = None
+                if position + 1 < len(first):
+                    activation = _ACTIVATION_NAMES.get(
+                        type(first[position + 1]))
+                plan.append(("linear", weight, bias, activation))
+                position += 2 if activation is not None else 1
+            elif kind in _ACTIVATION_NAMES:
+                plan.append(("act", _ACTIVATION_NAMES[kind]))
+                position += 1
+            elif kind is Dropout:
+                plan.append(("dropout", layer.p,
+                             [seq[position] for seq in layer_seqs]))
+                position += 1
+            elif kind is Flatten:
+                plan.append(("flatten",))
+                position += 1
+            else:  # architecture_key already rejected unsupported layers
+                raise StackedModelError(
+                    f"cannot stack {kind.__name__} layers")
+        return plan
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x if isinstance(x, Tensor) else Tensor(x)
+        if x.data.ndim < 2 or x.data.shape[0] != self.num_models:
+            raise ValueError(
+                f"stacked input must lead with the model axis "
+                f"({self.num_models}); got shape {x.data.shape}")
+        for op in self._plan:
+            kind = op[0]
+            if kind == "linear":
+                x = _stacked_linear(x, op[1], op[2], op[3])
+            elif kind == "act":
+                x = getattr(x, op[1])()
+            elif kind == "dropout":
+                if self.training and op[1] > 0.0:
+                    x = _stacked_dropout(x, op[1], op[2])
+            else:  # flatten: keep the model axis, flatten the rest per row
+                x = x.reshape(self.num_models, x.data.shape[1], -1)
+        return x
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Per-model class probabilities for ``(models, batch, …)`` input.
+
+        Mirrors ``NeuralStreamingModel.predict_proba`` per slice: eval
+        mode, no-grad forward, then the softmax ufunc chain (max → sub →
+        exp → sum → log → sub → exp) with a leading model axis.
+        """
+        from .tensor import no_grad
+
+        x = np.asarray(x, dtype=float)
+        x = x.reshape(self.num_models, x.shape[1], -1)
+        self.eval()
+        with no_grad():
+            logits = self.forward(Tensor(x))
+        self.train()
+        data = logits.data
+        shifted = data - data.max(axis=-1, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+        return np.exp(shifted - log_norm)
+
+
+def stack_models(modules: list[Module]) -> ModelStack:
+    """Stack N same-architecture modules into one :class:`ModelStack`."""
+    return ModelStack(list(modules))
+
+
+def unstack_models(stack: ModelStack) -> list[Module]:
+    """Write the stack's parameters back into the source modules.
+
+    Each source parameter receives a fresh copy of its model's slice, so
+    the round trip ``stack → (train) → unstack`` leaves every model
+    holding exactly the values the stacked program computed for it.
+    Returns the source modules.
+    """
+    for index, params in enumerate(stack._source_params):
+        for stacked, source in zip(stack.stacked_params, params):
+            source.data = stacked.data[index].copy()
+    return stack.sources
+
+
+def stacked_fit(stack: ModelStack, optimizer, xs: np.ndarray,
+                ys: np.ndarray, sgd_steps: int = 1) -> np.ndarray:
+    """``sgd_steps`` batched training steps; returns the last per-model losses.
+
+    Mirrors ``NeuralStreamingModel.partial_fit``'s loop (zero_grad →
+    forward → cross-entropy → backward → step) with the model axis in
+    front; ``backward`` is seeded with ``ones(models)`` so each model's
+    gradient flow equals its own scalar ``loss.backward()``.
+    """
+    xs = np.asarray(xs, dtype=float)
+    xs = xs.reshape(stack.num_models, xs.shape[1], -1)
+    ys = np.asarray(ys, dtype=np.int64).reshape(stack.num_models, -1)
+    seed = np.ones(stack.num_models)
+    losses = None
+    for _ in range(sgd_steps):
+        optimizer.zero_grad()
+        logits = stack(Tensor(xs))
+        loss = stacked_cross_entropy(logits, ys)
+        loss.backward(seed)
+        optimizer.step()
+        losses = loss.data.copy()
+    return losses
+
+
+# -- stacked optimizers ------------------------------------------------------
+
+
+def _check_uniform(optimizers, expected_type, fields, num_models):
+    if len(optimizers) != num_models:
+        raise StackedModelError(
+            f"got {len(optimizers)} optimizers for {num_models} models")
+    for optimizer in optimizers:
+        if type(optimizer) is not expected_type:
+            raise StackedModelError(
+                f"expected {expected_type.__name__} optimizers; got "
+                f"{type(optimizer).__name__}")
+    first = optimizers[0]
+    for name in fields:
+        values = {getattr(optimizer, name) for optimizer in optimizers}
+        if len(values) > 1:
+            raise StackedModelError(
+                f"optimizer hyperparameter {name!r} differs across models: "
+                f"{sorted(values)}")
+    return first
+
+
+def _gather_state(optimizers, state_name, index, stacked_parameter):
+    """Stack one per-model optimizer-state entry; None when all absent.
+
+    Models that have not accumulated state yet contribute zeros — exactly
+    what their next serial step would have initialized.
+    """
+    entries = [getattr(optimizer, state_name).get(index)
+               for optimizer in optimizers]
+    if all(entry is None for entry in entries):
+        return None
+    shape = stacked_parameter.data.shape[1:]
+    return np.stack([
+        entry if entry is not None else np.zeros(shape)
+        for entry in entries])
+
+
+class StackedSGD(SGD):
+    """SGD over a :class:`ModelStack`'s stacked parameters.
+
+    Every update is elementwise, so the stacked step (including the PR-5
+    preflattened in-place fast path, which engages automatically on the
+    float64 stacked buffers) is bitwise-identical per model slice to N
+    independent ``SGD.step()`` calls.
+    """
+
+    def __init__(self, stack: ModelStack, lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(stack.stacked_params, lr=lr, momentum=momentum,
+                         weight_decay=weight_decay)
+        self.stack = stack
+
+    @classmethod
+    def from_optimizers(cls, stack: ModelStack,
+                        optimizers: list[SGD]) -> "StackedSGD":
+        """Build from N per-model optimizers, importing their state."""
+        first = _check_uniform(optimizers, SGD,
+                               ("lr", "momentum", "weight_decay"),
+                               stack.num_models)
+        stacked = cls(stack, lr=first.lr, momentum=first.momentum,
+                      weight_decay=first.weight_decay)
+        for optimizer in optimizers:
+            optimizer._export_flat_state()
+        for index, parameter in enumerate(stacked.parameters):
+            velocity = _gather_state(optimizers, "_velocity", index,
+                                     parameter)
+            if velocity is not None:
+                stacked._velocity[index] = velocity
+        return stacked
+
+    def export_to(self, optimizers: list[SGD]) -> None:
+        """Slice accumulated state back into the per-model optimizers."""
+        self._export_flat_state()
+        for index, velocity in self._velocity.items():
+            for model, optimizer in enumerate(optimizers):
+                optimizer._velocity[index] = velocity[model].copy()
+
+
+class StackedAdam(Adam):
+    """Adam over a :class:`ModelStack`'s stacked parameters.
+
+    Importing requires every per-model optimizer to sit at the same
+    ``_step_count`` (the bias-correction terms are shared across the
+    stack); exporting writes the advanced count back to each.
+    """
+
+    def __init__(self, stack: ModelStack, lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(stack.stacked_params, lr=lr, betas=betas, eps=eps,
+                         weight_decay=weight_decay)
+        self.stack = stack
+
+    @classmethod
+    def from_optimizers(cls, stack: ModelStack,
+                        optimizers: list[Adam]) -> "StackedAdam":
+        """Build from N per-model optimizers, importing their state."""
+        first = _check_uniform(optimizers, Adam,
+                               ("lr", "beta1", "beta2", "eps",
+                                "weight_decay"), stack.num_models)
+        counts = {optimizer._step_count for optimizer in optimizers}
+        if len(counts) > 1:
+            raise StackedModelError(
+                f"Adam step counts differ across models: {sorted(counts)} "
+                f"— bias correction cannot be shared")
+        stacked = cls(stack, lr=first.lr, betas=(first.beta1, first.beta2),
+                      eps=first.eps, weight_decay=first.weight_decay)
+        stacked._step_count = first._step_count
+        for optimizer in optimizers:
+            optimizer._export_flat_state()
+        for index, parameter in enumerate(stacked.parameters):
+            for state_name, target in (("_m", stacked._m),
+                                       ("_v", stacked._v)):
+                entry = _gather_state(optimizers, state_name, index,
+                                      parameter)
+                if entry is not None:
+                    target[index] = entry
+        return stacked
+
+    def export_to(self, optimizers: list[Adam]) -> None:
+        """Slice accumulated state back into the per-model optimizers."""
+        self._export_flat_state()
+        for optimizer in optimizers:
+            optimizer._step_count = self._step_count
+        for state_name in ("_m", "_v"):
+            for index, entry in getattr(self, state_name).items():
+                for model, optimizer in enumerate(optimizers):
+                    getattr(optimizer, state_name)[index] = (
+                        entry[model].copy())
+
+
+def make_stacked_optimizer(stack: ModelStack, optimizers):
+    """Dispatch on the per-model optimizer type; imports their state."""
+    optimizers = list(optimizers)
+    if not optimizers:
+        raise StackedModelError("no optimizers to stack")
+    kind = type(optimizers[0])
+    if kind is SGD:
+        return StackedSGD.from_optimizers(stack, optimizers)
+    if kind is Adam:
+        return StackedAdam.from_optimizers(stack, optimizers)
+    raise StackedModelError(
+        f"cannot stack {kind.__name__} optimizers (supported: SGD, Adam)")

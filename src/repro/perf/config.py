@@ -50,11 +50,16 @@ class PerfConfig:
         ``cross_entropy`` runs as a single autograd node (replaying the
         ``log_softmax`` + ``nll_loss`` chain's exact float operations),
         and inference ``softmax`` skips graph construction entirely.
+    stacked_exec:
+        The serving layer may co-schedule same-architecture tenants'
+        micro-batches through one stacked tensor program
+        (:mod:`repro.nn.stacked`) instead of N serial per-model steps;
+        per-model results stay bitwise-identical to the serial loop.
     """
 
     __slots__ = ("graph_tape", "fused_linear", "buffer_pool",
                  "grad_ownership", "inplace_optim", "cached_nearest",
-                 "fused_loss")
+                 "fused_loss", "stacked_exec")
 
     def __init__(self, enabled: bool = True):
         self.set_all(enabled)

@@ -10,6 +10,9 @@ Multiplexes 1k–10k per-tenant streams onto one process (docs/SERVING.md):
   eviction over a :class:`CheckpointStore`;
 - :class:`ServeConfig` — the deployment's knobs, mapped one-to-one onto
   ``python -m repro serve`` flags;
+- :mod:`repro.serving.stacked` — stacked co-scheduling: same-architecture
+  tenants' ready micro-batches execute as one batched tensor program
+  (:class:`ModelEstimator` is the stackable tenant estimator);
 - :mod:`repro.serving.traffic` — Zipf tenant arrivals and per-tenant
   reproducible streams for the serving bench.
 """
@@ -28,6 +31,12 @@ from .service import (
     predict_and_update,
     serve_requests,
 )
+from .stacked import (
+    ModelEstimator,
+    execute_stacked,
+    plan_stacked_groups,
+    stacking_key,
+)
 from .traffic import TenantStream, make_requests, zipf_tenants
 
 __all__ = [
@@ -42,6 +51,10 @@ __all__ = [
     "ServeResult",
     "predict_and_update",
     "serve_requests",
+    "ModelEstimator",
+    "execute_stacked",
+    "plan_stacked_groups",
+    "stacking_key",
     "TenantStream",
     "zipf_tenants",
     "make_requests",

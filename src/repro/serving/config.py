@@ -64,6 +64,17 @@ class ServeConfig:
     #: Keyword arguments for each tenant's :class:`~repro.core.learner.
     #: Learner` (the registry's default estimator factory).
     learner_kwargs: dict = field(default_factory=dict)
+    #: Co-schedule same-architecture tenants' ready micro-batches through
+    #: one stacked tensor program (:mod:`repro.nn.stacked`).  Requires
+    #: stackable estimators (e.g. :class:`~repro.serving.ModelEstimator`);
+    #: everything else falls back to the serial per-tenant path.  Also
+    #: gated by the ``stacked_exec`` perf flag, and bitwise-equivalent to
+    #: serial execution per tenant (docs/SERVING.md, "Stacked execution").
+    stacked_execution: bool = False
+    #: Minimum same-key micro-batches worth stacking in one dispatch
+    #: round; smaller groups run serially (stacking one model only adds
+    #: overhead).
+    stacked_min_group: int = 2
 
     def __post_init__(self):
         if self.max_active_tenants < 1:
@@ -107,4 +118,9 @@ class ServeConfig:
             raise ValueError(
                 "degrade_low_watermark must be in [0, high); got "
                 f"{self.degrade_low_watermark}"
+            )
+        if self.stacked_min_group < 2:
+            raise ValueError(
+                f"stacked_min_group must be >= 2; got "
+                f"{self.stacked_min_group}"
             )

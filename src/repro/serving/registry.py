@@ -59,8 +59,10 @@ class CheckpointStore:
     freshly built estimator and returns True (False when the tenant has
     none); ``__contains__`` answers whether a checkpoint exists.  The
     bundled stores checkpoint :class:`~repro.core.learner.Learner` state
-    through :mod:`repro.core.persistence` and raise :class:`TypeError`
-    for other estimator types — non-Learner estimators need a custom
+    through :mod:`repro.core.persistence`
+    (:class:`MemoryCheckpointStore` additionally accepts any estimator
+    exposing ``state_dict()``/``load_state_dict()``) and raise
+    :class:`TypeError` for other estimator types — those need a custom
     store (or :class:`NullCheckpointStore` when losing cold state is
     acceptable).
     """
@@ -85,6 +87,39 @@ def _require_learner(estimator, store_name: str) -> Learner:
     return estimator
 
 
+def _check_checkpointable(estimator, store_name: str) -> None:
+    if isinstance(estimator, Learner):
+        return
+    if getattr(estimator, "state_dict", None) is None:
+        raise TypeError(
+            f"{store_name} checkpoints Learner state or estimators with "
+            f"state_dict()/load_state_dict(); got "
+            f"{type(estimator).__name__} (use a custom CheckpointStore "
+            f"or NullCheckpointStore for other estimators)"
+        )
+
+
+def _checkpoint_state(estimator, store_name: str) -> tuple[dict, object]:
+    """``(arrays, json-able meta)`` for any checkpointable estimator.
+
+    ``Learner`` state goes through :mod:`repro.core.persistence`; other
+    estimators must expose ``state_dict()`` returning a flat name → array
+    mapping (their meta slot stays ``None``).
+    """
+    _check_checkpointable(estimator, store_name)
+    if isinstance(estimator, Learner):
+        return learner_state(estimator)
+    return {name: np.asarray(value)
+            for name, value in estimator.state_dict().items()}, None
+
+
+def _restore_state(estimator, arrays: dict, meta) -> None:
+    if isinstance(estimator, Learner):
+        restore_learner_state(estimator, arrays, meta)
+    else:
+        estimator.load_state_dict(arrays)
+
+
 class NullCheckpointStore(CheckpointStore):
     """Keeps nothing: evicted tenants restart cold on re-activation."""
 
@@ -101,9 +136,13 @@ class NullCheckpointStore(CheckpointStore):
 class MemoryCheckpointStore(CheckpointStore):
     """In-process store holding deep-copied checkpoint state per tenant.
 
-    Arrays are copied on save *and* load, and metadata round-trips through
-    JSON, so a stored checkpoint can never alias a live learner's buffers.
-    Thread-safe: the registry evicts from whatever thread hit capacity.
+    Checkpoints :class:`~repro.core.learner.Learner` state through
+    :mod:`repro.core.persistence`, and any other estimator exposing
+    ``state_dict()``/``load_state_dict()`` (e.g. :class:`~repro.serving.
+    ModelEstimator`) as its flat array mapping.  Arrays are copied on
+    save *and* load, and metadata round-trips through JSON, so a stored
+    checkpoint can never alias a live estimator's buffers.  Thread-safe:
+    the registry evicts from whatever thread hit capacity.
     """
 
     def __init__(self):
@@ -111,8 +150,7 @@ class MemoryCheckpointStore(CheckpointStore):
         self._lock = threading.Lock()
 
     def save(self, tenant: str, estimator) -> int:
-        learner = _require_learner(estimator, type(self).__name__)
-        arrays, meta = learner_state(learner)
+        arrays, meta = _checkpoint_state(estimator, type(self).__name__)
         copied = {name: np.array(value, copy=True)
                   for name, value in arrays.items()}
         encoded = json.dumps(meta)
@@ -122,14 +160,16 @@ class MemoryCheckpointStore(CheckpointStore):
                 + len(encoded))
 
     def load(self, tenant: str, estimator) -> bool:
-        learner = _require_learner(estimator, type(self).__name__)
+        # Type-check before touching the map so an unsupported estimator
+        # fails loudly even when the tenant has no checkpoint yet.
+        _check_checkpointable(estimator, type(self).__name__)
         with self._lock:
             checkpoint = self._checkpoints.get(tenant)
         if checkpoint is None:
             return False
         arrays, encoded = checkpoint
-        restore_learner_state(
-            learner,
+        _restore_state(
+            estimator,
             {name: np.array(value, copy=True)
              for name, value in arrays.items()},
             json.loads(encoded),

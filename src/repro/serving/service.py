@@ -31,9 +31,11 @@ import numpy as np
 
 from ..data.stream import Batch
 from ..obs import NULL_OBS, RequestShed
+from ..perf.config import config as _perf_config
 from ..resilience.degrade import CircuitBreaker
 from .config import ServeConfig
 from .registry import SessionRegistry
+from .stacked import execute_stacked, plan_stacked_groups, stacking_key
 
 __all__ = ["ServeResult", "StreamingService", "predict_and_update",
            "serve_requests"]
@@ -142,6 +144,9 @@ class StreamingService:
         self.requests_ok = 0
         self.requests_shed = 0
         self.requests_failed = 0
+        #: Micro-batches served through a stacked program / groups formed.
+        self.batches_stacked = 0
+        self.stacked_groups = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -321,22 +326,52 @@ class StreamingService:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _stacked_enabled(self) -> bool:
+        return self.config.stacked_execution and _perf_config.stacked_exec
+
     async def _dispatch_loop(self) -> None:
         while True:
             tenant = await self._work.get()
             if tenant is None:
                 return
-            state = self._tenants[tenant]
-            state.signaled = False
-            requests = self._take_microbatch(state)
-            if requests:
-                self._process(tenant, state, requests)
+            ready = [tenant]
+            stopping = False
+            if self._stacked_enabled():
+                # Drain every already-signaled tenant so same-architecture
+                # micro-batches that are ready together can co-schedule.
+                while True:
+                    try:
+                        extra = self._work.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is None:
+                        # stop() only enqueues the sentinel once nothing is
+                        # pending; finish this round, then exit.
+                        stopping = True
+                        break
+                    ready.append(extra)
+            jobs = []
+            for name in ready:
+                state = self._tenants[name]
+                state.signaled = False
+                requests = self._take_microbatch(state)
+                if requests:
+                    jobs.append((name, state, requests))
+            if jobs:
+                if len(jobs) > 1:
+                    self._process_coscheduled(jobs)
+                else:
+                    self._process(*jobs[0])
                 self._capacity_freed.set()
                 self._apply_pressure()
-            if state.pending_rows >= self.config.microbatch_size:
-                self._signal(tenant)
-            elif state.pending:
-                self._arm_timer(tenant, state)
+            for name in ready:
+                state = self._tenants[name]
+                if state.pending_rows >= self.config.microbatch_size:
+                    self._signal(name)
+                elif state.pending:
+                    self._arm_timer(name, state)
+            if stopping:
+                return
             # Yield so queued submitters interleave with dispatch.
             await asyncio.sleep(0)
 
@@ -365,33 +400,50 @@ class StreamingService:
 
     def _process(self, tenant: str, state: _TenantState,
                  requests: list[_Request]) -> None:
-        x = np.vstack([request.x for request in requests])
-        y = (np.concatenate([request.y for request in requests])
-             if requests[0].y is not None else None)
-        batch_index = state.batches
-        batch = Batch(x, y, index=batch_index)
         self.breaker.tick()
         try:
             with self.registry.session(tenant) as estimator:
-                labels = predict_and_update(estimator, batch.x, batch.y)
+                self._process_with(tenant, state, requests, estimator)
         except Exception as exc:  # repro: noqa[REP004] — one tenant's failure must not kill the service; the breaker sheds repeat offenders
-            self.breaker.record_failure(tenant)
-            self.requests_failed += len(requests)
-            reason = f"{type(exc).__name__}: {exc}"
-            for request in requests:
-                if not request.future.done():
-                    request.future.set_result(ServeResult(
-                        tenant=tenant, status="failed", reason=reason,
-                        batch_index=batch_index,
-                        group_size=len(requests),
-                        latency_s=(time.perf_counter()
-                                   - request.submitted_at),
-                    ))
-            if self.obs.enabled:
-                for _ in requests:
-                    self._count_request("failed", tenant)
-            return
+            self._resolve_failure(tenant, state, requests, exc)
+
+    def _process_with(self, tenant: str, state: _TenantState,
+                      requests: list[_Request], estimator) -> None:
+        """Serve one coalesced micro-batch on an already-pinned estimator.
+
+        Estimator exceptions propagate; callers resolve them through
+        :meth:`_resolve_failure`.
+        """
+        x = np.vstack([request.x for request in requests])
+        y = (np.concatenate([request.y for request in requests])
+             if requests[0].y is not None else None)
+        batch = Batch(x, y, index=state.batches)
+        labels = predict_and_update(estimator, batch.x, batch.y)
+        self._resolve_success(tenant, state, requests, labels)
+
+    def _resolve_failure(self, tenant: str, state: _TenantState,
+                         requests: list[_Request], exc: Exception) -> None:
+        self.breaker.record_failure(tenant)
+        self.requests_failed += len(requests)
+        reason = f"{type(exc).__name__}: {exc}"
+        batch_index = state.batches
+        for request in requests:
+            if not request.future.done():
+                request.future.set_result(ServeResult(
+                    tenant=tenant, status="failed", reason=reason,
+                    batch_index=batch_index,
+                    group_size=len(requests),
+                    latency_s=(time.perf_counter()
+                               - request.submitted_at),
+                ))
+        if self.obs.enabled:
+            for _ in requests:
+                self._count_request("failed", tenant)
+
+    def _resolve_success(self, tenant: str, state: _TenantState,
+                         requests: list[_Request], labels) -> None:
         self.breaker.record_success(tenant)
+        batch_index = state.batches
         state.batches += 1
         state.grouping.append(len(requests))
         self.requests_ok += len(requests)
@@ -415,6 +467,79 @@ class StreamingService:
             for request in requests:
                 self._count_request("ok", tenant)
                 histogram.observe(now - request.submitted_at)
+
+    # -- stacked co-scheduling -----------------------------------------------
+
+    def _process_coscheduled(self, jobs: list) -> None:
+        """Serve one dispatch round of several tenants' micro-batches.
+
+        Micro-batches sharing a :func:`~repro.serving.stacked.stacking_key`
+        execute through one stacked tensor program (bitwise-equivalent per
+        tenant to the serial path); everything else — and any group whose
+        stacked execution fails — runs serially, per tenant.
+        """
+        entries = []
+        pinned = []
+        for tenant, state, requests in jobs:
+            self.breaker.tick()
+            try:
+                estimator = self.registry.acquire(tenant)
+            except Exception as exc:  # repro: noqa[REP004] — an activation failure is this tenant's failure, not the round's
+                self._resolve_failure(tenant, state, requests, exc)
+                continue
+            pinned.append(tenant)
+            entries.append((tenant, state, requests, estimator))
+        try:
+            plan = plan_stacked_groups(
+                entries,
+                key_of=lambda entry: stacking_key(
+                    entry[3],
+                    rows=sum(request.rows for request in entry[2]),
+                    labeled=entry[2][0].y is not None),
+                min_group=self.config.stacked_min_group)
+            for group in plan.groups:
+                self._run_stacked_group(group)
+            for tenant, state, requests, estimator in plan.singles:
+                self._run_serial_job(tenant, state, requests, estimator)
+        finally:
+            for tenant in pinned:
+                self.registry.release(tenant)
+
+    def _run_serial_job(self, tenant: str, state: _TenantState,
+                        requests: list[_Request], estimator) -> None:
+        try:
+            self._process_with(tenant, state, requests, estimator)
+        except Exception as exc:  # repro: noqa[REP004] — one tenant's failure must not kill the dispatch round
+            self._resolve_failure(tenant, state, requests, exc)
+
+    def _run_stacked_group(self, group: list) -> None:
+        try:
+            labels = execute_stacked(
+                [entry[3] for entry in group],
+                [np.vstack([request.x for request in entry[2]])
+                 for entry in group],
+                [np.concatenate([request.y for request in entry[2]])
+                 if entry[2][0].y is not None else None
+                 for entry in group])
+        except Exception:  # repro: noqa[REP004] — a failed stacked program degrades to the serial per-tenant path (source models are only written after a full step, so serial re-execution is clean)
+            for entry in group:
+                self._run_serial_job(*entry)
+            return
+        self.stacked_groups += 1
+        self.batches_stacked += len(group)
+        for entry, tenant_labels in zip(group, labels):
+            tenant, state, requests, _estimator = entry
+            self._resolve_success(tenant, state, requests, tenant_labels)
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "freeway_serving_stacked_batches_total",
+                "micro-batches served through a stacked tensor program",
+            ).inc(len(group))
+            self.obs.registry.histogram(
+                "freeway_serving_stacked_group_size",
+                "tenants co-scheduled per stacked program",
+                buckets=(2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+            ).observe(len(group))
 
     # -- pressure → degrade coupling ----------------------------------------
 
@@ -463,6 +588,8 @@ class StreamingService:
             "requests_ok": self.requests_ok,
             "requests_shed": self.requests_shed,
             "requests_failed": self.requests_failed,
+            "batches_stacked": self.batches_stacked,
+            "stacked_groups": self.stacked_groups,
             "pending": self._pending_total,
             "tenants_seen": len(self._tenants),
             "degraded": self._degrading,

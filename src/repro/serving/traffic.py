@@ -12,6 +12,8 @@ requests serially and expect identical predictions.
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 __all__ = ["zipf_tenants", "make_requests", "TenantStream"]
@@ -49,10 +51,11 @@ class TenantStream:
     def __init__(self, tenant: str, *, num_features: int = 8,
                  num_classes: int = 2, seed: int = 0):
         # Stable per-tenant seed: Python's hash() is salted per process,
-        # so derive from the name bytes instead.
-        digest = np.frombuffer(tenant.encode("utf-8"), dtype=np.uint8)
-        tenant_seed = (int(digest.sum()) * 100_003
-                       + len(tenant) * 101 + seed) % (2 ** 31)
+        # so derive from the name bytes instead.  CRC32 (unlike a byte
+        # sum) is order-sensitive, so anagram names ("tenant-0123" vs
+        # "tenant-0213") get distinct streams.
+        digest = zlib.crc32(tenant.encode("utf-8"))
+        tenant_seed = (digest * 100_003 + seed) % (2 ** 31)
         self._rng = np.random.default_rng(tenant_seed)
         self.num_features = num_features
         self.num_classes = num_classes

@@ -25,13 +25,16 @@ from repro.obs import (
     TenantActivated,
     TenantEvicted,
 )
+from repro.perf.config import optimizations_disabled
 from repro.serving import (
     DirCheckpointStore,
     MemoryCheckpointStore,
+    ModelEstimator,
     NullCheckpointStore,
     ServeConfig,
     SessionRegistry,
     StreamingService,
+    TenantStream,
     make_requests,
     predict_and_update,
     serve_requests,
@@ -334,6 +337,22 @@ class TestTraffic:
         alone_a = np.vstack([x for _tenant, x, _y in alone])
         np.testing.assert_array_equal(mixed_a, alone_a)
 
+    def test_anagram_tenant_names_get_distinct_streams(self):
+        # Regression: a byte-sum seed collapsed anagram names onto one
+        # stream; the CRC32 seed is order-sensitive.
+        x_a, y_a = TenantStream("tenant-0123").draw(16)
+        x_b, y_b = TenantStream("tenant-0213").draw(16)
+        assert not (np.array_equal(x_a, x_b) and np.array_equal(y_a, y_b))
+
+    def test_stream_replay_is_deterministic(self):
+        first = TenantStream("tenant-0042", seed=3)
+        second = TenantStream("tenant-0042", seed=3)
+        for _ in range(3):
+            x_first, y_first = first.draw(8)
+            x_second, y_second = second.draw(8)
+            np.testing.assert_array_equal(x_first, x_second)
+            np.testing.assert_array_equal(y_first, y_second)
+
 
 # -- streaming service ---------------------------------------------------------
 
@@ -597,6 +616,127 @@ class TestServingEquivalence:
                                           np.concatenate(replayed))
             checked += 1
         assert checked == len(by_tenant) >= 10
+
+
+# -- stacked co-scheduling -----------------------------------------------------
+
+
+def model_factory(_tenant: str = "") -> ModelEstimator:
+    return ModelEstimator(StreamingLR(
+        num_features=NUM_FEATURES, num_classes=NUM_CLASSES, momentum=0.9,
+        seed=3))
+
+
+class TestStackedServing:
+    def serve_stacked(self, requests, *, stacked=True, capacity=8,
+                      window=64):
+        registry = SessionRegistry(model_factory, capacity=capacity,
+                                   store=MemoryCheckpointStore())
+        config = ServeConfig(max_active_tenants=capacity, microbatch_size=16,
+                             stacked_execution=stacked)
+        return serve_requests(config, registry, requests, window=window)
+
+    def test_stacked_serving_matches_serial_replay(self):
+        arrivals = zipf_tenants(160, 8, seed=2)
+        requests = make_requests(arrivals, rows_per_request=8,
+                                 num_features=NUM_FEATURES,
+                                 num_classes=NUM_CLASSES, seed=2)
+        results, service = self.serve_stacked(requests)
+        assert all(result.accepted for result in results)
+        assert service.batches_stacked > 0
+        assert service.stacked_groups > 0
+        assert (service.summary()["batches_stacked"]
+                == service.batches_stacked)
+        by_tenant: dict = {}
+        for (tenant, x, y), result in zip(requests, results):
+            by_tenant.setdefault(tenant, []).append((x, y, result))
+        for tenant, entries in by_tenant.items():
+            grouping = service.grouping(tenant)
+            assert sum(grouping) == len(entries)
+            replica = model_factory(tenant)
+            cursor = 0
+            for group in grouping:
+                chunk = entries[cursor:cursor + group]
+                cursor += group
+                x = np.vstack([entry[0] for entry in chunk])
+                y = np.concatenate([entry[1] for entry in chunk])
+                labels = predict_and_update(replica, x, y)
+                offset = 0
+                for ex, _ey, result in chunk:
+                    np.testing.assert_array_equal(
+                        result.labels, labels[offset:offset + len(ex)])
+                    offset += len(ex)
+
+    def test_learner_tenants_fall_back_to_serial(self):
+        registry = SessionRegistry(make_learner, capacity=4)
+        config = ServeConfig(max_active_tenants=4, microbatch_size=8,
+                             stacked_execution=True)
+        x, y = labeled_rows(8)
+        results, service = serve_requests(
+            config, registry,
+            [("a", x, y), ("b", x, y), ("c", x, y)], window=8)
+        assert all(result.accepted for result in results)
+        assert service.batches_stacked == 0
+
+    def test_perf_flag_gates_stacked_execution(self):
+        arrivals = zipf_tenants(80, 6, seed=4)
+        requests = make_requests(arrivals, rows_per_request=8,
+                                 num_features=NUM_FEATURES,
+                                 num_classes=NUM_CLASSES, seed=4)
+        with optimizations_disabled():
+            results, service = self.serve_stacked(requests)
+        assert all(result.accepted for result in results)
+        assert service.batches_stacked == 0
+        assert service.stacked_groups == 0
+
+    def test_unlabeled_requests_stack_without_updates(self):
+        x = np.full((16, NUM_FEATURES), 0.5)
+        results, service = self.serve_stacked(
+            [("a", x), ("b", x)], window=2)
+        assert all(result.accepted for result in results)
+        assert service.batches_stacked == 2
+        assert service.stacked_groups == 1
+        # Inference-only: no updates, and predictions equal a fresh model's.
+        fresh = model_factory()
+        for result in results:
+            np.testing.assert_array_equal(result.labels, fresh.predict(x))
+        for tenant, estimator in service.registry.store._checkpoints.items():
+            arrays, _meta = estimator
+            assert int(arrays["__meta__.updates"]) == 0
+
+    def test_model_estimator_checkpoint_resumes_mid_momentum(self):
+        store = MemoryCheckpointStore()
+        original = model_factory()
+        x, y = labeled_rows(32, seed=6)
+        predict_and_update(original, x, y)
+        assert store.save("t", original) > 0
+        assert "t" in store
+        restored = model_factory()
+        assert store.load("t", restored)
+        assert restored.model.updates == original.model.updates
+        # Identical predictions *and* identical continued training: the
+        # velocity buffers round-tripped too.
+        x_next, y_next = labeled_rows(32, seed=7)
+        np.testing.assert_array_equal(
+            predict_and_update(original, x_next, y_next),
+            predict_and_update(restored, x_next, y_next))
+        probe, _ = labeled_rows(16, seed=8)
+        np.testing.assert_array_equal(original.predict(probe),
+                                      restored.predict(probe))
+
+    def test_stacked_metrics_emitted(self):
+        obs = Observability.in_memory()
+        registry = SessionRegistry(model_factory, capacity=4,
+                                   store=MemoryCheckpointStore(), obs=obs)
+        config = ServeConfig(max_active_tenants=4, microbatch_size=16,
+                             stacked_execution=True)
+        x, y = labeled_rows(16, seed=9)
+        _results, service = serve_requests(
+            config, registry, [("a", x, y), ("b", x, y)], obs=obs,
+            window=2)
+        assert service.batches_stacked == 2
+        metrics = obs.registry.snapshot()
+        assert "freeway_serving_stacked_batches_total" in metrics
 
 
 # -- telemetry integration -----------------------------------------------------
