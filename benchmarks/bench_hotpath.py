@@ -270,6 +270,169 @@ def run_stacked_axis(num_models_list=STACKED_SIZES, steps: int = 30,
     return results
 
 
+PLAN_MODELS = ("lr", "mlp")
+PLAN_SPEEDUP_FLOOR = 1.3  # required for MLP (fit axis) in full runs
+
+
+def measure_plans(kind: str, num_batches: int, repeats: int,
+                  batch_size: int = BATCH_SIZE) -> dict:
+    """Captured-plan replay vs. the optimized define-by-run path.
+
+    Runs the serving pattern (predict, then train) directly on one
+    streaming model over the slight-shift stream, with ``plan_capture``
+    on versus off — every other perf flag stays at its default, so the
+    speedup is plans-only.  The equivalence gate compares every loss,
+    every prediction, and the final parameters bitwise.
+    """
+    from repro.perf import configure
+
+    batches = make_stream("slight", num_batches, batch_size)
+
+    def one_pass(plans_on: bool):
+        factory = model_factory_for(kind, NUM_FEATURES, NUM_CLASSES,
+                                    lr=0.3, seed=0)
+        model = factory()
+        losses = []
+        predictions = np.empty((len(batches), batch_size), dtype=int)
+        with configure(plan_capture=plans_on):
+            # Warm-up (untimed): triggers the one-time capture, so the
+            # timed loop measures steady-state replay — the regime the
+            # trace-once/replay-many engine exists for.  Both modes warm
+            # up identically, so the bitwise comparison still holds.
+            for batch in batches[:2]:
+                model.predict_proba(batch.x)
+                model.partial_fit(batch.x, batch.y)
+            start = time.perf_counter()
+            for index, batch in enumerate(batches):
+                predictions[index] = model.predict_proba(
+                    batch.x).argmax(axis=1)
+                losses.append(model.partial_fit(batch.x, batch.y))
+            elapsed = time.perf_counter() - start
+        return elapsed, losses, predictions, model.state_dict()
+
+    on_times, off_times = [], []
+    elapsed, losses_on, preds_on, state_on = one_pass(True)
+    on_times.append(elapsed)
+    elapsed, losses_off, preds_off, state_off = one_pass(False)
+    off_times.append(elapsed)
+    equivalent = (losses_on == losses_off
+                  and bool(np.array_equal(preds_on, preds_off))
+                  and all(state_on[key].tobytes() == state_off[key].tobytes()
+                          for key in state_on))
+    for _ in range(repeats - 1):
+        on_times.append(one_pass(True)[0])
+        off_times.append(one_pass(False)[0])
+    rows = len(batches) * batch_size
+    return {
+        "axis": "plans",
+        "model": kind,
+        "stream": "slight",
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "repeats": repeats,
+        "baseline_items_per_s": rows / min(off_times),
+        "plans_items_per_s": rows / min(on_times),
+        "speedup": min(off_times) / min(on_times),
+        "equivalent": equivalent,
+    }
+
+
+def measure_plans_stacked(num_models: int = 8, steps: int = 30,
+                          repeats: int = 3, batch_size: int = 32) -> dict:
+    """Plan replay stacked compound cell: plans on vs off, both stacked.
+
+    Shows the two engines multiply — the stacked batched step gets rid of
+    the per-model Python loop, and the captured plan then removes the
+    remaining per-step graph construction on top of it.
+    """
+    from repro import nn
+    from repro.nn import plan as nn_plan
+    from repro.perf import configure
+
+    rng = np.random.default_rng(5)
+    xs = rng.normal(size=(steps, num_models, batch_size, NUM_FEATURES))
+    ys = rng.integers(0, NUM_CLASSES, size=(steps, num_models, batch_size))
+
+    def one_pass(plans_on: bool):
+        nn_plan.clear_stacked_plans()
+        modules = [_small_module("mlp", seed) for seed in range(num_models)]
+        optimizers = [nn.SGD(module.parameters(), lr=0.1, momentum=0.9)
+                      for module in modules]
+        stack = nn.stack_models(modules)
+        optimizer = nn.make_stacked_optimizer(stack, optimizers)
+        losses = np.empty((steps, num_models))
+        with configure(plan_capture=plans_on):
+            # Untimed warm-up: first call captures, later calls replay.
+            for step in range(2):
+                nn.stacked_fit(stack, optimizer, xs[step], ys[step])
+            start = time.perf_counter()
+            for step in range(steps):
+                losses[step] = nn.stacked_fit(stack, optimizer,
+                                              xs[step], ys[step])
+            elapsed = time.perf_counter() - start
+        nn.unstack_models(stack)
+        optimizer.export_to(optimizers)
+        params = np.concatenate([parameter.data.ravel()
+                                 for module in modules
+                                 for parameter in module.parameters()])
+        return elapsed, losses, params
+
+    on_times, off_times = [], []
+    elapsed, losses_on, params_on = one_pass(True)
+    on_times.append(elapsed)
+    elapsed, losses_off, params_off = one_pass(False)
+    off_times.append(elapsed)
+    equivalent = (losses_on.tobytes() == losses_off.tobytes()
+                  and params_on.tobytes() == params_off.tobytes())
+    for _ in range(repeats - 1):
+        on_times.append(one_pass(True)[0])
+        off_times.append(one_pass(False)[0])
+    rows = steps * num_models * batch_size
+    return {
+        "axis": "plans-stacked",
+        "model": "mlp",
+        "num_models": num_models,
+        "steps": steps,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "baseline_items_per_s": rows / min(off_times),
+        "plans_items_per_s": rows / min(on_times),
+        "speedup": min(off_times) / min(on_times),
+        "equivalent": equivalent,
+    }
+
+
+def run_plans_axis(num_batches: int, repeats: int, smoke: bool,
+                   models=PLAN_MODELS) -> tuple[list[dict], int]:
+    """All plan cells; returns (results, exit_code)."""
+    results = []
+    for kind in models:
+        results.append(measure_plans(kind, num_batches, repeats))
+    # The stacked cell is cheap per step, so it runs the full step count
+    # (short passes are too jittery for the 25% regression threshold).
+    results.append(measure_plans_stacked(
+        steps=max(num_batches, 6), repeats=repeats))
+    failures = []
+    for entry in results:
+        gate = "ok" if entry["equivalent"] else "NOT EQUIVALENT"
+        label = (f"{entry['model']} x{entry['num_models']}"
+                 if entry["axis"] == "plans-stacked" else entry["model"])
+        print(f"{label:>8} {entry['axis']:>13}: {entry['speedup']:5.2f}x "
+              f"baseline ({entry['plans_items_per_s']:9.0f} items/s)  "
+              f"[bitwise {gate}]", file=sys.stderr)
+        if not entry["equivalent"]:
+            failures.append(f"{label} not bitwise-equivalent")
+        if (entry["axis"] == "plans" and entry["model"] == "mlp"
+                and not smoke and entry["speedup"] < PLAN_SPEEDUP_FLOOR):
+            # Smoke runs are too short for a stable ratio; the full run
+            # (and regress.py --check) enforce the floor.
+            failures.append(f"mlp plan speedup {entry['speedup']:.2f}x "
+                            f"below the {PLAN_SPEEDUP_FLOOR}x floor")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return results, 1 if failures else 0
+
+
 def run_grid(models, streams, num_batches: int, repeats: int,
              modes=("optimized", "reference")) -> list[dict]:
     results = []
@@ -294,6 +457,9 @@ def main(argv=None) -> int:
     parser.add_argument("--stacked", action="store_true",
                         help="measure the stacked multi-model engine vs "
                              "the per-model serial loop instead")
+    parser.add_argument("--plans", action="store_true",
+                        help="measure captured-plan replay (plan_capture) "
+                             "vs the optimized define-by-run path instead")
     parser.add_argument("--json", metavar="PATH",
                         help="write results as JSON to PATH ('-' = stdout)")
     parser.add_argument("--batches", type=int, default=None,
@@ -301,6 +467,19 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="passes per cell (default 5, smoke 2)")
     args = parser.parse_args(argv)
+
+    if args.plans:
+        num_batches = args.batches or (16 if args.smoke else 60)
+        repeats = args.repeats or (2 if args.smoke else 3)
+        results, code = run_plans_axis(num_batches, repeats, args.smoke)
+        payload = {"axis": "plans", "results": results}
+        if args.json == "-":
+            json.dump(payload, sys.stdout, indent=2)
+            print()
+        elif args.json:
+            with open(args.json, "w") as handle:
+                json.dump(payload, handle, indent=2)
+        return code
 
     if args.stacked:
         steps = args.batches or (12 if args.smoke else 30)

@@ -6,6 +6,12 @@ the results (plus a machine-speed calibration factor) in
 and fails (exit 1) if any cell's *normalized* throughput regressed by
 more than ``--threshold`` (default 25%).
 
+``--write --only <section-prefix>`` re-measures just the sections whose
+name starts with the prefix (``full``, ``smoke``, ``stacked``,
+``plans``) and merges them into the existing baseline file, leaving
+every other section's cells untouched — so adding one new axis does not
+churn (or silently re-bless) the rest of the baseline.
+
 Raw items/s numbers are not comparable across machines, so both write
 and check time a fixed numpy workload; throughput is normalized by that
 calibration before comparison.  The check stays meaningful on a laptop
@@ -15,6 +21,7 @@ not "this machine is slower".
 Usage::
 
     PYTHONPATH=src python benchmarks/regress.py --write
+    PYTHONPATH=src python benchmarks/regress.py --write --only plans
     PYTHONPATH=src python benchmarks/regress.py --check --smoke   # CI job
 """
 
@@ -28,7 +35,8 @@ import time
 
 import numpy as np
 
-from bench_hotpath import equivalence_gate, run_grid, run_stacked_axis
+from bench_hotpath import (equivalence_gate, run_grid, run_plans_axis,
+                           run_stacked_axis)
 
 DEFAULT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 SMOKE_GRID = dict(models=("mlp",), streams=("slight",), num_batches=16,
@@ -36,6 +44,12 @@ SMOKE_GRID = dict(models=("mlp",), streams=("slight",), num_batches=16,
 FULL_GRID = dict(models=("lr", "mlp", "cnn"),
                  streams=("slight", "sudden", "reoccurring"),
                  num_batches=60, repeats=5)
+#: One size backs both write and check for the plans axis, so the cells
+#: line up; smoke=False keeps the 1.3x MLP floor enforced.
+PLANS_AXIS = dict(num_batches=40, repeats=3, smoke=False)
+
+#: Baseline sections, in file order; ``--only`` matches these by prefix.
+SECTIONS = ("full", "smoke", "stacked", "plans")
 
 
 def calibration_seconds(rounds: int = 5) -> float:
@@ -105,28 +119,64 @@ def _normalized_stacked(results: list[dict], calib: float) -> dict:
     }
 
 
-def write(path: pathlib.Path) -> int:
+def _measure_plans() -> tuple[list[dict], float, int]:
+    """The captured-plan axis plus its own gates (0 = all passed)."""
+    calib = calibration_seconds()
+    results, status = run_plans_axis(**PLANS_AXIS)
+    return results, calib, status
+
+
+def _normalized_plans(results: list[dict], calib: float) -> dict:
+    cells = {}
+    for entry in results:
+        if entry["axis"] == "plans-stacked":
+            key = f"plans-stacked/{entry['model']}/x{entry['num_models']}"
+        else:
+            key = f"plans/{entry['model']}"
+        cells[key] = entry["plans_items_per_s"] * calib
+    return cells
+
+
+def _measure_section(section: str) -> tuple[dict, int]:
+    """Measure one baseline section; returns (payload, status)."""
+    if section in ("full", "smoke"):
+        results, calib = _measure(smoke=(section == "smoke"))
+        status = 0
+    elif section == "stacked":
+        results, calib, status = _measure_stacked()
+    else:  # plans
+        results, calib, status = _measure_plans()
+    return {"calibration_seconds": calib, "results": results}, status
+
+
+def write(path: pathlib.Path, only: str | None = None) -> int:
+    sections = [name for name in SECTIONS
+                if only is None or name.startswith(only)]
+    if not sections:
+        print(f"FAIL: --only {only!r} matches no section; have "
+              f"{', '.join(SECTIONS)}", file=sys.stderr)
+        return 1
+    if only is not None and path.exists():
+        payload = json.loads(path.read_text())
+    elif only is not None:
+        print(f"FAIL: no baseline at {path} to merge --only {only!r} into; "
+              f"run a full --write first", file=sys.stderr)
+        return 1
+    else:
+        payload = {"schema": 1}
     if not equivalence_gate():
         print("FAIL: equivalence gate broken; refusing to write a baseline",
               file=sys.stderr)
         return 1
-    stacked_results, stacked_calib, status = _measure_stacked()
-    if status:
-        print("refusing to write a baseline", file=sys.stderr)
-        return 1
-    payload = {"schema": 1}
-    for section, smoke in (("full", False), ("smoke", True)):
-        results, calib = _measure(smoke)
-        payload[section] = {
-            "calibration_seconds": calib,
-            "results": results,
-        }
-    payload["stacked"] = {
-        "calibration_seconds": stacked_calib,
-        "results": stacked_results,
-    }
+    for section in sections:
+        section_payload, status = _measure_section(section)
+        if status:
+            print("refusing to write a baseline", file=sys.stderr)
+            return 1
+        payload[section] = section_payload
     path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"wrote {path}", file=sys.stderr)
+    verb = "merged into" if only is not None else "wrote"
+    print(f"{verb} {path} ({', '.join(sections)})", file=sys.stderr)
     return 0
 
 
@@ -154,6 +204,15 @@ def check(path: pathlib.Path, smoke: bool, threshold: float) -> int:
             stacked_section["results"],
             stacked_section["calibration_seconds"]))
         current.update(_normalized_stacked(stacked_results, stacked_calib))
+    plans_section = baseline.get("plans")
+    if plans_section is not None:
+        plans_results, plans_calib, status = _measure_plans()
+        if status:
+            return 1
+        stored.update(_normalized_plans(
+            plans_section["results"],
+            plans_section["calibration_seconds"]))
+        current.update(_normalized_plans(plans_results, plans_calib))
     failures = []
     for cell, reference_score in stored.items():
         score = current.get(cell)
@@ -184,13 +243,19 @@ def main(argv=None) -> int:
                         help="measure and compare against the baseline")
     parser.add_argument("--smoke", action="store_true",
                         help="with --check: compare the CI-sized section only")
+    parser.add_argument("--only", metavar="SECTION",
+                        help="with --write: re-measure only sections whose "
+                             "name starts with this prefix and merge them "
+                             "into the existing baseline")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional slowdown (default 0.25)")
     parser.add_argument("--path", type=pathlib.Path, default=DEFAULT_PATH,
                         help=f"baseline file (default {DEFAULT_PATH})")
     args = parser.parse_args(argv)
+    if args.only and not args.write:
+        parser.error("--only requires --write")
     if args.write:
-        return write(args.path)
+        return write(args.path, only=args.only)
     return check(args.path, args.smoke, args.threshold)
 
 

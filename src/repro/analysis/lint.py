@@ -127,6 +127,15 @@ RULE_DETAILS: dict[str, dict[str, str]] = {
                   "thread; a shared singleton mutated outside the "
                   "coordinator races with readers.",
     },
+    "REP012": {
+        "pass": "lint",
+        "summary": "per-batch allocation inside a replay kernel",
+        "detail": "Functions marked `@replay_kernel` (repro.nn.plan) run "
+                  "on every replayed batch; constructing a `Tensor` or "
+                  "calling `np.zeros`/`np.empty`/`*_like` there defeats "
+                  "the preallocated-arena contract — allocate at capture "
+                  "time and write with `out=` instead.",
+    },
 }
 
 #: Rule catalog: code -> one-line summary (docs and the runner share it).
@@ -163,6 +172,12 @@ _SEEDED_RANDOM_API = frozenset({
 #: them with == / != is what REP003 flags.
 _FLOAT_PRODUCERS = frozenset({
     "std", "mean", "var", "norm", "item", "weighted_mean", "distance",
+})
+
+#: Allocating numpy constructors REP012 forbids inside replay kernels.
+_ARENA_ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full",
+    "zeros_like", "empty_like", "ones_like", "full_like",
 })
 
 _NOQA = re.compile(
@@ -344,6 +359,48 @@ class _Visitor(ast.NodeVisitor):
                      f"{what} swallows the error; narrow the exception type "
                      f"or re-raise",
                      node)
+        self.generic_visit(node)
+
+    # -- REP012 ---------------------------------------------------------------
+
+    @staticmethod
+    def _is_replay_kernel(node: ast.FunctionDef) -> bool:
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Name) and \
+                    decorator.id == "replay_kernel":
+                return True
+            if isinstance(decorator, ast.Attribute) and \
+                    decorator.attr == "replay_kernel":
+                return True
+        return False
+
+    @staticmethod
+    def _allocation_name(call: ast.Call) -> str | None:
+        """Name the allocator ``call`` invokes, if it is one REP012 flags."""
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "Tensor":
+            return "Tensor(...)"
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _ARENA_ALLOCATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")):
+            return f"np.{func.attr}"
+        return None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._is_replay_kernel(node):
+            for stmt in node.body:
+                for child in ast.walk(stmt):
+                    if not isinstance(child, ast.Call):
+                        continue
+                    allocator = self._allocation_name(child)
+                    if allocator is not None:
+                        self.add("REP012",
+                                 f"{allocator} allocates on every replayed "
+                                 f"batch; replay kernels must write into "
+                                 f"the preallocated arena (out=) — allocate "
+                                 f"at capture time",
+                                 child)
         self.generic_visit(node)
 
 

@@ -29,6 +29,8 @@ from ..analysis.checkpoint import CheckpointIncompatibleError
 from ..api import BaseReport
 from ..data.stream import Batch
 from ..models.base import StreamingModel
+from ..nn import plan as _nn_plan
+from ..perf.pool import POOL
 from ..obs import (
     NULL_OBS,
     CircuitOpened,
@@ -224,6 +226,11 @@ class Learner:
         self.num_classes = template.num_classes
         self.obs = obs if obs is not None else NULL_OBS
         self.profiler = profiler
+        if profiler is not None:
+            # Plan-cache events (capture/replay spans, the
+            # freeway_plan_cache counter) flow through the profiler for
+            # the lifetime of this learner; close() unhooks.
+            _nn_plan.add_plan_hook(profiler.observe_plan_event)
 
         sizes = [1] + [window_batches * (4 ** i) for i in range(num_models - 1)]
         self.ensemble = MultiGranularityEnsemble(
@@ -883,6 +890,9 @@ class Learner:
             registry.counter(
                 "freeway_fallbacks_total", "degraded routing decisions",
             ).inc()
+        # The pool is thread-local; this runs on the run-loop thread, which
+        # is exactly the one whose scratch buffers matter.
+        POOL.publish(registry)
 
     def _update_only(self, batch: Batch) -> BatchReport:
         loss = None
@@ -940,6 +950,8 @@ class Learner:
         DistributedLearner` overrides it to shut its worker pool down.
         Closing is idempotent.
         """
+        if self.profiler is not None:
+            _nn_plan.remove_plan_hook(self.profiler.observe_plan_event)
 
     def __enter__(self) -> "Learner":
         return self

@@ -20,6 +20,8 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn import plan as _plan
+from ..perf.config import config as _perf_config
 
 __all__ = ["StreamingModel", "NeuralStreamingModel"]
 
@@ -138,15 +140,23 @@ class NeuralStreamingModel(StreamingModel):
                 and cached[2].shape == fingerprint.shape
                 and np.array_equal(cached[2], fingerprint)):
             return cached[3]
+        result = None
+        if _perf_config.plan_capture:
+            result = _plan.proba_with_plan(self, x)
+        if result is None:
+            result = self._forward_proba(x)
+        self._proba_cache = (id(x), self._weights_version,
+                             fingerprint.copy(), result)
+        return result
+
+    def _forward_proba(self, x: np.ndarray) -> np.ndarray:
+        """The reference inference pass (also the trace target for plans)."""
         self.module.eval()
         with nn.no_grad():
             logits = self.module(self._prepare(x))
             probabilities = F.softmax(logits, axis=-1)
         self.module.train()
-        result = probabilities.data
-        self._proba_cache = (id(x), self._weights_version,
-                             fingerprint.copy(), result)
-        return result
+        return probabilities.data
 
     def loss_on(self, x: np.ndarray, y: np.ndarray) -> float:
         """Cross-entropy loss without updating (used by gradient baselines)."""
@@ -158,6 +168,17 @@ class NeuralStreamingModel(StreamingModel):
         y = np.asarray(y, dtype=np.int64).reshape(-1)
         if len(y) != len(x):
             raise ValueError(f"{len(x)} rows but {len(y)} labels")
+        loss = None
+        if _perf_config.plan_capture:
+            loss = _plan.fit_with_plan(self, x, y)
+        if loss is None:
+            loss = self._fit_steps(x, y)
+        self.updates += 1
+        self._weights_version += 1
+        return loss
+
+    def _fit_steps(self, x: np.ndarray, y: np.ndarray) -> float:
+        """The reference update loop (also the trace target for plans)."""
         last_loss = 0.0
         for _ in range(self.sgd_steps):
             self.optimizer.zero_grad()
@@ -166,9 +187,17 @@ class NeuralStreamingModel(StreamingModel):
             loss.backward()
             self.optimizer.step()
             last_loss = loss.item()
-        self.updates += 1
-        self._weights_version += 1
         return last_loss
+
+    def _plan_eligible(self) -> bool:
+        """Whether :mod:`repro.nn.plan` may capture this model's steps.
+
+        Subclasses with a custom ``_prepare`` (e.g. image models that keep
+        the channel layout) or an exotic optimizer opt out automatically;
+        everything else is guarded by capture-time verification anyway.
+        """
+        return (type(self)._prepare is NeuralStreamingModel._prepare
+                and type(self.optimizer) in (nn.SGD, nn.Adam))
 
     def gradient_on(self, x: np.ndarray, y: np.ndarray) -> list[np.ndarray]:
         """Per-parameter gradients on a batch, without applying an update.
@@ -208,6 +237,16 @@ class NeuralStreamingModel(StreamingModel):
     def load_state_dict(self, state: dict) -> None:
         self.module.load_state_dict(state)
         self._weights_version += 1
+        # Restored weights are new arrays; cached plans hold buffers bound
+        # to the old ones and would silently train stale state.
+        _plan.invalidate_plans(self)
+
+    def __getstate__(self) -> dict:
+        # Plans alias parameter/optimizer buffers by identity; a pickled or
+        # deep-copied model must re-capture against its own copies.
+        state = self.__dict__.copy()
+        state.pop("_plans", None)
+        return state
 
     def clone(self) -> "NeuralStreamingModel":
         return type(self)(**self._config())

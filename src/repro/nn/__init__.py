@@ -11,7 +11,7 @@ evaluation environment is offline and has no ``torch``).  It provides:
 - checkpoint serialization utilities used by the historical-knowledge store.
 """
 
-from . import functional, init, serialization, stacked
+from . import functional, init, plan, serialization, stacked
 from .modules import (
     Conv2d,
     Dropout,
@@ -48,6 +48,7 @@ __all__ = [
     "is_grad_enabled",
     "functional",
     "init",
+    "plan",
     "serialization",
     "Module",
     "Parameter",

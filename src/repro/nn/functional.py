@@ -15,6 +15,7 @@ import numpy as np
 
 from ..perf import POOL as _POOL
 from ..perf.config import config as _perf_config
+from . import record as _record
 from .tensor import Tensor
 
 __all__ = [
@@ -46,9 +47,14 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     ``weight`` has shape ``(out_features, in_features)`` and ``bias`` shape
     ``(out_features,)``.
     """
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     out = x @ weight.T
     if bias is not None:
         out = out + bias
+    if rec is not None:
+        rec.end(("linear", x, weight, bias, None, out))
     return out
 
 
@@ -83,6 +89,9 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         return out
     if activation is not None and activation not in _FUSED_ACTIVATIONS:
         raise ValueError(f"unsupported fused activation: {activation!r}")
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     wd = weight.data
     out = xd @ wd.T
     if bias is not None:
@@ -117,22 +126,35 @@ def fused_linear(x: Tensor, weight: Tensor, bias: Tensor | None = None,
             return grad_x, grad_weight
         return grad_x, grad_weight, g
 
-    return Tensor._make(out, parents, backward)
+    out_t = Tensor._make(out, parents, backward)
+    if rec is not None:
+        rec.end(("linear", x, weight, bias, activation, out_t))
+    return out_t
+
+
+def _recorded_activation(x: Tensor, name: str) -> Tensor:
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
+    out = getattr(x, name)()
+    if rec is not None:
+        rec.end(("act", name, x, out))
+    return out
 
 
 def relu(x: Tensor) -> Tensor:
     """Rectified linear unit."""
-    return _as_tensor(x).relu()
+    return _recorded_activation(_as_tensor(x), "relu")
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Logistic sigmoid."""
-    return _as_tensor(x).sigmoid()
+    return _recorded_activation(_as_tensor(x), "sigmoid")
 
 
 def tanh(x: Tensor) -> Tensor:
     """Hyperbolic tangent."""
-    return _as_tensor(x).tanh()
+    return _recorded_activation(_as_tensor(x), "tanh")
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -145,6 +167,9 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis``."""
     x = _as_tensor(x)
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     if _perf_config.fused_loss and not x.requires_grad:
         # Inference fast path: no gradient can flow, so skip graph
         # construction and run the identical ufunc sequence on raw
@@ -152,8 +177,12 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         data = x.data
         shifted = data - data.max(axis=axis, keepdims=True)
         log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        return Tensor(np.exp(shifted - log_norm))
-    return log_softmax(x, axis=axis).exp()
+        out = Tensor(np.exp(shifted - log_norm))
+    else:
+        out = log_softmax(x, axis=axis).exp()
+    if rec is not None:
+        rec.end(("softmax", axis, x, out))
+    return out
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
@@ -219,9 +248,19 @@ def _fused_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
 def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Softmax cross-entropy between ``logits`` and integer ``labels``."""
     logits = _as_tensor(logits)
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     if _perf_config.fused_loss and logits.data.ndim == 2:
-        return _fused_cross_entropy(logits, labels)
-    return nll_loss(log_softmax(logits, axis=-1), labels)
+        out = _fused_cross_entropy(logits, labels)
+    else:
+        out = nll_loss(log_softmax(logits, axis=-1), labels)
+    if rec is not None:
+        # One descriptor for both paths: the fused node replays the
+        # unfused chain's exact float ops, so one replay kernel serves
+        # either (the capture-time verify holds it to that).
+        rec.end(("ce", logits, out))
+    return out
 
 
 def mse_loss(prediction: Tensor, target) -> Tensor:
@@ -248,8 +287,14 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
-    return x * Tensor(mask)
+    out = x * Tensor(mask)
+    if rec is not None:
+        rec.end(("dropout", p, rng, x, out))
+    return out
 
 
 # ---------------------------------------------------------------------------

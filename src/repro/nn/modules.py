@@ -18,6 +18,7 @@ import numpy as np
 from ..perf.config import config as _perf_config
 from . import functional as F
 from . import init
+from . import record as _record
 from .tensor import Tensor
 
 __all__ = [
@@ -279,7 +280,13 @@ class Flatten(Module):
     """Flatten all but the batch dimension."""
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.flatten_batch()
+        rec = _record.current() if _record.ACTIVE else None
+        if rec is not None:
+            rec.begin()
+        out = x.flatten_batch()
+        if rec is not None:
+            rec.end(("flatten", x, out))
+        return out
 
 
 #: Activation modules Sequential can fold into a preceding Linear

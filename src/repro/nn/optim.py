@@ -23,6 +23,7 @@ from typing import Iterable
 import numpy as np
 
 from ..perf.config import config as _perf_config
+from . import record as _record
 from .tensor import Tensor
 
 __all__ = ["Optimizer", "SGD", "Adam", "FOBOS", "RDA"]
@@ -157,6 +158,8 @@ class SGD(Optimizer):
         self._velocity: dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        if _record.ACTIVE:
+            _record.note_step(self)
         if _perf_config.inplace_optim and self._flat_step():
             return
         self._export_flat_state()
@@ -235,6 +238,8 @@ class Adam(Optimizer):
         self._v: dict[int, np.ndarray] = {}
 
     def step(self) -> None:
+        if _record.ACTIVE:
+            _record.note_step(self)
         self._step_count += 1
         if _perf_config.inplace_optim and self._flat_step():
             return

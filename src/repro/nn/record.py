@@ -1,0 +1,113 @@
+"""Op-trace recording substrate for the captured-plan engine.
+
+This module is deliberately a leaf — it imports nothing from
+:mod:`repro.nn`, so every nn module (``tensor``, ``functional``,
+``modules``, ``optim``, ``stacked``) can hook into it without cycles.
+The plan compiler (:mod:`repro.nn.plan`) consumes the traces.
+
+Design: a capture runs the *normal* define-by-run path once while a
+:class:`Trace` is active for the current thread.  Known ops bracket
+their body with :meth:`Trace.begin` / :meth:`Trace.end`, appending one
+descriptor tuple per outermost op.  ``Tensor._make`` reports every
+autograd-node creation via :func:`note_node`; a node born outside any
+bracket means an op the plan engine does not know how to replay, which
+poisons the trace (``trace.ok`` goes False) and the caller falls back to
+the uncaptured path.
+
+Hot-path cost when nothing records (the 99.99% case): each hook site
+reads :data:`ACTIVE` — a module-level int — and branches.  The
+thread-local lookup only happens while some thread is capturing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Trace", "ACTIVE", "current", "capturing", "note_node",
+           "note_step"]
+
+#: Number of threads currently capturing.  Hook sites gate on this plain
+#: module attribute so the idle cost is one load + branch per op.
+ACTIVE = 0
+
+_ACTIVE_LOCK = threading.Lock()
+_local = threading.local()
+
+
+class Trace:
+    """One recorded step: ordered op descriptors plus a validity flag."""
+
+    __slots__ = ("ops", "ok", "reason", "_depth")
+
+    def __init__(self):
+        self.ops: list[tuple] = []
+        self.ok = True
+        self.reason: str | None = None
+        self._depth = 0
+
+    def begin(self) -> None:
+        """Enter a known-op bracket (nested ops attribute to the outermost)."""
+        self._depth += 1
+
+    def end(self, descriptor: tuple) -> None:
+        """Leave a bracket; the outermost one records ``descriptor``."""
+        self._depth -= 1
+        if self._depth == 0:
+            self.ops.append(descriptor)
+
+    def poison(self, reason: str) -> None:
+        """Mark the trace unreplayable (first reason wins)."""
+        if self.ok:
+            self.ok = False
+            self.reason = reason
+
+
+def current() -> Trace | None:
+    """The trace capturing on *this* thread, if any."""
+    return getattr(_local, "trace", None)
+
+
+class capturing:
+    """Context manager activating ``trace`` for the current thread."""
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: Trace):
+        self._trace = trace
+
+    def __enter__(self) -> Trace:
+        global ACTIVE
+        if getattr(_local, "trace", None) is not None:
+            raise RuntimeError("a capture is already active on this thread")
+        _local.trace = self._trace
+        with _ACTIVE_LOCK:
+            ACTIVE += 1
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global ACTIVE
+        _local.trace = None
+        with _ACTIVE_LOCK:
+            ACTIVE -= 1
+        return False
+
+
+def note_node() -> None:
+    """Called by ``Tensor._make`` for every autograd node while capturing.
+
+    A node created outside any op bracket belongs to an op the plan
+    engine cannot replay — the trace is poisoned and capture falls back.
+    """
+    trace = getattr(_local, "trace", None)
+    if trace is not None and trace._depth == 0:
+        trace.poison("autograd node created outside a recordable op")
+
+
+def note_step(optimizer) -> None:
+    """Called by replayable optimizers at the top of ``step()``."""
+    trace = getattr(_local, "trace", None)
+    if trace is not None:
+        if trace._depth != 0:
+            trace.poison("optimizer step inside an op bracket")
+        else:
+            trace.ops.append(("step", optimizer))

@@ -33,6 +33,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..perf.config import config as _perf_config
+from . import functional as F
+from . import plan as _plan
+from . import record as _record
 from .modules import (
     Dropout,
     Flatten,
@@ -117,6 +121,9 @@ def _stacked_linear(x: Tensor, weight: Parameter, bias: Parameter | None,
     operations as the per-model 2-D call, so values (and gradients) are
     bitwise-identical per slice.
     """
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     xd = x.data
     wd = weight.data  # (models, out, in)
     out = np.matmul(xd, np.swapaxes(wd, -1, -2))
@@ -149,7 +156,10 @@ def _stacked_linear(x: Tensor, weight: Parameter, bias: Parameter | None,
             return grad_x, grad_weight
         return grad_x, grad_weight, g.sum(axis=1)
 
-    return Tensor._make(out, parents, backward)
+    out_t = Tensor._make(out, parents, backward)
+    if rec is not None:
+        rec.end(("slinear", x, weight, bias, activation, out_t))
+    return out_t
 
 
 def _stacked_dropout(x: Tensor, p: float,
@@ -160,13 +170,19 @@ def _stacked_dropout(x: Tensor, p: float,
     forward would have made from ``layers[m].rng``, so each model's RNG
     stream advances identically whether it runs stacked or alone.
     """
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     data = x.data
     mask = np.empty(data.shape, dtype=data.dtype)
     for index, layer in enumerate(layers):
         mask[index] = (layer.rng.random(data.shape[1:]) >= p).astype(
             data.dtype)
     mask /= (1.0 - p)
-    return x * Tensor(mask)
+    out = x * Tensor(mask)
+    if rec is not None:
+        rec.end(("sdropout", p, layers, x, out))
+    return out
 
 
 def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
@@ -178,6 +194,9 @@ def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     unfused) loss.  Seed ``backward`` with ``np.ones(models)`` to mirror
     N independent scalar ``loss.backward()`` calls.
     """
+    rec = _record.current() if _record.ACTIVE else None
+    if rec is not None:
+        rec.begin()
     x = logits.data
     if x.ndim != 3:
         raise StackedModelError(
@@ -211,7 +230,10 @@ def stacked_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
         g_exp = np.broadcast_to(g_log_norm / norm, (models, rows, cols))
         return (g_masked + g_exp * exp_shifted,)
 
-    return Tensor._make(loss, (logits,), backward)
+    out_t = Tensor._make(loss, (logits,), backward)
+    if rec is not None:
+        rec.end(("sce", logits, out_t))
+    return out_t
 
 
 # -- the stack ---------------------------------------------------------------
@@ -312,12 +334,20 @@ class ModelStack(Module):
             if kind == "linear":
                 x = _stacked_linear(x, op[1], op[2], op[3])
             elif kind == "act":
-                x = getattr(x, op[1])()
+                # The functional wrappers run the same Tensor method and
+                # additionally record the op for plan capture.
+                x = getattr(F, op[1])(x)
             elif kind == "dropout":
                 if self.training and op[1] > 0.0:
                     x = _stacked_dropout(x, op[1], op[2])
             else:  # flatten: keep the model axis, flatten the rest per row
-                x = x.reshape(self.num_models, x.data.shape[1], -1)
+                rec = _record.current() if _record.ACTIVE else None
+                if rec is not None:
+                    rec.begin()
+                out = x.reshape(self.num_models, x.data.shape[1], -1)
+                if rec is not None:
+                    rec.end(("flatten", x, out))
+                x = out
         return x
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:
@@ -372,6 +402,18 @@ def stacked_fit(stack: ModelStack, optimizer, xs: np.ndarray,
     xs = np.asarray(xs, dtype=float)
     xs = xs.reshape(stack.num_models, xs.shape[1], -1)
     ys = np.asarray(ys, dtype=np.int64).reshape(stack.num_models, -1)
+    if _perf_config.plan_capture and type(optimizer) in (StackedSGD,
+                                                         StackedAdam):
+        losses = _plan.stacked_fit_with_plan(stack, optimizer, xs, ys,
+                                             sgd_steps, _stacked_fit_steps)
+        if losses is not None:
+            return losses
+    return _stacked_fit_steps(stack, optimizer, xs, ys, sgd_steps)
+
+
+def _stacked_fit_steps(stack: ModelStack, optimizer, xs: np.ndarray,
+                       ys: np.ndarray, sgd_steps: int) -> np.ndarray:
+    """The reference step loop (also the trace target for plan capture)."""
     seed = np.ones(stack.num_models)
     losses = None
     for _ in range(sgd_steps):

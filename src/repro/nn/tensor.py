@@ -41,6 +41,7 @@ import numpy as np
 
 from ..perf import can_own as _can_own
 from ..perf.config import config as _perf_config
+from . import record as _record
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
 
@@ -149,6 +150,10 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Iterable["Tensor"],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
+        if _record.ACTIVE:
+            # A node born outside any recorded-op bracket poisons the
+            # active plan capture (an op the engine cannot replay).
+            _record.note_node()
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=False)

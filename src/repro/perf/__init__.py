@@ -23,8 +23,9 @@ See ``docs/PERF.md`` for the design notes and the benchmark workflow.
 
 from .config import (PerfConfig, config, configure, optimizations_disabled,
                      optimizations_enabled)
-from .pool import POOL, BufferPool, can_own
-from .profile import HOT_PATH_HISTOGRAM, HotPathProfiler
+from .pool import (POOL, POOL_BUFFERS_GAUGE, POOL_HITS_COUNTER, BufferPool,
+                   can_own)
+from .profile import HOT_PATH_HISTOGRAM, PLAN_CACHE_COUNTER, HotPathProfiler
 
 __all__ = [
     "PerfConfig",
@@ -35,6 +36,9 @@ __all__ = [
     "BufferPool",
     "POOL",
     "can_own",
+    "POOL_BUFFERS_GAUGE",
+    "POOL_HITS_COUNTER",
     "HotPathProfiler",
     "HOT_PATH_HISTOGRAM",
+    "PLAN_CACHE_COUNTER",
 ]

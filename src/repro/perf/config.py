@@ -55,11 +55,19 @@ class PerfConfig:
         micro-batches through one stacked tensor program
         (:mod:`repro.nn.stacked`) instead of N serial per-model steps;
         per-model results stay bitwise-identical to the serial loop.
+    plan_capture:
+        Trace a model's fit/inference step once into a compiled plan of
+        flat ``out=``-style numpy kernels writing into a preallocated
+        buffer arena, then replay the plan for every later batch with
+        the same signature (:mod:`repro.nn.plan`).  A plan is cached
+        only after a trial replay reproduces the reference run's
+        post-state bit for bit; anything unverifiable falls back to the
+        define-by-run path.
     """
 
     __slots__ = ("graph_tape", "fused_linear", "buffer_pool",
                  "grad_ownership", "inplace_optim", "cached_nearest",
-                 "fused_loss", "stacked_exec")
+                 "fused_loss", "stacked_exec", "plan_capture")
 
     def __init__(self, enabled: bool = True):
         self.set_all(enabled)

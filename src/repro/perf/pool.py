@@ -33,7 +33,14 @@ import threading
 
 import numpy as np
 
-__all__ = ["BufferPool", "POOL", "can_own"]
+__all__ = ["BufferPool", "POOL", "can_own", "POOL_BUFFERS_GAUGE",
+           "POOL_HITS_COUNTER"]
+
+#: Metric name for the idle-buffer gauge published by :meth:`BufferPool.publish`.
+POOL_BUFFERS_GAUGE = "freeway_pool_buffers"
+
+#: Metric name for the cumulative acquire-hit counter.
+POOL_HITS_COUNTER = "freeway_pool_hits_total"
 
 
 class BufferPool:
@@ -107,6 +114,27 @@ class BufferPool:
         idle = sum(len(stack) for stack in state["free"].values())
         return {"hits": state["hits"], "misses": state["misses"],
                 "released": state["released"], "idle_buffers": idle}
+
+    def publish(self, registry) -> None:
+        """Export this thread's pool stats into a metrics registry.
+
+        Sets ``freeway_pool_buffers`` to the current idle-buffer count and
+        adds the hits accrued since the last publish to
+        ``freeway_pool_hits_total``.  Call from the thread that owns the
+        hot path (the learner's run loop) — the pool is thread-local, so
+        publishing from elsewhere would export an empty pool.
+        """
+        state = self._state()
+        idle = sum(len(stack) for stack in state["free"].values())
+        registry.gauge(
+            POOL_BUFFERS_GAUGE, "Idle pooled scratch buffers (run-loop thread)"
+        ).set(idle)
+        delta = state["hits"] - state.get("published_hits", 0)
+        if delta > 0:
+            registry.counter(
+                POOL_HITS_COUNTER, "Scratch-buffer pool acquire hits"
+            ).inc(delta)
+        state["published_hits"] = state["hits"]
 
     def clear(self) -> None:
         """Drop this thread's free lists and reset its counters."""

@@ -16,10 +16,15 @@ import time
 
 import numpy as np
 
-__all__ = ["HotPathProfiler", "HOT_PATH_HISTOGRAM"]
+__all__ = ["HotPathProfiler", "HOT_PATH_HISTOGRAM", "PLAN_CACHE_COUNTER"]
 
 #: Metric name for the per-stage latency histogram.
 HOT_PATH_HISTOGRAM = "freeway_hot_path_seconds"
+
+#: Metric name for plan-cache events (mirrors
+#: :data:`repro.nn.plan.PLAN_CACHE_COUNTER`; duplicated here so the
+#: profiler does not import the nn package).
+PLAN_CACHE_COUNTER = "freeway_plan_cache"
 
 
 class _Stage:
@@ -71,6 +76,21 @@ class HotPathProfiler:
             obs.registry.histogram(
                 HOT_PATH_HISTOGRAM, "Serving-loop stage latency (seconds)"
             ).labels(stage=name).observe(float(seconds))
+
+    def observe_plan_event(self, event: str, seconds: float) -> None:
+        """Plan-cache hook (see :func:`repro.nn.plan.add_plan_hook`).
+
+        Timed events (capture, replay) land as ``plan.<event>`` stages so
+        :meth:`render` shows them next to the serving stages; every event
+        also bumps ``freeway_plan_cache{event}`` when observability is on.
+        """
+        if event in ("capture", "replay"):
+            self.record(f"plan.{event}", seconds)
+        obs = self._obs
+        if obs is not None and obs.enabled:
+            obs.registry.counter(
+                PLAN_CACHE_COUNTER, "Plan-cache events by type"
+            ).labels(event=event).inc()
 
     def reset(self) -> None:
         self._samples.clear()

@@ -15,6 +15,12 @@ tenant, served labels and post-update parameters are bitwise-identical
 to the serial loop, so the serving-equivalence replay gate in
 ``bench_serving.py`` holds with stacking on.
 
+Co-scheduling composes with the captured-plan engine: with the
+``plan_capture`` flag on, a recurring tenant-group signature runs the
+stacked step through a replayed plan (:mod:`repro.nn.plan`), stacking
+the amortization wins — one tensor program for N tenants, compiled once
+and replayed allocation-free.
+
 :class:`ModelEstimator` adapts a bare
 :class:`~repro.models.base.NeuralStreamingModel` to the
 :class:`~repro.api.StreamingEstimator` protocol — the stackable tenant

@@ -493,6 +493,41 @@ class TestLintRules:
         assert [f.code for f in findings] == ["REP007"]
         assert findings[0].suppressed
 
+    def test_rep012_allocation_in_replay_kernel(self):
+        src = ('__all__ = []\nimport numpy as np\n'
+               '@replay_kernel\n'
+               'def forward(self, arena, x):\n'
+               '    scratch = np.zeros((8, 8))\n'
+               '    t = Tensor(x)\n'
+               '    grad = np.empty_like(x)\n'
+               '    return scratch, t, grad\n')
+        assert active_codes(src) == ["REP012", "REP012", "REP012"]
+
+    def test_rep012_undecorated_function_clean(self):
+        src = ('__all__ = []\nimport numpy as np\n'
+               'def forward(self, x):\n'
+               '    return np.zeros((8, 8))\n')
+        assert active_codes(src) == []
+
+    def test_rep012_arena_writes_clean(self):
+        src = ('__all__ = []\nimport numpy as np\n'
+               '@replay_kernel\n'
+               'def forward(self, arena, x):\n'
+               '    np.matmul(x, self.w, out=arena.out)\n'
+               '    np.maximum(arena.out, 0.0, out=arena.out)\n'
+               '    return arena.out\n')
+        assert active_codes(src) == []
+
+    def test_rep012_noqa_escape_hatch(self):
+        src = ('__all__ = []\nimport numpy as np\n'
+               '@replay_kernel\n'
+               'def forward(self, arena, x):\n'
+               '    return np.zeros(3)  '
+               '# repro: noqa[REP012] — capture-time only\n')
+        findings = findings_for(src)
+        assert [f.code for f in findings] == ["REP012"]
+        assert findings[0].suppressed
+
     def test_blanket_noqa(self):
         src = '__all__ = []\nimport numpy as np\nnp.random.seed(0)  # repro: noqa\n'
         assert active_codes(src) == []

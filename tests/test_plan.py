@@ -1,0 +1,372 @@
+"""Tests for the captured-plan execution engine (``repro.nn.plan``).
+
+The engine's contract is absolute: a replayed plan must be **bitwise
+indistinguishable** from the define-by-run reference — same losses, same
+probabilities, same parameters, same optimizer state, same Dropout RNG
+stream.  These tests hold that line across the invalidation matrix
+(shape changes, checkpoint restores mid-momentum, train/eval flips,
+mid-stream flag toggles) and then fuzz it over random architectures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.models.base import NeuralStreamingModel
+from repro.models.logistic import StreamingLR
+from repro.models.mlp import StreamingMLP
+from repro.nn import plan as nn_plan
+from repro.obs import Observability
+from repro.perf import HotPathProfiler, configure
+
+
+def make_batches(num_batches, batch_size, num_features, num_classes, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(rng.normal(size=(batch_size, num_features)),
+             rng.integers(0, num_classes, batch_size))
+            for _ in range(num_batches)]
+
+
+def run_stream(model, batches, plans_on):
+    """Predict + fit over ``batches``; returns (losses, probas)."""
+    losses, probas = [], []
+    with configure(plan_capture=plans_on):
+        for x, y in batches:
+            probas.append(model.predict_proba(x).copy())
+            losses.append(model.partial_fit(x, y))
+    return losses, probas
+
+
+def assert_bitwise_equal(model_a, model_b, losses_a, losses_b,
+                         probas_a, probas_b):
+    assert [np.float64(l).tobytes() for l in losses_a] == \
+        [np.float64(l).tobytes() for l in losses_b]
+    assert [p.tobytes() for p in probas_a] == [p.tobytes() for p in probas_b]
+    state_a, state_b = model_a.state_dict(), model_b.state_dict()
+    assert list(state_a) == list(state_b)
+    for key in state_a:
+        assert state_a[key].tobytes() == state_b[key].tobytes(), key
+
+
+class DropoutMLP(NeuralStreamingModel):
+    """One-hidden-layer MLP with Dropout, for RNG-threading tests."""
+
+    name = "dropout-mlp"
+
+    def _build(self, rng):
+        return nn.Sequential(
+            nn.Linear(self.num_features, 16, rng=rng),
+            nn.ReLU(),
+            nn.Dropout(0.4, rng=np.random.default_rng(self.seed + 1)),
+            nn.Linear(16, self.num_classes, rng=rng),
+        )
+
+
+class AdamLR(StreamingLR):
+    name = "adam-lr"
+
+    def _make_optimizer(self):
+        return nn.Adam(self.module.parameters(), lr=0.01)
+
+
+# -- bitwise equivalence ------------------------------------------------------
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("cls", [StreamingLR, StreamingMLP, DropoutMLP,
+                                     AdamLR])
+    def test_replayed_stream_matches_reference(self, cls):
+        batches = make_batches(12, 16, 8, 3)
+        with_plans = cls(num_features=8, num_classes=3, seed=4)
+        reference = cls(num_features=8, num_classes=3, seed=4)
+        results_on = run_stream(with_plans, batches, plans_on=True)
+        results_off = run_stream(reference, batches, plans_on=False)
+        assert_bitwise_equal(with_plans, reference, results_on[0],
+                             results_off[0], results_on[1], results_off[1])
+        # The plan actually replayed — this was not a silent fallback.
+        assert any(entry is not nn_plan._UNSUPPORTED
+                   for entry in with_plans._plans.entries.values())
+
+    def test_dropout_rng_stream_advances_identically(self):
+        batches = make_batches(8, 8, 6, 2)
+        with_plans = DropoutMLP(num_features=6, num_classes=2, seed=9)
+        reference = DropoutMLP(num_features=6, num_classes=2, seed=9)
+        run_stream(with_plans, batches, plans_on=True)
+        run_stream(reference, batches, plans_on=False)
+        dropouts_a = [m for m in with_plans.module.modules()
+                      if isinstance(m, nn.Dropout)]
+        dropouts_b = [m for m in reference.module.modules()
+                      if isinstance(m, nn.Dropout)]
+        for a, b in zip(dropouts_a, dropouts_b):
+            assert a.rng.bit_generator.state == b.rng.bit_generator.state
+
+    def test_multi_sgd_steps_replay(self):
+        batches = make_batches(6, 8, 5, 2)
+        with_plans = StreamingMLP(num_features=5, num_classes=2, seed=1,
+                                  sgd_steps=3, momentum=0.9)
+        reference = StreamingMLP(num_features=5, num_classes=2, seed=1,
+                                 sgd_steps=3, momentum=0.9)
+        results_on = run_stream(with_plans, batches, plans_on=True)
+        results_off = run_stream(reference, batches, plans_on=False)
+        assert_bitwise_equal(with_plans, reference, results_on[0],
+                             results_off[0], results_on[1], results_off[1])
+
+
+# -- the invalidation matrix --------------------------------------------------
+
+
+class TestInvalidationMatrix:
+    def test_batch_shape_change_recaptures(self):
+        model = StreamingMLP(num_features=6, num_classes=2, seed=0)
+        reference = StreamingMLP(num_features=6, num_classes=2, seed=0)
+        sizes = [16, 16, 8, 16, 8, 32]
+        rng = np.random.default_rng(3)
+        for size in sizes:
+            x = rng.normal(size=(size, 6))
+            y = rng.integers(0, 2, size)
+            with configure(plan_capture=True):
+                loss_plan = model.partial_fit(x, y)
+            with configure(plan_capture=False):
+                loss_ref = reference.partial_fit(x, y)
+            assert np.float64(loss_plan).tobytes() == \
+                np.float64(loss_ref).tobytes()
+        # Three distinct fit signatures -> three cached fit plans.
+        fit_keys = [key for key in model._plans.entries if key[0] == "fit"]
+        assert len(fit_keys) == 3
+
+    def test_checkpoint_restore_mid_momentum_invalidates(self):
+        batches = make_batches(10, 8, 5, 2, seed=7)
+        model = StreamingMLP(num_features=5, num_classes=2, seed=2,
+                             momentum=0.9)
+        reference = StreamingMLP(num_features=5, num_classes=2, seed=2,
+                                 momentum=0.9)
+        run_stream(model, batches[:4], plans_on=True)
+        run_stream(reference, batches[:4], plans_on=False)
+        checkpoint = model.state_dict()
+        run_stream(model, batches[4:7], plans_on=True)
+        run_stream(reference, batches[4:7], plans_on=False)
+        model.load_state_dict(checkpoint)
+        reference.load_state_dict(checkpoint)
+        assert len(model._plans.entries) == 0  # dropped on restore
+        results_on = run_stream(model, batches[7:], plans_on=True)
+        results_off = run_stream(reference, batches[7:], plans_on=False)
+        assert_bitwise_equal(model, reference, results_on[0], results_off[0],
+                             results_on[1], results_off[1])
+
+    def test_train_eval_flip_uses_distinct_plans(self):
+        batches = make_batches(6, 8, 6, 2, seed=5)
+        model = DropoutMLP(num_features=6, num_classes=2, seed=3)
+        reference = DropoutMLP(num_features=6, num_classes=2, seed=3)
+        for flip, (x, y) in enumerate(batches):
+            training = flip % 2 == 0
+            model.module.train(training)
+            reference.module.train(training)
+            with configure(plan_capture=True):
+                loss_plan = model.partial_fit(x, y)
+            with configure(plan_capture=False):
+                loss_ref = reference.partial_fit(x, y)
+            assert np.float64(loss_plan).tobytes() == \
+                np.float64(loss_ref).tobytes()
+        fit_keys = [key for key in model._plans.entries if key[0] == "fit"]
+        assert len(fit_keys) == 2  # train-mode plan and eval-mode plan
+
+    def test_flag_toggle_mid_stream(self):
+        batches = make_batches(9, 8, 5, 2, seed=11)
+        model = StreamingLR(num_features=5, num_classes=2, seed=6)
+        reference = StreamingLR(num_features=5, num_classes=2, seed=6)
+        schedule = [True, True, False, False, True, True, False, True, True]
+        for plans_on, (x, y) in zip(schedule, batches):
+            with configure(plan_capture=plans_on):
+                loss_plan = model.partial_fit(x, y)
+                proba_plan = model.predict_proba(x + 0.5)
+            with configure(plan_capture=False):
+                loss_ref = reference.partial_fit(x, y)
+                proba_ref = reference.predict_proba(x + 0.5)
+            assert np.float64(loss_plan).tobytes() == \
+                np.float64(loss_ref).tobytes()
+            assert proba_plan.tobytes() == proba_ref.tobytes()
+
+    def test_plan_set_is_bounded_lru(self):
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        rng = np.random.default_rng(0)
+        with configure(plan_capture=True):
+            for size in range(2, 2 + nn_plan._PLAN_SET_CAP + 4):
+                x = rng.normal(size=(size, 4))
+                y = rng.integers(0, 2, size)
+                model.partial_fit(x, y)
+        assert len(model._plans.entries) <= nn_plan._PLAN_SET_CAP
+
+
+# -- eligibility and fallback -------------------------------------------------
+
+
+class TestFallback:
+    def test_custom_prepare_opts_out(self):
+        class WeirdPrepare(StreamingLR):
+            def _prepare(self, x):
+                return nn.Tensor(np.asarray(x, dtype=float) * 2.0)
+
+        model = WeirdPrepare(num_features=4, num_classes=2, seed=0)
+        x = np.ones((6, 4))
+        y = np.zeros(6, dtype=np.int64)
+        with configure(plan_capture=True):
+            model.partial_fit(x, y)
+        assert not hasattr(model, "_plans")
+
+    def test_exotic_optimizer_opts_out(self):
+        class FobosLR(StreamingLR):
+            def _make_optimizer(self):
+                return nn.FOBOS(self.module.parameters(), lr=0.05)
+
+        model = FobosLR(num_features=4, num_classes=2, seed=0)
+        x = np.ones((6, 4))
+        y = np.zeros(6, dtype=np.int64)
+        with configure(plan_capture=True):
+            model.partial_fit(x, y)
+        assert not hasattr(model, "_plans")
+
+    def test_pickling_drops_plans(self):
+        import pickle
+
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        batches = make_batches(3, 8, 4, 2)
+        run_stream(model, batches, plans_on=True)
+        assert hasattr(model, "_plans")
+        clone = pickle.loads(pickle.dumps(model))
+        assert not hasattr(clone, "_plans")
+        # The revived model still trains, and captures fresh plans.
+        results_a = run_stream(clone, batches, plans_on=True)
+        reference = pickle.loads(pickle.dumps(model))
+        results_b = run_stream(reference, batches, plans_on=False)
+        assert_bitwise_equal(clone, reference, results_a[0], results_b[0],
+                             results_a[1], results_b[1])
+
+
+# -- stacked plans ------------------------------------------------------------
+
+
+class TestStackedPlans:
+    def _fleet(self, num_models, seed=0):
+        models = [StreamingMLP(num_features=6, num_classes=3, seed=seed + s,
+                               momentum=0.9) for s in range(num_models)]
+        stack = nn.stack_models([m.module for m in models])
+        optimizer = nn.make_stacked_optimizer(
+            stack, [m.optimizer for m in models])
+        return models, stack, optimizer
+
+    def test_stacked_fit_replay_is_bitwise(self):
+        nn_plan.clear_stacked_plans()
+        rng = np.random.default_rng(8)
+        steps = [(rng.normal(size=(4, 8, 6)), rng.integers(0, 3, (4, 8)))
+                 for _ in range(8)]
+
+        def run(plans_on):
+            models, stack, optimizer = self._fleet(4)
+            losses = []
+            with configure(plan_capture=plans_on):
+                for xs, ys in steps:
+                    losses.append(nn.stacked_fit(stack, optimizer, xs, ys))
+            nn.unstack_models(stack)
+            return losses, [m.state_dict() for m in models]
+
+        losses_on, states_on = run(True)
+        losses_off, states_off = run(False)
+        assert [l.tobytes() for l in losses_on] == \
+            [l.tobytes() for l in losses_off]
+        for state_a, state_b in zip(states_on, states_off):
+            for key in state_a:
+                assert state_a[key].tobytes() == state_b[key].tobytes()
+        nn_plan.clear_stacked_plans()
+
+    def test_stacked_plan_survives_rebinding_to_new_fleet(self):
+        # Two different fleets with the same signature share one cached
+        # plan; bind() must rebind parameters, not leak the first fleet's.
+        nn_plan.clear_stacked_plans()
+        rng = np.random.default_rng(9)
+        xs = rng.normal(size=(3, 8, 6))
+        ys = rng.integers(0, 3, (3, 8))
+        with configure(plan_capture=True):
+            models_a, stack_a, opt_a = self._fleet(3, seed=0)
+            nn.stacked_fit(stack_a, opt_a, xs, ys)
+            losses_a = nn.stacked_fit(stack_a, opt_a, xs, ys)
+            nn.unstack_models(stack_a)
+            models_b, stack_b, opt_b = self._fleet(3, seed=40)
+            losses_b = nn.stacked_fit(stack_b, opt_b, xs, ys)
+            nn.unstack_models(stack_b)
+        # Different weights -> different losses; same plan served both.
+        assert losses_a.tobytes() != losses_b.tobytes()
+        with configure(plan_capture=False):
+            models_ref, stack_ref, opt_ref = self._fleet(3, seed=40)
+            losses_ref = nn.stacked_fit(stack_ref, opt_ref, xs, ys)
+            nn.unstack_models(stack_ref)
+        assert losses_b.tobytes() == losses_ref.tobytes()
+        for model_b, model_ref in zip(models_b, models_ref):
+            state_b, state_ref = model_b.state_dict(), model_ref.state_dict()
+            for key in state_b:
+                assert state_b[key].tobytes() == state_ref[key].tobytes()
+        nn_plan.clear_stacked_plans()
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+class TestPlanTelemetry:
+    def test_profiler_hook_records_events_and_counter(self):
+        obs = Observability(enabled=True)
+        profiler = HotPathProfiler(obs=obs)
+        nn_plan.add_plan_hook(profiler.observe_plan_event)
+        try:
+            model = StreamingLR(num_features=4, num_classes=2, seed=0)
+            batches = make_batches(4, 8, 4, 2)
+            run_stream(model, batches, plans_on=True)
+        finally:
+            nn_plan.remove_plan_hook(profiler.observe_plan_event)
+        summary = profiler.summary()
+        assert "plan.capture" in summary
+        assert "plan.replay" in summary
+        assert summary["plan.replay"]["count"] >= 3
+        counter = obs.registry.counter(nn_plan.PLAN_CACHE_COUNTER)
+        events = {child._labels: child.value
+                  for child in counter._children.values()}
+        assert events[(("event", "capture"),)] >= 1
+        assert events[(("event", "replay"),)] >= 3
+
+    def test_stats_count_replays_without_hooks(self):
+        before = nn_plan.plan_cache_stats().get("replay", 0)
+        model = StreamingLR(num_features=4, num_classes=2, seed=0)
+        batches = make_batches(4, 8, 4, 2)
+        run_stream(model, batches, plans_on=True)
+        assert nn_plan.plan_cache_stats().get("replay", 0) > before
+
+
+# -- hypothesis fuzz ----------------------------------------------------------
+
+
+class TestPlanFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hidden=st.lists(st.sampled_from([3, 5, 8]), min_size=0, max_size=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+        batch_size=st.integers(min_value=1, max_value=9),
+        momentum=st.sampled_from([0.0, 0.9]),
+    )
+    def test_replayed_fit_is_bitwise_identical(self, hidden, seed,
+                                               batch_size, momentum):
+        num_features, num_classes = 6, 3
+        batches = make_batches(5, batch_size, num_features, num_classes,
+                               seed=seed)
+        if hidden:
+            build = lambda: StreamingMLP(  # noqa: E731
+                num_features=num_features, num_classes=num_classes,
+                hidden=tuple(hidden), seed=seed, momentum=momentum)
+        else:
+            build = lambda: StreamingLR(  # noqa: E731
+                num_features=num_features, num_classes=num_classes,
+                seed=seed, momentum=momentum)
+        with_plans, reference = build(), build()
+        results_on = run_stream(with_plans, batches, plans_on=True)
+        results_off = run_stream(reference, batches, plans_on=False)
+        assert_bitwise_equal(with_plans, reference, results_on[0],
+                             results_off[0], results_on[1], results_off[1])
